@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md §6): the BIC(0)/SB-BIC(0) diagonal modification
+// D~_i = A_ii - sum A_ik D~_k^-1 A_ik^T vs the plain block-SSOR diagonal
+// D~_i = A_ii. The modification is GeoFEM's formulation; on non-M hex
+// elasticity matrices it can over-subtract (E_max of M^-1 A rises above 1)
+// yet usually still pays off in iterations for BIC(0); the unmodified form
+// guarantees E_max <= 1.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "eig/lanczos.hpp"
+#include "precond/bic.hpp"
+#include "precond/sb_bic0.hpp"
+
+int main() {
+  using namespace geofem;
+  const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{20, 20, 15, 20, 20}
+                                           : mesh::SimpleBlockParams{10, 10, 8, 10, 10};
+  const mesh::HexMesh m = mesh::simple_block(params);
+  const auto bc = bench::simple_block_bc(m);
+  const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
+  std::cout << "== Ablation: modified vs plain (SSOR) diagonals in BIC(0)/SB-BIC(0), "
+            << m.num_dof() << " DOF ==\n\n";
+
+  util::Table table({"precond", "diag", "lambda", "iters", "E_max", "kappa"});
+  for (double lambda : {1e2, 1e6}) {
+    const fem::System sys = bench::assemble(m, bc, lambda);
+    for (bool selective : {false, true}) {
+      for (bool modified : {true, false}) {
+        precond::PreconditionerPtr prec;
+        if (selective) {
+          prec = std::make_unique<precond::SBBIC0>(sys.a, sn, modified);
+        } else {
+          prec = std::make_unique<precond::BIC0>(sys.a, modified);
+        }
+        std::vector<double> x(sys.a.ndof(), 0.0);
+        solver::CGOptions opt;
+        opt.max_iterations = 3000;
+        const auto res = solver::pcg(sys.a, *prec, sys.b, x, opt);
+        const auto est = eig::estimate_spectrum(sys.a, *prec, sys.b, 150);
+        table.row({prec->name(), modified ? "modified" : "plain", util::Table::sci(lambda, 0),
+                   res.converged ? std::to_string(res.iterations) : "no conv.",
+                   util::Table::fmt(est.emax, 3), util::Table::sci(est.condition(), 2)});
+      }
+    }
+  }
+  table.print();
+  std::cout << "\nPlain diagonals bound E_max by 1; the modified recurrence buys iterations\n"
+               "for BIC(0) and is what GeoFEM ships. SB-BIC(0) is robust either way.\n";
+  return 0;
+}

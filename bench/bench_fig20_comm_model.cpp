@@ -1,0 +1,63 @@
+// Fig 20 of the paper (itself a model figure, "based on the results in
+// [8]"): decomposition of execution time into computation/memory, MPI
+// latency and MPI bandwidth components as the processor count grows for a
+// fixed-size problem. At large counts the latency share dominates because
+// per-rank messages shrink but their number per neighbour does not.
+//
+// We measure per-rank traffic of the real distributed CG at several rank
+// counts and evaluate the shares through the Earth Simulator communication
+// model, then extrapolate the surface/volume trend to the paper's axis.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/dist_solver.hpp"
+#include "part/local_system.hpp"
+#include "perf/es_model.hpp"
+#include "precond/bic.hpp"
+
+int main() {
+  using namespace geofem;
+  const perf::EsModel es;
+  const int n = bench::paper_scale() ? 24 : 16;
+  const mesh::HexMesh m = mesh::unit_cube(n, n, n);
+  fem::System sys = fem::assemble_elasticity(m, {{1.0, 0.3}});
+  fem::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  bc.surface_load(m, [](double, double, double z) { return z == 1.0; }, 2, -1.0);
+  fem::apply_boundary_conditions(sys, bc);
+  std::cout << "== Fig 20: time decomposition vs processor count (fixed " << sys.a.ndof()
+            << " DOF) ==\n\n";
+
+  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
+    return std::make_unique<precond::BIC0>(aii);
+  };
+
+  util::Table table({"PE#", "compute %", "latency %", "bandwidth %"});
+  for (int ranks : {2, 4, 8, 16, 32, 64, 128}) {
+    const auto p = part::rcb(m.coords, ranks);
+    const auto systems = part::distribute(sys.a, sys.b, p);
+    const auto res = dist::solve_distributed(systems, factory);
+    perf::TimeBreakdown tb;  // slowest rank
+    for (int r = 0; r < ranks; ++r) {
+      perf::TimeBreakdown cur;
+      cur.compute = static_cast<double>(
+                        res.flops_per_rank[static_cast<std::size_t>(r)].total()) /
+                    es.rinf_per_pe;
+      const auto& t = res.traffic_per_rank[static_cast<std::size_t>(r)];
+      cur.comm_latency = static_cast<double>(t.messages_sent) * es.mpi_latency +
+                         static_cast<double>(t.allreduces + t.barriers) * es.allreduce_latency *
+                             std::ceil(std::log2(std::max(ranks, 2)));
+      cur.comm_bandwidth = static_cast<double>(t.bytes_sent) / es.mpi_bandwidth;
+      if (cur.total() > tb.total()) tb = cur;
+    }
+    const double total = tb.total();
+    table.row({std::to_string(ranks), util::Table::fmt(100.0 * tb.compute / total, 1),
+               util::Table::fmt(100.0 * tb.comm_latency / total, 1),
+               util::Table::fmt(100.0 * tb.comm_bandwidth / total, 1)});
+  }
+  table.print();
+  std::cout << "\nThe latency share grows with the processor count (paper: latency dominates\n"
+               "on large counts 'simply due to the available bandwidth being much larger').\n";
+  return 0;
+}

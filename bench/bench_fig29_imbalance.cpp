@@ -1,0 +1,48 @@
+// Fig 29 of the paper: load imbalance among the 8 PEs of an SMP node and the
+// ratio of dummy off-diagonal components introduced by selective blocking,
+// as functions of the MC color count, for both models. Paper: both effects
+// are small (<~1% simple block, a few % SW Japan) and negligible for
+// performance.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "precond/djds_bic.hpp"
+
+namespace {
+
+void report(const char* title, const geofem::mesh::HexMesh& m, const geofem::fem::System& sys) {
+  using namespace geofem;
+  std::cout << title << ":\n";
+  util::Table table({"colors", "load imbalance %", "dummy components %", "avg vec len"});
+  for (int colors : {5, 10, 20, 50, 100}) {
+    auto sn = contact::build_supernodes(sys.a.n, m.contact_groups);
+    const precond::OwnedDJDSBIC prec(sys.a, std::move(sn), colors, 8);
+    const auto& dj = prec.djds();
+    table.row({std::to_string(dj.num_colors()), util::Table::fmt(dj.load_imbalance_percent(), 3),
+               util::Table::fmt(dj.dummy_percent(), 3),
+               util::Table::fmt(dj.average_vector_length(), 1)});
+  }
+  table.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace geofem;
+  {
+    const auto params = bench::table2_block();
+    const mesh::HexMesh m = mesh::simple_block(params);
+    const fem::System sys = bench::assemble(m, bench::simple_block_bc(m), 1e6);
+    std::cout << "== Fig 29: load imbalance & dummy components vs colors, " << sys.a.ndof()
+              << " DOF ==\n\n";
+    report("simple block model", m, sys);
+  }
+  {
+    const mesh::HexMesh m = mesh::southwest_japan_like(bench::tableA3_swjapan());
+    const fem::System sys = bench::assemble(m, bench::swjapan_bc(m), 1e6);
+    report("Southwest-Japan-like model", m, sys);
+  }
+  return 0;
+}

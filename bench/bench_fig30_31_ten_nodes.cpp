@@ -1,0 +1,37 @@
+// Figs 30-31 of the paper: the color-count sweep of Figs 26-27 repeated on
+// 10 SMP nodes of the Earth Simulator (29.7M / 23.3M DOF in the paper;
+// scaled here). Hybrid runs as 10 ranks (8 PE chunks each), flat MPI as 80
+// ranks. Paper shape unchanged from the single-node figures; absolute GFLOPS
+// ~10x the single-node numbers; hybrid iterations < flat MPI iterations.
+
+#include <iostream>
+
+#include "color_sweep.hpp"
+
+int main() {
+  using namespace geofem;
+  {
+    const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{20, 20, 12, 20, 20}
+                                             : mesh::SimpleBlockParams{12, 12, 8, 12, 12};
+    const mesh::HexMesh m = mesh::simple_block(params);
+    const auto bc = bench::simple_block_bc(m);
+    const fem::System sys = bench::assemble(m, bc, 1e6);
+    std::cout << "== Fig 30: simple block model, " << sys.a.ndof()
+              << " DOF, 10 SMP nodes, lambda=1e6 ==\n\n";
+    bench::color_sweep_report(m, sys, 10, {10, 30, 100});
+  }
+  {
+    mesh::SouthwestJapanParams params;
+    if (bench::paper_scale()) {
+      params.nx = 36;
+      params.ny = 30;
+    }
+    const mesh::HexMesh m = mesh::southwest_japan_like(params);
+    const auto bc = bench::swjapan_bc(m);
+    const fem::System sys = bench::assemble(m, bc, 1e6);
+    std::cout << "== Fig 31: Southwest-Japan-like model, " << sys.a.ndof()
+              << " DOF, 10 SMP nodes, lambda=1e6 ==\n\n";
+    bench::color_sweep_report(m, sys, 10, {10, 30, 100});
+  }
+  return 0;
+}

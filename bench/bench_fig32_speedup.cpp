@@ -1,0 +1,46 @@
+// Fig 32 of the paper: parallel speed-up of SB-BIC(0) CG (PDJDS/MC) on the
+// simple block model (10,187,151 DOF in the paper; scaled here) from 1 to 10
+// SMP nodes, for 13 and 30 colors, hybrid vs flat MPI.
+//
+// Paper shape: both models speed up at >74% of ideal; fewer colors give the
+// better parallel speed-up; flat MPI slightly ahead of hybrid.
+
+#include <iostream>
+
+#include "color_sweep.hpp"
+
+int main() {
+  using namespace geofem;
+  // The paper runs 10.2M DOF (127k DOF per PE); at laptop scale the per-PE
+  // loop lengths are far below the vector machine's n_half, so the modeled
+  // parallel efficiency saturates much earlier than the paper's 74-86% —
+  // EXPERIMENTS.md discusses the scale effect.
+  const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{30, 30, 24, 30, 30}
+                                           : mesh::SimpleBlockParams{16, 16, 14, 16, 16};
+  const mesh::HexMesh m = mesh::simple_block(params);
+  const auto bc = bench::simple_block_bc(m);
+  const fem::System sys = bench::assemble(m, bc, 1e6);
+  std::cout << "== Fig 32: speed-up 1..10 SMP nodes, simple block model, " << sys.a.ndof()
+            << " DOF, lambda=1e6 ==\n\n";
+
+  for (int colors : {13, 30}) {
+    std::cout << colors << " colors:\n";
+    util::Table table({"SMP nodes", "model", "PE#", "iters", "modeled sec", "speed-up",
+                       "% of ideal"});
+    for (bool hybrid : {true, false}) {
+      double t1 = 0.0;
+      for (int nodes : {1, 2, 4, 8, 10}) {
+        const auto row = bench::run_color_point(m, sys, nodes, hybrid, colors);
+        if (nodes == 1) t1 = row.modeled_seconds;
+        const double speedup = 8.0 * t1 / row.modeled_seconds;  // vs 8 PEs
+        table.row({std::to_string(nodes), hybrid ? "hybrid" : "flat MPI",
+                   std::to_string(nodes * 8), std::to_string(row.iterations),
+                   util::Table::fmt(row.modeled_seconds, 3), util::Table::fmt(speedup, 1),
+                   util::Table::fmt(100.0 * speedup / (8.0 * nodes), 1)});
+      }
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  return 0;
+}

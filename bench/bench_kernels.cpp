@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks of the hot kernels on the host CPU:
+// block SpMV in CSR vs PDJDS order, and one apply() of each preconditioner.
+// These are host-hardware numbers (no machine model) — useful for tracking
+// regressions of this implementation rather than for paper comparison.
+
+#include <benchmark/benchmark.h>
+
+#include "contact/penalty.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "precond/bic.hpp"
+#include "precond/djds_bic.hpp"
+#include "precond/sb_bic0.hpp"
+#include "reorder/coloring.hpp"
+#include "reorder/djds.hpp"
+
+namespace {
+
+struct Fixture {
+  geofem::mesh::HexMesh mesh;
+  geofem::fem::System sys;
+  geofem::contact::Supernodes sn;
+
+  Fixture() {
+    mesh = geofem::mesh::simple_block({8, 8, 6, 8, 8});
+    sys = geofem::fem::assemble_elasticity(mesh, {{1.0, 0.3}});
+    geofem::contact::add_penalty(sys.a, mesh.contact_groups, 1e6);
+    geofem::fem::BoundaryConditions bc;
+    bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+    bc.surface_load(mesh, [](double, double, double z) { return z > 13.9; }, 2, -1.0);
+    geofem::fem::apply_boundary_conditions(sys, bc);
+    sn = geofem::contact::build_supernodes(mesh.num_nodes(), mesh.contact_groups);
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SpmvCSR(benchmark::State& state) {
+  const auto& f = fixture();
+  std::vector<double> x(f.sys.a.ndof(), 1.0), y(x.size());
+  for (auto _ : state) {
+    f.sys.a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.sys.a.nnz_blocks());
+}
+BENCHMARK(BM_SpmvCSR);
+
+void BM_SpmvDJDS(benchmark::State& state) {
+  const auto& f = fixture();
+  const auto g = geofem::sparse::graph_of(f.sys.a);
+  const auto q = geofem::reorder::quotient_graph(g, f.sn.node_to_super, f.sn.count());
+  const auto col =
+      geofem::reorder::lift_coloring(geofem::reorder::multicolor(q, 20), f.sn.node_to_super,
+                                     f.sys.a.n);
+  const geofem::reorder::DJDSMatrix dj(f.sys.a, col, &f.sn, {});
+  std::vector<double> x(f.sys.a.ndof(), 1.0), y(x.size());
+  for (auto _ : state) {
+    dj.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.sys.a.nnz_blocks());
+}
+BENCHMARK(BM_SpmvDJDS);
+
+void BM_ApplyBIC0(benchmark::State& state) {
+  const auto& f = fixture();
+  const geofem::precond::BIC0 prec(f.sys.a);
+  std::vector<double> r(f.sys.a.ndof(), 1.0), z(r.size());
+  for (auto _ : state) {
+    prec.apply(r, z, nullptr, nullptr);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ApplyBIC0);
+
+void BM_ApplySBBIC0(benchmark::State& state) {
+  const auto& f = fixture();
+  const geofem::precond::SBBIC0 prec(f.sys.a, f.sn);
+  std::vector<double> r(f.sys.a.ndof(), 1.0), z(r.size());
+  for (auto _ : state) {
+    prec.apply(r, z, nullptr, nullptr);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ApplySBBIC0);
+
+void BM_ApplyBIC1(benchmark::State& state) {
+  const auto& f = fixture();
+  const geofem::precond::BlockILUk prec(f.sys.a, 1);
+  std::vector<double> r(f.sys.a.ndof(), 1.0), z(r.size());
+  for (auto _ : state) {
+    prec.apply(r, z, nullptr, nullptr);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ApplyBIC1);
+
+void BM_FactorSBBIC0(benchmark::State& state) {
+  const auto& f = fixture();
+  for (auto _ : state) {
+    const auto lus = geofem::precond::sb_factor_diagonals(f.sys.a, f.sn);
+    benchmark::DoNotOptimize(lus.size());
+  }
+}
+BENCHMARK(BM_FactorSBBIC0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table 3 of the paper: localized preconditioning on 8 domains with ORIGINAL
+// partitioning (contact groups cut by domain boundaries) vs the IMPROVED
+// contact-aware repartitioning (Fig 8). Paper: iterations blow up ~10x at
+// lambda=1e6 with the original partitioning and recover with the improved
+// one (e.g. BIC(1): 2701 -> 123).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/dist_solver.hpp"
+#include "part/local_system.hpp"
+#include "precond/bic.hpp"
+#include "precond/sb_bic0.hpp"
+
+int main() {
+  using namespace geofem;
+  const auto params = bench::table2_block();
+  const mesh::HexMesh m = mesh::simple_block(params);
+  const auto bc = bench::simple_block_bc(m);
+  std::cout << "== Table 3: original vs contact-aware partitioning, 8 domains, " << m.num_dof()
+            << " DOF ==\n\n";
+
+  struct Kind {
+    const char* name;
+    int fill;  // -1 = SB-BIC(0), 0 = BIC(0), k = BIC(k)
+  };
+  const Kind kinds[] = {{"BIC(0)", 0}, {"BIC(1)", 1}, {"BIC(2)", 2}, {"SB-BIC(0)", -1}};
+
+  util::Table table({"precond", "lambda", "orig iters", "orig s", "improved iters", "improved s",
+                     "groups cut"});
+  for (const Kind& kind : kinds) {
+    auto factory = [&](const part::LocalSystem& ls,
+                       const sparse::BlockCSR& aii) -> precond::PreconditionerPtr {
+      if (kind.fill < 0) {
+        auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
+        return std::make_unique<precond::SBBIC0>(aii, std::move(sn));
+      }
+      if (kind.fill == 0) return std::make_unique<precond::BIC0>(aii);
+      return std::make_unique<precond::BlockILUk>(aii, kind.fill);
+    };
+    for (double lambda : {1e2, 1e6}) {
+      const fem::System sys = bench::assemble(m, bc, lambda);
+      const auto p_orig = part::by_node_blocks(m.num_nodes(), 8);
+      const auto p_impr = part::rcb_contact_aware(m, 8);
+      dist::DistOptions opt;
+      opt.max_iterations = 5000;
+      const auto sys_orig = part::distribute(sys.a, sys.b, p_orig);
+      const auto sys_impr = part::distribute(sys.a, sys.b, p_impr);
+      const auto r_orig = dist::solve_distributed(sys_orig, factory, opt);
+      const auto r_impr = dist::solve_distributed(sys_impr, factory, opt);
+      table.row({kind.name, util::Table::sci(lambda, 0),
+                 r_orig.converged ? std::to_string(r_orig.iterations) : "no conv.",
+                 util::Table::fmt(r_orig.setup_seconds_max + r_orig.solve_seconds, 1),
+                 r_impr.converged ? std::to_string(r_impr.iterations) : "no conv.",
+                 util::Table::fmt(r_impr.setup_seconds_max + r_impr.solve_seconds, 1),
+                 std::to_string(part::split_contact_groups(m, p_orig)) + " -> " +
+                     std::to_string(part::split_contact_groups(m, p_impr))});
+    }
+  }
+  table.print();
+  std::cout << "\n(Wall-clock seconds are oversubscribed-host times; the shape that matters is\n"
+               "the iteration blow-up with cut contact groups and its recovery.)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Tables A.1 and A.3 of the paper: iterations / time for convergence vs the
+// penalty parameter for BIC(0)/BIC(1)/BIC(2)/SB-BIC(0), on the simple block
+// model (83,664 DOF) and the Southwest Japan model (81,585 DOF).
+//
+// Paper shape (A.1, simple block): BIC(0) fails for lambda >= 1e4; the other
+// three are flat in lambda; SB-BIC(0) needs more iterations than BIC(1)/(2)
+// but the least total time.
+// Paper shape (A.3, Southwest Japan): same, except BIC(1)/BIC(2) iterations
+// *grow* from lambda=1e2 to 1e4 (distorted meshes) while SB-BIC(0) stays
+// flat.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void report(const char* title, const geofem::mesh::HexMesh& m,
+            const geofem::fem::BoundaryConditions& bc) {
+  using namespace geofem;
+  const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
+  std::cout << title << " (" << m.num_dof() << " DOF):\n";
+  util::Table table({"precond", "lambda", "iters", "total(s)"});
+  using K = core::PrecondKind;
+  for (K kind : {K::kBIC0, K::kBIC1, K::kBIC2, K::kSBBIC0}) {
+    for (double lambda : {1e2, 1e4, 1e6}) {
+      const fem::System sys = bench::assemble(m, bc, lambda);
+      util::Timer timer;
+      auto prec = core::make_preconditioner(kind, sys.a, sn);
+      std::vector<double> x(sys.a.ndof(), 0.0);
+      solver::CGOptions opt;
+      opt.max_iterations = 2000;
+      const auto res = solver::pcg(sys.a, *prec, sys.b, x, opt);
+      table.row({prec->name(), util::Table::sci(lambda, 0),
+                 res.converged ? std::to_string(res.iterations) : "> 2000",
+                 util::Table::fmt(timer.seconds(), 1)});
+    }
+  }
+  table.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace geofem;
+  {
+    const mesh::HexMesh m = mesh::simple_block(bench::table2_block());
+    std::cout << "== Table A.1: robustness vs lambda, simple block model ==\n\n";
+    report("simple block", m, bench::simple_block_bc(m));
+  }
+  {
+    const mesh::HexMesh m = mesh::southwest_japan_like(bench::tableA3_swjapan());
+    std::cout << "== Table A.3: robustness vs lambda, Southwest-Japan-like model ==\n\n";
+    report("Southwest-Japan-like", m, bench::swjapan_bc(m));
+  }
+  return 0;
+}

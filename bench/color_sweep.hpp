@@ -1,0 +1,120 @@
+#pragma once
+
+// Shared machinery for the paper's color-sweep figures (26, 27, 30, 31):
+// SB-BIC(0) CG with PDJDS/MC reordering, iterations / time / GFLOPS as a
+// function of the MC color count and of the average innermost vector length,
+// for both programming models:
+//   * hybrid  : one simulated-MPI rank per SMP node, PDJDS chunks over the
+//               node's 8 PEs (OpenMP), loop directives + vectorization
+//   * flat MPI: 8 ranks per SMP node, PDJDS per rank with npe = 1
+// Time and GFLOPS are replayed through the Earth Simulator model from the
+// measured iteration counts, FLOPs, structural loop profiles, and traffic.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/dist_solver.hpp"
+#include "part/local_system.hpp"
+#include "perf/es_model.hpp"
+#include "precond/djds_bic.hpp"
+
+namespace bench {
+
+struct SweepRow {
+  int colors;
+  int iterations;
+  double avg_vector_length;
+  double modeled_seconds;
+  double modeled_gflops;
+};
+
+/// One programming model x one color count on `smp_nodes` simulated SMP
+/// nodes. Uses the real distributed solve (or serial PDJDS path when
+/// hybrid && smp_nodes == 1).
+inline SweepRow run_color_point(const geofem::mesh::HexMesh& m, const geofem::fem::System& sys,
+                                int smp_nodes, bool hybrid, int colors) {
+  using namespace geofem;
+  const perf::EsModel es;
+  const int ranks = hybrid ? smp_nodes : smp_nodes * 8;
+  const int npe = hybrid ? 8 : 1;
+
+  part::Partition p;
+  if (ranks == 1) {
+    p.num_domains = 1;
+    p.domain_of.assign(static_cast<std::size_t>(m.num_nodes()), 0);
+  } else {
+    p = part::rcb_contact_aware(m, ranks);
+  }
+  const auto systems = part::distribute(sys.a, sys.b, p);
+
+  // localized PDJDS/MC SB-BIC(0) preconditioner per rank
+  auto factory = [&](const part::LocalSystem& ls,
+                     const sparse::BlockCSR& aii) -> precond::PreconditionerPtr {
+    auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
+    return std::make_unique<precond::OwnedDJDSBIC>(aii, std::move(sn), colors, npe);
+  };
+  dist::DistOptions opt;
+  opt.max_iterations = 10000;
+  const auto res = dist::solve_distributed(systems, factory, opt);
+
+  // Model: per-rank compute from the structural loop profile of one sweep of
+  // its local DJDS structures (matvec + substitution dominate; the blas1 part
+  // is modeled as one long loop over the rank's DOFs).
+  double elapsed = 0.0;
+  double total_flops = 0.0;
+  double avg_len = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& ls = systems[static_cast<std::size_t>(r)];
+    const sparse::BlockCSR aii = ls.internal_matrix();
+    auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
+    const precond::OwnedDJDSBIC prec(aii, std::move(sn), colors, npe);
+    const auto& dj = prec.djds();
+    avg_len += dj.average_vector_length() / ranks;
+
+    // one matvec sweep + one substitution sweep per iteration
+    util::LoopStats sweep;
+    {
+      std::vector<double> xx(aii.ndof(), 1.0), yy(aii.ndof());
+      dj.spmv(xx, yy, nullptr, &sweep);
+    }
+    sweep.merge(prec.inner().structural_loops());
+    util::LoopStats blas1;
+    blas1.record(static_cast<std::int64_t>(ls.num_internal), 10);  // dots/axpys per iter
+
+    perf::TimeBreakdown tb;
+    tb.compute = (es.vector_seconds(sweep, 18.0) + es.vector_seconds(blas1, 2.0)) /
+                 npe * res.iterations;
+    const auto& t = res.traffic_per_rank[static_cast<std::size_t>(r)];
+    tb.comm_latency = static_cast<double>(t.messages_sent) * es.mpi_latency +
+                      static_cast<double>(t.allreduces + t.barriers) * es.allreduce_latency *
+                          (ranks > 1 ? std::ceil(std::log2(ranks)) : 0.0);
+    tb.comm_bandwidth = static_cast<double>(t.bytes_sent) / es.mpi_bandwidth;
+    if (hybrid) tb.omp = es.omp_seconds(2LL * prec.djds().num_colors() * res.iterations);
+    elapsed = std::max(elapsed, tb.total());
+    total_flops += static_cast<double>(res.flops_per_rank[static_cast<std::size_t>(r)].total());
+  }
+  return {colors, res.iterations, avg_len, elapsed, perf::gflops(total_flops, elapsed)};
+}
+
+inline void color_sweep_report(const geofem::mesh::HexMesh& m, const geofem::fem::System& sys,
+                               int smp_nodes, const std::vector<int>& color_counts) {
+  using geofem::util::Table;
+  const double peak = smp_nodes * 8 * 8.0;  // GFLOPS
+  for (bool hybrid : {true, false}) {
+    std::cout << (hybrid ? "hybrid (1 rank/SMP node, 8 PE chunks):"
+                         : "flat MPI (8 ranks/SMP node):")
+              << "\n";
+    Table table({"colors", "iters", "avg vec len", "modeled sec", "modeled GFLOPS", "% peak"});
+    for (int colors : color_counts) {
+      const SweepRow row = run_color_point(m, sys, smp_nodes, hybrid, colors);
+      table.row({std::to_string(row.colors), std::to_string(row.iterations),
+                 Table::fmt(row.avg_vector_length, 1), Table::fmt(row.modeled_seconds, 3),
+                 Table::fmt(row.modeled_gflops, 1),
+                 Table::fmt(100.0 * row.modeled_gflops / peak, 1)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared problem setup for the benchmark harness. Every bench binary
+// reproduces one table or figure of the paper (see DESIGN.md's experiment
+// index). Problem sizes default to laptop scale; set GEOFEM_BENCH_SCALE
+// (small | paper) to switch. "paper" uses the paper's exact DOF counts where
+// feasible on one machine.
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "contact/penalty.hpp"
+#include "core/geofem.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "mesh/southwest_japan.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+inline bool paper_scale() {
+  const char* s = std::getenv("GEOFEM_BENCH_SCALE");
+  return s && std::string(s) == "paper";
+}
+
+/// The appendix / Table 2 simple block model: 83,664 DOF at paper scale
+/// (exact), ~20k DOF at small scale.
+inline geofem::mesh::SimpleBlockParams table2_block() {
+  return paper_scale() ? geofem::mesh::SimpleBlockParams{20, 20, 15, 20, 20}
+                       : geofem::mesh::SimpleBlockParams{12, 12, 9, 12, 12};
+}
+
+/// The appendix Southwest-Japan-like model: ~79k DOF at paper scale
+/// (paper: 81,585), ~20k at small scale.
+inline geofem::mesh::SouthwestJapanParams tableA3_swjapan() {
+  geofem::mesh::SouthwestJapanParams p;
+  if (paper_scale()) {
+    p.nx = 40;
+    p.ny = 34;
+  } else {
+    p.nx = 24;
+    p.ny = 20;
+  }
+  return p;
+}
+
+/// Fig 23 boundary conditions for the simple block model (symmetry at
+/// x=0/y=0, fixed bottom, uniform load on top).
+inline geofem::fem::BoundaryConditions simple_block_bc(const geofem::mesh::HexMesh& m) {
+  geofem::fem::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  bc.fix_nodes(m.nodes_where([](double x, double, double) { return x == 0.0; }), 0);
+  bc.fix_nodes(m.nodes_where([](double, double y, double) { return y == 0.0; }), 1);
+  const double zmax = m.bounding_box().hi[2];
+  bc.surface_load(
+      m, [zmax](double, double, double z) { return std::abs(z - zmax) < 1e-9; }, 2, -1.0);
+  return bc;
+}
+
+/// Southwest-Japan boundary conditions (fixed flat bottom, gravity body
+/// force; paper §5.1).
+inline geofem::fem::BoundaryConditions swjapan_bc(const geofem::mesh::HexMesh& m) {
+  geofem::fem::BoundaryConditions bc;
+  const double zmin = m.bounding_box().lo[2];
+  bc.fix_nodes(m.nodes_where([zmin](double, double, double z) { return z < zmin + 1e-9; }), -1);
+  bc.body_force(m, 2, -1.0);
+  return bc;
+}
+
+/// Assemble a penalized, boundary-conditioned system on any mesh.
+inline geofem::fem::System assemble(const geofem::mesh::HexMesh& m,
+                                    const geofem::fem::BoundaryConditions& bc, double lambda) {
+  geofem::fem::System sys = geofem::fem::assemble_elasticity(m, {{1.0, 0.3}});
+  geofem::contact::add_penalty(sys.a, m.contact_groups, lambda);
+  geofem::fem::apply_boundary_conditions(sys, bc);
+  return sys;
+}
+
+inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace bench

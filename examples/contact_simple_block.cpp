@@ -1,0 +1,49 @@
+// Fault-zone contact on the paper's simple block model (Fig 23): sweeps the
+// penalty number lambda and compares preconditioners, reproducing the
+// robustness story of Table 2 / A.1 interactively.
+//
+//   ./example_contact_simple_block [edge_elements]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/geofem.hpp"
+#include "mesh/simple_block.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geofem;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  const mesh::HexMesh m = mesh::simple_block({n, n, (3 * n) / 4, n, n});
+  std::cout << "simple block model: " << m.num_dof() << " DOF, " << m.contact_groups.size()
+            << " contact groups\n\n";
+
+  fem::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  bc.fix_nodes(m.nodes_where([](double x, double, double) { return x == 0.0; }), 0);
+  bc.fix_nodes(m.nodes_where([](double, double y, double) { return y == 0.0; }), 1);
+  const double zmax = m.bounding_box().hi[2];
+  bc.surface_load(m, [&](double, double, double z) { return std::abs(z - zmax) < 1e-9; }, 2,
+                  -1.0);
+
+  util::Table table({"precond", "lambda", "iters", "setup(s)", "solve(s)", "total(s)", "MB"});
+  using K = core::PrecondKind;
+  for (K kind : {K::kBIC0, K::kBIC1, K::kBIC2, K::kSBBIC0}) {
+    for (double lambda : {1e2, 1e6}) {
+      core::SolveConfig cfg;
+      cfg.precond = kind;
+      cfg.penalty = lambda;
+      cfg.cg.max_iterations = 5000;
+      const auto rep = core::solve(m, {{1.0, 0.3}}, bc, cfg);
+      table.row({rep.precond_name, util::Table::sci(lambda, 0),
+                 rep.cg.converged ? std::to_string(rep.cg.iterations) : "no conv.",
+                 util::Table::fmt(rep.setup_seconds, 2), util::Table::fmt(rep.cg.solve_seconds, 2),
+                 util::Table::fmt(rep.setup_seconds + rep.cg.solve_seconds, 2),
+                 util::Table::fmt((rep.matrix_bytes + rep.precond_bytes) / 1.0e6, 1)});
+    }
+  }
+  table.print();
+  std::cout << "\nSB-BIC(0) is flat in lambda at BIC(0)-level memory — the paper's headline.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ground-motion scenario (paper §1.1): stress accumulation on the plate
+// boundaries of the Southwest-Japan-like model over an earthquake-cycle-style
+// loading history. Each load step increases the tectonic push; the tied
+// fault constraints are enforced by the augmented Lagrange method with
+// SB-BIC(0) inner solves, and the fault traction (multiplier) build-up is
+// reported per step.
+//
+//   ./example_ground_motion [steps] [nx]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "contact/penalty.hpp"
+#include "mesh/southwest_japan.hpp"
+#include "nonlin/alm.hpp"
+#include "precond/sb_bic0.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geofem;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 4;
+  mesh::SouthwestJapanParams params;
+  if (argc > 2) {
+    params.nx = std::atoi(argv[2]);
+    params.ny = (params.nx * 5) / 6;
+  } else {
+    params.nx = 12;
+    params.ny = 10;
+    params.nz_slab = 4;
+    params.nz_crust = 6;
+  }
+  const mesh::HexMesh m = mesh::southwest_japan_like(params);
+  const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
+  std::cout << "ground motion on the Southwest-Japan-like model: " << m.num_dof() << " DOF, "
+            << m.contact_groups.size() << " fault-node groups\n\n";
+
+  const double zmin = m.bounding_box().lo[2];
+  const double xmax = m.bounding_box().hi[0];
+
+  util::Table table({"step", "push", "NR cycles", "lin iters", "max fault slip-resid",
+                     "max settlement"});
+  for (int step = 1; step <= steps; ++step) {
+    // gravity + growing tectonic push on the x = Xmax face (subduction drive)
+    fem::BoundaryConditions bc;
+    bc.fix_nodes(m.nodes_where([&](double, double, double z) { return z < zmin + 1e-9; }), -1);
+    bc.body_force(m, 2, -1.0);
+    const double push = 0.25 * step;
+    bc.surface_load(m, [&](double x, double, double) { return std::abs(x - xmax) < 1e-9; }, 0,
+                    -push);
+
+    nonlin::ALMOptions opt;
+    opt.lambda = 1e6;
+    opt.constraint_tol = 1e-7;
+    opt.inner.max_iterations = 4000;
+    const auto res = nonlin::solve_tied_contact_alm(
+        m, {{1.0, 0.3}}, bc,
+        [&](const sparse::BlockCSR& a) { return std::make_unique<precond::SBBIC0>(a, sn); },
+        opt);
+
+    double settle = 0.0;
+    for (int i = 0; i < m.num_nodes(); ++i)
+      settle = std::min(settle, res.solution[static_cast<std::size_t>(i) * 3 + 2]);
+    table.row({std::to_string(step), util::Table::fmt(push, 2), std::to_string(res.cycles),
+               std::to_string(res.total_inner_iterations()),
+               util::Table::sci(res.gap_history.empty() ? 0.0 : res.gap_history.back(), 1),
+               util::Table::fmt(settle, 4)});
+    if (!res.converged) {
+      std::cout << "step " << step << " did not converge\n";
+      return 1;
+    }
+  }
+  table.print();
+  std::cout << "\nStress accumulates linearly with the tectonic push while the fault stays\n"
+               "tied; the ALM cycle count is load-independent (the constraint is linear).\n";
+  return 0;
+}

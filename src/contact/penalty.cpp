@@ -1,0 +1,73 @@
+#include "contact/penalty.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace geofem::contact {
+
+void add_penalty(sparse::BlockCSR& a, const std::vector<std::vector<int>>& groups,
+                 double lambda) {
+  GEOFEM_CHECK(lambda >= 0.0, "penalty must be non-negative");
+  for (const auto& g : groups) {
+    const double diag = lambda * static_cast<double>(g.size() - 1);
+    for (int i : g) {
+      double* d = a.block(a.diag_entry(i));
+      d[0] += diag;
+      d[4] += diag;
+      d[8] += diag;
+      for (int j : g) {
+        if (i == j) continue;
+        const int e = a.find(i, j);
+        GEOFEM_CHECK(e >= 0, "contact coupling missing from matrix pattern");
+        double* blk = a.block(e);
+        blk[0] -= lambda;
+        blk[4] -= lambda;
+        blk[8] -= lambda;
+      }
+    }
+  }
+}
+
+int Supernodes::max_size() const {
+  int mx = 0;
+  for (const auto& m : members) mx = std::max(mx, static_cast<int>(m.size()));
+  return mx;
+}
+
+Supernodes build_supernodes(int num_nodes, const std::vector<std::vector<int>>& groups) {
+  Supernodes sn;
+  sn.node_to_super.assign(static_cast<std::size_t>(num_nodes), -1);
+
+  // Which group (if any) owns each node.
+  std::vector<int> group_of(static_cast<std::size_t>(num_nodes), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int v : groups[g]) {
+      GEOFEM_CHECK(v >= 0 && v < num_nodes, "contact node out of range");
+      GEOFEM_CHECK(group_of[static_cast<std::size_t>(v)] == -1, "node in two contact groups");
+      group_of[static_cast<std::size_t>(v)] = static_cast<int>(g);
+    }
+  }
+
+  // Number supernodes in mesh-node order (a supernode appears at its first
+  // member). Keeping groups interleaved with the interior nodes — instead of
+  // eliminating the whole contact interface first — preserves the locality
+  // the incomplete factorization relies on; a groups-first order measurably
+  // degrades SB-BIC(0) convergence on irregular meshes.
+  for (int v = 0; v < num_nodes; ++v) {
+    if (sn.node_to_super[static_cast<std::size_t>(v)] != -1) continue;
+    const int s = sn.count();
+    if (group_of[static_cast<std::size_t>(v)] == -1) {
+      sn.node_to_super[static_cast<std::size_t>(v)] = s;
+      sn.members.push_back({v});
+    } else {
+      std::vector<int> sorted = groups[static_cast<std::size_t>(group_of[static_cast<std::size_t>(v)])];
+      std::sort(sorted.begin(), sorted.end());
+      for (int w : sorted) sn.node_to_super[static_cast<std::size_t>(w)] = s;
+      sn.members.push_back(std::move(sorted));
+    }
+  }
+  return sn;
+}
+
+}  // namespace geofem::contact

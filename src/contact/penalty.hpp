@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/block_csr.hpp"
+
+namespace geofem::contact {
+
+/// Add the penalty (MPC) constraint blocks for tied contact groups to an
+/// assembled stiffness matrix, per Fig 24 of the paper: each group of m
+/// coincident nodes is tied in all three directions with penalty number
+/// lambda, i.e. the complete-graph Laplacian scaled by lambda:
+///
+///   A_ii += (m-1) * lambda * I3        for every node i in the group
+///   A_ij += -lambda * I3               for every pair i != j in the group
+///
+/// (for m = 3 this is exactly the paper's "2*lambda*u0 = lambda*u1 +
+/// lambda*u2" row pattern). The Laplacian is positive semi-definite, so the
+/// matrix stays SPD; its condition number grows linearly with lambda, which
+/// is the pathology selective blocking targets.
+///
+/// The matrix pattern must already contain all intra-group couplings
+/// (assemble_elasticity guarantees this).
+void add_penalty(sparse::BlockCSR& a, const std::vector<std::vector<int>>& groups,
+                 double lambda);
+
+/// Partition of the matrix rows into selective blocks (super nodes): every
+/// contact group becomes one supernode; every remaining node is a singleton
+/// supernode (paper, section 3.1).
+struct Supernodes {
+  std::vector<int> node_to_super;           ///< size n
+  std::vector<std::vector<int>> members;    ///< per supernode, ascending node ids
+
+  [[nodiscard]] int count() const { return static_cast<int>(members.size()); }
+  [[nodiscard]] int size_of(int s) const { return static_cast<int>(members[static_cast<std::size_t>(s)].size()); }
+  [[nodiscard]] int max_size() const;
+};
+
+Supernodes build_supernodes(int num_nodes, const std::vector<std::vector<int>>& groups);
+
+}  // namespace geofem::contact

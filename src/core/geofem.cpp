@@ -1,0 +1,114 @@
+#include "core/geofem.hpp"
+
+#include "precond/bic.hpp"
+#include "precond/diagonal.hpp"
+#include "precond/djds_bic.hpp"
+#include "precond/sb_bic0.hpp"
+#include "precond/scalar_ic0.hpp"
+#include "reorder/coloring.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace geofem::core {
+
+std::string to_string(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::kDiagonal: return "Diagonal";
+    case PrecondKind::kScalarIC0: return "IC(0) scalar";
+    case PrecondKind::kBIC0: return "BIC(0)";
+    case PrecondKind::kBIC1: return "BIC(1)";
+    case PrecondKind::kBIC2: return "BIC(2)";
+    case PrecondKind::kSBBIC0: return "SB-BIC(0)";
+  }
+  return "?";
+}
+
+precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::BlockCSR& a,
+                                               const contact::Supernodes& sn) {
+  switch (kind) {
+    case PrecondKind::kDiagonal: return std::make_unique<precond::DiagonalScaling>(a);
+    case PrecondKind::kScalarIC0: return std::make_unique<precond::ScalarIC0>(a);
+    case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a);
+    case PrecondKind::kBIC1: return std::make_unique<precond::BlockILUk>(a, 1);
+    case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, 2);
+    case PrecondKind::kSBBIC0: return std::make_unique<precond::SBBIC0>(a, sn);
+  }
+  GEOFEM_CHECK(false, "unknown preconditioner kind");
+}
+
+SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& materials,
+                  const fem::BoundaryConditions& bc, const SolveConfig& cfg) {
+  fem::System sys = fem::assemble_elasticity(m, materials);
+  contact::add_penalty(sys.a, m.contact_groups, cfg.penalty);
+  fem::apply_boundary_conditions(sys, bc);
+  return solve_system(sys, m.contact_groups, cfg);
+}
+
+SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
+                         const SolveConfig& cfg) {
+  SolveReport rep;
+  rep.matrix_bytes = sys.a.memory_bytes();
+  const auto sn = contact::build_supernodes(sys.a.n, groups);
+  util::Timer setup;
+
+  if (cfg.ordering == OrderingKind::kNatural) {
+    auto prec = make_preconditioner(cfg.precond, sys.a, sn);
+    rep.setup_seconds = setup.seconds();
+    rep.precond_bytes = prec->memory_bytes();
+    rep.precond_name = prec->name();
+    rep.solution.assign(sys.a.ndof(), 0.0);
+    rep.cg = solver::pcg(sys.a, *prec, sys.b, rep.solution, cfg.cg);
+    return rep;
+  }
+
+  // PDJDS/MC path: only the no-fill preconditioners have a vectorized form.
+  GEOFEM_CHECK(cfg.precond == PrecondKind::kBIC0 || cfg.precond == PrecondKind::kSBBIC0,
+               "PDJDS path supports BIC(0) and SB-BIC(0)");
+  const bool selective = cfg.precond == PrecondKind::kSBBIC0;
+
+  const auto g = sparse::graph_of(sys.a);
+  const bool cmrcm = cfg.ordering == OrderingKind::kPDJDSCMRCM;
+  auto color_graph = [&](const sparse::Graph& gr) {
+    return cmrcm ? reorder::cm_rcm(gr, cfg.colors) : reorder::multicolor(gr, cfg.colors);
+  };
+  reorder::Coloring coloring;
+  if (selective) {
+    const auto q = reorder::quotient_graph(g, sn.node_to_super, sn.count());
+    coloring = reorder::lift_coloring(color_graph(q), sn.node_to_super, sys.a.n);
+  } else {
+    coloring = color_graph(g);
+  }
+  reorder::DJDSOptions opt;
+  opt.npe = cfg.npe;
+  opt.sort_supernodes_by_size = cfg.sort_supernodes;
+  reorder::DJDSMatrix dj(sys.a, coloring, selective ? &sn : nullptr, opt);
+  precond::DJDSBIC prec(sys.a, dj);
+  rep.setup_seconds = setup.seconds();
+  rep.precond_bytes = prec.memory_bytes();
+  rep.precond_name = prec.name();
+  rep.avg_vector_length = dj.average_vector_length();
+  rep.load_imbalance_percent = dj.load_imbalance_percent();
+  rep.dummy_percent = dj.dummy_percent();
+  rep.colors_used = dj.num_colors();
+
+  // solve in the new ordering, permute back
+  std::vector<double> pb(sys.a.ndof()), px(sys.a.ndof(), 0.0);
+  for (int i = 0; i < sys.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      pb[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+         static_cast<std::size_t>(c)] =
+          sys.b[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)];
+  rep.cg = solver::pcg(
+      [&dj](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
+            util::LoopStats* ls) { dj.spmv(in, out, fc, ls); },
+      prec, pb, px, cfg.cg);
+  rep.solution.assign(sys.a.ndof(), 0.0);
+  for (int i = 0; i < sys.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      rep.solution[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)] =
+          px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+             static_cast<std::size_t>(c)];
+  return rep;
+}
+
+}  // namespace geofem::core

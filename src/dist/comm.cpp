@@ -1,0 +1,133 @@
+#include "dist/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace geofem::dist {
+
+void Comm::send(int to, int tag, std::span<const double> data) {
+  GEOFEM_CHECK(to >= 0 && to < size_, "send: bad destination rank");
+  {
+    std::lock_guard<std::mutex> lock(rt_->mtx_);
+    rt_->mailbox_[static_cast<std::size_t>(to)][{rank_, tag}].queue.emplace_back(data.begin(),
+                                                                                 data.end());
+  }
+  rt_->cv_.notify_all();
+  ++traffic_.messages_sent;
+  traffic_.bytes_sent += data.size() * sizeof(double);
+}
+
+std::vector<double> Comm::recv(int from, int tag) {
+  GEOFEM_CHECK(from >= 0 && from < size_, "recv: bad source rank");
+  std::unique_lock<std::mutex> lock(rt_->mtx_);
+  auto& box = rt_->mailbox_[static_cast<std::size_t>(rank_)];
+  rt_->cv_.wait(lock, [&] {
+    auto it = box.find({from, tag});
+    return it != box.end() && !it->second.queue.empty();
+  });
+  auto& ch = box[{from, tag}];
+  std::vector<double> msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return msg;
+}
+
+double Runtime::reduce(int rank, double value, bool is_max) {
+  std::unique_lock<std::mutex> lock(red_mtx_);
+  const std::uint64_t my_gen = red_generation_;
+  red_values_[static_cast<std::size_t>(rank)] = value;
+  ++red_arrived_;
+  if (red_arrived_ == size_) {
+    // last arriver combines in deterministic rank order and releases
+    double acc = red_values_[0];
+    for (int r = 1; r < size_; ++r)
+      acc = is_max ? std::max(acc, red_values_[static_cast<std::size_t>(r)])
+                   : acc + red_values_[static_cast<std::size_t>(r)];
+    red_result_ = acc;
+    red_arrived_ = 0;
+    ++red_generation_;
+    red_cv_.notify_all();
+    return acc;
+  }
+  red_cv_.wait(lock, [&] { return red_generation_ != my_gen; });
+  return red_result_;
+}
+
+double Comm::allreduce_sum(double value) {
+  ++traffic_.allreduces;
+  return rt_->reduce(rank_, value, false);
+}
+
+double Comm::allreduce_max(double value) {
+  ++traffic_.allreduces;
+  return rt_->reduce(rank_, value, true);
+}
+
+void Comm::barrier() {
+  ++traffic_.barriers;
+  rt_->reduce(rank_, 0.0, false);
+}
+
+namespace {
+constexpr int kBcastTag = -101;
+constexpr int kGatherTag = -102;
+}  // namespace
+
+std::vector<double> Comm::broadcast(int root, std::span<const double> data) {
+  GEOFEM_CHECK(root >= 0 && root < size_, "broadcast: bad root");
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r)
+      if (r != root) send(r, kBcastTag, data);
+    return std::vector<double>(data.begin(), data.end());
+  }
+  return recv(root, kBcastTag);
+}
+
+std::vector<double> Comm::gather(int root, std::span<const double> data) {
+  GEOFEM_CHECK(root >= 0 && root < size_, "gather: bad root");
+  if (rank_ != root) {
+    send(root, kGatherTag, data);
+    return {};
+  }
+  std::vector<double> out;
+  for (int r = 0; r < size_; ++r) {
+    if (r == root) {
+      out.insert(out.end(), data.begin(), data.end());
+    } else {
+      const auto part = recv(r, kGatherTag);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+std::vector<TrafficStats> Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
+  GEOFEM_CHECK(nranks >= 1, "need >= 1 rank");
+  Runtime rt;
+  rt.size_ = nranks;
+  rt.mailbox_.resize(static_cast<std::size_t>(nranks));
+  rt.red_values_.assign(static_cast<std::size_t>(nranks), 0.0);
+
+  std::vector<TrafficStats> stats(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&rt, r, nranks);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      stats[static_cast<std::size_t>(r)] = comm.traffic();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return stats;
+}
+
+}  // namespace geofem::dist

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace geofem::dist {
+
+/// Per-rank traffic accounting, consumed by the Earth Simulator performance
+/// model (message latency vs bandwidth decomposition, Fig 20).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t barriers = 0;
+};
+
+class Runtime;
+
+/// Rank-local handle of the in-process message-passing runtime. Provides the
+/// MPI-shaped operations the GeoFEM solvers need: tagged point-to-point
+/// send/recv (FIFO per (source, tag) channel), allreduce and barrier.
+///
+/// This substitutes for MPI on machines without it: the code path (halo
+/// exchange over communication tables, local preconditioning, global
+/// reductions) is identical; only the transport is process-local.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Asynchronous send (buffered, never blocks).
+  void send(int to, int tag, std::span<const double> data);
+
+  /// Blocking receive of the next message on channel (from, tag).
+  std::vector<double> recv(int from, int tag);
+
+  /// Global sum; all ranks must call; result identical on all ranks
+  /// (deterministic rank-ascending summation order).
+  double allreduce_sum(double value);
+
+  /// Global max (same contract).
+  double allreduce_max(double value);
+
+  void barrier();
+
+  /// Root's vector is returned on every rank (all ranks must call with the
+  /// same root).
+  std::vector<double> broadcast(int root, std::span<const double> data);
+
+  /// Rank `root` receives the concatenation of all ranks' vectors in rank
+  /// order; other ranks receive an empty vector.
+  std::vector<double> gather(int root, std::span<const double> data);
+
+  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
+
+  Runtime* rt_;
+  int rank_;
+  int size_;
+  TrafficStats traffic_;
+};
+
+/// Spawns one std::thread per rank, runs `body`, joins. Exceptions thrown by
+/// any rank are captured and rethrown (first rank wins). Collects the final
+/// traffic statistics of every rank.
+class Runtime {
+ public:
+  static std::vector<TrafficStats> run(int nranks, const std::function<void(Comm&)>& body);
+
+ private:
+  friend class Comm;
+
+  struct Channel {
+    std::deque<std::vector<double>> queue;
+  };
+
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  // mailbox[to] keyed by (from, tag)
+  std::vector<std::map<std::pair<int, int>, Channel>> mailbox_;
+
+  // reduction state (generation-counted so back-to-back reductions work)
+  std::mutex red_mtx_;
+  std::condition_variable red_cv_;
+  int red_arrived_ = 0;
+  std::uint64_t red_generation_ = 0;
+  std::vector<double> red_values_;
+  double red_result_ = 0.0;
+
+  int size_ = 0;
+
+  double reduce(int rank, double value, bool is_max);
+};
+
+}  // namespace geofem::dist

@@ -1,0 +1,150 @@
+#include "dist/dist_solver.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "sparse/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace geofem::dist {
+
+namespace {
+
+constexpr int kHaloTag = 7;
+
+/// Exchange boundary values of `v` (full local vector) into the external
+/// slots of the neighbours, per the GeoFEM communication tables (Fig 4).
+void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>& v,
+                   std::vector<double>& sendbuf) {
+  for (const auto& link : ls.links) {
+    sendbuf.clear();
+    for (int l : link.send_local)
+      for (int c = 0; c < 3; ++c)
+        sendbuf.push_back(v[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)]);
+    comm.send(link.domain, kHaloTag, sendbuf);
+  }
+  for (const auto& link : ls.links) {
+    const std::vector<double> msg = comm.recv(link.domain, kHaloTag);
+    GEOFEM_CHECK(msg.size() == link.recv_local.size() * 3, "halo message size mismatch");
+    for (std::size_t t = 0; t < link.recv_local.size(); ++t)
+      for (int c = 0; c < 3; ++c)
+        v[static_cast<std::size_t>(link.recv_local[t]) * 3 + static_cast<std::size_t>(c)] =
+            msg[t * 3 + static_cast<std::size_t>(c)];
+  }
+}
+
+/// y (internal rows) = A_local * v (all local columns).
+void local_spmv(const part::LocalSystem& ls, const std::vector<double>& v,
+                std::vector<double>& y, util::FlopCounter* fc) {
+  const auto& a = ls.a;
+  std::uint64_t blocks = 0;
+  for (int i = 0; i < ls.num_internal; ++i) {
+    double acc[3] = {0, 0, 0};
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      sparse::b3_gemv(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3, acc);
+      ++blocks;
+    }
+    y[static_cast<std::size_t>(i) * 3] = acc[0];
+    y[static_cast<std::size_t>(i) * 3 + 1] = acc[1];
+    y[static_cast<std::size_t>(i) * 3 + 2] = acc[2];
+  }
+  if (fc) fc->spmv += 2ULL * sparse::kBB * blocks;
+}
+
+}  // namespace
+
+DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
+                             const PrecondFactory& factory, const DistOptions& opt,
+                             std::vector<double>* x_global) {
+  const int ndom = static_cast<int>(systems.size());
+  GEOFEM_CHECK(ndom >= 1, "no local systems");
+
+  DistResult res;
+  res.flops_per_rank.resize(static_cast<std::size_t>(ndom));
+  res.loops_per_rank.resize(static_cast<std::size_t>(ndom));
+  res.precond_bytes_per_rank.assign(static_cast<std::size_t>(ndom), 0);
+  std::vector<double> setup_seconds(static_cast<std::size_t>(ndom), 0.0);
+  std::vector<int> iters(static_cast<std::size_t>(ndom), 0);
+  std::vector<double> relres(static_cast<std::size_t>(ndom), 0.0);
+
+  if (x_global) {
+    std::size_t total = 0;
+    for (const auto& ls : systems) total += static_cast<std::size_t>(ls.num_internal) * 3;
+    x_global->assign(total, 0.0);
+  }
+
+  util::Timer wall;
+  res.traffic_per_rank = Runtime::run(ndom, [&](Comm& comm) {
+    const part::LocalSystem& ls = systems[static_cast<std::size_t>(comm.rank())];
+    auto* fc = &res.flops_per_rank[static_cast<std::size_t>(comm.rank())];
+    auto* lp = &res.loops_per_rank[static_cast<std::size_t>(comm.rank())];
+    const std::size_t ni = static_cast<std::size_t>(ls.num_internal) * 3;
+    const std::size_t nl = static_cast<std::size_t>(ls.num_local()) * 3;
+
+    // localized preconditioner on the internal submatrix
+    util::Timer setup;
+    const sparse::BlockCSR aii = ls.internal_matrix();
+    precond::PreconditionerPtr prec = factory(ls, aii);
+    setup_seconds[static_cast<std::size_t>(comm.rank())] = setup.seconds();
+    res.precond_bytes_per_rank[static_cast<std::size_t>(comm.rank())] = prec->memory_bytes();
+
+    std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
+    std::vector<double> r(ni), z(ni), q(ni);
+
+    // r = b (zero initial guess)
+    for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
+    const double bnorm =
+        std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
+    GEOFEM_CHECK(bnorm > 0.0, "distributed pcg: zero rhs");
+    double rnorm = bnorm;
+
+    double rho_prev = 0.0;
+    int it = 0;
+    while (it < opt.max_iterations && rnorm / bnorm > opt.tolerance) {
+      prec->apply(r, z, fc, lp);
+      const double rho = comm.allreduce_sum(sparse::dot(std::span(r), std::span(z), fc));
+      if (it == 0) {
+        for (std::size_t i = 0; i < ni; ++i) p[i] = z[i];
+      } else {
+        const double beta = rho / rho_prev;
+        for (std::size_t i = 0; i < ni; ++i) p[i] = z[i] + beta * p[i];
+        fc->blas1 += 2 * ni;
+      }
+      rho_prev = rho;
+
+      halo_exchange(comm, ls, p, sendbuf);
+      local_spmv(ls, p, q, fc);
+      const double pq = comm.allreduce_sum(
+          sparse::dot(std::span(p).first(ni), std::span(q), fc));
+      const double alpha = rho / pq;
+      for (std::size_t i = 0; i < ni; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * q[i];
+      }
+      fc->blas1 += 4 * ni;
+      rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
+      ++it;
+    }
+    iters[static_cast<std::size_t>(comm.rank())] = it;
+    relres[static_cast<std::size_t>(comm.rank())] = rnorm / bnorm;
+
+    if (x_global) {
+      for (int l = 0; l < ls.num_internal; ++l) {
+        const int g = ls.global_of_local[static_cast<std::size_t>(l)];
+        for (int c = 0; c < 3; ++c)
+          (*x_global)[static_cast<std::size_t>(g) * 3 + static_cast<std::size_t>(c)] =
+              x[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)];
+      }
+    }
+  });
+  res.solve_seconds = wall.seconds();
+
+  res.iterations = iters[0];
+  res.relative_residual = relres[0];
+  res.converged = res.relative_residual <= opt.tolerance;
+  for (double s : setup_seconds) res.setup_seconds_max = std::max(res.setup_seconds_max, s);
+  return res;
+}
+
+}  // namespace geofem::dist

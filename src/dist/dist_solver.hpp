@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+
+#include "dist/comm.hpp"
+#include "part/local_system.hpp"
+#include "precond/preconditioner.hpp"
+#include "solver/cg.hpp"
+
+namespace geofem::dist {
+
+/// Builds the localized preconditioner of one domain. Receives the local
+/// system and its internal-by-internal submatrix (external couplings zeroed —
+/// the "localized" part); closes over whatever else it needs (e.g. global
+/// contact groups for SB-BIC(0)).
+using PrecondFactory = std::function<precond::PreconditionerPtr(const part::LocalSystem&,
+                                                                const sparse::BlockCSR&)>;
+
+struct DistOptions {
+  double tolerance = 1e-8;
+  int max_iterations = 20000;
+};
+
+struct DistResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  double solve_seconds = 0.0;       ///< wall clock of the whole parallel solve
+  double setup_seconds_max = 0.0;   ///< slowest rank's preconditioner set-up
+  std::vector<util::FlopCounter> flops_per_rank;
+  std::vector<util::LoopStats> loops_per_rank;
+  std::vector<TrafficStats> traffic_per_rank;
+  std::vector<std::size_t> precond_bytes_per_rank;
+
+  [[nodiscard]] util::FlopCounter total_flops() const {
+    util::FlopCounter t;
+    for (const auto& f : flops_per_rank) t += f;
+    return t;
+  }
+};
+
+/// Parallel preconditioned CG over GeoFEM local systems: halo exchange on the
+/// communication tables before each matvec, purely local preconditioning,
+/// allreduce dot products (paper §2).  One simulated-MPI rank per domain.
+/// If `x_global` is non-null it receives the assembled solution (size = total
+/// DOF) on exit.
+DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
+                             const PrecondFactory& factory, const DistOptions& opt = {},
+                             std::vector<double>* x_global = nullptr);
+
+}  // namespace geofem::dist

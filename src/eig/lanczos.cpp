@@ -1,0 +1,126 @@
+#include "eig/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace geofem::eig {
+
+namespace {
+
+/// Sturm count: number of eigenvalues of the tridiagonal (d, e) below x.
+int sturm_count(const std::vector<double>& d, const std::vector<double>& e, double x) {
+  int count = 0;
+  double q = 1.0;
+  const std::size_t n = d.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e2 = i == 0 ? 0.0 : e[i - 1] * e[i - 1];
+    q = d[i] - x - (q != 0.0 ? e2 / q : e2 / 1e-300);
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<double> tridiag_eigenvalues(const std::vector<double>& d,
+                                        const std::vector<double>& e) {
+  GEOFEM_CHECK(e.size() + 1 == d.size() || (d.size() == 1 && e.empty()),
+               "tridiag size mismatch");
+  const int n = static_cast<int>(d.size());
+  // Gershgorin bounds
+  double lo = d[0], hi = d[0];
+  for (int i = 0; i < n; ++i) {
+    const double r = (i > 0 ? std::fabs(e[static_cast<std::size_t>(i) - 1]) : 0.0) +
+                     (i + 1 < n ? std::fabs(e[static_cast<std::size_t>(i)]) : 0.0);
+    lo = std::min(lo, d[static_cast<std::size_t>(i)] - r);
+    hi = std::max(hi, d[static_cast<std::size_t>(i)] + r);
+  }
+  const double span = std::max(hi - lo, 1e-300);
+
+  std::vector<double> eig(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    // bisection for the (k+1)-th smallest eigenvalue
+    double a = lo, b = hi;
+    for (int it = 0; it < 200 && b - a > 1e-14 * span + 1e-300; ++it) {
+      const double mid = 0.5 * (a + b);
+      if (sturm_count(d, e, mid) > k) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    eig[static_cast<std::size_t>(k)] = 0.5 * (a + b);
+  }
+  return eig;
+}
+
+SpectrumEstimate estimate_spectrum(const solver::MatVec& amul, const precond::Preconditioner& m,
+                                   std::span<const double> b, int steps) {
+  const std::size_t n = b.size();
+  GEOFEM_CHECK(steps >= 1, "need >= 1 Lanczos step");
+
+  std::vector<double> x(n, 0.0), r(b.begin(), b.end()), z(n), p(n), q(n);
+  std::vector<double> alphas, betas;
+
+  double rho_prev = 0.0, alpha_prev = 1.0;
+  for (int it = 0; it < steps; ++it) {
+    m.apply(r, z, nullptr, nullptr);
+    const double rho = sparse::dot(r, z);
+    if (!(rho > 0.0) || !std::isfinite(rho)) break;  // breakdown / indefinite M
+    double beta = 0.0;
+    if (it == 0) {
+      sparse::copy(z, p);
+    } else {
+      beta = rho / rho_prev;
+      sparse::xpby(z, beta, p);
+      betas.push_back(beta);
+    }
+    amul(p, q, nullptr, nullptr);
+    const double pq = sparse::dot(p, q);
+    if (!(pq > 0.0) || !std::isfinite(pq)) break;
+    const double alpha = rho / pq;
+    alphas.push_back(alpha);
+    sparse::axpy(alpha, p, x);
+    sparse::axpy(-alpha, q, r);
+    rho_prev = rho;
+    alpha_prev = alpha;
+    (void)alpha_prev;
+    const double rnorm = sparse::norm2(r);
+    if (rnorm < 1e-300) break;  // exact solve reached
+  }
+
+  SpectrumEstimate est;
+  const int k = static_cast<int>(alphas.size());
+  est.lanczos_steps = k;
+  if (k == 0) return est;
+
+  // Lanczos tridiagonal from the CG coefficients:
+  // T_jj = 1/alpha_j + beta_{j-1}/alpha_{j-1},  T_{j,j+1} = sqrt(beta_j)/alpha_j
+  std::vector<double> d(static_cast<std::size_t>(k)), e;
+  for (int j = 0; j < k; ++j) {
+    d[static_cast<std::size_t>(j)] = 1.0 / alphas[static_cast<std::size_t>(j)];
+    if (j > 0)
+      d[static_cast<std::size_t>(j)] += betas[static_cast<std::size_t>(j) - 1] /
+                                        alphas[static_cast<std::size_t>(j) - 1];
+    if (j + 1 < k)
+      e.push_back(std::sqrt(std::max(betas[static_cast<std::size_t>(j)], 0.0)) /
+                  alphas[static_cast<std::size_t>(j)]);
+  }
+  const auto eigs = tridiag_eigenvalues(d, e);
+  est.emin = eigs.front();
+  est.emax = eigs.back();
+  return est;
+}
+
+SpectrumEstimate estimate_spectrum(const sparse::BlockCSR& a, const precond::Preconditioner& m,
+                                   std::span<const double> b, int steps) {
+  return estimate_spectrum(
+      [&a](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
+           util::LoopStats* ls) { a.spmv(in, out, fc, ls); },
+      m, b, steps);
+}
+
+}  // namespace geofem::eig

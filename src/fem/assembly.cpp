@@ -1,0 +1,162 @@
+#include "fem/assembly.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace geofem::fem {
+
+void BoundaryConditions::fix_nodes(const std::vector<int>& nodes, int comp, double value) {
+  for (int n : nodes) {
+    if (comp < 0) {
+      for (int c = 0; c < 3; ++c) fixes.push_back({n, c, value});
+    } else {
+      fixes.push_back({n, comp, value});
+    }
+  }
+}
+
+void BoundaryConditions::surface_load(
+    const mesh::HexMesh& m, const std::function<bool(double, double, double)>& on_surface,
+    int comp, double q) {
+  // Local faces of the standard hexahedron.
+  static const int faces[6][4] = {{0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 5, 4},
+                                  {2, 3, 7, 6}, {1, 2, 6, 5}, {3, 0, 4, 7}};
+  auto on = [&](int node) {
+    const auto& c = m.coords[static_cast<std::size_t>(node)];
+    return on_surface(c[0], c[1], c[2]);
+  };
+  for (const auto& h : m.hexes) {
+    for (const auto& f : faces) {
+      const int n0 = h[static_cast<std::size_t>(f[0])], n1 = h[static_cast<std::size_t>(f[1])],
+                n2 = h[static_cast<std::size_t>(f[2])], n3 = h[static_cast<std::size_t>(f[3])];
+      if (!(on(n0) && on(n1) && on(n2) && on(n3))) continue;
+      // Bilinear quad area via the two triangles (n0,n1,n2) and (n0,n2,n3).
+      auto area3 = [&](int a, int b, int c) {
+        const auto &pa = m.coords[static_cast<std::size_t>(a)],
+                   &pb = m.coords[static_cast<std::size_t>(b)],
+                   &pc = m.coords[static_cast<std::size_t>(c)];
+        const double u[3] = {pb[0] - pa[0], pb[1] - pa[1], pb[2] - pa[2]};
+        const double v[3] = {pc[0] - pa[0], pc[1] - pa[1], pc[2] - pa[2]};
+        const double cx = u[1] * v[2] - u[2] * v[1];
+        const double cy = u[2] * v[0] - u[0] * v[2];
+        const double cz = u[0] * v[1] - u[1] * v[0];
+        return 0.5 * std::sqrt(cx * cx + cy * cy + cz * cz);
+      };
+      const double area = area3(n0, n1, n2) + area3(n0, n2, n3);
+      const double per_node = q * area / 4.0;
+      for (int v : {n0, n1, n2, n3}) loads.push_back({v, comp, per_node});
+    }
+  }
+}
+
+void BoundaryConditions::body_force(const mesh::HexMesh& m, int comp, double f) {
+  for (const auto& h : m.hexes) {
+    std::array<std::array<double, 3>, 8> xyz;
+    for (int v = 0; v < 8; ++v) xyz[static_cast<std::size_t>(v)] =
+        m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(v)])];
+    const double per_node = f * hex_volume(xyz) / 8.0;
+    for (int v : h) loads.push_back({v, comp, per_node});
+  }
+}
+
+System assemble_elasticity(const mesh::HexMesh& m, const std::vector<Material>& materials) {
+  GEOFEM_CHECK(!materials.empty(), "need at least one material");
+  const int nn = m.num_nodes();
+  sparse::BlockCSRBuilder builder(nn);
+
+  // Element couplings.
+  for (const auto& h : m.hexes)
+    for (int a : h)
+      for (int b : h)
+        if (a != b) builder.add_pattern(a, b);
+  // Contact-group couplings (penalty blocks added later in place).
+  for (const auto& g : m.contact_groups)
+    for (int a : g)
+      for (int b : g)
+        if (a != b) builder.add_pattern(a, b);
+  builder.finalize_pattern();
+
+  double ke[24 * 24];
+  for (std::size_t e = 0; e < m.hexes.size(); ++e) {
+    const auto& h = m.hexes[e];
+    std::array<std::array<double, 3>, 8> xyz;
+    for (int v = 0; v < 8; ++v) xyz[static_cast<std::size_t>(v)] =
+        m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(v)])];
+    const int zid = m.zone.empty() ? 0 : m.zone[e];
+    const Material& mat =
+        materials[static_cast<std::size_t>(zid) < materials.size() ? static_cast<std::size_t>(zid)
+                                                                   : 0];
+    hex_stiffness(xyz, mat, ke);
+    for (int a = 0; a < 8; ++a) {
+      for (int b = 0; b < 8; ++b) {
+        double blk[9];
+        for (int r = 0; r < 3; ++r)
+          for (int c = 0; c < 3; ++c) blk[3 * r + c] = ke[(3 * a + r) * 24 + (3 * b + c)];
+        builder.add_block(h[static_cast<std::size_t>(a)], h[static_cast<std::size_t>(b)], blk);
+      }
+    }
+  }
+
+  System sys;
+  sys.a = builder.take();
+  sys.b.assign(sys.a.ndof(), 0.0);
+  return sys;
+}
+
+void apply_boundary_conditions(System& sys, const BoundaryConditions& bc) {
+  auto& a = sys.a;
+  auto& b = sys.b;
+  GEOFEM_CHECK(b.size() == a.ndof(), "system size mismatch");
+
+  for (const auto& l : bc.loads) {
+    GEOFEM_CHECK(l.node >= 0 && l.node < a.n && l.comp >= 0 && l.comp < 3, "bad load");
+    b[static_cast<std::size_t>(l.node) * 3 + static_cast<std::size_t>(l.comp)] += l.value;
+  }
+
+  // Mark fixed DOFs.
+  std::vector<char> fixed(a.ndof(), 0);
+  std::vector<double> fixval(a.ndof(), 0.0);
+  for (const auto& f : bc.fixes) {
+    GEOFEM_CHECK(f.node >= 0 && f.node < a.n && f.comp >= 0 && f.comp < 3, "bad fix");
+    const std::size_t d = static_cast<std::size_t>(f.node) * 3 + static_cast<std::size_t>(f.comp);
+    fixed[d] = 1;
+    fixval[d] = f.value;
+  }
+
+  // Symmetric elimination. For each stored block (i,j), scalar entry
+  // (r,c) = DOF (3i+r, 3j+c):
+  //  * both free: untouched
+  //  * column fixed: b_row -= a * value, then zero
+  //  * row fixed, col free: zero (the transpose pass handles the RHS)
+  //  * both fixed: keep only the diagonal scalar
+  for (int i = 0; i < a.n; ++i) {
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      const int j = a.colind[e];
+      double* blk = a.block(e);
+      for (int r = 0; r < 3; ++r) {
+        const std::size_t row = static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(r);
+        for (int c = 0; c < 3; ++c) {
+          const std::size_t col = static_cast<std::size_t>(j) * 3 + static_cast<std::size_t>(c);
+          double& v = blk[3 * r + c];
+          if (row == col) continue;  // diagonal scalar handled below
+          if (fixed[col] && !fixed[row]) b[row] -= v * fixval[col];
+          if (fixed[row] || fixed[col]) v = 0.0;
+        }
+      }
+    }
+  }
+  // Fixed diagonal scalars: keep original magnitude (conditioning-neutral),
+  // set RHS so the solve returns exactly the prescribed value.
+  for (int i = 0; i < a.n; ++i) {
+    double* d = a.block(a.diag_entry(i));
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t row = static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(r);
+      if (!fixed[row]) continue;
+      if (d[3 * r + r] == 0.0) d[3 * r + r] = 1.0;
+      b[row] = d[3 * r + r] * fixval[row];
+    }
+  }
+}
+
+}  // namespace geofem::fem

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fem/elasticity.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "sparse/block_csr.hpp"
+
+namespace geofem::fem {
+
+/// Boundary conditions in nodal form. Helpers below translate surface
+/// predicates (the paper's "symmetry at x=0", "fixed at z=0", "uniform load at
+/// z=Zmax") into these lists.
+struct BoundaryConditions {
+  struct Fix {
+    int node;
+    int comp;      ///< 0=x, 1=y, 2=z
+    double value;  ///< prescribed displacement (0 in all paper cases)
+  };
+  struct Load {
+    int node;
+    int comp;
+    double value;  ///< nodal force
+  };
+  std::vector<Fix> fixes;
+  std::vector<Load> loads;
+
+  /// Fix component `comp` (or all three if comp < 0) at the selected nodes.
+  void fix_nodes(const std::vector<int>& nodes, int comp, double value = 0.0);
+
+  /// Consistent nodal loads for a uniform traction `q` in direction `comp`
+  /// applied on the element faces whose four vertices all satisfy `on_surface`
+  /// (quarter of the bilinear face area per vertex).
+  void surface_load(const mesh::HexMesh& m,
+                    const std::function<bool(double, double, double)>& on_surface, int comp,
+                    double q);
+
+  /// Body force per unit volume in direction `comp` (lumped: volume/8 per
+  /// element vertex), as used by the Southwest Japan model (-1.0 in z).
+  void body_force(const mesh::HexMesh& m, int comp, double f);
+};
+
+/// Assembled linear system K u = f (before contact penalties / Dirichlet).
+struct System {
+  sparse::BlockCSR a;
+  std::vector<double> b;
+};
+
+/// Assemble the elastic stiffness matrix over the mesh. `materials` is indexed
+/// by element zone id (a single entry applies everywhere). The sparsity
+/// pattern also includes all intra-contact-group couplings so penalty blocks
+/// can be added in place afterwards.
+System assemble_elasticity(const mesh::HexMesh& m, const std::vector<Material>& materials);
+
+/// Apply loads to b and Dirichlet fixes to (a, b) by symmetric elimination:
+/// row/column zeroed, diagonal entry kept at its original scale, RHS adjusted
+/// so the fixed value is reproduced exactly. Preserves SPD.
+void apply_boundary_conditions(System& sys, const BoundaryConditions& bc);
+
+}  // namespace geofem::fem

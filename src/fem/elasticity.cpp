@@ -1,0 +1,110 @@
+#include "fem/elasticity.hpp"
+
+#include <cmath>
+
+namespace geofem::fem {
+
+namespace {
+
+// Reference coordinates of the 8 vertices.
+constexpr double kXi[8] = {-1, 1, 1, -1, -1, 1, 1, -1};
+constexpr double kEta[8] = {-1, -1, 1, 1, -1, -1, 1, 1};
+constexpr double kZeta[8] = {-1, -1, -1, -1, 1, 1, 1, 1};
+
+/// dN/d(xi,eta,zeta) for all 8 shape functions at a quadrature point.
+void shape_grad(double xi, double eta, double zeta, double dn[8][3]) {
+  for (int a = 0; a < 8; ++a) {
+    dn[a][0] = 0.125 * kXi[a] * (1 + kEta[a] * eta) * (1 + kZeta[a] * zeta);
+    dn[a][1] = 0.125 * kEta[a] * (1 + kXi[a] * xi) * (1 + kZeta[a] * zeta);
+    dn[a][2] = 0.125 * kZeta[a] * (1 + kXi[a] * xi) * (1 + kEta[a] * eta);
+  }
+}
+
+/// Jacobian of the isoparametric map, its determinant and inverse.
+double jacobian(const std::array<std::array<double, 3>, 8>& xyz, const double dn[8][3],
+                double jinv[3][3]) {
+  double j[3][3] = {};
+  for (int a = 0; a < 8; ++a)
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) j[r][c] += dn[a][r] * xyz[static_cast<std::size_t>(a)][c];
+  const double det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1]) -
+                     j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0]) +
+                     j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+  const double id = 1.0 / det;
+  jinv[0][0] = (j[1][1] * j[2][2] - j[1][2] * j[2][1]) * id;
+  jinv[0][1] = (j[0][2] * j[2][1] - j[0][1] * j[2][2]) * id;
+  jinv[0][2] = (j[0][1] * j[1][2] - j[0][2] * j[1][1]) * id;
+  jinv[1][0] = (j[1][2] * j[2][0] - j[1][0] * j[2][2]) * id;
+  jinv[1][1] = (j[0][0] * j[2][2] - j[0][2] * j[2][0]) * id;
+  jinv[1][2] = (j[0][2] * j[1][0] - j[0][0] * j[1][2]) * id;
+  jinv[2][0] = (j[1][0] * j[2][1] - j[1][1] * j[2][0]) * id;
+  jinv[2][1] = (j[0][1] * j[2][0] - j[0][0] * j[2][1]) * id;
+  jinv[2][2] = (j[0][0] * j[1][1] - j[0][1] * j[1][0]) * id;
+  return det;
+}
+
+}  // namespace
+
+std::array<double, 8> hex_shape(double xi, double eta, double zeta) {
+  std::array<double, 8> n{};
+  for (int a = 0; a < 8; ++a)
+    n[static_cast<std::size_t>(a)] =
+        0.125 * (1 + kXi[a] * xi) * (1 + kEta[a] * eta) * (1 + kZeta[a] * zeta);
+  return n;
+}
+
+void hex_stiffness(const std::array<std::array<double, 3>, 8>& xyz, const Material& mat,
+                   double ke[24 * 24]) {
+  for (int i = 0; i < 24 * 24; ++i) ke[i] = 0.0;
+
+  // Isotropic elasticity constants (Lame).
+  const double e = mat.youngs, nu = mat.poisson;
+  const double lambda = e * nu / ((1 + nu) * (1 - 2 * nu));
+  const double mu = e / (2 * (1 + nu));
+
+  const double g = 1.0 / std::sqrt(3.0);
+  for (int qx = 0; qx < 2; ++qx)
+    for (int qy = 0; qy < 2; ++qy)
+      for (int qz = 0; qz < 2; ++qz) {
+        const double xi = (qx ? g : -g), eta = (qy ? g : -g), zeta = (qz ? g : -g);
+        double dn[8][3], jinv[3][3];
+        shape_grad(xi, eta, zeta, dn);
+        const double det = jacobian(xyz, dn, jinv);
+        // Physical gradients grad N_a.
+        double gn[8][3];
+        for (int a = 0; a < 8; ++a)
+          for (int d = 0; d < 3; ++d)
+            gn[a][d] = jinv[d][0] * dn[a][0] + jinv[d][1] * dn[a][1] + jinv[d][2] * dn[a][2];
+
+        // K_ab(r,c) = lambda * gn_a[r] * gn_b[c]
+        //           + mu * (gn_a[c] * gn_b[r] + delta_rc * sum_d gn_a[d] gn_b[d])
+        for (int a = 0; a < 8; ++a) {
+          for (int b = 0; b < 8; ++b) {
+            const double dotab =
+                gn[a][0] * gn[b][0] + gn[a][1] * gn[b][1] + gn[a][2] * gn[b][2];
+            for (int r = 0; r < 3; ++r)
+              for (int c = 0; c < 3; ++c) {
+                double v = lambda * gn[a][r] * gn[b][c] + mu * gn[a][c] * gn[b][r];
+                if (r == c) v += mu * dotab;
+                ke[(3 * a + r) * 24 + (3 * b + c)] += v * det;
+              }
+          }
+        }
+      }
+}
+
+double hex_volume(const std::array<std::array<double, 3>, 8>& xyz) {
+  const double g = 1.0 / std::sqrt(3.0);
+  double vol = 0.0;
+  for (int qx = 0; qx < 2; ++qx)
+    for (int qy = 0; qy < 2; ++qy)
+      for (int qz = 0; qz < 2; ++qz) {
+        const double xi = (qx ? g : -g), eta = (qy ? g : -g), zeta = (qz ? g : -g);
+        double dn[8][3], jinv[3][3];
+        shape_grad(xi, eta, zeta, dn);
+        vol += jacobian(xyz, dn, jinv);
+      }
+  return vol;
+}
+
+}  // namespace geofem::fem

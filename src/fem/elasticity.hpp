@@ -1,0 +1,26 @@
+#pragma once
+
+#include <array>
+
+namespace geofem::fem {
+
+/// Isotropic linear-elastic material. The paper uses non-dimensional
+/// E = 1.0, nu = 0.3 for all zones.
+struct Material {
+  double youngs = 1.0;
+  double poisson = 0.3;
+};
+
+/// Element stiffness of an 8-node tri-linear hexahedron (24x24, row-major),
+/// integrated with 2x2x2 Gauss quadrature. `xyz` holds the vertex coordinates
+/// in the standard counter-clockwise bottom/top numbering.
+void hex_stiffness(const std::array<std::array<double, 3>, 8>& xyz, const Material& mat,
+                   double ke[24 * 24]);
+
+/// Shape-function values N_a(xi, eta, zeta) for the 8-node hexahedron.
+std::array<double, 8> hex_shape(double xi, double eta, double zeta);
+
+/// Volume of the hexahedron by the same quadrature (useful for body forces).
+double hex_volume(const std::array<std::array<double, 3>, 8>& xyz);
+
+}  // namespace geofem::fem

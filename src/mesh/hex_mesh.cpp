@@ -1,0 +1,142 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace geofem::mesh {
+
+std::vector<int> HexMesh::nodes_where(
+    const std::function<bool(double, double, double)>& pred) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const auto& c = coords[i];
+    if (pred(c[0], c[1], c[2])) out.push_back(i);
+  }
+  return out;
+}
+
+HexMesh::Box HexMesh::bounding_box() const {
+  Box b{{std::numeric_limits<double>::max(), std::numeric_limits<double>::max(),
+         std::numeric_limits<double>::max()},
+        {std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest(),
+         std::numeric_limits<double>::lowest()}};
+  for (const auto& c : coords) {
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = std::min(b.lo[d], c[d]);
+      b.hi[d] = std::max(b.hi[d], c[d]);
+    }
+  }
+  return b;
+}
+
+int HexMesh::num_contact_nodes() const {
+  int count = 0;
+  for (const auto& g : contact_groups) count += static_cast<int>(g.size());
+  return count;
+}
+
+void HexMesh::validate() const {
+  const int nn = num_nodes();
+  for (const auto& h : hexes)
+    for (int v : h) GEOFEM_CHECK(v >= 0 && v < nn, "hex vertex out of range");
+  GEOFEM_CHECK(zone.empty() || zone.size() == hexes.size(), "zone size mismatch");
+
+  std::vector<char> seen(static_cast<std::size_t>(nn), 0);
+  for (const auto& g : contact_groups) {
+    GEOFEM_CHECK(g.size() >= 2, "contact group needs >= 2 nodes");
+    const auto& c0 = coords[static_cast<std::size_t>(g[0])];
+    for (int v : g) {
+      GEOFEM_CHECK(v >= 0 && v < nn, "contact node out of range");
+      GEOFEM_CHECK(!seen[static_cast<std::size_t>(v)], "node in two contact groups");
+      seen[static_cast<std::size_t>(v)] = 1;
+      const auto& c = coords[static_cast<std::size_t>(v)];
+      const double d = std::hypot(c[0] - c0[0], c[1] - c0[1], c[2] - c0[2]);
+      GEOFEM_CHECK(d < 1e-9, "contact group nodes not coincident");
+    }
+  }
+}
+
+namespace {
+
+/// Corner Jacobian determinants of a hexahedron: determinant of the edge
+/// triple at each of the 8 vertices (positive for well-oriented elements).
+void corner_jacobians(const HexMesh& m, const std::array<int, 8>& h, double out[8]) {
+  // vertex -> its three edge-neighbours in the standard numbering
+  static const int nb[8][3] = {{1, 3, 4}, {2, 0, 5}, {3, 1, 6}, {0, 2, 7},
+                               {7, 5, 0}, {4, 6, 1}, {5, 7, 2}, {6, 4, 3}};
+  for (int v = 0; v < 8; ++v) {
+    const auto& p = m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(v)])];
+    double e[3][3];
+    for (int k = 0; k < 3; ++k) {
+      const auto& q = m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(nb[v][k])])];
+      for (int d = 0; d < 3; ++d) e[k][d] = q[d] - p[d];
+    }
+    out[v] = e[0][0] * (e[1][1] * e[2][2] - e[1][2] * e[2][1]) -
+             e[0][1] * (e[1][0] * e[2][2] - e[1][2] * e[2][0]) +
+             e[0][2] * (e[1][0] * e[2][1] - e[1][1] * e[2][0]);
+  }
+}
+
+}  // namespace
+
+MeshQuality mesh_quality(const HexMesh& m) {
+  MeshQuality q;
+  q.min_jacobian = std::numeric_limits<double>::max();
+  q.max_jacobian = std::numeric_limits<double>::lowest();
+  double sum = 0.0;
+  std::int64_t count = 0;
+  static const int edges[12][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6},
+                                   {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+  for (const auto& h : m.hexes) {
+    double j[8];
+    corner_jacobians(m, h, j);
+    bool neg = false;
+    for (double v : j) {
+      q.min_jacobian = std::min(q.min_jacobian, v);
+      q.max_jacobian = std::max(q.max_jacobian, v);
+      sum += v;
+      ++count;
+      if (v <= 0.0) neg = true;
+    }
+    if (neg) ++q.negative_jacobians;
+
+    double emin = std::numeric_limits<double>::max(), emax = 0.0;
+    for (const auto& e : edges) {
+      const auto& a = m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(e[0])])];
+      const auto& b = m.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(e[1])])];
+      const double len = std::hypot(a[0] - b[0], a[1] - b[1], a[2] - b[2]);
+      emin = std::min(emin, len);
+      emax = std::max(emax, len);
+    }
+    if (emin > 0.0) q.max_aspect = std::max(q.max_aspect, emax / emin);
+  }
+  q.mean_jacobian = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return q;
+}
+
+HexMesh unit_cube(int nx, int ny, int nz, double lx, double ly, double lz) {
+  GEOFEM_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "cube needs >= 1 element per axis");
+  HexMesh m;
+  const int px = nx + 1, py = ny + 1, pz = nz + 1;
+  m.coords.reserve(static_cast<std::size_t>(px) * py * pz);
+  for (int k = 0; k < pz; ++k)
+    for (int j = 0; j < py; ++j)
+      for (int i = 0; i < px; ++i)
+        m.coords.push_back({lx * i / nx, ly * j / ny, lz * k / nz});
+
+  auto id = [&](int i, int j, int k) { return (k * py + j) * px + i; };
+  m.hexes.reserve(static_cast<std::size_t>(nx) * ny * nz);
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i)
+        m.hexes.push_back({id(i, j, k), id(i + 1, j, k), id(i + 1, j + 1, k), id(i, j + 1, k),
+                           id(i, j, k + 1), id(i + 1, j, k + 1), id(i + 1, j + 1, k + 1),
+                           id(i, j + 1, k + 1)});
+  m.zone.assign(m.hexes.size(), 0);
+  return m;
+}
+
+}  // namespace geofem::mesh

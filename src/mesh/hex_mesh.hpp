@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace geofem::mesh {
+
+/// Unstructured mesh of 8-node (tri-linear) hexahedral elements with 3 DOF
+/// per node, plus the contact-group information GeoFEM attaches to meshes with
+/// fault surfaces: each contact group is a set of geometrically coincident
+/// nodes belonging to different bodies, to be tied by penalty constraints.
+struct HexMesh {
+  std::vector<std::array<double, 3>> coords;      ///< node coordinates
+  std::vector<std::array<int, 8>> hexes;          ///< element connectivity
+  std::vector<int> zone;                          ///< material zone id per element
+  std::vector<std::vector<int>> contact_groups;   ///< coincident node sets (size >= 2)
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(coords.size()); }
+  [[nodiscard]] int num_elements() const { return static_cast<int>(hexes.size()); }
+  [[nodiscard]] std::size_t num_dof() const { return coords.size() * 3; }
+
+  /// Nodes satisfying a coordinate predicate (used to apply boundary
+  /// conditions on surfaces, e.g. x == 0 within tolerance).
+  [[nodiscard]] std::vector<int> nodes_where(
+      const std::function<bool(double, double, double)>& pred) const;
+
+  /// Bounding box [min, max] of all node coordinates.
+  struct Box {
+    std::array<double, 3> lo, hi;
+  };
+  [[nodiscard]] Box bounding_box() const;
+
+  /// Number of nodes that belong to some contact group.
+  [[nodiscard]] int num_contact_nodes() const;
+
+  /// Sanity checks: connectivity in range, contact groups coincident &
+  /// disjoint. Throws std::logic_error on violation.
+  void validate() const;
+};
+
+/// Element-quality statistics used to characterise the synthetic
+/// Southwest-Japan-like mesh ("some of the meshes are very distorted").
+struct MeshQuality {
+  double min_jacobian = 0.0;   ///< min determinant of the isoparametric map
+  double max_jacobian = 0.0;
+  double mean_jacobian = 0.0;
+  double max_aspect = 0.0;     ///< max edge-length ratio per element
+  int negative_jacobians = 0;  ///< elements with non-positive Jacobian corners
+};
+
+MeshQuality mesh_quality(const HexMesh& m);
+
+/// Homogeneous Nx x Ny x Nz element cube on [0,Lx]x[0,Ly]x[0,Lz]
+/// (Fig 14's "simple 3D elastic solid mechanics" geometry, no contact).
+HexMesh unit_cube(int nx, int ny, int nz, double lx = 1.0, double ly = 1.0, double lz = 1.0);
+
+}  // namespace geofem::mesh

@@ -1,0 +1,85 @@
+#include "mesh/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace geofem::mesh {
+
+void write_mesh(std::ostream& os, const HexMesh& m) {
+  os << "geofem-mesh 1\n";
+  os << "nodes " << m.num_nodes() << "\n";
+  os << std::setprecision(17);
+  for (const auto& c : m.coords) os << c[0] << ' ' << c[1] << ' ' << c[2] << '\n';
+  os << "hexes " << m.num_elements() << "\n";
+  for (int e = 0; e < m.num_elements(); ++e) {
+    os << (m.zone.empty() ? 0 : m.zone[static_cast<std::size_t>(e)]);
+    for (int v : m.hexes[static_cast<std::size_t>(e)]) os << ' ' << v;
+    os << '\n';
+  }
+  os << "contact_groups " << m.contact_groups.size() << "\n";
+  for (const auto& g : m.contact_groups) {
+    os << g.size();
+    for (int v : g) os << ' ' << v;
+    os << '\n';
+  }
+  GEOFEM_CHECK(os.good(), "mesh write failed");
+}
+
+HexMesh read_mesh(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  GEOFEM_CHECK(magic == "geofem-mesh" && version == 1, "not a geofem-mesh v1 stream");
+
+  HexMesh m;
+  std::string key;
+  int n = 0;
+  is >> key >> n;
+  GEOFEM_CHECK(key == "nodes" && n >= 0, "bad nodes header");
+  m.coords.resize(static_cast<std::size_t>(n));
+  for (auto& c : m.coords) is >> c[0] >> c[1] >> c[2];
+
+  int e = 0;
+  is >> key >> e;
+  GEOFEM_CHECK(key == "hexes" && e >= 0, "bad hexes header");
+  m.hexes.resize(static_cast<std::size_t>(e));
+  m.zone.resize(static_cast<std::size_t>(e));
+  for (int i = 0; i < e; ++i) {
+    is >> m.zone[static_cast<std::size_t>(i)];
+    for (int v = 0; v < 8; ++v) is >> m.hexes[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+  }
+
+  int g = 0;
+  is >> key >> g;
+  GEOFEM_CHECK(key == "contact_groups" && g >= 0, "bad contact_groups header");
+  m.contact_groups.resize(static_cast<std::size_t>(g));
+  for (auto& grp : m.contact_groups) {
+    std::size_t k = 0;
+    is >> k;
+    GEOFEM_CHECK(k >= 2, "contact group needs >= 2 nodes");
+    grp.resize(k);
+    for (auto& v : grp) is >> v;
+  }
+  GEOFEM_CHECK(!is.fail(), "mesh read failed");
+  m.validate();
+  return m;
+}
+
+void save_mesh(const std::string& path, const HexMesh& m) {
+  std::ofstream os(path);
+  GEOFEM_CHECK(os.is_open(), "cannot open mesh file for writing: " + path);
+  write_mesh(os, m);
+}
+
+HexMesh load_mesh(const std::string& path) {
+  std::ifstream is(path);
+  GEOFEM_CHECK(is.is_open(), "cannot open mesh file: " + path);
+  return read_mesh(is);
+}
+
+}  // namespace geofem::mesh

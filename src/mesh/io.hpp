@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace geofem::mesh {
+
+/// Plain-text mesh format of this library (GeoFEM distributes meshes as
+/// files; §2.1: "The partitioning program in GeoFEM works on a single PE and
+/// divides the initial entire mesh into distributed local data"). Layout:
+///
+///   geofem-mesh 1
+///   nodes <N>
+///   <x y z> * N
+///   hexes <E>
+///   <zone v0 .. v7> * E
+///   contact_groups <G>
+///   <k v0 .. v{k-1}> * G
+///
+/// All indices 0-based. Deterministic round-trip (coordinates as %.17g).
+void write_mesh(std::ostream& os, const HexMesh& m);
+HexMesh read_mesh(std::istream& is);
+
+void save_mesh(const std::string& path, const HexMesh& m);
+HexMesh load_mesh(const std::string& path);
+
+}  // namespace geofem::mesh

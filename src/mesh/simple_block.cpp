@@ -1,0 +1,69 @@
+#include "mesh/simple_block.hpp"
+
+#include "util/check.hpp"
+
+namespace geofem::mesh {
+
+namespace {
+
+/// A structured lattice of (nx+1)(ny+1)(nz+1) nodes appended to the mesh with
+/// a node-id offset, producing nx*ny*nz unit hexahedra with origin shift.
+struct Lattice {
+  int nx, ny, nz;
+  int offset;  // first node id
+
+  [[nodiscard]] int node(int i, int j, int k) const {
+    return offset + (k * (ny + 1) + j) * (nx + 1) + i;
+  }
+};
+
+Lattice append_zone(HexMesh& m, int nx, int ny, int nz, double ox, double oy, double oz,
+                    int zone_id) {
+  Lattice lat{nx, ny, nz, m.num_nodes()};
+  for (int k = 0; k <= nz; ++k)
+    for (int j = 0; j <= ny; ++j)
+      for (int i = 0; i <= nx; ++i)
+        m.coords.push_back({ox + i, oy + j, oz + k});
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        m.hexes.push_back({lat.node(i, j, k), lat.node(i + 1, j, k), lat.node(i + 1, j + 1, k),
+                           lat.node(i, j + 1, k), lat.node(i, j, k + 1), lat.node(i + 1, j, k + 1),
+                           lat.node(i + 1, j + 1, k + 1), lat.node(i, j + 1, k + 1)});
+        m.zone.push_back(zone_id);
+      }
+  return lat;
+}
+
+}  // namespace
+
+HexMesh simple_block(const SimpleBlockParams& p) {
+  GEOFEM_CHECK(p.nx1 >= 1 && p.nx2 >= 1 && p.ny >= 1 && p.nz1 >= 1 && p.nz2 >= 1,
+               "simple_block needs >= 1 element per direction");
+  HexMesh m;
+  const Lattice bottom = append_zone(m, p.nx1 + p.nx2, p.ny, p.nz1, 0, 0, 0, 0);
+  const Lattice top_left = append_zone(m, p.nx1, p.ny, p.nz2, 0, 0, p.nz1, 1);
+  const Lattice top_right = append_zone(m, p.nx2, p.ny, p.nz2, p.nx1, 0, p.nz1, 2);
+
+  // Horizontal contact surface z = NZ1: bottom-slab top face vs the bottom
+  // faces of the two top blocks. Along x = NX1 all three zones meet -> groups
+  // of size 3; elsewhere groups of size 2.
+  for (int j = 0; j <= p.ny; ++j) {
+    for (int i = 0; i <= p.nx1 + p.nx2; ++i) {
+      std::vector<int> g{bottom.node(i, j, p.nz1)};
+      if (i <= p.nx1) g.push_back(top_left.node(i, j, 0));
+      if (i >= p.nx1) g.push_back(top_right.node(i - p.nx1, j, 0));
+      m.contact_groups.push_back(std::move(g));
+    }
+  }
+
+  // Vertical contact surface x = NX1 for z strictly above the horizontal
+  // interface (z = NZ1 nodes were grouped above): top-left vs top-right.
+  for (int k = 1; k <= p.nz2; ++k)
+    for (int j = 0; j <= p.ny; ++j)
+      m.contact_groups.push_back({top_left.node(p.nx1, j, k), top_right.node(0, j, k)});
+
+  return m;
+}
+
+}  // namespace geofem::mesh

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "mesh/hex_mesh.hpp"
+
+namespace geofem::mesh {
+
+/// Parameters of the paper's "simple block model" (Fig 23): three zones of
+/// unit cubic hexahedra — a bottom slab spanning the whole x range, and two
+/// top blocks meeting at x = NX1 — with duplicated (coincident) nodes on the
+/// two internal surfaces. Those coincident node sets are the contact groups.
+///
+/// All counts are element counts per direction, matching the paper's naming:
+///   bottom slab : (NX1+NX2) x NY x NZ1 elements
+///   top-left    :  NX1      x NY x NZ2 elements
+///   top-right   :  NX2      x NY x NZ2 elements
+///
+/// The paper's configurations are reproduced exactly at full scale:
+///   appendix model  : 20/20/15/20/20 -> 24,000 elements, 27,888 nodes (83,664 DOF)
+///   single-node test: 70/70/40/70/70 -> 784,000 elements, 823,813 nodes
+///   speed-up test   : 70/70/168/70/70 -> 3,292,800 elements
+///   large-scale test: 300/300/40/200/200 -> 9,600,000 elements
+struct SimpleBlockParams {
+  int nx1 = 20;
+  int nx2 = 20;
+  int ny = 15;
+  int nz1 = 20;
+  int nz2 = 20;
+};
+
+/// Build the simple block model. Contact groups have size 2 on the interior of
+/// the two contact surfaces and size 3 along the line where all three zones
+/// meet, matching "the number of nodes in each contact group can be
+/// different" (Fig 23(b)).
+HexMesh simple_block(const SimpleBlockParams& p);
+
+}  // namespace geofem::mesh

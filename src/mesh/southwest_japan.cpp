@@ -1,0 +1,122 @@
+#include "mesh/southwest_japan.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace geofem::mesh {
+
+namespace {
+
+/// Deterministic hash of a logical lattice coordinate -> jitter in [-1, 1).
+/// Keyed purely by (i, j, k) so that duplicated (coincident) nodes on a
+/// contact surface receive identical jitter and stay coincident.
+double jitter(unsigned seed, int i, int j, int k, int axis) {
+  std::uint64_t h = seed;
+  for (std::uint64_t v : {std::uint64_t(i), std::uint64_t(j), std::uint64_t(k),
+                          std::uint64_t(axis)}) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  return 2.0 * (static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0)) - 1.0;
+}
+
+struct Zone {
+  int nx, ny, nz;
+  int offset;
+  [[nodiscard]] int node(int i, int j, int k) const {
+    return offset + (k * (ny + 1) + j) * (nx + 1) + i;
+  }
+};
+
+}  // namespace
+
+HexMesh southwest_japan_like(const SouthwestJapanParams& p) {
+  GEOFEM_CHECK(p.nx >= 2 && p.ny >= 2 && p.nz_slab >= 1 && p.nz_crust >= 1,
+               "southwest_japan_like: mesh too small");
+  GEOFEM_CHECK(p.distortion >= 0.0 && p.distortion < 0.5,
+               "distortion must be in [0, 0.5) to keep Jacobians positive-ish");
+
+  HexMesh m;
+  const int jc = p.ny / 2;  // transverse fault position (crust split)
+  const int nz_total = p.nz_slab + p.nz_crust;
+
+  // The physical map. Logical coordinates (i, j, k) with k measured from the
+  // bottom of the slab. The slab/crust interface sits at logical k = nz_slab
+  // and maps to a dipping, laterally curved surface.
+  auto physical = [&](int i, int j, double kf) {
+    const double u = static_cast<double>(i) / p.nx;
+    const double v = static_cast<double>(j) / p.ny;
+    const double w = kf / nz_total;
+    const double x = static_cast<double>(i);
+    const double y = static_cast<double>(j) + p.curvature * p.ny * 0.2 * std::sin(M_PI * u);
+    // Dipping, laterally curved layers. The shift grows linearly with depth
+    // fraction w so the base of the computational domain stays exactly flat
+    // (the Dirichlet surface), the slab/crust interface is curved and
+    // dipping, and the free surface carries topography. Linear growth keeps
+    // |d(shift)/dk| < 1 and the Jacobians positive for the default
+    // parameters.
+    const double dip_shift =
+        w * (-p.dip * static_cast<double>(p.nx) * u +
+             p.curvature * static_cast<double>(nz_total) * 0.3 * std::sin(M_PI * u) *
+                 std::cos(M_PI * (v - 0.5)));
+    const double z = static_cast<double>(kf) + dip_shift;
+    return std::array<double, 3>{x, y, z};
+  };
+
+  auto jittered = [&](int i, int j, int k) {
+    auto c = physical(i, j, static_cast<double>(k));
+    // No jitter on the outer boundary so BC surfaces remain planar in logical
+    // space; interior nodes (including contact-surface nodes, which are
+    // interior in z) are perturbed.
+    const bool boundary = (i == 0 || i == p.nx || j == 0 || j == p.ny || k == 0 || k == nz_total);
+    if (!boundary && p.distortion > 0.0) {
+      for (int a = 0; a < 3; ++a) c[a] += p.distortion * jitter(p.seed, i, j, k, a);
+    }
+    return c;
+  };
+
+  auto append_zone = [&](int i0, int i1, int j0, int j1, int k0, int k1, int zone_id) {
+    Zone z{i1 - i0, j1 - j0, k1 - k0, m.num_nodes()};
+    for (int k = k0; k <= k1; ++k)
+      for (int j = j0; j <= j1; ++j)
+        for (int i = i0; i <= i1; ++i) m.coords.push_back(jittered(i, j, k));
+    for (int k = 0; k < z.nz; ++k)
+      for (int j = 0; j < z.ny; ++j)
+        for (int i = 0; i < z.nx; ++i) {
+          m.hexes.push_back({z.node(i, j, k), z.node(i + 1, j, k), z.node(i + 1, j + 1, k),
+                             z.node(i, j + 1, k), z.node(i, j, k + 1), z.node(i + 1, j, k + 1),
+                             z.node(i + 1, j + 1, k + 1), z.node(i, j + 1, k + 1)});
+          m.zone.push_back(zone_id);
+        }
+    return z;
+  };
+
+  // Zone 0: subduction slab (full footprint, below the interface).
+  const Zone slab = append_zone(0, p.nx, 0, p.ny, 0, p.nz_slab, 0);
+  // Zones 1/2: crust split along the transverse fault at j = jc.
+  const Zone crust_a = append_zone(0, p.nx, 0, jc, p.nz_slab, nz_total, 1);
+  const Zone crust_b = append_zone(0, p.nx, jc, p.ny, p.nz_slab, nz_total, 2);
+
+  // Contact groups on the curved slab/crust interface (logical k = nz_slab):
+  // slab top node + crust bottom node(s); groups of 3 along the j = jc line.
+  for (int j = 0; j <= p.ny; ++j) {
+    for (int i = 0; i <= p.nx; ++i) {
+      std::vector<int> g{slab.node(i, j, p.nz_slab)};
+      if (j <= jc) g.push_back(crust_a.node(i, j, 0));
+      if (j >= jc) g.push_back(crust_b.node(i, j - jc, 0));
+      m.contact_groups.push_back(std::move(g));
+    }
+  }
+  // Transverse vertical fault between the two crust blocks (k strictly above
+  // the interface).
+  for (int k = 1; k <= p.nz_crust; ++k)
+    for (int i = 0; i <= p.nx; ++i)
+      m.contact_groups.push_back({crust_a.node(i, jc, k), crust_b.node(i, 0, k)});
+
+  return m;
+}
+
+}  // namespace geofem::mesh

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "mesh/hex_mesh.hpp"
+
+namespace geofem::mesh {
+
+/// Synthetic stand-in for the paper's Southwest Japan model (Fig 25), which
+/// we do not have (it is a proprietary RIST mesh of crust + subduction plate).
+///
+/// What the paper uses the model for is its *character*, not its exact
+/// geometry: a complicated curved geometry, irregular and partly very
+/// distorted hexahedra, and contact groups along an irregular (curved) fault
+/// interface between bodies. This generator reproduces exactly those
+/// properties:
+///
+///  * three bodies: a subducting slab below a curved dipping interface, and
+///    two crust blocks separated by a transverse vertical fault (so contact
+///    groups of size 2 on surfaces and size 3 along the triple line, like the
+///    multi-plate junction in the real model);
+///  * a smooth non-affine coordinate map (dipping, laterally curved slab)
+///    producing non-uniform element shapes;
+///  * deterministic pseudo-random node jitter ("distortion") that leaves
+///    coincident contact nodes coincident, with amplitude controlled by
+///    `distortion` (fraction of local element size).
+struct SouthwestJapanParams {
+  int nx = 24;              ///< elements along strike-normal (subduction) direction
+  int ny = 20;              ///< elements along strike
+  int nz_slab = 6;          ///< element layers in the slab
+  int nz_crust = 10;        ///< element layers in the crust
+  double dip = 0.35;        ///< interface dip (fraction of depth per unit x)
+  double curvature = 0.25;  ///< lateral curvature amplitude of the interface
+  double distortion = 0.10; ///< jitter amplitude, fraction of element size
+  unsigned seed = 12345;
+};
+
+HexMesh southwest_japan_like(const SouthwestJapanParams& p);
+
+}  // namespace geofem::mesh

@@ -1,0 +1,82 @@
+#include "nonlin/alm.hpp"
+
+#include <cmath>
+
+#include "contact/penalty.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace geofem::nonlin {
+
+ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
+                                 const std::vector<fem::Material>& materials,
+                                 const fem::BoundaryConditions& bc,
+                                 const PrecondBuilder& builder, const ALMOptions& opt) {
+  GEOFEM_CHECK(opt.lambda > 0.0, "ALM needs a positive penalty");
+
+  // Penalized, boundary-conditioned operator (fixed across cycles: tied
+  // contact keeps the active set constant; what changes is the multiplier).
+  fem::System sys = fem::assemble_elasticity(m, materials);
+  contact::add_penalty(sys.a, m.contact_groups, opt.lambda);
+  fem::apply_boundary_conditions(sys, bc);
+  const std::size_t n = sys.a.ndof();
+
+  // free/fixed mask (multiplier forces only act on free DOFs)
+  std::vector<char> fixed(n, 0);
+  for (const auto& f : bc.fixes)
+    fixed[static_cast<std::size_t>(f.node) * 3 + static_cast<std::size_t>(f.comp)] = 1;
+
+  // constraint pairs: all (i, j), i < j, within each contact group (matches
+  // the complete-graph Laplacian of add_penalty)
+  std::vector<std::pair<int, int>> pairs;
+  for (const auto& g : m.contact_groups)
+    for (std::size_t a = 0; a < g.size(); ++a)
+      for (std::size_t b2 = a + 1; b2 < g.size(); ++b2) pairs.emplace_back(g[a], g[b2]);
+
+  precond::PreconditionerPtr prec = builder(sys.a);
+
+  ALMResult res;
+  res.solution.assign(n, 0.0);
+  std::vector<double> mu(pairs.size() * 3, 0.0), rhs(n);
+
+  for (int cycle = 0; cycle < opt.max_cycles; ++cycle) {
+    // rhs = b - B' mu  (masked on fixed DOFs)
+    sparse::copy(sys.b, rhs);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const auto [i, j] = pairs[p];
+      for (int c = 0; c < 3; ++c) {
+        const std::size_t di = static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c);
+        const std::size_t dj = static_cast<std::size_t>(j) * 3 + static_cast<std::size_t>(c);
+        const double v = mu[p * 3 + static_cast<std::size_t>(c)];
+        if (!fixed[di]) rhs[di] -= v;
+        if (!fixed[dj]) rhs[dj] += v;
+      }
+    }
+
+    auto cg = solver::pcg(sys.a, *prec, rhs, res.solution, opt.inner);
+    res.inner_iterations.push_back(cg.iterations);
+    ++res.cycles;
+
+    // constraint violation and multiplier update: g_p = u_i - u_j
+    double gap2 = 0.0;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const auto [i, j] = pairs[p];
+      for (int c = 0; c < 3; ++c) {
+        const double g = res.solution[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)] -
+                         res.solution[static_cast<std::size_t>(j) * 3 + static_cast<std::size_t>(c)];
+        gap2 += g * g;
+        mu[p * 3 + static_cast<std::size_t>(c)] += opt.lambda * g;
+      }
+    }
+    const double unorm = sparse::norm2(res.solution);
+    const double rel_gap = std::sqrt(gap2) / (unorm > 0.0 ? unorm : 1.0);
+    res.gap_history.push_back(rel_gap);
+    if (rel_gap < opt.constraint_tol) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace geofem::nonlin

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+
+#include "fem/assembly.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "precond/preconditioner.hpp"
+#include "solver/cg.hpp"
+
+namespace geofem::nonlin {
+
+/// Augmented Lagrange (ALM) driver for fault-zone contact (paper §1.1,
+/// Fig 2): the tied-contact constraint B u = 0 (zero relative displacement
+/// across every contact pair) is enforced by the augmented functional
+///   L(u, mu) = 1/2 u'K u - f'u + mu'(B u) + lambda/2 |B u|^2,
+/// solved by the outer multiplier iteration (the paper's "Newton-Raphson
+/// cycles" for the boundary nonlinearity):
+///   (K + lambda B'B) u = f - B' mu,   mu <- mu + lambda B u.
+///
+/// A large penalty lambda contracts the constraint violation faster (fewer
+/// outer cycles) but makes each inner linear system ill-conditioned (more
+/// Krylov iterations) — exactly the Fig 2 trade-off.
+struct ALMOptions {
+  double lambda = 1e4;
+  double constraint_tol = 1e-6;   ///< on |B u| / |u| (relative gap)
+  int max_cycles = 60;
+  solver::CGOptions inner;
+};
+
+struct ALMResult {
+  bool converged = false;
+  int cycles = 0;
+  std::vector<int> inner_iterations;  ///< Krylov iterations per cycle
+  std::vector<double> gap_history;    ///< relative constraint violation per cycle
+  std::vector<double> solution;
+
+  [[nodiscard]] int total_inner_iterations() const {
+    int t = 0;
+    for (int i : inner_iterations) t += i;
+    return t;
+  }
+};
+
+/// Builds the preconditioner for the (fixed) penalized matrix once.
+using PrecondBuilder =
+    std::function<precond::PreconditionerPtr(const sparse::BlockCSR& penalized)>;
+
+/// Assembles the elastic system over `m`, adds the penalty, applies the
+/// boundary conditions, and runs the ALM outer iteration. Multiplier forces
+/// on Dirichlet-fixed DOFs are masked out (the constraint there is carried by
+/// the boundary condition itself).
+ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
+                                 const std::vector<fem::Material>& materials,
+                                 const fem::BoundaryConditions& bc,
+                                 const PrecondBuilder& builder, const ALMOptions& opt);
+
+}  // namespace geofem::nonlin

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "part/local_system.hpp"
+
+namespace geofem::part {
+
+/// Text serialization of GeoFEM distributed local data (§2.1: the partitioner
+/// runs once on a single PE and writes one local-data file per domain; the
+/// parallel solver then reads only its own file). Layout:
+///
+///   geofem-local 1
+///   domain <d> internal <ni> local <nl>
+///   globals <nl ids>
+///   matrix <block rows> <nnz blocks>
+///   <rowptr>, <colind>, <9 values per block>
+///   rhs <3*ni values>
+///   links <L>
+///   <neighbor  ns send-ids  nr recv-ids> * L
+void write_local_system(std::ostream& os, const LocalSystem& ls);
+LocalSystem read_local_system(std::istream& is);
+
+/// Write one file per domain: <prefix>.<rank>.dist
+void save_distributed(const std::string& prefix, const std::vector<LocalSystem>& systems);
+std::vector<LocalSystem> load_distributed(const std::string& prefix, int ndom);
+
+}  // namespace geofem::part

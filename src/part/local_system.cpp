@@ -1,0 +1,139 @@
+#include "part/local_system.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace geofem::part {
+
+sparse::BlockCSR LocalSystem::internal_matrix() const {
+  sparse::BlockCSRBuilder builder(num_internal);
+  for (int i = 0; i < num_internal; ++i)
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      if (a.colind[e] < num_internal) builder.add_pattern(i, a.colind[e]);
+  builder.finalize_pattern();
+  for (int i = 0; i < num_internal; ++i)
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      if (a.colind[e] < num_internal) builder.add_block(i, a.colind[e], a.block(e));
+  return builder.take();
+}
+
+std::vector<std::vector<int>> LocalSystem::local_contact_groups(
+    const std::vector<std::vector<int>>& global_groups) const {
+  std::map<int, int> local_of_global;
+  for (int l = 0; l < num_internal; ++l) local_of_global[global_of_local[static_cast<std::size_t>(l)]] = l;
+  std::vector<std::vector<int>> out;
+  for (const auto& g : global_groups) {
+    std::vector<int> local;
+    for (int v : g) {
+      auto it = local_of_global.find(v);
+      if (it != local_of_global.end()) local.push_back(it->second);
+    }
+    if (local.size() >= 2) out.push_back(std::move(local));
+  }
+  return out;
+}
+
+std::vector<LocalSystem> distribute(const sparse::BlockCSR& a, const std::vector<double>& b,
+                                    const Partition& p) {
+  GEOFEM_CHECK(static_cast<int>(p.domain_of.size()) == a.n, "partition size mismatch");
+  GEOFEM_CHECK(b.size() == a.ndof(), "rhs size mismatch");
+  const int ndom = p.num_domains;
+  std::vector<LocalSystem> out(static_cast<std::size_t>(ndom));
+
+  // internal node lists (ascending global id -> deterministic local order)
+  for (int v = 0; v < a.n; ++v)
+    out[static_cast<std::size_t>(p.domain_of[static_cast<std::size_t>(v)])].global_of_local.push_back(v);
+  for (int d = 0; d < ndom; ++d) {
+    out[static_cast<std::size_t>(d)].domain = d;
+    out[static_cast<std::size_t>(d)].num_internal =
+        static_cast<int>(out[static_cast<std::size_t>(d)].global_of_local.size());
+    GEOFEM_CHECK(out[static_cast<std::size_t>(d)].num_internal > 0, "empty domain");
+  }
+
+  for (int d = 0; d < ndom; ++d) {
+    LocalSystem& ls = out[static_cast<std::size_t>(d)];
+    std::map<int, int> local_of_global;
+    for (int l = 0; l < ls.num_internal; ++l)
+      local_of_global[ls.global_of_local[static_cast<std::size_t>(l)]] = l;
+
+    // discover external nodes (sorted by (owner domain, global id) so that
+    // send/recv tables on both sides enumerate identically)
+    std::map<std::pair<int, int>, int> externals;  // (owner, global) -> marker
+    for (int l = 0; l < ls.num_internal; ++l) {
+      const int gi = ls.global_of_local[static_cast<std::size_t>(l)];
+      for (int e = a.rowptr[gi]; e < a.rowptr[gi + 1]; ++e) {
+        const int gj = a.colind[e];
+        const int dj = p.domain_of[static_cast<std::size_t>(gj)];
+        if (dj != d) externals[{dj, gj}] = 0;
+      }
+    }
+    for (auto& [key, local] : externals) {
+      local = ls.num_local();
+      ls.global_of_local.push_back(key.second);
+      local_of_global[key.second] = local;
+    }
+
+    // local matrix: internal rows with all local columns
+    sparse::BlockCSRBuilder builder(ls.num_local());
+    for (int l = 0; l < ls.num_internal; ++l) {
+      const int gi = ls.global_of_local[static_cast<std::size_t>(l)];
+      for (int e = a.rowptr[gi]; e < a.rowptr[gi + 1]; ++e)
+        builder.add_pattern(l, local_of_global.at(a.colind[e]));
+    }
+    builder.finalize_pattern();
+    for (int l = 0; l < ls.num_internal; ++l) {
+      const int gi = ls.global_of_local[static_cast<std::size_t>(l)];
+      for (int e = a.rowptr[gi]; e < a.rowptr[gi + 1]; ++e)
+        builder.add_block(l, local_of_global.at(a.colind[e]), a.block(e));
+    }
+    ls.a = builder.take();
+
+    ls.b.resize(static_cast<std::size_t>(ls.num_internal) * 3);
+    for (int l = 0; l < ls.num_internal; ++l) {
+      const int gi = ls.global_of_local[static_cast<std::size_t>(l)];
+      for (int c = 0; c < 3; ++c)
+        ls.b[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)] =
+            b[static_cast<std::size_t>(gi) * 3 + static_cast<std::size_t>(c)];
+    }
+
+    // recv tables grouped by owner (externals map is already (owner, global)
+    // ascending)
+    for (const auto& [key, local] : externals) {
+      if (ls.links.empty() || ls.links.back().domain != key.first) {
+        ls.links.push_back({key.first, {}, {}});
+      }
+      ls.links.back().recv_local.push_back(local);
+    }
+  }
+
+  // send tables: mirror the recv tables of the neighbours (same (owner,
+  // global id) order on both sides)
+  for (int d = 0; d < ndom; ++d) {
+    LocalSystem& ls = out[static_cast<std::size_t>(d)];
+    for (auto& link : ls.links) {
+      LocalSystem& nb = out[static_cast<std::size_t>(link.domain)];
+      // globals this domain receives from `link.domain`
+      for (int recv_local : link.recv_local) {
+        const int g = ls.global_of_local[static_cast<std::size_t>(recv_local)];
+        // the neighbour sends its internal local id of g
+        auto it = std::lower_bound(nb.global_of_local.begin(),
+                                   nb.global_of_local.begin() + nb.num_internal, g);
+        GEOFEM_CHECK(it != nb.global_of_local.begin() + nb.num_internal && *it == g,
+                     "external node not internal at owner");
+        // find-or-create the reverse link on the neighbour
+        auto rit = std::find_if(nb.links.begin(), nb.links.end(),
+                                [d](const LocalSystem::NeighborLink& l) { return l.domain == d; });
+        if (rit == nb.links.end()) {
+          nb.links.push_back({d, {}, {}});
+          rit = nb.links.end() - 1;
+        }
+        rit->send_local.push_back(static_cast<int>(it - nb.global_of_local.begin()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geofem::part

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "part/partition.hpp"
+#include "sparse/block_csr.hpp"
+
+namespace geofem::part {
+
+/// GeoFEM per-domain local data (paper §2.1, Figs 3-4): internal nodes
+/// (owned), external nodes (copies of neighbours' internal nodes referenced
+/// by local matrix rows), and send/recv communication tables per neighbour.
+/// Local node numbering: internal nodes first [0, num_internal), then
+/// external nodes.
+struct LocalSystem {
+  int domain = 0;
+  int num_internal = 0;
+  std::vector<int> global_of_local;  ///< local id -> global node id
+  sparse::BlockCSR a;                ///< rows 0..num_internal-1 hold matrix rows; external
+                                     ///< rows are empty (diag identity placeholder)
+  std::vector<double> b;             ///< size num_internal * 3
+
+  struct NeighborLink {
+    int domain;
+    std::vector<int> send_local;  ///< internal local ids whose values we send
+    std::vector<int> recv_local;  ///< external local ids we receive into
+  };
+  std::vector<NeighborLink> links;
+
+  [[nodiscard]] int num_local() const { return static_cast<int>(global_of_local.size()); }
+
+  /// Internal-by-internal submatrix with external couplings zeroed out — the
+  /// operand of localized preconditioning (§2.2: "zeroing out components
+  /// located outside the processor domain").
+  [[nodiscard]] sparse::BlockCSR internal_matrix() const;
+
+  /// Restrict global contact groups to this domain's *internal* nodes (local
+  /// ids). Groups with fewer than 2 local members vanish — exactly what
+  /// happens when a contact group is cut by the partition.
+  [[nodiscard]] std::vector<std::vector<int>> local_contact_groups(
+      const std::vector<std::vector<int>>& global_groups) const;
+};
+
+/// Split a globally assembled system into GeoFEM local systems. External
+/// nodes are discovered from the matrix pattern (for FEM matrices this equals
+/// the overlapping-element rule; penalty couplings ride along identically).
+std::vector<LocalSystem> distribute(const sparse::BlockCSR& a, const std::vector<double>& b,
+                                    const Partition& p);
+
+}  // namespace geofem::part

@@ -1,0 +1,158 @@
+#include "part/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace geofem::part {
+
+std::vector<int> Partition::domain_sizes() const {
+  std::vector<int> sizes(static_cast<std::size_t>(num_domains), 0);
+  for (int d : domain_of) ++sizes[static_cast<std::size_t>(d)];
+  return sizes;
+}
+
+double Partition::imbalance_percent() const {
+  const auto sizes = domain_sizes();
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  const double avg = static_cast<double>(domain_of.size()) / num_domains;
+  return avg == 0.0 ? 0.0 : 100.0 * static_cast<double>(*mx - *mn) / avg;
+}
+
+Partition by_node_blocks(int num_nodes, int ndom) {
+  GEOFEM_CHECK(ndom >= 1 && num_nodes >= ndom, "bad partition request");
+  Partition p;
+  p.num_domains = ndom;
+  p.domain_of.resize(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i)
+    p.domain_of[static_cast<std::size_t>(i)] =
+        std::min(ndom - 1, static_cast<int>((static_cast<long long>(i) * ndom) / num_nodes));
+  return p;
+}
+
+namespace {
+
+/// Recursive weighted coordinate bisection of `ids` into `ndom` parts,
+/// writing results into out. Splits ndom into floor/ceil halves so any domain
+/// count works, with the weighted median placed proportionally.
+void rcb_recurse(const std::vector<std::array<double, 3>>& coords, const std::vector<int>& weights,
+                 std::vector<int>& ids, int id_begin, int id_end, int dom_begin, int ndom,
+                 std::vector<int>& out) {
+  if (ndom == 1) {
+    for (int t = id_begin; t < id_end; ++t)
+      out[static_cast<std::size_t>(ids[static_cast<std::size_t>(t)])] = dom_begin;
+    return;
+  }
+  // widest axis of this subset
+  double lo[3], hi[3];
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = 1e300;
+    hi[d] = -1e300;
+  }
+  for (int t = id_begin; t < id_end; ++t) {
+    const auto& c = coords[static_cast<std::size_t>(ids[static_cast<std::size_t>(t)])];
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+
+  std::sort(ids.begin() + id_begin, ids.begin() + id_end, [&](int a, int b) {
+    const double ca = coords[static_cast<std::size_t>(a)][axis];
+    const double cb = coords[static_cast<std::size_t>(b)][axis];
+    return ca != cb ? ca < cb : a < b;
+  });
+
+  const int ndom_left = ndom / 2;
+  long long total = 0;
+  for (int t = id_begin; t < id_end; ++t)
+    total += weights[static_cast<std::size_t>(ids[static_cast<std::size_t>(t)])];
+  const long long want_left = total * ndom_left / ndom;
+
+  int split = id_begin;
+  long long acc = 0;
+  while (split < id_end - 1 && acc < want_left) {
+    acc += weights[static_cast<std::size_t>(ids[static_cast<std::size_t>(split)])];
+    ++split;
+  }
+  if (split == id_begin) split = id_begin + 1;  // never create an empty side
+
+  rcb_recurse(coords, weights, ids, id_begin, split, dom_begin, ndom_left, out);
+  rcb_recurse(coords, weights, ids, split, id_end, dom_begin + ndom_left, ndom - ndom_left, out);
+}
+
+}  // namespace
+
+Partition rcb(const std::vector<std::array<double, 3>>& coords, int ndom,
+              const std::vector<int>* weights) {
+  const int n = static_cast<int>(coords.size());
+  GEOFEM_CHECK(ndom >= 1 && n >= ndom, "bad partition request");
+  std::vector<int> w;
+  if (weights) {
+    GEOFEM_CHECK(static_cast<int>(weights->size()) == n, "weights size mismatch");
+    w = *weights;
+  } else {
+    w.assign(static_cast<std::size_t>(n), 1);
+  }
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  Partition p;
+  p.num_domains = ndom;
+  p.domain_of.assign(static_cast<std::size_t>(n), 0);
+  rcb_recurse(coords, w, ids, 0, n, 0, ndom, p.domain_of);
+  return p;
+}
+
+Partition rcb_contact_aware(const mesh::HexMesh& m, int ndom) {
+  const int nn = m.num_nodes();
+  // units: contact groups first, then remaining nodes
+  std::vector<int> unit_of(static_cast<std::size_t>(nn), -1);
+  std::vector<std::array<double, 3>> centroids;
+  std::vector<int> weights;
+  for (const auto& g : m.contact_groups) {
+    const int u = static_cast<int>(centroids.size());
+    std::array<double, 3> c{0, 0, 0};
+    for (int v : g) {
+      unit_of[static_cast<std::size_t>(v)] = u;
+      for (int d = 0; d < 3; ++d) c[static_cast<std::size_t>(d)] += m.coords[static_cast<std::size_t>(v)][static_cast<std::size_t>(d)];
+    }
+    for (int d = 0; d < 3; ++d) c[static_cast<std::size_t>(d)] /= static_cast<double>(g.size());
+    centroids.push_back(c);
+    weights.push_back(static_cast<int>(g.size()));
+  }
+  for (int v = 0; v < nn; ++v) {
+    if (unit_of[static_cast<std::size_t>(v)] != -1) continue;
+    unit_of[static_cast<std::size_t>(v)] = static_cast<int>(centroids.size());
+    centroids.push_back(m.coords[static_cast<std::size_t>(v)]);
+    weights.push_back(1);
+  }
+
+  const Partition up = rcb(centroids, ndom, &weights);
+  Partition p;
+  p.num_domains = ndom;
+  p.domain_of.resize(static_cast<std::size_t>(nn));
+  for (int v = 0; v < nn; ++v)
+    p.domain_of[static_cast<std::size_t>(v)] =
+        up.domain_of[static_cast<std::size_t>(unit_of[static_cast<std::size_t>(v)])];
+  return p;
+}
+
+int split_contact_groups(const mesh::HexMesh& m, const Partition& p) {
+  int split = 0;
+  for (const auto& g : m.contact_groups) {
+    const int d0 = p.domain_of[static_cast<std::size_t>(g[0])];
+    for (int v : g) {
+      if (p.domain_of[static_cast<std::size_t>(v)] != d0) {
+        ++split;
+        break;
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace geofem::part

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace geofem::part {
+
+/// Node-based domain assignment (paper §2.1: GeoFEM partitions the FEM nodes;
+/// elements overlap).
+struct Partition {
+  int num_domains = 1;
+  std::vector<int> domain_of;  ///< per node
+
+  [[nodiscard]] std::vector<int> domain_sizes() const;
+  /// 100 * (max - min) / avg of nodes per domain.
+  [[nodiscard]] double imbalance_percent() const;
+};
+
+/// Contiguous node-id blocks ("ORIGINAL partitioning" of Table 3: the raw
+/// mesh-file order, oblivious to contact groups — guaranteed to cut through
+/// the contact surfaces of multi-zone meshes, whose zones occupy disjoint id
+/// ranges).
+Partition by_node_blocks(int num_nodes, int ndom);
+
+/// Recursive coordinate bisection over node coordinates with optional integer
+/// weights; splits the widest axis at the weighted median.
+Partition rcb(const std::vector<std::array<double, 3>>& coords, int ndom,
+              const std::vector<int>* weights = nullptr);
+
+/// The paper's IMPROVED partitioning (Fig 8): contact groups are collapsed to
+/// single weighted units (so all nodes of a group land in one domain), RCB
+/// runs on the units at the weighted median (load balancing), and the result
+/// is expanded back to nodes.
+Partition rcb_contact_aware(const mesh::HexMesh& m, int ndom);
+
+/// Number of contact groups whose nodes span more than one domain (the
+/// edge-cut pathology of Table 3).
+int split_contact_groups(const mesh::HexMesh& m, const Partition& p);
+
+}  // namespace geofem::part

@@ -1,0 +1,282 @@
+#include "precond/bic.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace geofem::precond {
+
+using sparse::kB;
+using sparse::kBB;
+
+namespace {
+
+/// Invert a 3x3 block; on singularity fall back to inverting its diagonal
+/// part (breakdown remedy that keeps the preconditioner usable).
+void invert_or_reset(const double* d, double* inv) {
+  if (sparse::b3_inverse(d, inv)) return;
+  for (int t = 0; t < kBB; ++t) inv[t] = 0.0;
+  for (int c = 0; c < kB; ++c) inv[kB * c + c] = d[kB * c + c] != 0.0 ? 1.0 / d[kB * c + c] : 1.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BIC(0)
+// ---------------------------------------------------------------------------
+
+BIC0::BIC0(const sparse::BlockCSR& a, bool modified) : a_(a) {
+  inv_d_.resize(static_cast<std::size_t>(a.n) * kBB);
+  std::vector<double> dmod(static_cast<std::size_t>(a.n) * kBB);
+  for (int i = 0; i < a.n; ++i) {
+    double* di = dmod.data() + static_cast<std::size_t>(i) * kBB;
+    std::copy_n(a.block(a.diag_entry(i)), kBB, di);
+    for (int e = modified ? a.rowptr[i] : a.rowptr[i + 1]; e < a.rowptr[i + 1]; ++e) {
+      const int k = a.colind[e];
+      if (k >= i) continue;
+      // di -= A_ik * D~_k^-1 * A_ik^T   (A_ki = A_ik^T by symmetry)
+      const double* aik = a.block(e);
+      const double* invk = inv_d_.data() + static_cast<std::size_t>(k) * kBB;
+      double t[kBB] = {};  // t = A_ik * invk
+      sparse::b3_gemm(aik, invk, t);
+      // di -= t * A_ik^T
+      for (int r = 0; r < kB; ++r)
+        for (int c = 0; c < kB; ++c) {
+          double s = 0.0;
+          for (int m = 0; m < kB; ++m) s += t[kB * r + m] * aik[kB * c + m];
+          di[kB * r + c] -= s;
+        }
+    }
+    // Over-subtraction remedy: if the corrections drove the block indefinite
+    // (which makes M indefinite and breaks CG), fall back to the unmodified
+    // diagonal A_ii for this row.
+    if (modified && !sparse::is_spd(di, kB)) {
+      std::copy_n(a.block(a.diag_entry(i)), kBB, di);
+    }
+    invert_or_reset(di, inv_d_.data() + static_cast<std::size_t>(i) * kBB);
+  }
+}
+
+void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+                 util::LoopStats* loops) const {
+  const auto& a = a_;
+  GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "BIC0 apply size mismatch");
+  // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k)
+  for (int i = 0; i < a.n; ++i) {
+    double acc[kB];
+    const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
+    acc[0] = ri[0];
+    acc[1] = ri[1];
+    acc[2] = ri[2];
+    int len = 0;
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e) {
+      sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
+      ++len;
+    }
+    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc,
+                     z.data() + static_cast<std::size_t>(i) * kB);
+    if (loops) loops->record(len + 1);
+  }
+  // backward: z_i -= D~_i^-1 sum_{j>i} A_ij z_j
+  for (int i = a.n - 1; i >= 0; --i) {
+    double acc[kB] = {};
+    int len = 0;
+    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e) {
+      sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
+      ++len;
+    }
+    double corr[kB];
+    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, corr);
+    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
+    zi[0] -= corr[0];
+    zi[1] -= corr[1];
+    zi[2] -= corr[2];
+    if (loops) loops->record(len + 1);
+  }
+  if (flops)
+    flops->precond += 2ULL * kBB * static_cast<std::uint64_t>(a.nnz_blocks() + a.n);
+}
+
+// ---------------------------------------------------------------------------
+// BlockILUk
+// ---------------------------------------------------------------------------
+
+BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
+    : n_(a.n), fill_level_(fill_level) {
+  GEOFEM_CHECK(fill_level >= 0, "fill level must be >= 0");
+
+  // ---- symbolic: level-of-fill pattern, row by row ------------------------
+  // ulev/ucol per finished row are needed by later rows.
+  std::vector<std::vector<int>> urows_col(static_cast<std::size_t>(n_));
+  std::vector<std::vector<int>> urows_lev(static_cast<std::size_t>(n_));
+  std::vector<std::vector<int>> lrows_col(static_cast<std::size_t>(n_));
+
+  std::vector<int> wlev(static_cast<std::size_t>(n_), -1);
+  std::vector<int> touched;
+  for (int i = 0; i < n_; ++i) {
+    touched.clear();
+    std::set<int> pending;  // unprocessed cols < i, ascending
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      const int j = a.colind[e];
+      wlev[static_cast<std::size_t>(j)] = 0;
+      touched.push_back(j);
+      if (j < i) pending.insert(j);
+    }
+    while (!pending.empty()) {
+      const int k = *pending.begin();
+      pending.erase(pending.begin());
+      const int lev_ik = wlev[static_cast<std::size_t>(k)];
+      const auto& ucol = urows_col[static_cast<std::size_t>(k)];
+      const auto& ulev = urows_lev[static_cast<std::size_t>(k)];
+      for (std::size_t t = 0; t < ucol.size(); ++t) {
+        const int j = ucol[t];
+        if (j == i) continue;
+        const int cand = lev_ik + ulev[t] + 1;
+        if (cand > fill_level_) continue;
+        int& cur = wlev[static_cast<std::size_t>(j)];
+        if (cur == -1) {
+          cur = cand;
+          touched.push_back(j);
+          if (j < i) pending.insert(j);
+        } else if (cand < cur) {
+          cur = cand;
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int j : touched) {
+      if (j < i) {
+        lrows_col[static_cast<std::size_t>(i)].push_back(j);
+      } else if (j > i) {
+        urows_col[static_cast<std::size_t>(i)].push_back(j);
+        urows_lev[static_cast<std::size_t>(i)].push_back(wlev[static_cast<std::size_t>(j)]);
+      }
+      wlev[static_cast<std::size_t>(j)] = -1;
+    }
+  }
+
+  // ---- flatten pattern into CSR arrays -------------------------------------
+  lptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  uptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int i = 0; i < n_; ++i) {
+    lptr_[static_cast<std::size_t>(i) + 1] =
+        lptr_[static_cast<std::size_t>(i)] + static_cast<int>(lrows_col[static_cast<std::size_t>(i)].size());
+    uptr_[static_cast<std::size_t>(i) + 1] =
+        uptr_[static_cast<std::size_t>(i)] + static_cast<int>(urows_col[static_cast<std::size_t>(i)].size());
+  }
+  lcol_.reserve(static_cast<std::size_t>(lptr_.back()));
+  ucol_.reserve(static_cast<std::size_t>(uptr_.back()));
+  for (int i = 0; i < n_; ++i) {
+    lcol_.insert(lcol_.end(), lrows_col[static_cast<std::size_t>(i)].begin(),
+                 lrows_col[static_cast<std::size_t>(i)].end());
+    ucol_.insert(ucol_.end(), urows_col[static_cast<std::size_t>(i)].begin(),
+                 urows_col[static_cast<std::size_t>(i)].end());
+    lrows_col[static_cast<std::size_t>(i)].clear();
+    lrows_col[static_cast<std::size_t>(i)].shrink_to_fit();
+  }
+  lval_.assign(lcol_.size() * kBB, 0.0);
+  uval_.assign(ucol_.size() * kBB, 0.0);
+  inv_d_.assign(static_cast<std::size_t>(n_) * kBB, 0.0);
+
+  // ---- numeric: block IKJ elimination on the fixed pattern -----------------
+  // Workspace: wpos[col] = index into the current row's slot table.
+  std::vector<int> wpos(static_cast<std::size_t>(n_), -1);
+  std::vector<double> wval;   // kBB per touched col
+  std::vector<int> wcols;
+  for (int i = 0; i < n_; ++i) {
+    wcols.clear();
+    wval.clear();
+    auto slot = [&](int j) -> double* {
+      int& p = wpos[static_cast<std::size_t>(j)];
+      if (p == -1) {
+        p = static_cast<int>(wcols.size());
+        wcols.push_back(j);
+        wval.insert(wval.end(), kBB, 0.0);
+      }
+      return wval.data() + static_cast<std::size_t>(p) * kBB;
+    };
+    // load pattern slots (zero fill) and A values
+    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      slot(lcol_[static_cast<std::size_t>(e)]);
+    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      slot(ucol_[static_cast<std::size_t>(e)]);
+    slot(i);
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      const double* src = a.block(e);
+      double* dst = slot(a.colind[e]);
+      for (int t = 0; t < kBB; ++t) dst[t] += src[t];
+    }
+    // eliminate: ascending k < i within the L pattern
+    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e) {
+      const int k = lcol_[static_cast<std::size_t>(e)];
+      double* lik = wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(k)]) * kBB;
+      // L_ik = w_k * invD_k
+      double tmp[kBB] = {};
+      sparse::b3_gemm(lik, inv_d_.data() + static_cast<std::size_t>(k) * kBB, tmp);
+      std::copy_n(tmp, kBB, lik);
+      // w_j -= L_ik * U_kj for all U entries of row k present in this row
+      for (int f = uptr_[static_cast<std::size_t>(k)]; f < uptr_[static_cast<std::size_t>(k) + 1]; ++f) {
+        const int j = ucol_[static_cast<std::size_t>(f)];
+        if (wpos[static_cast<std::size_t>(j)] == -1) continue;  // outside pattern: dropped
+        sparse::b3_gemm_sub(lik, uval_.data() + static_cast<std::size_t>(f) * kBB,
+                            wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(j)]) * kBB);
+      }
+    }
+    // scatter back
+    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      std::copy_n(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)])]) * kBB,
+                  kBB, lval_.data() + static_cast<std::size_t>(e) * kBB);
+    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      std::copy_n(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(ucol_[static_cast<std::size_t>(e)])]) * kBB,
+                  kBB, uval_.data() + static_cast<std::size_t>(e) * kBB);
+    invert_or_reset(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(i)]) * kBB,
+                    inv_d_.data() + static_cast<std::size_t>(i) * kBB);
+    for (int j : wcols) wpos[static_cast<std::size_t>(j)] = -1;
+  }
+}
+
+void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+                      util::LoopStats* loops) const {
+  GEOFEM_CHECK(static_cast<int>(r.size()) == n_ * kB && static_cast<int>(z.size()) == n_ * kB,
+               "BlockILUk apply size mismatch");
+  // forward (unit L): y_i = r_i - sum L_ik y_k
+  for (int i = 0; i < n_; ++i) {
+    double acc[kB];
+    const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
+    acc[0] = ri[0];
+    acc[1] = ri[1];
+    acc[2] = ri[2];
+    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      sparse::b3_gemv_sub(lval_.data() + static_cast<std::size_t>(e) * kBB,
+                          z.data() + static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)]) * kB, acc);
+    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
+    zi[0] = acc[0];
+    zi[1] = acc[1];
+    zi[2] = acc[2];
+    if (loops) loops->record(lptr_[static_cast<std::size_t>(i) + 1] - lptr_[static_cast<std::size_t>(i)] + 1);
+  }
+  // backward: z_i = invD_i (y_i - sum U_ij z_j)
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc[kB];
+    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
+    acc[0] = zi[0];
+    acc[1] = zi[1];
+    acc[2] = zi[2];
+    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
+      sparse::b3_gemv_sub(uval_.data() + static_cast<std::size_t>(e) * kBB,
+                          z.data() + static_cast<std::size_t>(ucol_[static_cast<std::size_t>(e)]) * kB, acc);
+    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, zi);
+    if (loops) loops->record(uptr_[static_cast<std::size_t>(i) + 1] - uptr_[static_cast<std::size_t>(i)] + 1);
+  }
+  if (flops)
+    flops->precond +=
+        2ULL * kBB * (lcol_.size() + ucol_.size() + static_cast<std::uint64_t>(n_));
+}
+
+std::size_t BlockILUk::memory_bytes() const {
+  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) +
+         (lcol_.size() + ucol_.size() + lptr_.size() + uptr_.size()) * sizeof(int);
+}
+
+}  // namespace geofem::precond

@@ -1,0 +1,28 @@
+#include "precond/diagonal.hpp"
+
+#include "util/check.hpp"
+
+namespace geofem::precond {
+
+DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a) {
+  inv_diag_.resize(a.ndof());
+  for (int i = 0; i < a.n; ++i) {
+    const double* d = a.block(a.diag_entry(i));
+    for (int c = 0; c < sparse::kB; ++c) {
+      const double v = d[sparse::kB * c + c];
+      GEOFEM_CHECK(v != 0.0, "zero diagonal in DiagonalScaling");
+      inv_diag_[static_cast<std::size_t>(i) * sparse::kB + static_cast<std::size_t>(c)] = 1.0 / v;
+    }
+  }
+}
+
+void DiagonalScaling::apply(std::span<const double> r, std::span<double> z,
+                            util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+               "diagonal apply size mismatch");
+  for (std::size_t d = 0; d < r.size(); ++d) z[d] = r[d] * inv_diag_[d];
+  if (flops) flops->precond += r.size();
+  if (loops) loops->record(static_cast<std::int64_t>(r.size()));
+}
+
+}  // namespace geofem::precond

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "precond/preconditioner.hpp"
+#include "sparse/block_csr.hpp"
+
+namespace geofem::precond {
+
+/// Point diagonal scaling: z_d = r_d / a_dd. The weakest baseline of Table 2;
+/// diverges for large penalty numbers.
+class DiagonalScaling final : public Preconditioner {
+ public:
+  explicit DiagonalScaling(const sparse::BlockCSR& a);
+
+  void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+             util::LoopStats* loops) const override;
+
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return inv_diag_.size() * sizeof(double);
+  }
+  [[nodiscard]] std::string name() const override { return "Diagonal"; }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+}  // namespace geofem::precond

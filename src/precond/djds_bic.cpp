@@ -1,0 +1,207 @@
+#include "precond/djds_bic.hpp"
+
+#include <algorithm>
+
+#include "precond/sb_bic0.hpp"
+#include "reorder/coloring.hpp"
+#include "util/check.hpp"
+
+namespace geofem::precond {
+
+using sparse::kB;
+using sparse::kBB;
+
+DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj) : dj_(dj) {
+  GEOFEM_CHECK(a.n == dj.n(), "matrix/DJDS size mismatch");
+
+  // Units per chunk in new-row order (supernode ranges or singletons).
+  const int nchunks = dj.num_colors() * dj.npe();
+  chunk_units_.resize(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<int>> unit_members;  // new-id member lists, ascending
+  std::vector<int> row_unit(static_cast<std::size_t>(dj.n()), -1);
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int b = dj.chunk_begin()[static_cast<std::size_t>(ch)];
+    const int e = dj.chunk_begin()[static_cast<std::size_t>(ch) + 1];
+    for (int i = b; i < e;) {
+      const int r = dj.range_of_row(i);
+      const int size = r >= 0 ? dj.super_ranges()[static_cast<std::size_t>(r)].size : 1;
+      if (size > 1) has_blocks_ = true;
+      chunk_units_[static_cast<std::size_t>(ch)].push_back(
+          {i, size, static_cast<int>(unit_members.size())});
+      std::vector<int> mem(static_cast<std::size_t>(size));
+      for (int t = 0; t < size; ++t) {
+        mem[static_cast<std::size_t>(t)] = i + t;
+        row_unit[static_cast<std::size_t>(i + t)] = static_cast<int>(unit_members.size());
+      }
+      unit_members.push_back(std::move(mem));
+      i += size;
+    }
+  }
+
+  // Factor D~ in the DJDS elimination order: permute the matrix and run the
+  // shared selective-block factorization (units were created in ascending
+  // new-row order, so unit id == elimination order).
+  sparse::BlockCSR ap = sparse::permute(a, dj.perm());
+  contact::Supernodes snp;
+  snp.node_to_super = std::move(row_unit);
+  snp.members = std::move(unit_members);
+  lu_ = sb_factor_diagonals(ap, snp);
+
+  // Structural loop statistics + FLOPs of one apply() sweep: every jagged
+  // diagonal loop (forward + backward) and the same-size selective-block
+  // solve batches (Fig 22 vectorization across equal-size dense blocks).
+  for (int ch = 0; ch < nchunks; ++ch) {
+    for (const auto* part : {&dj.lower(ch), &dj.upper(ch)}) {
+      for (int j = 0; j < part->num_jd(); ++j) {
+        const int len = part->jd_ptr[static_cast<std::size_t>(j) + 1] -
+                        part->jd_ptr[static_cast<std::size_t>(j)];
+        if (len > 0) jagged_loops_.record(len);
+        apply_flops_ += 2ULL * kBB * static_cast<std::uint64_t>(len);
+      }
+    }
+    const auto& units = chunk_units_[static_cast<std::size_t>(ch)];
+    for (std::size_t t = 0; t < units.size();) {
+      std::size_t end = t;
+      while (end < units.size() && units[end].size == units[t].size) ++end;
+      batch_loops_.record(static_cast<std::int64_t>(end - t), 2);  // fwd + bwd
+      t = end;
+    }
+  }
+  for (const auto& lu : lu_) {
+    apply_flops_ += 2 * lu.solve_flops();
+    block_solve_flops_ += 2.0 * static_cast<double>(lu.solve_flops());
+  }
+  struct_loops_.merge(jagged_loops_);
+  struct_loops_.merge(batch_loops_);
+}
+
+void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+                    util::LoopStats* loops) const {
+  const int n = dj_.n();
+  GEOFEM_CHECK(static_cast<int>(r.size()) == n * kB && static_cast<int>(z.size()) == n * kB,
+               "DJDSBIC apply size mismatch");
+  const int npe = dj_.npe();
+
+  // forward: per color (sequential), per PE chunk (parallel):
+  //   z_chunk = r_chunk - L_chunk * z(earlier colors); unit solves in place.
+  for (int c = 0; c < dj_.num_colors(); ++c) {
+#pragma omp parallel for schedule(static)
+    for (int p = 0; p < npe; ++p) {
+      const int ch = dj_.chunk_index(c, p);
+      const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];
+      const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
+      for (int i = b * kB; i < e * kB; ++i) z[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+      const auto& part = dj_.lower(ch);
+      for (int j = 0; j < part.num_jd(); ++j) {
+        const int s = part.jd_ptr[static_cast<std::size_t>(j)];
+        const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        for (int t = s; t < t1; ++t) {
+          sparse::b3_gemv_sub(
+              part.val.data() + static_cast<std::size_t>(t) * kBB,
+              z.data() + static_cast<std::size_t>(part.item[static_cast<std::size_t>(t)]) * kB,
+              z.data() + static_cast<std::size_t>(b + (t - s)) * kB);
+        }
+      }
+      for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)])
+        lu_[static_cast<std::size_t>(u.id)].solve(z.data() + static_cast<std::size_t>(u.start) * kB);
+    }
+  }
+
+  // backward: z_chunk -= D~^-1 (U_chunk * z(later colors))
+  std::vector<double> w(static_cast<std::size_t>(n) * kB);
+  for (int c = dj_.num_colors() - 1; c >= 0; --c) {
+#pragma omp parallel for schedule(static)
+    for (int p = 0; p < npe; ++p) {
+      const int ch = dj_.chunk_index(c, p);
+      const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];
+      const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
+      for (int i = b * kB; i < e * kB; ++i) w[static_cast<std::size_t>(i)] = 0.0;
+      const auto& part = dj_.upper(ch);
+      for (int j = 0; j < part.num_jd(); ++j) {
+        const int s = part.jd_ptr[static_cast<std::size_t>(j)];
+        const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        for (int t = s; t < t1; ++t) {
+          sparse::b3_gemv(
+              part.val.data() + static_cast<std::size_t>(t) * kBB,
+              z.data() + static_cast<std::size_t>(part.item[static_cast<std::size_t>(t)]) * kB,
+              w.data() + static_cast<std::size_t>(b + (t - s)) * kB);
+        }
+      }
+      for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)]) {
+        double* wu = w.data() + static_cast<std::size_t>(u.start) * kB;
+        lu_[static_cast<std::size_t>(u.id)].solve(wu);
+        double* zu = z.data() + static_cast<std::size_t>(u.start) * kB;
+        for (int t = 0; t < u.size * kB; ++t) zu[t] -= wu[t];
+      }
+    }
+  }
+
+  if (flops) flops->precond += apply_flops_;
+  if (loops) loops->merge(struct_loops_);
+}
+
+std::size_t DJDSBIC::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lu : lu_) bytes += lu.memory_bytes();
+  for (const auto& cu : chunk_units_) bytes += cu.size() * sizeof(Unit);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// OwnedDJDSBIC
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// MC coloring of `a`, at supernode granularity when any supernode has more
+/// than one member.
+reorder::Coloring color_for(const sparse::BlockCSR& a, const contact::Supernodes& sn,
+                            int colors) {
+  const sparse::Graph g = sparse::graph_of(a);
+  bool has_blocks = false;
+  for (const auto& m : sn.members) has_blocks |= m.size() > 1;
+  if (!has_blocks) return reorder::multicolor(g, colors);
+  const sparse::Graph q = reorder::quotient_graph(g, sn.node_to_super, sn.count());
+  return reorder::lift_coloring(reorder::multicolor(q, colors), sn.node_to_super, a.n);
+}
+
+}  // namespace
+
+OwnedDJDSBIC::OwnedDJDSBIC(const sparse::BlockCSR& a, contact::Supernodes sn, int colors,
+                           int npe, bool sort_supernodes)
+    : a_(a), sn_(std::move(sn)) {
+  const reorder::Coloring coloring = color_for(a_, sn_, colors);
+  reorder::DJDSOptions opt;
+  opt.npe = npe;
+  opt.sort_supernodes_by_size = sort_supernodes;
+  bool has_blocks = false;
+  for (const auto& m : sn_.members) has_blocks |= m.size() > 1;
+  dj_ = std::make_unique<reorder::DJDSMatrix>(a_, coloring, has_blocks ? &sn_ : nullptr, opt);
+  inner_ = std::make_unique<DJDSBIC>(a_, *dj_);
+  pr_.resize(a_.ndof());
+  pz_.resize(a_.ndof());
+}
+
+void OwnedDJDSBIC::apply(std::span<const double> r, std::span<double> z,
+                         util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(r.size() == a_.ndof() && z.size() == a_.ndof(),
+               "OwnedDJDSBIC apply size mismatch");
+  const auto& perm = dj_->perm();
+  for (int i = 0; i < a_.n; ++i)
+    for (int c = 0; c < kB; ++c)
+      pr_[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]) * kB +
+          static_cast<std::size_t>(c)] =
+          r[static_cast<std::size_t>(i) * kB + static_cast<std::size_t>(c)];
+  inner_->apply(pr_, pz_, flops, loops);
+  for (int i = 0; i < a_.n; ++i)
+    for (int c = 0; c < kB; ++c)
+      z[static_cast<std::size_t>(i) * kB + static_cast<std::size_t>(c)] =
+          pz_[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]) * kB +
+              static_cast<std::size_t>(c)];
+}
+
+std::size_t OwnedDJDSBIC::memory_bytes() const {
+  return inner_->memory_bytes() + dj_->memory_bytes();
+}
+
+}  // namespace geofem::precond

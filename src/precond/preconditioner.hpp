@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/flops.hpp"
+#include "util/loop_stats.hpp"
+
+namespace geofem::precond {
+
+/// Interface of all preconditioners M: apply() computes z = M^-1 r.
+/// Implementations count FLOPs and record innermost-loop lengths so the
+/// benchmark harness can report paper-style rates.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  virtual void apply(std::span<const double> r, std::span<double> z,
+                     util::FlopCounter* flops = nullptr,
+                     util::LoopStats* loops = nullptr) const = 0;
+
+  /// Bytes held by the preconditioner itself (factors, indices), excluding
+  /// the system matrix.
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  /// Wall-clock set-up cost is measured by the caller; this reports the name
+  /// used in tables ("BIC(1)", "SB-BIC(0)", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PreconditionerPtr = std::unique_ptr<Preconditioner>;
+
+}  // namespace geofem::precond

@@ -1,0 +1,209 @@
+#include "precond/sb_bic0.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+// GCC 12 emits a false-positive -Waggressive-loop-optimizations here: after
+// inlining DenseLU into the factorization it reasons about the (impossible)
+// case of a selective block with ~2^31 rows. Block dimensions are 3 * group
+// size (single digits in practice, bounded by the node count regardless).
+#pragma GCC diagnostic ignored "-Waggressive-loop-optimizations"
+
+namespace geofem::precond {
+
+using sparse::kB;
+using sparse::kBB;
+
+std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
+                                                 const contact::Supernodes& sn, bool modified) {
+  GEOFEM_CHECK(static_cast<int>(sn.node_to_super.size()) == a.n, "supernode map size mismatch");
+  const int ns = sn.count();
+  std::vector<sparse::DenseLU> lu_(static_cast<std::size_t>(ns));
+
+  // position of each node inside its supernode
+  std::vector<int> pos_in_super(static_cast<std::size_t>(a.n), 0);
+  for (int s = 0; s < ns; ++s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    for (std::size_t t = 0; t < mem.size(); ++t)
+      pos_in_super[static_cast<std::size_t>(mem[static_cast<std::size_t>(t)])] = static_cast<int>(t);
+  }
+
+  // Factor supernodes in ascending id order with BIC(0)-style diagonal
+  // corrections restricted to the original inter-supernode pattern.
+  std::vector<double> dwork, awork, twork, col;
+  for (int s = 0; s < ns; ++s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    const int m = static_cast<int>(mem.size());
+    const int dim = kB * m;
+    dwork.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+
+    // Gather A_SS, and the coupling blocks A_SK per earlier neighbour K.
+    std::map<int, std::vector<std::pair<int, int>>> earlier;  // K -> [(entry, row-pos)]
+    for (int t = 0; t < m; ++t) {
+      const int i = mem[static_cast<std::size_t>(t)];
+      for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+        const int j = a.colind[e];
+        const int sj = sn.node_to_super[static_cast<std::size_t>(j)];
+        if (!modified && sj != s) continue;
+        if (sj == s) {
+          const int tj = pos_in_super[static_cast<std::size_t>(j)];
+          const double* blk = a.block(e);
+          for (int r = 0; r < kB; ++r)
+            for (int c = 0; c < kB; ++c)
+              dwork[static_cast<std::size_t>(kB * t + r) * dim + static_cast<std::size_t>(kB * tj + c)] =
+                  blk[kB * r + c];
+        } else if (sj < s) {
+          earlier[sj].emplace_back(e, t);
+        }
+      }
+    }
+
+    // D~_S -= A_SK * D~_K^-1 * A_SK^T for each earlier neighbour K.
+    for (const auto& [k, entries] : earlier) {
+      const auto& memk = sn.members[static_cast<std::size_t>(k)];
+      const int mk = static_cast<int>(memk.size());
+      const int dimk = kB * mk;
+      // dense A_SK (dim x dimk)
+      awork.assign(static_cast<std::size_t>(dim) * dimk, 0.0);
+      for (const auto& [e, t] : entries) {
+        const int j = a.colind[e];
+        const int tj = pos_in_super[static_cast<std::size_t>(j)];
+        const double* blk = a.block(e);
+        for (int r = 0; r < kB; ++r)
+          for (int c = 0; c < kB; ++c)
+            awork[static_cast<std::size_t>(kB * t + r) * dimk + static_cast<std::size_t>(kB * tj + c)] =
+                blk[kB * r + c];
+      }
+      // T = D~_K^-1 * A_SK^T, column by column of A_SK^T (i.e. row of A_SK)
+      twork.assign(static_cast<std::size_t>(dimk) * dim, 0.0);
+      col.resize(static_cast<std::size_t>(dimk));
+      for (int r = 0; r < dim; ++r) {
+        for (int c = 0; c < dimk; ++c)
+          col[static_cast<std::size_t>(c)] = awork[static_cast<std::size_t>(r) * dimk + static_cast<std::size_t>(c)];
+        lu_[static_cast<std::size_t>(k)].solve(col.data());
+        for (int c = 0; c < dimk; ++c)
+          twork[static_cast<std::size_t>(c) * dim + static_cast<std::size_t>(r)] = col[static_cast<std::size_t>(c)];
+      }
+      // D~_S -= A_SK * T
+      for (int r = 0; r < dim; ++r)
+        for (int c = 0; c < dim; ++c) {
+          double acc = 0.0;
+          for (int q = 0; q < dimk; ++q)
+            acc += awork[static_cast<std::size_t>(r) * dimk + static_cast<std::size_t>(q)] *
+                   twork[static_cast<std::size_t>(q) * dim + static_cast<std::size_t>(c)];
+          dwork[static_cast<std::size_t>(r) * dim + static_cast<std::size_t>(c)] -= acc;
+        }
+    }
+
+    // Over-subtraction / breakdown remedy: if the corrected block is no
+    // longer SPD (which would make M indefinite and break CG) or fails to
+    // factor, retry with the uncorrected diagonal block A_SS.
+    if (!sparse::is_spd(dwork.data(), dim) ||
+        !lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim)) {
+      dwork.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+      for (int t = 0; t < m; ++t) {
+        const int i = mem[static_cast<std::size_t>(t)];
+        for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+          const int j = a.colind[e];
+          if (sn.node_to_super[static_cast<std::size_t>(j)] != s) continue;
+          const int tj = pos_in_super[static_cast<std::size_t>(j)];
+          const double* blk = a.block(e);
+          for (int r = 0; r < kB; ++r)
+            for (int c = 0; c < kB; ++c)
+              dwork[static_cast<std::size_t>(kB * t + r) * dim + static_cast<std::size_t>(kB * tj + c)] =
+                  blk[kB * r + c];
+        }
+      }
+      GEOFEM_CHECK(lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim),
+                   "SB-BIC(0): singular selective block");
+    }
+  }
+  return lu_;
+}
+
+SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified)
+    : a_(a), sn_(std::move(sn)) {
+  for (const auto& mem : sn_.members)
+    max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
+  lu_ = sb_factor_diagonals(a, sn_, modified);
+}
+
+void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+                   util::LoopStats* loops) const {
+  const auto& a = a_;
+  const auto& sn = sn_;
+  GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "SB-BIC0 apply size mismatch");
+
+  std::vector<double> acc;
+  std::uint64_t coupled = 0;
+  // forward: z_S = D~_S^-1 (r_S - sum_{K<S} A_SK z_K)
+  for (int s = 0; s < sn.count(); ++s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    const int dim = kB * static_cast<int>(mem.size());
+    acc.assign(static_cast<std::size_t>(dim), 0.0);
+    int len = 0;
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      const int i = mem[t];
+      double* ai = acc.data() + t * kB;
+      const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
+      ai[0] = ri[0];
+      ai[1] = ri[1];
+      ai[2] = ri[2];
+      for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+        const int j = a.colind[e];
+        if (sn.node_to_super[static_cast<std::size_t>(j)] >= s) continue;
+        sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(j) * kB, ai);
+        ++len;
+        ++coupled;
+      }
+    }
+    lu_[static_cast<std::size_t>(s)].solve(acc.data());
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      double* zi = z.data() + static_cast<std::size_t>(mem[t]) * kB;
+      zi[0] = acc[t * kB];
+      zi[1] = acc[t * kB + 1];
+      zi[2] = acc[t * kB + 2];
+    }
+    if (loops) loops->record(len + 1);
+  }
+  // backward: z_S -= D~_S^-1 sum_{K>S} A_SK z_K
+  for (int s = sn.count() - 1; s >= 0; --s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    const int dim = kB * static_cast<int>(mem.size());
+    acc.assign(static_cast<std::size_t>(dim), 0.0);
+    int len = 0;
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      const int i = mem[t];
+      for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+        const int j = a.colind[e];
+        if (sn.node_to_super[static_cast<std::size_t>(j)] <= s) continue;
+        sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(j) * kB,
+                        acc.data() + t * kB);
+        ++len;
+        ++coupled;
+      }
+    }
+    lu_[static_cast<std::size_t>(s)].solve(acc.data());
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      double* zi = z.data() + static_cast<std::size_t>(mem[t]) * kB;
+      zi[0] -= acc[t * kB];
+      zi[1] -= acc[t * kB + 1];
+      zi[2] -= acc[t * kB + 2];
+    }
+    if (loops) loops->record(len + 1);
+  }
+  if (flops) {
+    flops->precond += 2ULL * kBB * coupled;
+    for (const auto& lu : lu_) flops->precond += 2 * lu.solve_flops();
+  }
+}
+
+std::size_t SBBIC0::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lu : lu_) bytes += lu.memory_bytes();
+  return bytes;
+}
+
+}  // namespace geofem::precond

@@ -1,0 +1,318 @@
+#include "reorder/djds.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace geofem::reorder {
+
+namespace {
+
+/// One ordering unit: a supernode (contact group) or a single node.
+struct Unit {
+  int id;         ///< supernode id, or node id when no supernodes
+  int size;       ///< member count
+  int length;     ///< total off-diagonal blocks over member rows (load proxy)
+};
+
+}  // namespace
+
+DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
+                       const contact::Supernodes* supernodes, const DJDSOptions& opt)
+    : n_(a.n), ncolors_(coloring.num_colors), opt_(opt) {
+  GEOFEM_CHECK(opt.npe >= 1, "npe must be >= 1");
+  GEOFEM_CHECK(static_cast<int>(coloring.color_of.size()) == a.n, "coloring size mismatch");
+
+  // ---- 1. Units and their colors -----------------------------------------
+  std::vector<Unit> units;
+  auto row_len = [&](int i) { return a.rowptr[i + 1] - a.rowptr[i] - 1; };
+  if (supernodes) {
+    GEOFEM_CHECK(static_cast<int>(supernodes->node_to_super.size()) == a.n,
+                 "supernode map size mismatch");
+    units.reserve(supernodes->members.size());
+    for (int s = 0; s < supernodes->count(); ++s) {
+      const auto& mem = supernodes->members[static_cast<std::size_t>(s)];
+      int len = 0;
+      const int c0 = coloring.color_of[static_cast<std::size_t>(mem[0])];
+      for (int v : mem) {
+        len += row_len(v);
+        GEOFEM_CHECK(coloring.color_of[static_cast<std::size_t>(v)] == c0,
+                     "supernode members must share a color");
+      }
+      units.push_back({s, static_cast<int>(mem.size()), len});
+    }
+  } else {
+    units.reserve(static_cast<std::size_t>(a.n));
+    for (int v = 0; v < a.n; ++v) units.push_back({v, 1, row_len(v)});
+  }
+
+  auto unit_color = [&](const Unit& u) {
+    const int node = supernodes ? supernodes->members[static_cast<std::size_t>(u.id)][0] : u.id;
+    return coloring.color_of[static_cast<std::size_t>(node)];
+  };
+
+  // ---- 2. Cyclic distribution over PEs within each color ------------------
+  // Paper §4.4: sort units of a color by descending length, deal them to PEs
+  // round-robin (load balance), then order each PE's hand. §4.7/Fig 22: with
+  // supernodes, sort each hand by block size (descending) so that dense-LU
+  // substitution can run without per-row size branches.
+  std::vector<std::vector<std::vector<Unit>>> hands(
+      static_cast<std::size_t>(ncolors_),
+      std::vector<std::vector<Unit>>(static_cast<std::size_t>(opt_.npe)));
+  {
+    std::vector<std::vector<Unit>> by_color(static_cast<std::size_t>(ncolors_));
+    for (const Unit& u : units) by_color[static_cast<std::size_t>(unit_color(u))].push_back(u);
+    for (int c = 0; c < ncolors_; ++c) {
+      auto& list = by_color[static_cast<std::size_t>(c)];
+      std::stable_sort(list.begin(), list.end(),
+                       [](const Unit& x, const Unit& y) { return x.length > y.length; });
+      for (std::size_t t = 0; t < list.size(); ++t)
+        hands[static_cast<std::size_t>(c)][t % static_cast<std::size_t>(opt_.npe)].push_back(
+            list[t]);
+      if (opt_.sort_supernodes_by_size && supernodes) {
+        for (auto& hand : hands[static_cast<std::size_t>(c)])
+          std::stable_sort(hand.begin(), hand.end(), [](const Unit& x, const Unit& y) {
+            return x.size != y.size ? x.size > y.size : x.length > y.length;
+          });
+      }
+    }
+  }
+
+  // ---- 3. Permutation and chunk layout ------------------------------------
+  perm_.assign(static_cast<std::size_t>(n_), -1);
+  iperm_.assign(static_cast<std::size_t>(n_), -1);
+  chunk_begin_.assign(static_cast<std::size_t>(ncolors_) * opt_.npe + 1, 0);
+  {
+    int pos = 0;
+    for (int c = 0; c < ncolors_; ++c) {
+      for (int p = 0; p < opt_.npe; ++p) {
+        chunk_begin_[static_cast<std::size_t>(chunk_index(c, p))] = pos;
+        for (const Unit& u : hands[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)]) {
+          if (u.size > 1) super_ranges_.push_back({pos, u.size});
+          if (supernodes) {
+            for (int v : supernodes->members[static_cast<std::size_t>(u.id)]) {
+              perm_[static_cast<std::size_t>(v)] = pos;
+              iperm_[static_cast<std::size_t>(pos)] = v;
+              ++pos;
+            }
+          } else {
+            perm_[static_cast<std::size_t>(u.id)] = pos;
+            iperm_[static_cast<std::size_t>(pos)] = u.id;
+            ++pos;
+          }
+        }
+      }
+    }
+    chunk_begin_.back() = pos;
+    GEOFEM_CHECK(pos == n_, "ordering did not cover all rows");
+  }
+
+  // ---- 4. Diagonal blocks in new order ------------------------------------
+  diag_.resize(static_cast<std::size_t>(n_) * sparse::kBB);
+  for (int i = 0; i < n_; ++i) {
+    const int old = iperm_[static_cast<std::size_t>(i)];
+    const double* src = a.block(a.diag_entry(old));
+    std::copy(src, src + sparse::kBB, diag_.data() + static_cast<std::size_t>(i) * sparse::kBB);
+  }
+
+  std::sort(super_ranges_.begin(), super_ranges_.end(),
+            [](const SuperRange& x, const SuperRange& y) { return x.start < y.start; });
+
+  // ---- 5. Supernode dense blocks & row->range map --------------------------
+  range_of_row_.assign(static_cast<std::size_t>(n_), -1);
+  for (std::size_t r = 0; r < super_ranges_.size(); ++r)
+    for (int t = 0; t < super_ranges_[r].size; ++t)
+      range_of_row_[static_cast<std::size_t>(super_ranges_[r].start + t)] = static_cast<int>(r);
+  super_dense_.resize(super_ranges_.size());
+  for (std::size_t r = 0; r < super_ranges_.size(); ++r) {
+    const auto& sr = super_ranges_[r];
+    const int dim = sparse::kB * sr.size;
+    auto& dense = super_dense_[r];
+    dense.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+    for (int t = 0; t < sr.size; ++t) {
+      const int old = iperm_[static_cast<std::size_t>(sr.start + t)];
+      for (int e = a.rowptr[old]; e < a.rowptr[old + 1]; ++e) {
+        const int jn = perm_[static_cast<std::size_t>(a.colind[e])];
+        if (jn < sr.start || jn >= sr.start + sr.size) continue;
+        const int tj = jn - sr.start;
+        const double* blk = a.block(e);
+        for (int br = 0; br < sparse::kB; ++br)
+          for (int bc = 0; bc < sparse::kB; ++bc)
+            dense[static_cast<std::size_t>(sparse::kB * t + br) * dim +
+                  static_cast<std::size_t>(sparse::kB * tj + bc)] = blk[sparse::kB * br + bc];
+      }
+    }
+  }
+
+  // ---- 6. Jagged diagonal parts per chunk ----------------------------------
+  const int nchunks = ncolors_ * opt_.npe;
+  lower_.resize(static_cast<std::size_t>(nchunks));
+  upper_.resize(static_cast<std::size_t>(nchunks));
+
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int begin = chunk_begin_[static_cast<std::size_t>(ch)];
+    const int count = chunk_begin_[static_cast<std::size_t>(ch) + 1] - begin;
+    // Collect entries per row, split into lower/upper by *new* index; skip
+    // intra-supernode couplings (handled by the dense blocks above).
+    std::vector<std::vector<std::pair<int, const double*>>> lo(static_cast<std::size_t>(count)),
+        up(static_cast<std::size_t>(count));
+    for (int t = 0; t < count; ++t) {
+      const int in = begin + t;
+      const int old = iperm_[static_cast<std::size_t>(in)];
+      for (int e = a.rowptr[old]; e < a.rowptr[old + 1]; ++e) {
+        const int jn = perm_[static_cast<std::size_t>(a.colind[e])];
+        if (jn == in) continue;
+        if (range_of_row_[static_cast<std::size_t>(in)] != -1 &&
+            range_of_row_[static_cast<std::size_t>(jn)] ==
+                range_of_row_[static_cast<std::size_t>(in)])
+          continue;
+        (jn < in ? lo : up)[static_cast<std::size_t>(t)].emplace_back(jn, a.block(e));
+      }
+    }
+    auto build = [&](std::vector<std::vector<std::pair<int, const double*>>>& rows, Jagged& out) {
+      // Padded (suffix-max) lengths keep the jagged diagonals monotone when
+      // supernode contiguity prevents a perfect descending sort (Fig 21).
+      std::vector<int> plen(static_cast<std::size_t>(count), 0);
+      for (int t = count - 1; t >= 0; --t) {
+        const int len = static_cast<int>(rows[static_cast<std::size_t>(t)].size());
+        plen[static_cast<std::size_t>(t)] =
+            std::max(len, t + 1 < count ? plen[static_cast<std::size_t>(t) + 1] : 0);
+      }
+      const int njd = count > 0 ? plen[0] : 0;
+      out.jd_ptr.assign(static_cast<std::size_t>(njd) + 1, 0);
+      for (auto& r : rows)
+        std::sort(r.begin(), r.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (int j = 0; j < njd; ++j) {
+        int covered = 0;
+        while (covered < count && plen[static_cast<std::size_t>(covered)] > j) ++covered;
+        out.jd_ptr[static_cast<std::size_t>(j) + 1] = out.jd_ptr[static_cast<std::size_t>(j)] + covered;
+        for (int t = 0; t < covered; ++t) {
+          const auto& r = rows[static_cast<std::size_t>(t)];
+          if (j < static_cast<int>(r.size())) {
+            out.item.push_back(r[static_cast<std::size_t>(j)].first);
+            const double* src = r[static_cast<std::size_t>(j)].second;
+            out.val.insert(out.val.end(), src, src + sparse::kBB);
+          } else {
+            out.item.push_back(begin + t);  // dummy: zero block on own row
+            out.val.insert(out.val.end(), sparse::kBB, 0.0);
+            ++out.dummies;
+          }
+        }
+      }
+    };
+    build(lo, lower_[static_cast<std::size_t>(ch)]);
+    build(up, upper_[static_cast<std::size_t>(ch)]);
+  }
+}
+
+void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops,
+                      util::LoopStats* loops) const {
+  GEOFEM_CHECK(static_cast<int>(x.size()) == n_ * sparse::kB &&
+                   static_cast<int>(y.size()) == n_ * sparse::kB,
+               "djds spmv size mismatch");
+  // Diagonal contribution.
+  for (int i = 0; i < n_; ++i)
+    sparse::b3_apply(diag(i), x.data() + static_cast<std::size_t>(i) * sparse::kB,
+                     y.data() + static_cast<std::size_t>(i) * sparse::kB);
+  if (loops) loops->record(n_);
+  std::uint64_t entries = static_cast<std::uint64_t>(n_);
+
+  // Intra-supernode couplings (dense blocks, member diagonals excluded since
+  // they were applied above).
+  for (std::size_t r = 0; r < super_ranges_.size(); ++r) {
+    const auto& sr = super_ranges_[r];
+    const auto& dense = super_dense_[r];
+    const int dim = sparse::kB * sr.size;
+    for (int ti = 0; ti < sr.size; ++ti) {
+      double* yi = y.data() + static_cast<std::size_t>(sr.start + ti) * sparse::kB;
+      for (int tj = 0; tj < sr.size; ++tj) {
+        if (ti == tj) continue;
+        const double* xj = x.data() + static_cast<std::size_t>(sr.start + tj) * sparse::kB;
+        for (int br = 0; br < sparse::kB; ++br) {
+          const double* drow = dense.data() +
+                               static_cast<std::size_t>(sparse::kB * ti + br) * dim +
+                               static_cast<std::size_t>(sparse::kB * tj);
+          yi[br] += drow[0] * xj[0] + drow[1] * xj[1] + drow[2] * xj[2];
+        }
+        ++entries;
+      }
+    }
+  }
+
+  const int nchunks = ncolors_ * opt_.npe;
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int begin = chunk_begin_[static_cast<std::size_t>(ch)];
+    for (const Jagged* part : {&lower_[static_cast<std::size_t>(ch)],
+                               &upper_[static_cast<std::size_t>(ch)]}) {
+      for (int j = 0; j < part->num_jd(); ++j) {
+        const int s = part->jd_ptr[static_cast<std::size_t>(j)];
+        const int e = part->jd_ptr[static_cast<std::size_t>(j) + 1];
+        // This is the long innermost loop DJDS exists for: one entry of each
+        // covered row, rows contiguous from the chunk start.
+        for (int t = s; t < e; ++t) {
+          sparse::b3_gemv(part->val.data() + static_cast<std::size_t>(t) * sparse::kBB,
+                          x.data() + static_cast<std::size_t>(part->item[static_cast<std::size_t>(t)]) * sparse::kB,
+                          y.data() + static_cast<std::size_t>(begin + (t - s)) * sparse::kB);
+        }
+        if (loops && e > s) loops->record(e - s);
+        entries += static_cast<std::uint64_t>(e - s);
+      }
+    }
+  }
+  if (flops) flops->spmv += 2ULL * sparse::kBB * entries;
+}
+
+double DJDSMatrix::average_vector_length() const {
+  std::int64_t total = 0, loops = 0;
+  for (const auto& parts : {std::cref(lower_), std::cref(upper_)}) {
+    for (const Jagged& p : parts.get()) {
+      for (int j = 0; j < p.num_jd(); ++j) {
+        const int len = p.jd_ptr[static_cast<std::size_t>(j) + 1] - p.jd_ptr[static_cast<std::size_t>(j)];
+        if (len > 0) {
+          total += len;
+          ++loops;
+        }
+      }
+    }
+  }
+  return loops == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(loops);
+}
+
+double DJDSMatrix::load_imbalance_percent() const {
+  std::vector<std::int64_t> rows_per_pe(static_cast<std::size_t>(opt_.npe), 0);
+  for (int c = 0; c < ncolors_; ++c)
+    for (int p = 0; p < opt_.npe; ++p) {
+      const int ch = chunk_index(c, p);
+      rows_per_pe[static_cast<std::size_t>(p)] +=
+          chunk_begin_[static_cast<std::size_t>(ch) + 1] - chunk_begin_[static_cast<std::size_t>(ch)];
+    }
+  const auto [mn, mx] = std::minmax_element(rows_per_pe.begin(), rows_per_pe.end());
+  const double avg = static_cast<double>(n_) / opt_.npe;
+  return avg == 0.0 ? 0.0 : 100.0 * static_cast<double>(*mx - *mn) / avg;
+}
+
+double DJDSMatrix::dummy_percent() const {
+  std::int64_t dummies = 0, entries = 0;
+  for (const auto& parts : {std::cref(lower_), std::cref(upper_)}) {
+    for (const Jagged& p : parts.get()) {
+      dummies += p.dummies;
+      entries += p.entries();
+    }
+  }
+  return entries == 0 ? 0.0 : 100.0 * static_cast<double>(dummies) / static_cast<double>(entries);
+}
+
+std::size_t DJDSMatrix::memory_bytes() const {
+  std::size_t bytes = diag_.size() * sizeof(double) +
+                      (perm_.size() + iperm_.size() + chunk_begin_.size()) * sizeof(int);
+  for (const auto& d : super_dense_) bytes += d.size() * sizeof(double);
+  for (const auto& parts : {std::cref(lower_), std::cref(upper_)}) {
+    for (const Jagged& p : parts.get())
+      bytes += p.val.size() * sizeof(double) + (p.item.size() + p.jd_ptr.size()) * sizeof(int);
+  }
+  return bytes;
+}
+
+}  // namespace geofem::reorder

@@ -1,0 +1,64 @@
+#include "solver/cg.hpp"
+
+#include "sparse/vector_ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace geofem::solver {
+
+CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<const double> b,
+             std::span<double> x, const CGOptions& opt) {
+  GEOFEM_CHECK(b.size() == x.size(), "pcg size mismatch");
+  const std::size_t n = b.size();
+  CGResult res;
+  util::Timer timer;
+
+  std::vector<double> r(n), z(n), p(n), q(n);
+  auto* fc = &res.flops;
+  auto* ls = &res.loops;
+
+  // r = b - A x
+  amul(x, r, fc, ls);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  fc->blas1 += n;
+
+  const double bnorm = sparse::norm2(b, fc);
+  GEOFEM_CHECK(bnorm > 0.0, "pcg: zero right-hand side");
+  double rnorm = sparse::norm2(r, fc);
+  if (opt.record_residuals) res.residual_history.push_back(rnorm / bnorm);
+
+  double rho_prev = 0.0;
+  for (int it = 0; it < opt.max_iterations && rnorm / bnorm > opt.tolerance; ++it) {
+    m.apply(r, z, fc, ls);
+    const double rho = sparse::dot(r, z, fc);
+    if (it == 0) {
+      sparse::copy(z, p);
+    } else {
+      sparse::xpby(z, rho / rho_prev, p, fc);
+    }
+    rho_prev = rho;
+
+    amul(p, q, fc, ls);
+    const double alpha = rho / sparse::dot(p, q, fc);
+    sparse::axpy(alpha, p, x, fc);
+    sparse::axpy(-alpha, q, r, fc);
+    rnorm = sparse::norm2(r, fc);
+    ++res.iterations;
+    if (opt.record_residuals) res.residual_history.push_back(rnorm / bnorm);
+  }
+
+  res.relative_residual = rnorm / bnorm;
+  res.converged = res.relative_residual <= opt.tolerance;
+  res.solve_seconds = timer.seconds();
+  return res;
+}
+
+CGResult pcg(const sparse::BlockCSR& a, const precond::Preconditioner& m,
+             std::span<const double> b, std::span<double> x, const CGOptions& opt) {
+  return pcg(
+      [&a](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
+           util::LoopStats* ls) { a.spmv(in, out, fc, ls); },
+      m, b, x, opt);
+}
+
+}  // namespace geofem::solver

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "precond/preconditioner.hpp"
+#include "sparse/block_csr.hpp"
+#include "util/flops.hpp"
+#include "util/loop_stats.hpp"
+
+namespace geofem::solver {
+
+struct CGOptions {
+  double tolerance = 1e-8;  ///< on ||r||_2 / ||b||_2, the paper's epsilon
+  int max_iterations = 20000;
+  bool record_residuals = false;
+};
+
+struct CGResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  double solve_seconds = 0.0;
+  util::FlopCounter flops;
+  util::LoopStats loops;
+  std::vector<double> residual_history;  ///< if record_residuals
+};
+
+/// y = A x hook; implementations forward to BlockCSR::spmv, DJDSMatrix::spmv
+/// (with permuted vectors), or a distributed halo-exchange matvec.
+using MatVec = std::function<void(std::span<const double>, std::span<double>,
+                                  util::FlopCounter*, util::LoopStats*)>;
+
+/// Preconditioned conjugate gradients. `x` holds the initial guess on entry
+/// and the solution on return.
+CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<const double> b,
+             std::span<double> x, const CGOptions& opt = {});
+
+/// Convenience overload for a serial BlockCSR system.
+CGResult pcg(const sparse::BlockCSR& a, const precond::Preconditioner& m,
+             std::span<const double> b, std::span<double> x, const CGOptions& opt = {});
+
+}  // namespace geofem::solver

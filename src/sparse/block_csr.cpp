@@ -1,0 +1,146 @@
+#include "sparse/block_csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace geofem::sparse {
+
+int BlockCSR::find(int i, int j) const {
+  const int* first = colind.data() + rowptr[i];
+  const int* last = colind.data() + rowptr[i + 1];
+  const int* it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return -1;
+  return static_cast<int>(it - colind.data());
+}
+
+int BlockCSR::diag_entry(int i) const {
+  const int e = find(i, i);
+  GEOFEM_CHECK(e >= 0, "missing diagonal block");
+  return e;
+}
+
+void BlockCSR::spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops,
+                    util::LoopStats* loops) const {
+  GEOFEM_CHECK(x.size() == ndof() && y.size() == ndof(), "spmv size mismatch");
+  for (int i = 0; i < n; ++i) {
+    double acc[kB] = {0.0, 0.0, 0.0};
+    for (int e = rowptr[i]; e < rowptr[i + 1]; ++e) {
+      b3_gemv(block(e), x.data() + static_cast<std::size_t>(colind[e]) * kB, acc);
+    }
+    double* yi = y.data() + static_cast<std::size_t>(i) * kB;
+    yi[0] = acc[0];
+    yi[1] = acc[1];
+    yi[2] = acc[2];
+    if (loops) loops->record(rowptr[i + 1] - rowptr[i]);
+  }
+  if (flops) flops->spmv += 2ULL * kBB * static_cast<std::uint64_t>(nnz_blocks());
+}
+
+double BlockCSR::symmetry_error() const {
+  double err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int e = rowptr[i]; e < rowptr[i + 1]; ++e) {
+      const int j = colind[e];
+      if (j < i) continue;
+      const int et = find(j, i);
+      const double* a = block(e);
+      if (et < 0) {
+        for (int k = 0; k < kBB; ++k) err = std::max(err, std::fabs(a[k]));
+        continue;
+      }
+      const double* b = block(et);
+      for (int r = 0; r < kB; ++r)
+        for (int c = 0; c < kB; ++c)
+          err = std::max(err, std::fabs(a[kB * r + c] - b[kB * c + r]));
+    }
+  }
+  return err;
+}
+
+BlockCSRBuilder::BlockCSRBuilder(int n) : n_(n), cols_(static_cast<std::size_t>(n)) {
+  GEOFEM_CHECK(n >= 0, "negative matrix size");
+  for (int i = 0; i < n; ++i) cols_[i].push_back(i);  // diagonal always present
+}
+
+void BlockCSRBuilder::add_pattern(int i, int j) {
+  GEOFEM_CHECK(!finalized_, "pattern already finalized");
+  GEOFEM_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_, "pattern index out of range");
+  cols_[i].push_back(j);
+}
+
+void BlockCSRBuilder::finalize_pattern() {
+  GEOFEM_CHECK(!finalized_, "pattern already finalized");
+  m_.n = n_;
+  m_.rowptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  std::size_t total = 0;
+  for (int i = 0; i < n_; ++i) {
+    auto& c = cols_[i];
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    total += c.size();
+    m_.rowptr[i + 1] = static_cast<int>(total);
+  }
+  m_.colind.reserve(total);
+  for (int i = 0; i < n_; ++i) {
+    m_.colind.insert(m_.colind.end(), cols_[i].begin(), cols_[i].end());
+    cols_[i].clear();
+    cols_[i].shrink_to_fit();
+  }
+  m_.val.assign(total * kBB, 0.0);
+  finalized_ = true;
+}
+
+void BlockCSRBuilder::add_block(int i, int j, const double* b) {
+  GEOFEM_CHECK(finalized_, "pattern not finalized");
+  const int e = m_.find(i, j);
+  GEOFEM_CHECK(e >= 0, "block not in pattern");
+  double* dst = m_.block(e);
+  for (int k = 0; k < kBB; ++k) dst[k] += b[k];
+}
+
+void BlockCSRBuilder::add_scalar(int i, int j, int r, int c, double v) {
+  GEOFEM_CHECK(finalized_, "pattern not finalized");
+  const int e = m_.find(i, j);
+  GEOFEM_CHECK(e >= 0, "block not in pattern");
+  m_.block(e)[kB * r + c] += v;
+}
+
+BlockCSR BlockCSRBuilder::take() {
+  GEOFEM_CHECK(finalized_, "pattern not finalized");
+  finalized_ = false;
+  return std::move(m_);
+}
+
+Graph graph_of(const BlockCSR& a) {
+  Graph g;
+  g.n = a.n;
+  g.xadj.assign(static_cast<std::size_t>(a.n) + 1, 0);
+  for (int i = 0; i < a.n; ++i) {
+    int deg = 0;
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      if (a.colind[e] != i) ++deg;
+    g.xadj[i + 1] = g.xadj[i] + deg;
+  }
+  g.adjncy.resize(static_cast<std::size_t>(g.xadj[a.n]));
+  for (int i = 0, p = 0; i < a.n; ++i) {
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      if (a.colind[e] != i) g.adjncy[p++] = a.colind[e];
+  }
+  return g;
+}
+
+BlockCSR permute(const BlockCSR& a, std::span<const int> perm) {
+  GEOFEM_CHECK(static_cast<int>(perm.size()) == a.n, "perm size mismatch");
+  BlockCSRBuilder b(a.n);
+  for (int i = 0; i < a.n; ++i)
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) b.add_pattern(perm[i], perm[a.colind[e]]);
+  b.finalize_pattern();
+  for (int i = 0; i < a.n; ++i)
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      b.add_block(perm[i], perm[a.colind[e]], a.block(e));
+  return b.take();
+}
+
+}  // namespace geofem::sparse

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace geofem::sparse {
+
+/// Block dimension. GeoFEM solid-mechanics problems carry 3 DOF (ux,uy,uz)
+/// per finite-element node, so every sparse matrix in this library is a
+/// 3x3-blocked matrix.
+inline constexpr int kB = 3;
+/// Doubles per 3x3 block (row-major).
+inline constexpr int kBB = kB * kB;
+
+// ---------------------------------------------------------------------------
+// 3x3 block kernels. All operate on row-major double[9].
+// ---------------------------------------------------------------------------
+
+/// y += A * x
+inline void b3_gemv(const double* a, const double* x, double* y) {
+  y[0] += a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
+  y[1] += a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
+  y[2] += a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
+}
+
+/// y -= A * x
+inline void b3_gemv_sub(const double* a, const double* x, double* y) {
+  y[0] -= a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
+  y[1] -= a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
+  y[2] -= a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
+}
+
+/// y += A^T * x
+inline void b3_gemv_trans(const double* a, const double* x, double* y) {
+  y[0] += a[0] * x[0] + a[3] * x[1] + a[6] * x[2];
+  y[1] += a[1] * x[0] + a[4] * x[1] + a[7] * x[2];
+  y[2] += a[2] * x[0] + a[5] * x[1] + a[8] * x[2];
+}
+
+/// C += A * B
+inline void b3_gemm(const double* a, const double* b, double* c) {
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      c[3 * i + j] += a[3 * i] * b[j] + a[3 * i + 1] * b[3 + j] + a[3 * i + 2] * b[6 + j];
+}
+
+/// C -= A * B
+inline void b3_gemm_sub(const double* a, const double* b, double* c) {
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      c[3 * i + j] -= a[3 * i] * b[j] + a[3 * i + 1] * b[3 + j] + a[3 * i + 2] * b[6 + j];
+}
+
+/// inv = A^-1 by cofactor expansion. Returns false if A is singular.
+inline bool b3_inverse(const double* a, double* inv) {
+  const double c00 = a[4] * a[8] - a[5] * a[7];
+  const double c01 = a[5] * a[6] - a[3] * a[8];
+  const double c02 = a[3] * a[7] - a[4] * a[6];
+  const double det = a[0] * c00 + a[1] * c01 + a[2] * c02;
+  if (det == 0.0 || !std::isfinite(det)) return false;
+  const double id = 1.0 / det;
+  inv[0] = c00 * id;
+  inv[1] = (a[2] * a[7] - a[1] * a[8]) * id;
+  inv[2] = (a[1] * a[5] - a[2] * a[4]) * id;
+  inv[3] = c01 * id;
+  inv[4] = (a[0] * a[8] - a[2] * a[6]) * id;
+  inv[5] = (a[2] * a[3] - a[0] * a[5]) * id;
+  inv[6] = c02 * id;
+  inv[7] = (a[1] * a[6] - a[0] * a[7]) * id;
+  inv[8] = (a[0] * a[4] - a[1] * a[3]) * id;
+  return true;
+}
+
+/// y = A * x (overwrite)
+inline void b3_apply(const double* a, const double* x, double* y) {
+  y[0] = a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
+  y[1] = a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
+  y[2] = a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
+}
+
+/// True iff the n x n row-major matrix is symmetric positive definite, by
+/// attempted Cholesky factorization of a copy. Used by the incomplete
+/// factorizations to detect when the modified-diagonal corrections have
+/// over-subtracted (the block is then reset to its unmodified value — the
+/// classic IC breakdown remedy; partial-pivoting LU alone cannot tell
+/// indefiniteness from health).
+inline bool is_spd(const double* a, int n) {
+  std::vector<double> c(a, a + static_cast<std::size_t>(n) * n);
+  for (int k = 0; k < n; ++k) {
+    double d = c[static_cast<std::size_t>(k) * n + k];
+    for (int m = 0; m < k; ++m) {
+      const double l = c[static_cast<std::size_t>(k) * n + m];
+      d -= l * l;
+    }
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double s = std::sqrt(d);
+    c[static_cast<std::size_t>(k) * n + k] = s;
+    for (int i = k + 1; i < n; ++i) {
+      double v = c[static_cast<std::size_t>(i) * n + k];
+      for (int m = 0; m < k; ++m)
+        v -= c[static_cast<std::size_t>(i) * n + m] * c[static_cast<std::size_t>(k) * n + m];
+      c[static_cast<std::size_t>(i) * n + k] = v / s;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Variable-size dense LU with partial pivoting. Used for the diagonal blocks
+// of selective blocks (supernodes), whose size is 3*NB x 3*NB with NB the
+// number of finite-element nodes in the contact group.
+// ---------------------------------------------------------------------------
+class DenseLU {
+ public:
+  DenseLU() = default;
+
+  /// Factor the n x n row-major matrix `a` in place (copied internally).
+  /// Returns false on singularity.
+  bool factor(const double* a, int n) {
+    n_ = n;
+    lu_.assign(a, a + static_cast<std::size_t>(n) * n);
+    piv_.resize(n);
+    for (int k = 0; k < n; ++k) {
+      int p = k;
+      double best = std::fabs(lu_[idx(k, k)]);
+      for (int i = k + 1; i < n; ++i) {
+        const double v = std::fabs(lu_[idx(i, k)]);
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      if (best == 0.0 || !std::isfinite(best)) return false;
+      piv_[k] = p;
+      if (p != k) {
+        for (int j = 0; j < n; ++j) std::swap(lu_[idx(k, j)], lu_[idx(p, j)]);
+      }
+      const double pivinv = 1.0 / lu_[idx(k, k)];
+      for (int i = k + 1; i < n; ++i) {
+        const double m = lu_[idx(i, k)] * pivinv;
+        lu_[idx(i, k)] = m;
+        if (m != 0.0) {
+          for (int j = k + 1; j < n; ++j) lu_[idx(i, j)] -= m * lu_[idx(k, j)];
+        }
+      }
+    }
+    return true;
+  }
+
+  /// x := A^-1 x
+  void solve(double* x) const {
+    const int n = n_;
+    for (int k = 0; k < n; ++k) {
+      if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+      for (int i = k + 1; i < n; ++i) x[i] -= lu_[idx(i, k)] * x[k];
+    }
+    for (int k = n - 1; k >= 0; --k) {
+      x[k] /= lu_[idx(k, k)];
+      for (int i = 0; i < k; ++i) x[i] -= lu_[idx(i, k)] * x[k];
+    }
+  }
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// Algorithmic FLOPs for one solve() call (2n^2).
+  [[nodiscard]] std::uint64_t solve_flops() const {
+    return 2ULL * static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_);
+  }
+
+  /// Bytes held by the factorization.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return lu_.size() * sizeof(double) + piv_.size() * sizeof(int);
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * n_ + j;
+  }
+
+  int n_ = 0;
+  std::vector<double> lu_;
+  std::vector<int> piv_;
+};
+
+}  // namespace geofem::sparse

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/check.hpp"
+#include "util/flops.hpp"
+
+namespace geofem::sparse {
+
+/// BLAS-1 helpers used by the Krylov solvers. Each counts its algorithmic
+/// FLOPs so the benchmark harness can report paper-style FLOP rates.
+
+inline double dot(std::span<const double> x, std::span<const double> y,
+                  util::FlopCounter* flops = nullptr) {
+  GEOFEM_CHECK(x.size() == y.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  if (flops) flops->blas1 += 2 * x.size();
+  return s;
+}
+
+inline double norm2(std::span<const double> x, util::FlopCounter* flops = nullptr) {
+  return std::sqrt(dot(x, x, flops));
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y,
+                 util::FlopCounter* flops = nullptr) {
+  GEOFEM_CHECK(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  if (flops) flops->blas1 += 2 * x.size();
+}
+
+/// y = x + beta * y  (xpby, the CG direction update)
+inline void xpby(std::span<const double> x, double beta, std::span<double> y,
+                 util::FlopCounter* flops = nullptr) {
+  GEOFEM_CHECK(x.size() == y.size(), "xpby size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+  if (flops) flops->blas1 += 2 * x.size();
+}
+
+inline void scale(double alpha, std::span<double> x, util::FlopCounter* flops = nullptr) {
+  for (double& v : x) v *= alpha;
+  if (flops) flops->blas1 += x.size();
+}
+
+inline void copy(std::span<const double> x, std::span<double> y) {
+  GEOFEM_CHECK(x.size() == y.size(), "copy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+inline void fill(std::span<double> x, double v) {
+  for (double& e : x) e = v;
+}
+
+}  // namespace geofem::sparse

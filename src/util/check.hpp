@@ -1,0 +1,22 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace geofem::util {
+
+[[noreturn]] inline void fail(const std::string& what, const char* file, int line) {
+  std::ostringstream ss;
+  ss << file << ':' << line << ": " << what;
+  throw std::logic_error(ss.str());
+}
+
+}  // namespace geofem::util
+
+/// Precondition / invariant check that stays on in release builds. These guard
+/// user-facing API contracts (sizes, index ranges), not hot inner loops.
+#define GEOFEM_CHECK(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) ::geofem::util::fail((msg), __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace geofem::util {
+
+/// Counts floating-point operations attributed to the major kernels of a
+/// preconditioned Krylov solve. All counts are *algorithmic* (what the paper's
+/// FLOP rates are computed from), accumulated explicitly by each kernel.
+struct FlopCounter {
+  std::uint64_t spmv = 0;       ///< matrix-vector products
+  std::uint64_t precond = 0;    ///< forward/backward substitution
+  std::uint64_t blas1 = 0;      ///< dots, axpys, scalings
+  std::uint64_t factor = 0;     ///< factorization set-up
+
+  [[nodiscard]] std::uint64_t solve_total() const { return spmv + precond + blas1; }
+  [[nodiscard]] std::uint64_t total() const { return solve_total() + factor; }
+
+  FlopCounter& operator+=(const FlopCounter& o) {
+    spmv += o.spmv;
+    precond += o.precond;
+    blas1 += o.blas1;
+    factor += o.factor;
+    return *this;
+  }
+
+  void reset() { *this = FlopCounter{}; }
+};
+
+}  // namespace geofem::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+namespace geofem::util {
+
+/// Deterministic xoshiro256** generator. We avoid std::mt19937 so that mesh
+/// perturbations and synthetic workloads are reproducible across standard
+/// library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding
+    std::uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace geofem::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace geofem::util {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// rows in the same layout as the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) sep += std::string(widths[c], '-') + "  ";
+    os << sep << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+  static std::string fmt(double v, int prec = 3) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << v;
+    return ss.str();
+  }
+
+  static std::string sci(double v, int prec = 3) {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(prec) << v;
+    return ss.str();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geofem::util

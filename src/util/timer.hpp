@@ -1,0 +1,45 @@
+#pragma once
+
+#include <chrono>
+
+namespace geofem::util {
+
+/// Wall-clock stopwatch. start() resets; seconds() reads elapsed time.
+class Timer {
+ public:
+  Timer() { start(); }
+
+  void start() { t0_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+/// Accumulating timer: sums intervals between resume() and pause().
+class AccumTimer {
+ public:
+  void resume() { running_.start(); active_ = true; }
+
+  void pause() {
+    if (active_) total_ += running_.seconds();
+    active_ = false;
+  }
+
+  [[nodiscard]] double seconds() const {
+    return active_ ? total_ + running_.seconds() : total_;
+  }
+
+  void reset() { total_ = 0.0; active_ = false; }
+
+ private:
+  Timer running_;
+  double total_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace geofem::util

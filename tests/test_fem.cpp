@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/assembly.hpp"
+#include "fem/elasticity.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "precond/bic.hpp"
+#include "solver/cg.hpp"
+
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+
+namespace {
+
+std::array<std::array<double, 3>, 8> unit_hex() {
+  return {{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+           {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}}};
+}
+
+}  // namespace
+
+TEST(Elasticity, ShapeFunctionsPartitionOfUnity) {
+  const auto n = gf::hex_shape(0.3, -0.6, 0.1);
+  double sum = 0.0;
+  for (double v : n) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(Elasticity, StiffnessSymmetric) {
+  double ke[24 * 24];
+  gf::hex_stiffness(unit_hex(), {1.0, 0.3}, ke);
+  for (int r = 0; r < 24; ++r)
+    for (int c = 0; c < 24; ++c) EXPECT_NEAR(ke[24 * r + c], ke[24 * c + r], 1e-12);
+}
+
+TEST(Elasticity, RigidBodyModesInNullspace) {
+  double ke[24 * 24];
+  gf::hex_stiffness(unit_hex(), {1.0, 0.3}, ke);
+  const auto xyz = unit_hex();
+  // 3 translations + 3 (linearized) rotations
+  for (int mode = 0; mode < 6; ++mode) {
+    double u[24];
+    for (int a = 0; a < 8; ++a) {
+      const auto& p = xyz[static_cast<std::size_t>(a)];
+      double d[3] = {0, 0, 0};
+      switch (mode) {
+        case 0: d[0] = 1; break;
+        case 1: d[1] = 1; break;
+        case 2: d[2] = 1; break;
+        case 3: d[0] = -p[1]; d[1] = p[0]; break;  // rot z
+        case 4: d[1] = -p[2]; d[2] = p[1]; break;  // rot x
+        case 5: d[2] = -p[0]; d[0] = p[2]; break;  // rot y
+      }
+      for (int c = 0; c < 3; ++c) u[3 * a + c] = d[c];
+    }
+    for (int r = 0; r < 24; ++r) {
+      double acc = 0.0;
+      for (int c = 0; c < 24; ++c) acc += ke[24 * r + c] * u[c];
+      EXPECT_NEAR(acc, 0.0, 1e-12) << "mode " << mode << " row " << r;
+    }
+  }
+}
+
+TEST(Elasticity, StiffnessPositiveSemiDefiniteDiagonal) {
+  double ke[24 * 24];
+  gf::hex_stiffness(unit_hex(), {1.0, 0.3}, ke);
+  for (int r = 0; r < 24; ++r) EXPECT_GT(ke[24 * r + r], 0.0);
+}
+
+TEST(Elasticity, VolumeOfUnitHex) {
+  EXPECT_NEAR(gf::hex_volume(unit_hex()), 1.0, 1e-14);
+}
+
+TEST(Elasticity, VolumeOfStretchedHex) {
+  auto xyz = unit_hex();
+  for (auto& p : xyz) p[2] *= 2.5;
+  EXPECT_NEAR(gf::hex_volume(xyz), 2.5, 1e-12);
+}
+
+TEST(Assembly, MatrixIsSymmetric) {
+  auto m = gm::unit_cube(3, 3, 3);
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  EXPECT_EQ(sys.a.n, m.num_nodes());
+  EXPECT_NEAR(sys.a.symmetry_error(), 0.0, 1e-12);
+}
+
+TEST(Assembly, BodyForceSumsToTotalWeight) {
+  auto m = gm::unit_cube(3, 2, 4, 3.0, 2.0, 4.0);
+  gf::BoundaryConditions bc;
+  bc.body_force(m, 2, -1.0);
+  double total = 0.0;
+  for (const auto& l : bc.loads) total += l.value;
+  EXPECT_NEAR(total, -24.0, 1e-10);  // volume 3*2*4
+}
+
+TEST(Assembly, SurfaceLoadSumsToTractionTimesArea) {
+  auto m = gm::unit_cube(4, 5, 3, 4.0, 5.0, 3.0);
+  gf::BoundaryConditions bc;
+  bc.surface_load(m, [](double, double, double z) { return std::abs(z - 3.0) < 1e-12; }, 2, -2.0);
+  double total = 0.0;
+  for (const auto& l : bc.loads) total += l.value;
+  EXPECT_NEAR(total, -2.0 * 20.0, 1e-10);
+}
+
+/// End-to-end patch test: uniaxial compression of a cube must reproduce the
+/// exact homogeneous solution u_z = -q z / E (with free lateral surfaces and
+/// symmetric supports), since the exact field is linear in space.
+TEST(Assembly, UniaxialPatchTest) {
+  const double q = 0.7, e = 2.0, nu = 0.25, lz = 2.0;
+  auto m = gm::unit_cube(3, 3, 3, 1.0, 1.0, lz);
+  auto sys = gf::assemble_elasticity(m, {{e, nu}});
+
+  gf::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), 2);
+  bc.fix_nodes(m.nodes_where([](double x, double, double) { return x == 0.0; }), 0);
+  bc.fix_nodes(m.nodes_where([](double, double y, double) { return y == 0.0; }), 1);
+  bc.surface_load(m, [&](double, double, double z) { return std::abs(z - lz) < 1e-12; }, 2, -q);
+  gf::apply_boundary_conditions(sys, bc);
+
+  geofem::precond::BIC0 prec(sys.a);
+  std::vector<double> x(sys.a.ndof(), 0.0);
+  geofem::solver::CGOptions opt;
+  opt.tolerance = 1e-12;
+  auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, opt);
+  ASSERT_TRUE(res.converged);
+
+  for (int i = 0; i < m.num_nodes(); ++i) {
+    const auto& c = m.coords[static_cast<std::size_t>(i)];
+    const double uz = x[static_cast<std::size_t>(i) * 3 + 2];
+    const double ux = x[static_cast<std::size_t>(i) * 3 + 0];
+    EXPECT_NEAR(uz, -q * c[2] / e, 1e-8);
+    EXPECT_NEAR(ux, nu * q * c[0] / e, 1e-8);  // lateral expansion
+  }
+}
+
+TEST(Assembly, DirichletValueReproduced) {
+  auto m = gm::unit_cube(2, 2, 2);
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gf::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  // prescribe a nonzero displacement at the top
+  auto top = m.nodes_where([](double, double, double z) { return z == 1.0; });
+  for (int n : top) bc.fixes.push_back({n, 2, 0.01});
+  gf::apply_boundary_conditions(sys, bc);
+
+  geofem::precond::BIC0 prec(sys.a);
+  std::vector<double> x(sys.a.ndof(), 0.0);
+  geofem::solver::CGOptions opt;
+  opt.tolerance = 1e-12;
+  auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, opt);
+  ASSERT_TRUE(res.converged);
+  for (int n : top) EXPECT_NEAR(x[static_cast<std::size_t>(n) * 3 + 2], 0.01, 1e-10);
+}

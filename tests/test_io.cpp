@@ -1,0 +1,127 @@
+// Round-trip tests of the mesh and distributed-local-data file formats, plus
+// the extra Comm collectives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "contact/penalty.hpp"
+#include "dist/comm.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/io.hpp"
+#include "mesh/simple_block.hpp"
+#include "mesh/southwest_japan.hpp"
+#include "part/io.hpp"
+#include "part/local_system.hpp"
+#include "part/partition.hpp"
+
+namespace gd = geofem::dist;
+namespace gm = geofem::mesh;
+namespace gpart = geofem::part;
+
+TEST(MeshIO, RoundTripSimpleBlock) {
+  const auto m = gm::simple_block({3, 2, 2, 3, 2});
+  std::stringstream ss;
+  gm::write_mesh(ss, m);
+  const auto m2 = gm::read_mesh(ss);
+  ASSERT_EQ(m2.num_nodes(), m.num_nodes());
+  ASSERT_EQ(m2.num_elements(), m.num_elements());
+  ASSERT_EQ(m2.contact_groups.size(), m.contact_groups.size());
+  for (int i = 0; i < m.num_nodes(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(m2.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)],
+                       m.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]);
+  for (int e = 0; e < m.num_elements(); ++e) {
+    EXPECT_EQ(m2.hexes[static_cast<std::size_t>(e)], m.hexes[static_cast<std::size_t>(e)]);
+    EXPECT_EQ(m2.zone[static_cast<std::size_t>(e)], m.zone[static_cast<std::size_t>(e)]);
+  }
+  EXPECT_EQ(m2.contact_groups, m.contact_groups);
+}
+
+TEST(MeshIO, RoundTripDistortedCoordinatesExactly) {
+  gm::SouthwestJapanParams p;
+  p.nx = 6;
+  p.ny = 5;
+  p.nz_slab = 2;
+  p.nz_crust = 3;
+  const auto m = gm::southwest_japan_like(p);
+  std::stringstream ss;
+  gm::write_mesh(ss, m);
+  const auto m2 = gm::read_mesh(ss);
+  for (int i = 0; i < m.num_nodes(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_EQ(m2.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)],
+                m.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)])
+          << "bit-exact round trip expected";
+}
+
+TEST(MeshIO, RejectsGarbage) {
+  std::stringstream ss("not-a-mesh 7");
+  EXPECT_THROW(gm::read_mesh(ss), std::logic_error);
+}
+
+TEST(LocalDataIO, RoundTripPreservesSolve) {
+  const auto m = gm::simple_block({3, 3, 2, 3, 3});
+  auto sys = geofem::fem::assemble_elasticity(m, {{1.0, 0.3}});
+  geofem::contact::add_penalty(sys.a, m.contact_groups, 1e4);
+  const auto p = gpart::rcb_contact_aware(m, 3);
+  const auto systems = gpart::distribute(sys.a, sys.b, p);
+
+  for (const auto& ls : systems) {
+    std::stringstream ss;
+    gpart::write_local_system(ss, ls);
+    const auto ls2 = gpart::read_local_system(ss);
+    EXPECT_EQ(ls2.domain, ls.domain);
+    EXPECT_EQ(ls2.num_internal, ls.num_internal);
+    EXPECT_EQ(ls2.global_of_local, ls.global_of_local);
+    EXPECT_EQ(ls2.a.rowptr, ls.a.rowptr);
+    EXPECT_EQ(ls2.a.colind, ls.a.colind);
+    ASSERT_EQ(ls2.a.val.size(), ls.a.val.size());
+    for (std::size_t i = 0; i < ls.a.val.size(); ++i) EXPECT_EQ(ls2.a.val[i], ls.a.val[i]);
+    EXPECT_EQ(ls2.b, ls.b);
+    ASSERT_EQ(ls2.links.size(), ls.links.size());
+    for (std::size_t l = 0; l < ls.links.size(); ++l) {
+      EXPECT_EQ(ls2.links[l].domain, ls.links[l].domain);
+      EXPECT_EQ(ls2.links[l].send_local, ls.links[l].send_local);
+      EXPECT_EQ(ls2.links[l].recv_local, ls.links[l].recv_local);
+    }
+  }
+}
+
+TEST(LocalDataIO, SaveLoadFiles) {
+  const auto m = gm::simple_block({2, 2, 2, 2, 2});
+  auto sys = geofem::fem::assemble_elasticity(m, {{1.0, 0.3}});
+  const auto p = gpart::rcb(m.coords, 2);
+  const auto systems = gpart::distribute(sys.a, sys.b, p);
+  gpart::save_distributed("/tmp/geofem_io_test", systems);
+  const auto loaded = gpart::load_distributed("/tmp/geofem_io_test", 2);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].num_internal + loaded[1].num_internal, m.num_nodes());
+}
+
+TEST(CommCollectives, Broadcast) {
+  gd::Runtime::run(4, [](gd::Comm& c) {
+    std::vector<double> data;
+    if (c.rank() == 2) data = {1.5, 2.5, 3.5};
+    const auto got = c.broadcast(2, data);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_DOUBLE_EQ(got[1], 2.5);
+  });
+}
+
+TEST(CommCollectives, GatherInRankOrder) {
+  gd::Runtime::run(3, [](gd::Comm& c) {
+    std::vector<double> mine{static_cast<double>(c.rank()), static_cast<double>(10 * c.rank())};
+    const auto all = c.gather(0, mine);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), 6u);
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r)], r);
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r + 1)], 10.0 * r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/hex_mesh.hpp"
+#include "mesh/simple_block.hpp"
+#include "mesh/southwest_japan.hpp"
+
+namespace gm = geofem::mesh;
+
+TEST(UnitCube, CountsAndBounds) {
+  auto m = gm::unit_cube(4, 3, 2, 4.0, 3.0, 2.0);
+  EXPECT_EQ(m.num_nodes(), 5 * 4 * 3);
+  EXPECT_EQ(m.num_elements(), 4 * 3 * 2);
+  EXPECT_EQ(m.num_dof(), 5u * 4u * 3u * 3u);
+  const auto box = m.bounding_box();
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 4.0);
+  EXPECT_DOUBLE_EQ(box.hi[2], 2.0);
+  m.validate();
+}
+
+TEST(UnitCube, PositiveJacobians) {
+  auto m = gm::unit_cube(3, 3, 3);
+  const auto q = gm::mesh_quality(m);
+  EXPECT_GT(q.min_jacobian, 0.0);
+  EXPECT_EQ(q.negative_jacobians, 0);
+  EXPECT_NEAR(q.max_aspect, 1.0, 1e-12);  // uniform cubes
+}
+
+TEST(UnitCube, NodesWhereSelectsSurface) {
+  auto m = gm::unit_cube(4, 4, 4);
+  auto bottom = m.nodes_where([](double, double, double z) { return z == 0.0; });
+  EXPECT_EQ(bottom.size(), 25u);
+}
+
+TEST(SimpleBlock, PaperAppendixCounts) {
+  // Paper appendix model: 24,000 elements, 27,888 nodes, 83,664 DOF.
+  gm::SimpleBlockParams p;  // defaults are the appendix model 20/20/15/20/20
+  auto m = gm::simple_block(p);
+  EXPECT_EQ(m.num_elements(), 24000);
+  EXPECT_EQ(m.num_nodes(), 27888);
+  EXPECT_EQ(m.num_dof(), 83664u);
+  m.validate();
+}
+
+TEST(SimpleBlock, SingleNodeTestCounts) {
+  // Paper single-SMP-node model: 784,000 elements, 823,813 nodes.
+  gm::SimpleBlockParams p{70, 70, 40, 70, 70};
+  auto m = gm::simple_block(p);
+  EXPECT_EQ(m.num_elements(), 784000);
+  EXPECT_EQ(m.num_nodes(), 823813);
+}
+
+TEST(SimpleBlock, ContactGroupSizes) {
+  gm::SimpleBlockParams p{4, 3, 2, 3, 3};
+  auto m = gm::simple_block(p);
+  m.validate();
+  int size2 = 0, size3 = 0;
+  for (const auto& g : m.contact_groups) {
+    if (g.size() == 2) ++size2;
+    if (g.size() == 3) ++size3;
+    EXPECT_LE(g.size(), 3u);
+  }
+  // Triple line x=NX1 on the horizontal surface: (ny+1) groups of 3.
+  EXPECT_EQ(size3, p.ny + 1);
+  // Horizontal surface minus triple line, plus the vertical surface above.
+  EXPECT_EQ(size2, (p.ny + 1) * (p.nx1 + p.nx2) + p.nz2 * (p.ny + 1));
+}
+
+TEST(SimpleBlock, ZonesAreLabelled) {
+  gm::SimpleBlockParams p{2, 2, 1, 2, 2};
+  auto m = gm::simple_block(p);
+  int z0 = 0, z1 = 0, z2 = 0;
+  for (int z : m.zone) (z == 0 ? z0 : z == 1 ? z1 : z2)++;
+  EXPECT_EQ(z0, 4 * 1 * 2);
+  EXPECT_EQ(z1, 2 * 1 * 2);
+  EXPECT_EQ(z2, 2 * 1 * 2);
+}
+
+TEST(SouthwestJapan, ValidAndDistorted) {
+  gm::SouthwestJapanParams p;
+  auto m = gm::southwest_japan_like(p);
+  m.validate();
+  EXPECT_GT(m.num_elements(), 0);
+  EXPECT_FALSE(m.contact_groups.empty());
+  const auto q = gm::mesh_quality(m);
+  // distorted (non-unit aspect) but not inverted
+  EXPECT_GT(q.max_aspect, 1.2);
+  EXPECT_GT(q.min_jacobian, 0.0) << "distortion inverted elements";
+}
+
+TEST(SouthwestJapan, ZeroDistortionIsSmooth) {
+  gm::SouthwestJapanParams p;
+  p.distortion = 0.0;
+  auto m = gm::southwest_japan_like(p);
+  const auto q = gm::mesh_quality(m);
+  EXPECT_GT(q.min_jacobian, 0.0);
+}
+
+TEST(SouthwestJapan, TripleGroupsOnFaultLine) {
+  gm::SouthwestJapanParams p;
+  auto m = gm::southwest_japan_like(p);
+  int size3 = 0;
+  for (const auto& g : m.contact_groups)
+    if (g.size() == 3) ++size3;
+  EXPECT_EQ(size3, p.nx + 1);  // triple junction line along the interface
+}
+
+TEST(SouthwestJapan, DeterministicForSeed) {
+  gm::SouthwestJapanParams p;
+  auto m1 = gm::southwest_japan_like(p);
+  auto m2 = gm::southwest_japan_like(p);
+  ASSERT_EQ(m1.num_nodes(), m2.num_nodes());
+  for (int i = 0; i < m1.num_nodes(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(m1.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)],
+                       m2.coords[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]);
+}

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contact/penalty.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "precond/bic.hpp"
+#include "precond/diagonal.hpp"
+#include "precond/sb_bic0.hpp"
+#include "precond/scalar_ic0.hpp"
+#include "solver/cg.hpp"
+
+namespace gc = geofem::contact;
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+namespace gp = geofem::precond;
+namespace gs = geofem::solver;
+
+namespace {
+
+/// Tiny version of the paper's contact problem: simple block model with
+/// penalty-tied contact groups, fixed bottom, loaded top.
+struct ContactProblem {
+  gm::HexMesh mesh;
+  gf::System sys;
+  gc::Supernodes supers;
+
+  explicit ContactProblem(double lambda, gm::SimpleBlockParams p = {3, 3, 2, 3, 3}) {
+    mesh = gm::simple_block(p);
+    sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+    gc::add_penalty(sys.a, mesh.contact_groups, lambda);
+    gf::BoundaryConditions bc;
+    bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+    bc.fix_nodes(mesh.nodes_where([](double x, double, double) { return x == 0.0; }), 0);
+    bc.fix_nodes(mesh.nodes_where([](double, double y, double) { return y == 0.0; }), 1);
+    const double zmax = mesh.bounding_box().hi[2];
+    bc.surface_load(
+        mesh, [&](double, double, double z) { return std::abs(z - zmax) < 1e-12; }, 2, -1.0);
+    gf::apply_boundary_conditions(sys, bc);
+    supers = gc::build_supernodes(mesh.num_nodes(), mesh.contact_groups);
+  }
+};
+
+double solve_and_check(const ContactProblem& pb, const gp::Preconditioner& m, int* iters,
+                       double tol = 1e-8, int max_it = 5000) {
+  std::vector<double> x(pb.sys.a.ndof(), 0.0);
+  gs::CGOptions opt;
+  opt.tolerance = tol;
+  opt.max_iterations = max_it;
+  auto res = gs::pcg(pb.sys.a, m, pb.sys.b, x, opt);
+  if (iters) *iters = res.iterations;
+  // true residual check
+  std::vector<double> r(x.size());
+  pb.sys.a.spmv(x, r, nullptr, nullptr);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (r[i] - pb.sys.b[i]) * (r[i] - pb.sys.b[i]);
+    den += pb.sys.b[i] * pb.sys.b[i];
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+TEST(Penalty, AddsLaplacianBlocks) {
+  ContactProblem pb(0.0);
+  auto a0 = pb.sys.a;  // copy before penalty
+  gc::add_penalty(pb.sys.a, pb.mesh.contact_groups, 100.0);
+  // one pair group: A_ij -= lambda on each displacement component
+  const auto& g = pb.mesh.contact_groups.front();
+  const int e = pb.sys.a.find(g[0], g[1]);
+  ASSERT_GE(e, 0);
+  const int e0 = a0.find(g[0], g[1]);
+  EXPECT_NEAR(pb.sys.a.block(e)[0] - a0.block(e0)[0], -100.0, 1e-12);
+  EXPECT_NEAR(pb.sys.a.block(e)[4] - a0.block(e0)[4], -100.0, 1e-12);
+  // symmetry preserved
+  EXPECT_NEAR(pb.sys.a.symmetry_error(), 0.0, 1e-10);
+}
+
+TEST(Supernodes, PartitionCoversAllNodes) {
+  ContactProblem pb(1e2);
+  const auto& sn = pb.supers;
+  std::size_t members = 0;
+  for (const auto& m : sn.members) members += m.size();
+  EXPECT_EQ(members, static_cast<std::size_t>(pb.mesh.num_nodes()));
+  for (int v = 0; v < pb.mesh.num_nodes(); ++v) {
+    const int s = sn.node_to_super[static_cast<std::size_t>(v)];
+    ASSERT_GE(s, 0);
+    bool found = false;
+    for (int w : sn.members[static_cast<std::size_t>(s)]) found |= (w == v);
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(sn.max_size(), 3);
+}
+
+// --- Correctness of each preconditioner as an SPD operator: PCG must reach a
+// --- small true residual on the moderately conditioned problem.
+TEST(Precond, AllSolveModeratePenalty) {
+  ContactProblem pb(1e2);
+  int it = 0;
+  EXPECT_LT(solve_and_check(pb, gp::DiagonalScaling(pb.sys.a), &it), 1e-7);
+  EXPECT_LT(solve_and_check(pb, gp::ScalarIC0(pb.sys.a), &it), 1e-7);
+  EXPECT_LT(solve_and_check(pb, gp::BIC0(pb.sys.a), &it), 1e-7);
+  EXPECT_LT(solve_and_check(pb, gp::BlockILUk(pb.sys.a, 1), &it), 1e-7);
+  EXPECT_LT(solve_and_check(pb, gp::BlockILUk(pb.sys.a, 2), &it), 1e-7);
+  EXPECT_LT(solve_and_check(pb, gp::SBBIC0(pb.sys.a, pb.supers), &it), 1e-7);
+}
+
+/// The paper's central result in miniature (Table 2 / A.1): SB-BIC(0)
+/// iteration counts are flat in lambda; BIC(0) degrades badly.
+TEST(Precond, SelectiveBlockingRobustInLambda) {
+  int it_low = 0, it_high = 0;
+  {
+    ContactProblem pb(1e2);
+    gp::SBBIC0 m(pb.sys.a, pb.supers);
+    EXPECT_LT(solve_and_check(pb, m, &it_low), 1e-7);
+  }
+  {
+    ContactProblem pb(1e8);
+    gp::SBBIC0 m(pb.sys.a, pb.supers);
+    // at kappa ~ 1e8 the attainable true relative residual is limited by
+    // rounding (kappa * eps ~ 1e-8), so the acceptance threshold is looser
+    EXPECT_LT(solve_and_check(pb, m, &it_high), 1e-5);
+  }
+  // flat within a couple of iterations
+  EXPECT_LE(std::abs(it_high - it_low), 3) << it_low << " vs " << it_high;
+}
+
+TEST(Precond, BIC0DegradesWithLambda) {
+  int it_low = 0, it_high = 0;
+  {
+    ContactProblem pb(1e2);
+    gp::BIC0 m(pb.sys.a);
+    solve_and_check(pb, m, &it_low);
+  }
+  {
+    ContactProblem pb(1e8);
+    gp::BIC0 m(pb.sys.a);
+    solve_and_check(pb, m, &it_high, 1e-8, 4000);
+  }
+  EXPECT_GT(it_high, 2 * it_low) << it_low << " vs " << it_high;
+}
+
+TEST(Precond, DeepFillRobustInLambda) {
+  int it_low = 0, it_high = 0;
+  {
+    ContactProblem pb(1e2);
+    gp::BlockILUk m(pb.sys.a, 1);
+    EXPECT_LT(solve_and_check(pb, m, &it_low), 1e-7);
+  }
+  {
+    ContactProblem pb(1e8);
+    gp::BlockILUk m(pb.sys.a, 1);
+    EXPECT_LT(solve_and_check(pb, m, &it_high), 1e-5);
+  }
+  EXPECT_LE(it_high, it_low + 10);
+}
+
+TEST(Precond, FewerIterationsWithDeeperFill) {
+  ContactProblem pb(1e6);
+  int it_sb = 0, it1 = 0, it2 = 0;
+  solve_and_check(pb, gp::SBBIC0(pb.sys.a, pb.supers), &it_sb);
+  solve_and_check(pb, gp::BlockILUk(pb.sys.a, 1), &it1);
+  solve_and_check(pb, gp::BlockILUk(pb.sys.a, 2), &it2);
+  EXPECT_LE(it2, it1);
+  EXPECT_GE(it_sb, it1);  // SB needs more iterations but each is cheaper
+}
+
+TEST(Precond, MemoryOrdering) {
+  // Paper Table 2: SB-BIC(0) memory ~ BIC(0) << BIC(1) < BIC(2).
+  ContactProblem pb(1e6, {4, 4, 3, 4, 4});
+  gp::BIC0 b0(pb.sys.a);
+  gp::SBBIC0 sb(pb.sys.a, pb.supers);
+  gp::BlockILUk b1(pb.sys.a, 1);
+  gp::BlockILUk b2(pb.sys.a, 2);
+  EXPECT_LT(sb.memory_bytes(), b1.memory_bytes() / 2);
+  EXPECT_LT(b1.memory_bytes(), b2.memory_bytes());
+  EXPECT_LT(b0.memory_bytes(), sb.memory_bytes() * 4);
+}
+
+TEST(Precond, FillGrowsWithLevel) {
+  ContactProblem pb(1e2);
+  gp::BlockILUk b1(pb.sys.a, 1);
+  gp::BlockILUk b2(pb.sys.a, 2);
+  EXPECT_GT(b2.factor_blocks(), b1.factor_blocks());
+  EXPECT_GT(b1.factor_blocks(),
+            static_cast<std::size_t>(pb.sys.a.nnz_blocks() - pb.sys.a.n) / 2);
+}
+
+TEST(Precond, ApplyIsLinear) {
+  ContactProblem pb(1e4);
+  gp::SBBIC0 m(pb.sys.a, pb.supers);
+  const std::size_t n = pb.sys.a.ndof();
+  std::vector<double> r1(n), r2(n), rsum(n), z1(n), z2(n), zsum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r1[i] = std::sin(0.1 * static_cast<double>(i));
+    r2[i] = std::cos(0.37 * static_cast<double>(i));
+    rsum[i] = 2.0 * r1[i] - 3.0 * r2[i];
+  }
+  m.apply(r1, z1, nullptr, nullptr);
+  m.apply(r2, z2, nullptr, nullptr);
+  m.apply(rsum, zsum, nullptr, nullptr);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(zsum[i], 2.0 * z1[i] - 3.0 * z2[i], 1e-6 * (1.0 + std::abs(zsum[i])));
+}
+
+TEST(Precond, SBBIC0EqualsBIC0WithoutContact) {
+  // With no contact groups every supernode is a singleton and SB-BIC(0)
+  // reduces exactly to BIC(0).
+  auto mesh = gm::unit_cube(3, 3, 3);
+  auto sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+  gf::BoundaryConditions bc;
+  bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  bc.surface_load(mesh, [](double, double, double z) { return std::abs(z - 1.0) < 1e-12; }, 2,
+                  -1.0);
+  gf::apply_boundary_conditions(sys, bc);
+  auto sn = gc::build_supernodes(mesh.num_nodes(), {});
+
+  gp::BIC0 b0(sys.a);
+  gp::SBBIC0 sb(sys.a, sn);
+  std::vector<double> r(sys.a.ndof()), z1(sys.a.ndof()), z2(sys.a.ndof());
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = std::sin(static_cast<double>(i));
+  b0.apply(r, z1, nullptr, nullptr);
+  sb.apply(r, z2, nullptr, nullptr);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_NEAR(z1[i], z2[i], 1e-10);
+}
+
+TEST(CG, ReportsResidualHistoryMonotonicallyAtEnd) {
+  ContactProblem pb(1e2);
+  gp::BlockILUk m(pb.sys.a, 1);
+  std::vector<double> x(pb.sys.a.ndof(), 0.0);
+  gs::CGOptions opt;
+  opt.record_residuals = true;
+  auto res = gs::pcg(pb.sys.a, m, pb.sys.b, x, opt);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.residual_history.size(), static_cast<std::size_t>(res.iterations) + 1);
+  EXPECT_LE(res.residual_history.back(), 1e-8);
+  EXPECT_GT(res.residual_history.front(), res.residual_history.back());
+}
+
+TEST(CG, CountsWork) {
+  ContactProblem pb(1e2);
+  gp::BIC0 m(pb.sys.a);
+  std::vector<double> x(pb.sys.a.ndof(), 0.0);
+  auto res = gs::pcg(pb.sys.a, m, pb.sys.b, x);
+  EXPECT_GT(res.flops.spmv, 0u);
+  EXPECT_GT(res.flops.precond, 0u);
+  EXPECT_GT(res.flops.blas1, 0u);
+  EXPECT_GT(res.loops.count(), 0);
+}

@@ -1,0 +1,290 @@
+// Property-based and parameterized suites over the core invariants:
+// mesh count formulas, SPD preservation, ordering validity across color
+// targets, DJDS/CSR equivalence, partition coverage, ILU pattern monotonicity,
+// and distributed/serial solution agreement across rank counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "contact/penalty.hpp"
+#include "dist/dist_solver.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "mesh/southwest_japan.hpp"
+#include "part/local_system.hpp"
+#include "part/partition.hpp"
+#include "precond/bic.hpp"
+#include "precond/sb_bic0.hpp"
+#include "reorder/coloring.hpp"
+#include "reorder/djds.hpp"
+#include "solver/cg.hpp"
+#include "util/rng.hpp"
+
+namespace gc = geofem::contact;
+namespace gd = geofem::dist;
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+namespace gpart = geofem::part;
+namespace gp = geofem::precond;
+namespace gr = geofem::reorder;
+namespace gs = geofem::sparse;
+
+// ---------------------------------------------------------------------------
+// Mesh count formulas for the simple block model (paper-validated closed form)
+// ---------------------------------------------------------------------------
+
+class SimpleBlockCounts : public ::testing::TestWithParam<gm::SimpleBlockParams> {};
+
+TEST_P(SimpleBlockCounts, MatchClosedForm) {
+  const auto p = GetParam();
+  const auto m = gm::simple_block(p);
+  const long long elements = static_cast<long long>(p.nx1 + p.nx2) * p.ny * p.nz1 +
+                             static_cast<long long>(p.nx1) * p.ny * p.nz2 +
+                             static_cast<long long>(p.nx2) * p.ny * p.nz2;
+  const long long nodes =
+      static_cast<long long>(p.nx1 + p.nx2 + 1) * (p.ny + 1) * (p.nz1 + 1) +
+      static_cast<long long>(p.nx1 + 1) * (p.ny + 1) * (p.nz2 + 1) +
+      static_cast<long long>(p.nx2 + 1) * (p.ny + 1) * (p.nz2 + 1);
+  EXPECT_EQ(m.num_elements(), elements);
+  EXPECT_EQ(m.num_nodes(), nodes);
+  m.validate();
+  // contact groups cover both internal surfaces exactly once
+  const long long groups = static_cast<long long>(p.ny + 1) * (p.nx1 + p.nx2 + 1) +
+                           static_cast<long long>(p.ny + 1) * p.nz2;
+  EXPECT_EQ(static_cast<long long>(m.contact_groups.size()), groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimpleBlockCounts,
+                         ::testing::Values(gm::SimpleBlockParams{1, 1, 1, 1, 1},
+                                           gm::SimpleBlockParams{2, 3, 4, 5, 6},
+                                           gm::SimpleBlockParams{5, 2, 3, 4, 2},
+                                           gm::SimpleBlockParams{7, 7, 5, 7, 7},
+                                           gm::SimpleBlockParams{20, 20, 15, 20, 20}));
+
+// ---------------------------------------------------------------------------
+// Penalty SPD property across group sizes and lambdas
+// ---------------------------------------------------------------------------
+
+class PenaltySPD : public ::testing::TestWithParam<double> {};
+
+TEST_P(PenaltySPD, QuadraticFormNonNegative) {
+  const double lambda = GetParam();
+  gm::HexMesh m = gm::simple_block({2, 2, 2, 2, 2});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  const auto before = sys.a;
+  gc::add_penalty(sys.a, m.contact_groups, lambda);
+  // x' (A_pen - A) x >= 0 for random x: the added part is PSD
+  geofem::util::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(sys.a.ndof()), y1(x.size()), y2(x.size());
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    sys.a.spmv(x, y1);
+    before.spmv(x, y2);
+    double q = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) q += x[i] * (y1[i] - y2[i]);
+    EXPECT_GE(q, -1e-9 * lambda);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PenaltySPD, ::testing::Values(1.0, 1e2, 1e4, 1e6, 1e8, 1e10));
+
+// ---------------------------------------------------------------------------
+// Coloring validity across target counts and both mesh families
+// ---------------------------------------------------------------------------
+
+class ColoringTargets : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringTargets, MCValidOnBothMeshes) {
+  const int target = GetParam();
+  {
+    gm::HexMesh m = gm::simple_block({3, 3, 2, 3, 3});
+    auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+    gc::add_penalty(sys.a, m.contact_groups, 1e4);
+    const auto g = gs::graph_of(sys.a);
+    EXPECT_TRUE(gr::multicolor(g, target).valid_for(g));
+    EXPECT_TRUE(gr::cm_rcm(g, target).valid_for(g));
+  }
+  {
+    gm::SouthwestJapanParams p;
+    p.nx = 8;
+    p.ny = 6;
+    p.nz_slab = 3;
+    p.nz_crust = 4;
+    gm::HexMesh m = gm::southwest_japan_like(p);
+    auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+    gc::add_penalty(sys.a, m.contact_groups, 1e4);
+    const auto g = gs::graph_of(sys.a);
+    EXPECT_TRUE(gr::multicolor(g, target).valid_for(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ColoringTargets, ::testing::Values(1, 2, 4, 13, 30, 99, 300));
+
+// ---------------------------------------------------------------------------
+// DJDS spmv equivalence across color counts and npe
+// ---------------------------------------------------------------------------
+
+struct DJDSParam {
+  int colors;
+  int npe;
+};
+
+class DJDSEquivalence : public ::testing::TestWithParam<DJDSParam> {};
+
+TEST_P(DJDSEquivalence, SpmvMatchesCSR) {
+  const auto [colors, npe] = GetParam();
+  gm::HexMesh m = gm::simple_block({3, 2, 2, 2, 3});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, 1e5);
+  auto sn = gc::build_supernodes(sys.a.n, m.contact_groups);
+  const auto g = gs::graph_of(sys.a);
+  const auto q = gr::quotient_graph(g, sn.node_to_super, sn.count());
+  const auto col = gr::lift_coloring(gr::multicolor(q, colors), sn.node_to_super, sys.a.n);
+  gr::DJDSOptions opt;
+  opt.npe = npe;
+  const gr::DJDSMatrix dj(sys.a, col, &sn, opt);
+
+  geofem::util::Rng rng(7);
+  std::vector<double> x(sys.a.ndof()), y(sys.a.ndof()), px(x.size()), py(x.size());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  sys.a.spmv(x, y);
+  for (int i = 0; i < sys.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)] * 3 + c)] =
+          x[static_cast<std::size_t>(i * 3 + c)];
+  dj.spmv(px, py);
+  for (int i = 0; i < sys.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(py[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)] * 3 + c)],
+                  y[static_cast<std::size_t>(i * 3 + c)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DJDSEquivalence,
+                         ::testing::Values(DJDSParam{2, 1}, DJDSParam{5, 2}, DJDSParam{10, 8},
+                                           DJDSParam{40, 8}, DJDSParam{40, 3},
+                                           DJDSParam{100, 16}));
+
+// ---------------------------------------------------------------------------
+// Partition properties across domain counts
+// ---------------------------------------------------------------------------
+
+class PartitionCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionCounts, RCBCoversAndBalances) {
+  const int ndom = GetParam();
+  gm::HexMesh m = gm::simple_block({4, 4, 3, 4, 4});
+  const auto p = gpart::rcb(m.coords, ndom);
+  EXPECT_EQ(static_cast<int>(p.domain_of.size()), m.num_nodes());
+  const auto sizes = p.domain_sizes();
+  EXPECT_EQ(static_cast<int>(sizes.size()), ndom);
+  for (int s : sizes) EXPECT_GT(s, 0);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), m.num_nodes());
+  EXPECT_LT(p.imbalance_percent(), 25.0);
+}
+
+TEST_P(PartitionCounts, ContactAwareNeverSplitsGroups) {
+  const int ndom = GetParam();
+  gm::HexMesh m = gm::simple_block({4, 4, 3, 4, 4});
+  const auto p = gpart::rcb_contact_aware(m, ndom);
+  EXPECT_EQ(gpart::split_contact_groups(m, p), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PartitionCounts, ::testing::Values(2, 3, 5, 8, 13, 16, 27));
+
+// ---------------------------------------------------------------------------
+// ILU(k) pattern monotonicity
+// ---------------------------------------------------------------------------
+
+TEST(ILUPattern, GrowsMonotonicallyWithLevel) {
+  gm::HexMesh m = gm::simple_block({3, 3, 2, 3, 3});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, 1e4);
+  std::size_t prev = 0;
+  for (int level = 0; level <= 3; ++level) {
+    gp::BlockILUk ilu(sys.a, level);
+    EXPECT_GE(ilu.factor_blocks(), prev) << "level " << level;
+    prev = ilu.factor_blocks();
+  }
+  // level 0 pattern == off-diagonal original pattern
+  gp::BlockILUk ilu0(sys.a, 0);
+  EXPECT_EQ(ilu0.factor_blocks(),
+            static_cast<std::size_t>(sys.a.nnz_blocks() - sys.a.n));
+}
+
+// ---------------------------------------------------------------------------
+// Distributed == serial across rank counts (solution agreement)
+// ---------------------------------------------------------------------------
+
+class DistAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistAgreement, SolutionMatchesSerial) {
+  const int ranks = GetParam();
+  gm::HexMesh m = gm::simple_block({3, 3, 2, 3, 3});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, 1e4);
+  gf::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  const double zmax = m.bounding_box().hi[2];
+  bc.surface_load(m, [&](double, double, double z) { return std::abs(z - zmax) < 1e-9; }, 2,
+                  -1.0);
+  gf::apply_boundary_conditions(sys, bc);
+
+  gp::BIC0 prec(sys.a);
+  std::vector<double> x_ref(sys.a.ndof(), 0.0);
+  auto sres = geofem::solver::pcg(sys.a, prec, sys.b, x_ref,
+                                  {.tolerance = 1e-10, .max_iterations = 10000});
+  ASSERT_TRUE(sres.converged);
+
+  const auto p = gpart::rcb_contact_aware(m, ranks);
+  const auto systems = gpart::distribute(sys.a, sys.b, p);
+  std::vector<double> x;
+  const auto dres = gd::solve_distributed(
+      systems,
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+        return std::make_unique<gp::BIC0>(aii);
+      },
+      {.tolerance = 1e-10, .max_iterations = 10000}, &x);
+  ASSERT_TRUE(dres.converged);
+  double err = 0, scale = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err = std::max(err, std::abs(x[i] - x_ref[i]));
+    scale = std::max(scale, std::abs(x_ref[i]));
+  }
+  EXPECT_LT(err, 1e-6 * scale) << "ranks " << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistAgreement, ::testing::Values(2, 3, 4, 7, 8, 12));
+
+// ---------------------------------------------------------------------------
+// SB-BIC(0) iteration flatness across the full lambda range (the paper's
+// core claim as a property test)
+// ---------------------------------------------------------------------------
+
+class SBFlatness : public ::testing::TestWithParam<double> {};
+
+TEST_P(SBFlatness, IterationsIndependentOfLambda) {
+  static int baseline = -1;
+  const double lambda = GetParam();
+  gm::HexMesh m = gm::simple_block({3, 3, 2, 3, 3});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, lambda);
+  gf::BoundaryConditions bc;
+  bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+  const double zmax = m.bounding_box().hi[2];
+  bc.surface_load(m, [&](double, double, double z) { return std::abs(z - zmax) < 1e-9; }, 2,
+                  -1.0);
+  gf::apply_boundary_conditions(sys, bc);
+  auto sn = gc::build_supernodes(m.num_nodes(), m.contact_groups);
+  gp::SBBIC0 prec(sys.a, sn);
+  std::vector<double> x(sys.a.ndof(), 0.0);
+  const auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, {.max_iterations = 2000});
+  ASSERT_TRUE(res.converged);
+  if (baseline < 0) baseline = res.iterations;
+  EXPECT_LE(std::abs(res.iterations - baseline), 4)
+      << "lambda " << lambda << ": " << res.iterations << " vs baseline " << baseline;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SBFlatness,
+                         ::testing::Values(1e2, 1e4, 1e6, 1e8, 1e10));

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "contact/penalty.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "mesh/southwest_japan.hpp"
+#include "reorder/coloring.hpp"
+#include "reorder/djds.hpp"
+#include "util/rng.hpp"
+
+namespace gc = geofem::contact;
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+namespace gr = geofem::reorder;
+namespace gs = geofem::sparse;
+
+namespace {
+
+gs::BlockCSR contact_matrix(gm::HexMesh& mesh, double lambda,
+                            gm::SimpleBlockParams p = {3, 3, 2, 3, 3}) {
+  mesh = gm::simple_block(p);
+  auto sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, mesh.contact_groups, lambda);
+  return std::move(sys.a);
+}
+
+}  // namespace
+
+TEST(Coloring, RCMIsPermutation) {
+  gm::HexMesh mesh;
+  auto a = contact_matrix(mesh, 1e2);
+  const auto g = gs::graph_of(a);
+  auto perm = gr::rcm_permutation(g);
+  std::vector<int> seen(perm.size(), 0);
+  for (int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, static_cast<int>(perm.size()));
+    seen[static_cast<std::size_t>(p)]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Coloring, CuthillMckeeLevelsCoverGraph) {
+  gm::HexMesh mesh;
+  auto a = contact_matrix(mesh, 1e2);
+  const auto g = gs::graph_of(a);
+  const auto lo = gr::cuthill_mckee(g);
+  EXPECT_EQ(static_cast<int>(lo.order.size()), g.n);
+  EXPECT_EQ(lo.levels.front(), 0);
+  EXPECT_EQ(lo.levels.back(), g.n);
+  for (std::size_t l = 1; l < lo.levels.size(); ++l)
+    EXPECT_GT(lo.levels[l], lo.levels[l - 1]);
+}
+
+TEST(Coloring, MulticolorIsValidIndependentSets) {
+  gm::HexMesh mesh;
+  auto a = contact_matrix(mesh, 1e2);
+  const auto g = gs::graph_of(a);
+  for (int target : {2, 10, 40}) {
+    auto col = gr::multicolor(g, target);
+    EXPECT_TRUE(col.valid_for(g)) << target << " colors";
+    EXPECT_GE(col.num_colors, std::min(target, 2));
+  }
+}
+
+TEST(Coloring, MulticolorBalancesColorSizes) {
+  gm::HexMesh mesh;
+  auto a = contact_matrix(mesh, 1e2, {6, 6, 4, 6, 6});
+  const auto g = gs::graph_of(a);
+  const int target = 40;  // 27-pt stencil needs >= ~27 colors for balance
+  auto col = gr::multicolor(g, target);
+  auto mem = col.members();
+  std::size_t mn = mem[0].size(), mx = mem[0].size();
+  for (const auto& m : mem) {
+    mn = std::min(mn, m.size());
+    mx = std::max(mx, m.size());
+  }
+  EXPECT_LT(static_cast<double>(mx), 3.0 * static_cast<double>(std::max<std::size_t>(mn, 1)));
+}
+
+TEST(Coloring, CMRCMValidOnDistortedMesh) {
+  auto mesh = gm::southwest_japan_like({});
+  auto sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, mesh.contact_groups, 1e4);
+  const auto g = gs::graph_of(sys.a);
+  auto col = gr::cm_rcm(g, 20);
+  EXPECT_TRUE(col.valid_for(g));
+}
+
+TEST(Coloring, QuotientGraphAndLift) {
+  gm::HexMesh mesh;
+  auto a = contact_matrix(mesh, 1e2);
+  const auto g = gs::graph_of(a);
+  auto sn = gc::build_supernodes(a.n, mesh.contact_groups);
+  auto q = gr::quotient_graph(g, sn.node_to_super, sn.count());
+  EXPECT_EQ(q.n, sn.count());
+  auto scol = gr::multicolor(q, 20);
+  EXPECT_TRUE(scol.valid_for(q));
+  auto col = gr::lift_coloring(scol, sn.node_to_super, a.n);
+  // members of a supernode share a color
+  for (const auto& grp : mesh.contact_groups) {
+    for (int v : grp)
+      EXPECT_EQ(col.color_of[static_cast<std::size_t>(v)],
+                col.color_of[static_cast<std::size_t>(grp[0])]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DJDS
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DJDSFixture {
+  gm::HexMesh mesh;
+  gs::BlockCSR a;
+  gc::Supernodes sn;
+  gr::Coloring coloring;
+
+  explicit DJDSFixture(double lambda = 1e4, int colors = 10) {
+    a = contact_matrix(mesh, lambda);
+    sn = gc::build_supernodes(a.n, mesh.contact_groups);
+    const auto g = gs::graph_of(a);
+    auto q = gr::quotient_graph(g, sn.node_to_super, sn.count());
+    coloring = gr::lift_coloring(gr::multicolor(q, colors), sn.node_to_super, a.n);
+  }
+};
+
+}  // namespace
+
+TEST(DJDS, PermutationIsBijective) {
+  DJDSFixture f;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, {});
+  const auto& perm = dj.perm();
+  const auto& iperm = dj.iperm();
+  for (int i = 0; i < dj.n(); ++i) {
+    EXPECT_EQ(iperm[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])], i);
+  }
+}
+
+TEST(DJDS, SpmvMatchesCSR) {
+  DJDSFixture f;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, {});
+  geofem::util::Rng rng(99);
+  std::vector<double> x(f.a.ndof()), y_ref(f.a.ndof());
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  f.a.spmv(x, y_ref);
+
+  // permuted input/output
+  std::vector<double> px(x.size()), py(x.size());
+  for (int i = 0; i < f.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+         static_cast<std::size_t>(c)] = x[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)];
+  dj.spmv(px, py);
+  for (int i = 0; i < f.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(py[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+                     static_cast<std::size_t>(c)],
+                  y_ref[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)], 1e-9);
+}
+
+TEST(DJDS, SupernodesAreContiguousAndSorted) {
+  DJDSFixture f;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, {});
+  // ranges present for every multi-node supernode
+  std::size_t multi = 0;
+  for (const auto& m : f.sn.members)
+    if (m.size() > 1) ++multi;
+  EXPECT_EQ(dj.super_ranges().size(), multi);
+  // members mapped to consecutive new ids
+  for (int s = 0; s < f.sn.count(); ++s) {
+    const auto& mem = f.sn.members[static_cast<std::size_t>(s)];
+    if (mem.size() < 2) continue;
+    std::vector<int> pos;
+    for (int v : mem) pos.push_back(dj.perm()[static_cast<std::size_t>(v)]);
+    std::sort(pos.begin(), pos.end());
+    for (std::size_t t = 1; t < pos.size(); ++t) EXPECT_EQ(pos[t], pos[t - 1] + 1);
+  }
+}
+
+TEST(DJDS, LongerLoopsWithFewerColors) {
+  DJDSFixture few(1e4, 5), many(1e4, 50);
+  gr::DJDSMatrix dj_few(few.a, few.coloring, &few.sn, {});
+  gr::DJDSMatrix dj_many(many.a, many.coloring, &many.sn, {});
+  EXPECT_GT(dj_few.average_vector_length(), dj_many.average_vector_length());
+}
+
+TEST(DJDS, SizeSortGroupsSupernodesBySize) {
+  // Fig 22: with size sorting, supernode sizes are non-increasing within each
+  // (color, PE) chunk, so the dense-LU substitution runs branch-free batches.
+  DJDSFixture f;
+  gr::DJDSOptions opt;
+  opt.sort_supernodes_by_size = true;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, opt);
+  const auto& cb = dj.chunk_begin();
+  for (std::size_t ch = 0; ch + 1 < cb.size(); ++ch) {
+    int prev_size = std::numeric_limits<int>::max();
+    for (const auto& sr : dj.super_ranges()) {
+      if (sr.start < cb[ch] || sr.start >= cb[ch + 1]) continue;
+      EXPECT_LE(sr.size, prev_size);
+      prev_size = sr.size;
+    }
+  }
+}
+
+TEST(DJDS, StatsAreFinite) {
+  DJDSFixture f;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, {});
+  EXPECT_GT(dj.average_vector_length(), 0.0);
+  EXPECT_GE(dj.load_imbalance_percent(), 0.0);
+  EXPECT_GE(dj.dummy_percent(), 0.0);
+  EXPECT_LT(dj.dummy_percent(), 50.0);
+  EXPECT_GT(dj.memory_bytes(), 0u);
+}
+
+TEST(DJDS, WorksWithoutSupernodes) {
+  DJDSFixture f;
+  const auto g = gs::graph_of(f.a);
+  auto col = gr::multicolor(g, 10);
+  gr::DJDSMatrix dj(f.a, col, nullptr, {});
+  EXPECT_TRUE(dj.super_ranges().empty());
+  // Rows sort by total length, so the separate L/U jagged sets still need a
+  // little padding; it must stay small.
+  EXPECT_LT(dj.dummy_percent(), 15.0);
+  geofem::util::Rng rng(5);
+  std::vector<double> x(f.a.ndof()), y_ref(f.a.ndof()), px(f.a.ndof()), py(f.a.ndof());
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  f.a.spmv(x, y_ref);
+  for (int i = 0; i < f.a.n; ++i)
+    for (int c = 0; c < 3; ++c)
+      px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+         static_cast<std::size_t>(c)] = x[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)];
+  dj.spmv(px, py);
+  for (std::size_t i = 0; i < py.size(); ++i) {
+    const std::size_t bi = i / 3, c = i % 3;
+    EXPECT_NEAR(py[static_cast<std::size_t>(dj.perm()[bi]) * 3 + c], y_ref[i], 1e-9);
+  }
+}
+
+TEST(DJDS, ChunksPartitionRows) {
+  DJDSFixture f;
+  gr::DJDSOptions opt;
+  opt.npe = 4;
+  gr::DJDSMatrix dj(f.a, f.coloring, &f.sn, opt);
+  const auto& cb = dj.chunk_begin();
+  ASSERT_EQ(cb.size(), static_cast<std::size_t>(dj.num_colors() * 4 + 1));
+  EXPECT_EQ(cb.front(), 0);
+  EXPECT_EQ(cb.back(), dj.n());
+  for (std::size_t i = 1; i < cb.size(); ++i) EXPECT_GE(cb[i], cb[i - 1]);
+}
