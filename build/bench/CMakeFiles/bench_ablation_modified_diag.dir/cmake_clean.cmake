@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modified_diag.dir/bench_ablation_modified_diag.cpp.o"
+  "CMakeFiles/bench_ablation_modified_diag.dir/bench_ablation_modified_diag.cpp.o.d"
+  "bench_ablation_modified_diag"
+  "bench_ablation_modified_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modified_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_storage_formats.dir/bench_fig15_storage_formats.cpp.o"
+  "CMakeFiles/bench_fig15_storage_formats.dir/bench_fig15_storage_formats.cpp.o.d"
+  "bench_fig15_storage_formats"
+  "bench_fig15_storage_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_storage_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

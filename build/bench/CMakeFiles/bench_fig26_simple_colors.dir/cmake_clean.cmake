@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_simple_colors.dir/bench_fig26_simple_colors.cpp.o"
+  "CMakeFiles/bench_fig26_simple_colors.dir/bench_fig26_simple_colors.cpp.o.d"
+  "bench_fig26_simple_colors"
+  "bench_fig26_simple_colors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_simple_colors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_swjapan_colors.dir/bench_fig27_swjapan_colors.cpp.o"
+  "CMakeFiles/bench_fig27_swjapan_colors.dir/bench_fig27_swjapan_colors.cpp.o.d"
+  "bench_fig27_swjapan_colors"
+  "bench_fig27_swjapan_colors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_swjapan_colors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

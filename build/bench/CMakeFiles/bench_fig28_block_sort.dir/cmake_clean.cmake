@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_block_sort.dir/bench_fig28_block_sort.cpp.o"
+  "CMakeFiles/bench_fig28_block_sort.dir/bench_fig28_block_sort.cpp.o.d"
+  "bench_fig28_block_sort"
+  "bench_fig28_block_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_block_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_localized_ic0.dir/bench_table01_localized_ic0.cpp.o"
+  "CMakeFiles/bench_table01_localized_ic0.dir/bench_table01_localized_ic0.cpp.o.d"
+  "bench_table01_localized_ic0"
+  "bench_table01_localized_ic0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_localized_ic0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

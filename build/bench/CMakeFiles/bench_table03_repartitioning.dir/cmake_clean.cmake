@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_repartitioning.dir/bench_table03_repartitioning.cpp.o"
+  "CMakeFiles/bench_table03_repartitioning.dir/bench_table03_repartitioning.cpp.o.d"
+  "bench_table03_repartitioning"
+  "bench_table03_repartitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_repartitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableA1_A3_robustness.dir/bench_tableA1_A3_robustness.cpp.o"
+  "CMakeFiles/bench_tableA1_A3_robustness.dir/bench_tableA1_A3_robustness.cpp.o.d"
+  "bench_tableA1_A3_robustness"
+  "bench_tableA1_A3_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableA1_A3_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableA2_A4_eigen.dir/bench_tableA2_A4_eigen.cpp.o"
+  "CMakeFiles/bench_tableA2_A4_eigen.dir/bench_tableA2_A4_eigen.cpp.o.d"
+  "bench_tableA2_A4_eigen"
+  "bench_tableA2_A4_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableA2_A4_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

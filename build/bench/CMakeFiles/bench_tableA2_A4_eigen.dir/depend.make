@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableA2_A4_eigen.
+# This may be replaced when dependencies are built.

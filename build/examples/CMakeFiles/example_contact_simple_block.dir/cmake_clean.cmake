@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_contact_simple_block.dir/contact_simple_block.cpp.o"
+  "CMakeFiles/example_contact_simple_block.dir/contact_simple_block.cpp.o.d"
+  "example_contact_simple_block"
+  "example_contact_simple_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_contact_simple_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ground_motion.dir/ground_motion.cpp.o"
+  "CMakeFiles/example_ground_motion.dir/ground_motion.cpp.o.d"
+  "example_ground_motion"
+  "example_ground_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ground_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

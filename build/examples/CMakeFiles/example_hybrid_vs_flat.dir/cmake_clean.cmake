@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_vs_flat.dir/hybrid_vs_flat.cpp.o"
+  "CMakeFiles/example_hybrid_vs_flat.dir/hybrid_vs_flat.cpp.o.d"
+  "example_hybrid_vs_flat"
+  "example_hybrid_vs_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_vs_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_southwest_japan.dir/southwest_japan.cpp.o"
+  "CMakeFiles/example_southwest_japan.dir/southwest_japan.cpp.o.d"
+  "example_southwest_japan"
+  "example_southwest_japan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_southwest_japan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_southwest_japan.
+# This may be replaced when dependencies are built.

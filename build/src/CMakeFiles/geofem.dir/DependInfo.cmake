@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contact/penalty.cpp" "src/CMakeFiles/geofem.dir/contact/penalty.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/contact/penalty.cpp.o.d"
+  "/root/repo/src/core/geofem.cpp" "src/CMakeFiles/geofem.dir/core/geofem.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/core/geofem.cpp.o.d"
+  "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/geofem.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/dist/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_solver.cpp" "src/CMakeFiles/geofem.dir/dist/dist_solver.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/dist/dist_solver.cpp.o.d"
+  "/root/repo/src/eig/lanczos.cpp" "src/CMakeFiles/geofem.dir/eig/lanczos.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/eig/lanczos.cpp.o.d"
+  "/root/repo/src/fem/assembly.cpp" "src/CMakeFiles/geofem.dir/fem/assembly.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/fem/assembly.cpp.o.d"
+  "/root/repo/src/fem/elasticity.cpp" "src/CMakeFiles/geofem.dir/fem/elasticity.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/fem/elasticity.cpp.o.d"
+  "/root/repo/src/mesh/hex_mesh.cpp" "src/CMakeFiles/geofem.dir/mesh/hex_mesh.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/mesh/hex_mesh.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/CMakeFiles/geofem.dir/mesh/io.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/mesh/io.cpp.o.d"
+  "/root/repo/src/mesh/simple_block.cpp" "src/CMakeFiles/geofem.dir/mesh/simple_block.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/mesh/simple_block.cpp.o.d"
+  "/root/repo/src/mesh/southwest_japan.cpp" "src/CMakeFiles/geofem.dir/mesh/southwest_japan.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/mesh/southwest_japan.cpp.o.d"
+  "/root/repo/src/nonlin/alm.cpp" "src/CMakeFiles/geofem.dir/nonlin/alm.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/nonlin/alm.cpp.o.d"
+  "/root/repo/src/part/io.cpp" "src/CMakeFiles/geofem.dir/part/io.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/part/io.cpp.o.d"
+  "/root/repo/src/part/local_system.cpp" "src/CMakeFiles/geofem.dir/part/local_system.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/part/local_system.cpp.o.d"
+  "/root/repo/src/part/partition.cpp" "src/CMakeFiles/geofem.dir/part/partition.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/part/partition.cpp.o.d"
+  "/root/repo/src/perf/es_model.cpp" "src/CMakeFiles/geofem.dir/perf/es_model.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/perf/es_model.cpp.o.d"
+  "/root/repo/src/precond/bic.cpp" "src/CMakeFiles/geofem.dir/precond/bic.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/precond/bic.cpp.o.d"
+  "/root/repo/src/precond/diagonal.cpp" "src/CMakeFiles/geofem.dir/precond/diagonal.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/precond/diagonal.cpp.o.d"
+  "/root/repo/src/precond/djds_bic.cpp" "src/CMakeFiles/geofem.dir/precond/djds_bic.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/precond/djds_bic.cpp.o.d"
+  "/root/repo/src/precond/sb_bic0.cpp" "src/CMakeFiles/geofem.dir/precond/sb_bic0.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/precond/sb_bic0.cpp.o.d"
+  "/root/repo/src/precond/scalar_ic0.cpp" "src/CMakeFiles/geofem.dir/precond/scalar_ic0.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/precond/scalar_ic0.cpp.o.d"
+  "/root/repo/src/reorder/coloring.cpp" "src/CMakeFiles/geofem.dir/reorder/coloring.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/reorder/coloring.cpp.o.d"
+  "/root/repo/src/reorder/djds.cpp" "src/CMakeFiles/geofem.dir/reorder/djds.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/reorder/djds.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/CMakeFiles/geofem.dir/solver/cg.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/solver/cg.cpp.o.d"
+  "/root/repo/src/sparse/block_csr.cpp" "src/CMakeFiles/geofem.dir/sparse/block_csr.cpp.o" "gcc" "src/CMakeFiles/geofem.dir/sparse/block_csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/geofem_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_djds_precond.cpp" "tests/CMakeFiles/geofem_tests.dir/test_djds_precond.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_djds_precond.cpp.o.d"
+  "/root/repo/tests/test_eig_nonlin_core.cpp" "tests/CMakeFiles/geofem_tests.dir/test_eig_nonlin_core.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_eig_nonlin_core.cpp.o.d"
+  "/root/repo/tests/test_fem.cpp" "tests/CMakeFiles/geofem_tests.dir/test_fem.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_fem.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/geofem_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/geofem_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_precond.cpp" "tests/CMakeFiles/geofem_tests.dir/test_precond.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_precond.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/geofem_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/geofem_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/geofem_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_util_failures.cpp" "tests/CMakeFiles/geofem_tests.dir/test_util_failures.cpp.o" "gcc" "tests/CMakeFiles/geofem_tests.dir/test_util_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geofem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

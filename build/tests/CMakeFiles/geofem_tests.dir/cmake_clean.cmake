@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofem_tests.dir/test_dist.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_dist.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_djds_precond.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_djds_precond.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_eig_nonlin_core.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_eig_nonlin_core.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_fem.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_fem.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_io.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_io.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_mesh.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_mesh.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_precond.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_precond.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_reorder.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_reorder.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_sparse.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_sparse.cpp.o.d"
+  "CMakeFiles/geofem_tests.dir/test_util_failures.cpp.o"
+  "CMakeFiles/geofem_tests.dir/test_util_failures.cpp.o.d"
+  "geofem_tests"
+  "geofem_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
