@@ -12,13 +12,16 @@
 #include "precond/bic.hpp"
 #include "precond/sb_bic0.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{20, 20, 15, 20, 20}
                                            : mesh::SimpleBlockParams{10, 10, 8, 10, 10};
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
   const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, m.num_dof());
   std::cout << "== Ablation: modified vs plain (SSOR) diagonals in BIC(0)/SB-BIC(0), "
             << m.num_dof() << " DOF ==\n\n";
 
@@ -45,6 +48,7 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "ablation_modified_diag", argc, argv, {&table});
   std::cout << "\nPlain diagonals bound E_max by 1; the modified recurrence buys iterations\n"
                "for BIC(0) and is what GeoFEM ships. SB-BIC(0) is robust either way.\n";
   return 0;

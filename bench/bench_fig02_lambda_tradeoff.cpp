@@ -14,16 +14,20 @@
 #include "precond/bic.hpp"
 #include "precond/sb_bic0.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{10, 10, 8, 10, 10}
                                            : mesh::SimpleBlockParams{6, 6, 4, 6, 6};
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
   const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, m.num_dof());
   std::cout << "== Fig 2: lambda vs NR cycles vs linear iterations (ALM), " << m.num_dof()
             << " DOF ==\n\n";
 
+  std::vector<util::Table> tables;
   for (bool selective : {false, true}) {
     util::Table table({"lambda", "NR cycles", "total lin iters", "iters/cycle", "final gap"});
     std::cout << (selective ? "SB-BIC(0) inner solver:" : "BIC(0) inner solver:") << "\n";
@@ -47,6 +51,8 @@ int main() {
     }
     table.print();
     std::cout << "\n";
+    tables.push_back(std::move(table));
   }
+  bench::emit_json(reg, "fig02_lambda_tradeoff", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

@@ -14,8 +14,11 @@
 #include "perf/es_model.hpp"
 #include "precond/bic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, 0);
   const perf::EsModel sr = perf::EsModel::sr2201();
   auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
     return std::make_unique<precond::BIC0>(aii);
@@ -62,6 +65,7 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "fig05_work_ratio", argc, argv, {&table});
   std::cout << "\nLarger per-PE problems push the work ratio toward 100%, smaller ones and\n"
                "higher PE counts pull it down — the Fig 5 trend.\n";
   return 0;

@@ -20,8 +20,11 @@
 #include "reorder/djds.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, 0);
   const perf::EsModel es;
   std::cout << "== Fig 15: storage format / reordering vs modeled ES GFLOPS (1 SMP node) ==\n\n";
 
@@ -89,5 +92,6 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "fig15_storage_formats", argc, argv, {&table});
   return 0;
 }

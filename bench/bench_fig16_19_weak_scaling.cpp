@@ -20,8 +20,11 @@
 #include "reorder/coloring.hpp"
 #include "reorder/djds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, 0);
   const perf::EsModel es;
   const int e = bench::paper_scale() ? 14 : 10;  // per-SMP-node cube edge
   std::cout << "== Figs 16-19: weak scaling, hybrid vs flat MPI, ICCG(0), "
@@ -91,6 +94,7 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "fig16_19_weak_scaling", argc, argv, {&table});
   std::cout << "\nHybrid: fewer iterations and fewer MPI processes (better at scale);\n"
                "flat MPI: no OpenMP sync overhead (slightly better GFLOPS on few nodes).\n";
   return 0;

@@ -16,11 +16,13 @@
 #include "perf/es_model.hpp"
 #include "precond/bic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const perf::EsModel es;
   const int n = bench::paper_scale() ? 24 : 16;
   const mesh::HexMesh m = mesh::unit_cube(n, n, n);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
   fem::System sys = fem::assemble_elasticity(m, {{1.0, 0.3}});
   fem::BoundaryConditions bc;
   bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
@@ -57,6 +59,8 @@ int main() {
                util::Table::fmt(100.0 * tb.comm_bandwidth / total, 1)});
   }
   table.print();
+  bench::describe_problem(reg, sys.a.ndof());
+  bench::emit_json(reg, "fig20_comm_model", argc, argv, {&table});
   std::cout << "\nThe latency share grows with the processor count (paper: latency dominates\n"
                "on large counts 'simply due to the available bandwidth being much larger').\n";
   return 0;

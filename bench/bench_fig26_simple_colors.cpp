@@ -12,15 +12,19 @@
 
 #include "color_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{24, 24, 14, 24, 24}
                                            : mesh::SimpleBlockParams{12, 12, 8, 12, 12};
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
   const fem::System sys = bench::assemble(m, bc, 1e6);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, sys.a.ndof(), 1e6);
   std::cout << "== Fig 26: color-count sweep, simple block model, " << sys.a.ndof()
             << " DOF, 1 SMP node, lambda=1e6 ==\n\n";
-  bench::color_sweep_report(m, sys, 1, {5, 10, 20, 50, 100});
+  const auto tables = bench::color_sweep_report(m, sys, 1, {5, 10, 20, 50, 100});
+  bench::emit_json(reg, "fig26_simple_colors", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "color_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   mesh::SouthwestJapanParams params;
   if (bench::paper_scale()) {
@@ -19,10 +19,14 @@ int main() {
   const mesh::HexMesh m = mesh::southwest_japan_like(params);
   const auto bc = bench::swjapan_bc(m);
   const fem::System sys = bench::assemble(m, bc, 1e6);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, sys.a.ndof(), 1e6);
   const auto q = mesh::mesh_quality(m);
   std::cout << "== Fig 27: color-count sweep, Southwest-Japan-like model, " << sys.a.ndof()
             << " DOF, 1 SMP node, lambda=1e6 ==\n(min corner Jacobian " << q.min_jacobian
             << ", max aspect " << q.max_aspect << ")\n\n";
-  bench::color_sweep_report(m, sys, 1, {10, 20, 50, 100});
+  const auto tables = bench::color_sweep_report(m, sys, 1, {10, 20, 50, 100});
+  bench::emit_json(reg, "fig27_swjapan_colors", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

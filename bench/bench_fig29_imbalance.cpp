@@ -11,7 +11,8 @@
 
 namespace {
 
-void report(const char* title, const geofem::mesh::HexMesh& m, const geofem::fem::System& sys) {
+geofem::util::Table report(const char* title, const geofem::mesh::HexMesh& m,
+                           const geofem::fem::System& sys) {
   using namespace geofem;
   std::cout << title << ":\n";
   util::Table table({"colors", "load imbalance %", "dummy components %", "avg vec len"});
@@ -25,24 +26,30 @@ void report(const char* title, const geofem::mesh::HexMesh& m, const geofem::fem
   }
   table.print();
   std::cout << "\n";
+  return table;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  std::vector<util::Table> tables;
   {
     const auto params = bench::table2_block();
     const mesh::HexMesh m = mesh::simple_block(params);
     const fem::System sys = bench::assemble(m, bench::simple_block_bc(m), 1e6);
+    bench::describe_problem(reg, sys.a.ndof(), 1e6);
     std::cout << "== Fig 29: load imbalance & dummy components vs colors, " << sys.a.ndof()
               << " DOF ==\n\n";
-    report("simple block model", m, sys);
+    tables.push_back(report("simple block model", m, sys));
   }
   {
     const mesh::HexMesh m = mesh::southwest_japan_like(bench::tableA3_swjapan());
     const fem::System sys = bench::assemble(m, bench::swjapan_bc(m), 1e6);
-    report("Southwest-Japan-like model", m, sys);
+    tables.push_back(report("Southwest-Japan-like model", m, sys));
   }
+  bench::emit_json(reg, "fig29_imbalance", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

@@ -8,17 +8,22 @@
 
 #include "color_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  std::vector<util::Table> tables;
   {
     const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{20, 20, 12, 20, 20}
                                              : mesh::SimpleBlockParams{12, 12, 8, 12, 12};
     const mesh::HexMesh m = mesh::simple_block(params);
     const auto bc = bench::simple_block_bc(m);
     const fem::System sys = bench::assemble(m, bc, 1e6);
+    bench::describe_problem(reg, sys.a.ndof(), 1e6);
     std::cout << "== Fig 30: simple block model, " << sys.a.ndof()
               << " DOF, 10 SMP nodes, lambda=1e6 ==\n\n";
-    bench::color_sweep_report(m, sys, 10, {10, 30, 100});
+    for (auto& t : bench::color_sweep_report(m, sys, 10, {10, 30, 100}))
+      tables.push_back(std::move(t));
   }
   {
     mesh::SouthwestJapanParams params;
@@ -31,7 +36,11 @@ int main() {
     const fem::System sys = bench::assemble(m, bc, 1e6);
     std::cout << "== Fig 31: Southwest-Japan-like model, " << sys.a.ndof()
               << " DOF, 10 SMP nodes, lambda=1e6 ==\n\n";
-    bench::color_sweep_report(m, sys, 10, {10, 30, 100});
+    for (auto& t : bench::color_sweep_report(m, sys, 10, {10, 30, 100}))
+      tables.push_back(std::move(t));
   }
+  std::vector<const util::Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  bench::emit_json(reg, "fig30_31_ten_nodes", argc, argv, ptrs);
   return 0;
 }

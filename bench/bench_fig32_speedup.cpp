@@ -9,8 +9,10 @@
 
 #include "color_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
   // The paper runs 10.2M DOF (127k DOF per PE); at laptop scale the per-PE
   // loop lengths are far below the vector machine's n_half, so the modeled
   // parallel efficiency saturates much earlier than the paper's 74-86% —
@@ -20,9 +22,11 @@ int main() {
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
   const fem::System sys = bench::assemble(m, bc, 1e6);
+  bench::describe_problem(reg, sys.a.ndof(), 1e6);
   std::cout << "== Fig 32: speed-up 1..10 SMP nodes, simple block model, " << sys.a.ndof()
             << " DOF, lambda=1e6 ==\n\n";
 
+  std::vector<util::Table> tables;
   for (int colors : {13, 30}) {
     std::cout << colors << " colors:\n";
     util::Table table({"SMP nodes", "model", "PE#", "iters", "modeled sec", "speed-up",
@@ -41,6 +45,8 @@ int main() {
     }
     table.print();
     std::cout << "\n";
+    tables.push_back(std::move(table));
   }
+  bench::emit_json(reg, "fig32_speedup", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "contact/penalty.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/simple_block.hpp"
+#include "obs/obs.hpp"
 #include "precond/bic.hpp"
 #include "precond/djds_bic.hpp"
 #include "precond/sb_bic0.hpp"
@@ -107,6 +108,59 @@ void BM_FactorSBBIC0(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FactorSBBIC0);
+
+// -- telemetry overhead ------------------------------------------------------
+// The hot kernels above run with no registry attached; these quantify what
+// that costs. With no registry, a ScopedSpan is one thread-local load and a
+// null check; BM_SpmvDJDS vs BM_SpmvDJDSTelemetryOff must be indistinguishable.
+
+void BM_SpanDisabled(benchmark::State& state) {
+  geofem::obs::Attach detach(nullptr);
+  for (auto _ : state) {
+    geofem::obs::ScopedSpan span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  geofem::obs::Registry reg;
+  geofem::obs::Attach attach(&reg);
+  for (auto _ : state) {
+    geofem::obs::ScopedSpan span("bench.enabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterHandleAdd(benchmark::State& state) {
+  geofem::obs::Registry reg;
+  geofem::obs::Counter* c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c->add(1);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CounterHandleAdd);
+
+void BM_SpmvDJDSTelemetryOff(benchmark::State& state) {
+  geofem::obs::Attach detach(nullptr);
+  const auto& f = fixture();
+  const auto g = geofem::sparse::graph_of(f.sys.a);
+  const auto q = geofem::reorder::quotient_graph(g, f.sn.node_to_super, f.sn.count());
+  const auto col =
+      geofem::reorder::lift_coloring(geofem::reorder::multicolor(q, 20), f.sn.node_to_super,
+                                     f.sys.a.n);
+  const geofem::reorder::DJDSMatrix dj(f.sys.a, col, &f.sn, {});
+  std::vector<double> x(f.sys.a.ndof(), 1.0), y(x.size());
+  for (auto _ : state) {
+    geofem::obs::ScopedSpan span("bench.spmv");
+    dj.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.sys.a.nnz_blocks());
+}
+BENCHMARK(BM_SpmvDJDSTelemetryOff);
 
 }  // namespace
 

@@ -15,7 +15,7 @@
 #include "perf/es_model.hpp"
 #include "precond/bic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const int n = bench::paper_scale() ? 32 : 20;  // paper: 44^3 nodes
   const mesh::HexMesh m = mesh::unit_cube(n, n, n);
@@ -24,6 +24,9 @@ int main() {
   bc.fix_nodes(m.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
   bc.surface_load(m, [](double, double, double z) { return z == 1.0; }, 2, -1.0);
   fem::apply_boundary_conditions(sys, bc);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, sys.a.ndof());
   std::cout << "== Table 1: localized BIC(0) CG on the homogeneous cube, " << sys.a.ndof()
             << " DOF ==\n(paper: 3x44^3 = 255,552 DOF; iterations +34% from 1 to 64 PEs)\n\n";
 
@@ -59,5 +62,6 @@ int main() {
                util::Table::fmt(msgs, 1)});
   }
   table.print();
+  bench::emit_json(reg, "table01_localized_ic0", argc, argv, {&table});
   return 0;
 }

@@ -19,7 +19,7 @@
 #include "common.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::table2_block();
   const mesh::HexMesh m = mesh::simple_block(params);
@@ -27,6 +27,10 @@ int main() {
   const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
   std::cout << "== Table 2: preconditioner comparison, simple block model, " << m.num_dof()
             << " DOF ==\n\n";
+
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, m.num_dof());
 
   util::Table table(
       {"precond", "lambda", "iters", "setup(s)", "solve(s)", "total(s)", "s/iter", "mem MB"});
@@ -42,6 +46,17 @@ int main() {
       opt.max_iterations = 3000;
       const auto res = solver::pcg(sys.a, *prec, sys.b, x, opt);
       const double mem = (sys.a.memory_bytes() + prec->memory_bytes()) / 1.0e6;
+
+      // per-configuration metrics: "<precond>/lambda=1e+02" namespace
+      const std::string key = prec->name() + "/lambda=" + util::Table::sci(lambda, 0);
+      reg.counter(key + "/iterations")->add(static_cast<std::uint64_t>(res.iterations));
+      reg.counter(key + "/flops_total")->add(res.flops.total());
+      reg.gauge(key + "/converged")->set(res.converged ? 1.0 : 0.0);
+      reg.gauge(key + "/setup_seconds")->set(setup);
+      reg.gauge(key + "/solve_seconds")->set(res.solve_seconds);
+      reg.gauge(key + "/avg_vector_length")->set(res.loops.average());
+      reg.gauge(key + "/memory_mb")->set(mem);
+
       table.row({prec->name(), util::Table::sci(lambda, 0),
                  res.converged ? std::to_string(res.iterations) : "no conv.",
                  util::Table::fmt(setup, 2), util::Table::fmt(res.solve_seconds, 2),
@@ -51,5 +66,6 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "table02_precond_comparison", argc, argv, {&table});
   return 0;
 }

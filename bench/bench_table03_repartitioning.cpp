@@ -12,11 +12,14 @@
 #include "precond/bic.hpp"
 #include "precond/sb_bic0.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::table2_block();
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, m.num_dof());
   std::cout << "== Table 3: original vs contact-aware partitioning, 8 domains, " << m.num_dof()
             << " DOF ==\n\n";
 
@@ -58,6 +61,7 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json(reg, "table03_repartitioning", argc, argv, {&table});
   std::cout << "\n(Wall-clock seconds are oversubscribed-host times; the shape that matters is\n"
                "the iteration blow-up with cut contact groups and its recovery.)\n";
   return 0;

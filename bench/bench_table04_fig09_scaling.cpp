@@ -22,13 +22,16 @@
 #include "precond/bic.hpp"
 #include "precond/sb_bic0.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
   const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{35, 35, 20, 35, 35}
                                            : mesh::SimpleBlockParams{16, 16, 10, 16, 16};
   const mesh::HexMesh m = mesh::simple_block(params);
   const auto bc = bench::simple_block_bc(m);
   const fem::System sys = bench::assemble(m, bc, 1e6);
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, sys.a.ndof(), 1e6);
   std::cout << "== Table 4 / Fig 9: scaling of preconditioned CG, contact-aware partitions, "
             << sys.a.ndof() << " DOF, lambda=1e6 ==\n\n";
 
@@ -44,6 +47,7 @@ int main() {
                                          ? std::vector<int>{16, 32, 64, 128, 256}
                                          : std::vector<int>{16, 32, 64};
 
+  std::vector<util::Table> tables;
   for (const Kind& kind : kinds) {
     auto factory = [&](const part::LocalSystem& ls,
                        const sparse::BlockCSR& aii) -> precond::PreconditionerPtr {
@@ -82,6 +86,10 @@ int main() {
     std::cout << kind.name << ":\n";
     table.print();
     std::cout << "\n";
+    tables.push_back(std::move(table));
   }
+  std::vector<const util::Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  bench::emit_json(reg, "table04_fig09_scaling", argc, argv, ptrs);
   return 0;
 }

@@ -16,8 +16,8 @@
 
 namespace {
 
-void report(const char* title, const geofem::mesh::HexMesh& m,
-            const geofem::fem::BoundaryConditions& bc) {
+geofem::util::Table report(const char* title, const geofem::mesh::HexMesh& m,
+                           const geofem::fem::BoundaryConditions& bc) {
   using namespace geofem;
   const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
   std::cout << title << " (" << m.num_dof() << " DOF):\n";
@@ -39,21 +39,27 @@ void report(const char* title, const geofem::mesh::HexMesh& m,
   }
   table.print();
   std::cout << "\n";
+  return table;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  std::vector<util::Table> tables;
   {
     const mesh::HexMesh m = mesh::simple_block(bench::table2_block());
+    bench::describe_problem(reg, m.num_dof());
     std::cout << "== Table A.1: robustness vs lambda, simple block model ==\n\n";
-    report("simple block", m, bench::simple_block_bc(m));
+    tables.push_back(report("simple block", m, bench::simple_block_bc(m)));
   }
   {
     const mesh::HexMesh m = mesh::southwest_japan_like(bench::tableA3_swjapan());
     std::cout << "== Table A.3: robustness vs lambda, Southwest-Japan-like model ==\n\n";
-    report("Southwest-Japan-like", m, bench::swjapan_bc(m));
+    tables.push_back(report("Southwest-Japan-like", m, bench::swjapan_bc(m)));
   }
+  bench::emit_json(reg, "tableA1_A3_robustness", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

@@ -15,7 +15,8 @@
 
 namespace {
 
-void report(const geofem::mesh::HexMesh& m, const geofem::fem::BoundaryConditions& bc) {
+geofem::util::Table report(const geofem::mesh::HexMesh& m,
+                           const geofem::fem::BoundaryConditions& bc) {
   using namespace geofem;
   const auto sn = contact::build_supernodes(m.num_nodes(), m.contact_groups);
   util::Table table({"precond", "lambda", "E_min", "E_max", "kappa"});
@@ -32,21 +33,26 @@ void report(const geofem::mesh::HexMesh& m, const geofem::fem::BoundaryCondition
   }
   table.print();
   std::cout << "\n";
+  return table;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace geofem;
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  std::vector<util::Table> tables;
   {
     // Lanczos needs many matvecs; quarter-size models keep this bench quick
     // while preserving the lambda-dependence signature.
     const auto params = bench::paper_scale() ? mesh::SimpleBlockParams{20, 20, 15, 20, 20}
                                              : mesh::SimpleBlockParams{8, 8, 6, 8, 8};
     const mesh::HexMesh m = mesh::simple_block(params);
+    bench::describe_problem(reg, m.num_dof());
     std::cout << "== Table A.2: spectrum of M^-1 A vs lambda, simple block model ("
               << m.num_dof() << " DOF) ==\n\n";
-    report(m, bench::simple_block_bc(m));
+    tables.push_back(report(m, bench::simple_block_bc(m)));
   }
   {
     mesh::SouthwestJapanParams params;
@@ -62,7 +68,8 @@ int main() {
     const mesh::HexMesh m = mesh::southwest_japan_like(params);
     std::cout << "== Table A.4: spectrum of M^-1 A vs lambda, Southwest-Japan-like model ("
               << m.num_dof() << " DOF) ==\n\n";
-    report(m, bench::swjapan_bc(m));
+    tables.push_back(report(m, bench::swjapan_bc(m)));
   }
+  bench::emit_json(reg, "tableA2_A4_eigen", argc, argv, {&tables[0], &tables[1]});
   return 0;
 }

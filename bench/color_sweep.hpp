@@ -96,10 +96,15 @@ inline SweepRow run_color_point(const geofem::mesh::HexMesh& m, const geofem::fe
   return {colors, res.iterations, avg_len, elapsed, perf::gflops(total_flops, elapsed)};
 }
 
-inline void color_sweep_report(const geofem::mesh::HexMesh& m, const geofem::fem::System& sys,
-                               int smp_nodes, const std::vector<int>& color_counts) {
+/// Prints one table per programming model and returns them (hybrid first) so
+/// callers can feed bench::emit_json.
+inline std::vector<geofem::util::Table> color_sweep_report(const geofem::mesh::HexMesh& m,
+                                                           const geofem::fem::System& sys,
+                                                           int smp_nodes,
+                                                           const std::vector<int>& color_counts) {
   using geofem::util::Table;
   const double peak = smp_nodes * 8 * 8.0;  // GFLOPS
+  std::vector<Table> tables;
   for (bool hybrid : {true, false}) {
     std::cout << (hybrid ? "hybrid (1 rank/SMP node, 8 PE chunks):"
                          : "flat MPI (8 ranks/SMP node):")
@@ -114,7 +119,9 @@ inline void color_sweep_report(const geofem::mesh::HexMesh& m, const geofem::fem
     }
     table.print();
     std::cout << "\n";
+    tables.push_back(std::move(table));
   }
+  return tables;
 }
 
 }  // namespace bench

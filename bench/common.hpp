@@ -8,14 +8,22 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "contact/penalty.hpp"
 #include "core/geofem.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/simple_block.hpp"
 #include "mesh/southwest_japan.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace bench {
 
@@ -78,5 +86,79 @@ inline geofem::fem::System assemble(const geofem::mesh::HexMesh& m,
 }
 
 inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+// ---------------------------------------------------------------------------
+// Machine-readable telemetry (DESIGN.md "Telemetry"). Every bench binary
+// creates one obs::Registry, attaches it (so library spans/metrics land
+// there), stamps problem metadata via describe_problem(), and calls
+// emit_json() after printing its table. Output is off unless requested:
+//   GEOFEM_BENCH_JSON=1  -> write BENCH_<name>.json in the working directory
+//   --json <path>        -> write to <path> (takes precedence)
+// GEOFEM_BENCH_TRACE=1 additionally writes BENCH_<name>.trace.json, a Chrome
+// trace_event file loadable in chrome://tracing or ui.perfetto.dev.
+// ---------------------------------------------------------------------------
+
+/// Problem metadata every report carries (the paper's experiment context).
+inline void describe_problem(geofem::obs::Registry& reg, std::int64_t dof, double lambda = 0.0) {
+  reg.set_meta("dof", static_cast<double>(dof));
+  if (lambda > 0.0) reg.set_meta("lambda", lambda);
+  reg.set_meta("scale", paper_scale() ? "paper" : "small");
+#ifdef _OPENMP
+  reg.set_meta("threads", static_cast<double>(omp_get_max_threads()));
+#else
+  reg.set_meta("threads", static_cast<double>(std::thread::hardware_concurrency()));
+#endif
+}
+
+inline std::string json_output_path(const std::string& bench_name, int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  const char* e = std::getenv("GEOFEM_BENCH_JSON");
+  if (e && *e && std::string(e) != "0") return "BENCH_" + bench_name + ".json";
+  return "";
+}
+
+/// Tables are embedded verbatim (cells as strings, keyed by header) so every
+/// paper table/figure the bench prints is also machine-readable.
+inline void emit_json(const geofem::obs::Registry& reg, const std::string& bench_name, int argc,
+                      char** argv, const std::vector<const geofem::util::Table*>& tables = {}) {
+  namespace obs = geofem::obs;
+  const obs::Snapshot snap = reg.snapshot();
+
+  const std::string path = json_output_path(bench_name, argc, argv);
+  if (!path.empty()) {
+    obs::json::Value doc = obs::metrics_json(snap);
+    doc["bench"] = bench_name;
+    obs::json::Value& tabs = (doc["tables"] = obs::json::Value::array());
+    for (const auto* t : tables) {
+      obs::json::Value tab = obs::json::Value::array();
+      for (const auto& row : t->rows()) {
+        obs::json::Value r = obs::json::Value::object();
+        for (std::size_t c = 0; c < t->headers().size() && c < row.size(); ++c)
+          r[t->headers()[c]] = row[c];
+        tab.push(std::move(r));
+      }
+      tabs.push(std::move(tab));
+    }
+    try {
+      obs::write_file(doc, path);
+      std::cout << "\n[bench] wrote " << path << "\n";
+    } catch (const std::exception& e) {
+      // a bad --json path must not abort after the tables already printed
+      std::cerr << "[bench] " << e.what() << "\n";
+    }
+  }
+
+  const char* tr = std::getenv("GEOFEM_BENCH_TRACE");
+  if (tr && *tr && std::string(tr) != "0") {
+    const std::string tpath = "BENCH_" + bench_name + ".trace.json";
+    try {
+      obs::write_file(obs::chrome_trace_json(snap), tpath);
+      std::cout << "[bench] wrote " << tpath << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "[bench] " << e.what() << "\n";
+    }
+  }
+}
 
 }  // namespace bench

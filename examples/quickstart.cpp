@@ -10,6 +10,7 @@
 
 #include "core/geofem.hpp"
 #include "mesh/simple_block.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace geofem;
@@ -36,6 +37,11 @@ int main(int argc, char** argv) {
   cfg.precond = core::PrecondKind::kSBBIC0;
   cfg.penalty = 1e6;
 
+  // Telemetry: any registry attached to the thread collects trace spans and
+  // metrics from everything solve() does underneath.
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+
   const core::SolveReport rep = core::solve(m, {{1.0, 0.3}}, bc, cfg);
 
   std::cout << "preconditioner: " << rep.precond_name << "\n"
@@ -50,5 +56,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < m.num_nodes(); ++i)
     max_uz = std::min(max_uz, rep.solution[static_cast<std::size_t>(i) * 3 + 2]);
   std::cout << "max settlement: " << max_uz << "\n";
+
+  std::cout << "\nwhere the time went (trace spans):\n";
+  obs::write_span_tree(reg.snapshot(), std::cout);
   return rep.cg.converged ? 0 : 1;
 }

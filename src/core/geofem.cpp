@@ -1,5 +1,6 @@
 #include "core/geofem.hpp"
 
+#include "obs/span.hpp"
 #include "precond/bic.hpp"
 #include "precond/diagonal.hpp"
 #include "precond/djds_bic.hpp"
@@ -48,12 +49,17 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
                          const SolveConfig& cfg) {
   SolveReport rep;
   rep.matrix_bytes = sys.a.memory_bytes();
+  obs::Registry* reg = obs::current();
+  // setup span closed (span_end) where setup_seconds is read, in each branch
+  const std::size_t setup_idx = reg ? reg->span_begin("core.setup") : 0;
   const auto sn = contact::build_supernodes(sys.a.n, groups);
   util::Timer setup;
 
   if (cfg.ordering == OrderingKind::kNatural) {
     auto prec = make_preconditioner(cfg.precond, sys.a, sn);
     rep.setup_seconds = setup.seconds();
+    if (reg) reg->span_end(setup_idx);
+    if (reg) reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
     rep.precond_bytes = prec->memory_bytes();
     rep.precond_name = prec->name();
     rep.solution.assign(sys.a.ndof(), 0.0);
@@ -84,12 +90,19 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
   reorder::DJDSMatrix dj(sys.a, coloring, selective ? &sn : nullptr, opt);
   precond::DJDSBIC prec(sys.a, dj);
   rep.setup_seconds = setup.seconds();
+  if (reg) reg->span_end(setup_idx);
   rep.precond_bytes = prec.memory_bytes();
   rep.precond_name = prec.name();
   rep.avg_vector_length = dj.average_vector_length();
   rep.load_imbalance_percent = dj.load_imbalance_percent();
   rep.dummy_percent = dj.dummy_percent();
   rep.colors_used = dj.num_colors();
+  if (reg) {
+    reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
+    reg->gauge("core.avg_vector_length")->set(rep.avg_vector_length);
+    reg->gauge("core.load_imbalance_percent")->set(rep.load_imbalance_percent);
+    reg->gauge("core.colors_used")->set(rep.colors_used);
+  }
 
   // solve in the new ordering, permute back
   std::vector<double> pb(sys.a.ndof()), px(sys.a.ndof(), 0.0);

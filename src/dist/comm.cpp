@@ -3,9 +3,17 @@
 #include <exception>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace geofem::dist {
+
+void export_traffic(const TrafficStats& t, obs::Registry& reg) {
+  reg.counter("comm.messages_sent")->add(t.messages_sent);
+  reg.counter("comm.bytes_sent")->add(t.bytes_sent);
+  reg.counter("comm.allreduces")->add(t.allreduces);
+  reg.counter("comm.barriers")->add(t.barriers);
+}
 
 void Comm::send(int to, int tag, std::span<const double> data) {
   GEOFEM_CHECK(to >= 0 && to < size_, "send: bad destination rank");

@@ -9,6 +9,10 @@
 #include <span>
 #include <vector>
 
+namespace geofem::obs {
+class Registry;
+}  // namespace geofem::obs
+
 namespace geofem::dist {
 
 /// Per-rank traffic accounting, consumed by the Earth Simulator performance
@@ -19,6 +23,10 @@ struct TrafficStats {
   std::uint64_t allreduces = 0;
   std::uint64_t barriers = 0;
 };
+
+/// Feed the traffic counters into a telemetry registry as
+/// comm.{messages_sent,bytes_sent,allreduces,barriers}.
+void export_traffic(const TrafficStats& t, obs::Registry& reg);
 
 class Runtime;
 

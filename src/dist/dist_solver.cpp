@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -82,12 +83,31 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     const std::size_t ni = static_cast<std::size_t>(ls.num_internal) * 3;
     const std::size_t nl = static_cast<std::size_t>(ls.num_local()) * 3;
 
-    // localized preconditioner on the internal submatrix
+    // Per-rank telemetry: each rank owns a registry for the duration of the
+    // solve; snapshots are gathered to rank 0 below. Attaching it also routes
+    // the factory's preconditioner set-up spans here.
+    obs::Registry rank_reg;
+    obs::Attach attach(opt.telemetry ? &rank_reg : nullptr);
+    if (opt.telemetry) {
+      rank_reg.set_meta("rank", static_cast<double>(comm.rank()));
+      rank_reg.set_meta("internal_dof", static_cast<double>(ni));
+      rank_reg.set_meta("local_dof", static_cast<double>(nl));
+    }
+
+    // localized preconditioner on the internal submatrix (aii must outlive
+    // prec: preconditioners keep a reference to their matrix)
     util::Timer setup;
     const sparse::BlockCSR aii = ls.internal_matrix();
-    precond::PreconditionerPtr prec = factory(ls, aii);
+    precond::PreconditionerPtr prec;
+    {
+      obs::ScopedSpan setup_span("dist.setup");
+      prec = factory(ls, aii);
+    }
     setup_seconds[static_cast<std::size_t>(comm.rank())] = setup.seconds();
     res.precond_bytes_per_rank[static_cast<std::size_t>(comm.rank())] = prec->memory_bytes();
+    const std::size_t solve_span =
+        opt.telemetry ? rank_reg.span_begin("dist.solve") : std::size_t{0};
+    util::Timer solve_timer;
 
     std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
     std::vector<double> r(ni), z(ni), q(ni);
@@ -128,6 +148,25 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     }
     iters[static_cast<std::size_t>(comm.rank())] = it;
     relres[static_cast<std::size_t>(comm.rank())] = rnorm / bnorm;
+
+    if (opt.telemetry) {
+      rank_reg.span_end(solve_span);
+      rank_reg.counter("dist.iterations")->add(static_cast<std::uint64_t>(it));
+      rank_reg.gauge("dist.setup_seconds")
+          ->set(setup_seconds[static_cast<std::size_t>(comm.rank())]);
+      rank_reg.gauge("dist.solve_seconds")->set(solve_timer.seconds());
+      rank_reg.gauge("dist.precond_bytes")->set(static_cast<double>(prec->memory_bytes()));
+      rank_reg.absorb("dist", *fc);
+      rank_reg.absorb("dist", *lp);
+      // traffic up to this point; the telemetry gather itself is not counted
+      export_traffic(comm.traffic(), rank_reg);
+      const std::vector<double> blob = encode(rank_reg.snapshot());
+      const std::vector<double> gathered = comm.gather(0, blob);
+      if (comm.rank() == 0) {
+        res.obs_per_rank = obs::decode_all(gathered);
+        res.obs_merged = obs::aggregate(res.obs_per_rank);
+      }
+    }
 
     if (x_global) {
       for (int l = 0; l < ls.num_internal; ++l) {

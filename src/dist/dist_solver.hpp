@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "dist/comm.hpp"
+#include "obs/registry.hpp"
 #include "part/local_system.hpp"
 #include "precond/preconditioner.hpp"
 #include "solver/cg.hpp"
@@ -19,6 +20,10 @@ using PrecondFactory = std::function<precond::PreconditionerPtr(const part::Loca
 struct DistOptions {
   double tolerance = 1e-8;
   int max_iterations = 20000;
+  /// Collect per-rank telemetry registries and gather them to rank 0
+  /// (DistResult::obs_per_rank / obs_merged). Coarse-grained — spans wrap
+  /// set-up and the whole solve, not individual iterations.
+  bool telemetry = true;
 };
 
 struct DistResult {
@@ -31,6 +36,11 @@ struct DistResult {
   std::vector<util::LoopStats> loops_per_rank;
   std::vector<TrafficStats> traffic_per_rank;
   std::vector<std::size_t> precond_bytes_per_rank;
+  /// Telemetry (empty when DistOptions::telemetry is off): every rank's
+  /// registry snapshot, serialized through Comm::gather to rank 0, and the
+  /// min/max/mean merge — the paper's per-PE load-imbalance view (Fig 29).
+  std::vector<obs::Snapshot> obs_per_rank;
+  obs::MergedReport obs_merged;
 
   [[nodiscard]] util::FlopCounter total_flops() const {
     util::FlopCounter t;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "contact/penalty.hpp"
+#include "obs/span.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 
@@ -14,11 +15,18 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
                                  const PrecondBuilder& builder, const ALMOptions& opt) {
   GEOFEM_CHECK(opt.lambda > 0.0, "ALM needs a positive penalty");
 
+  obs::Registry* reg = obs::current();
+  obs::ScopedSpan alm_span(reg, "alm.solve");
+
   // Penalized, boundary-conditioned operator (fixed across cycles: tied
   // contact keeps the active set constant; what changes is the multiplier).
-  fem::System sys = fem::assemble_elasticity(m, materials);
-  contact::add_penalty(sys.a, m.contact_groups, opt.lambda);
-  fem::apply_boundary_conditions(sys, bc);
+  fem::System sys = [&] {
+    obs::ScopedSpan s(reg, "alm.assemble");
+    fem::System out = fem::assemble_elasticity(m, materials);
+    contact::add_penalty(out.a, m.contact_groups, opt.lambda);
+    fem::apply_boundary_conditions(out, bc);
+    return out;
+  }();
   const std::size_t n = sys.a.ndof();
 
   // free/fixed mask (multiplier forces only act on free DOFs)
@@ -40,6 +48,7 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
   std::vector<double> mu(pairs.size() * 3, 0.0), rhs(n);
 
   for (int cycle = 0; cycle < opt.max_cycles; ++cycle) {
+    obs::ScopedSpan cycle_span(reg, "alm.cycle");
     // rhs = b - B' mu  (masked on fixed DOFs)
     sparse::copy(sys.b, rhs);
     for (std::size_t p = 0; p < pairs.size(); ++p) {
@@ -75,6 +84,13 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
       res.converged = true;
       break;
     }
+  }
+
+  if (reg) {
+    reg->counter("alm.cycles")->add(static_cast<std::uint64_t>(res.cycles));
+    reg->counter("alm.inner_iterations")
+        ->add(static_cast<std::uint64_t>(res.total_inner_iterations()));
+    reg->gauge("alm.final_gap")->set(res.gap_history.empty() ? 0.0 : res.gap_history.back());
   }
   return res;
 }

@@ -1,0 +1,175 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace geofem::obs {
+
+namespace {
+
+void add_trace_events(json::Value& events, const Snapshot& s, int pid) {
+  for (const auto& sp : s.spans) {
+    json::Value ev = json::Value::object();
+    ev["name"] = sp.name;
+    ev["cat"] = "geofem";
+    ev["ph"] = "X";
+    ev["ts"] = sp.start_us;
+    ev["dur"] = sp.dur_us < 0.0 ? 0.0 : sp.dur_us;  // still-open spans clamp to 0
+    ev["pid"] = pid;
+    ev["tid"] = sp.tid;
+    events.push(std::move(ev));
+  }
+}
+
+json::Value trace_document() {
+  json::Value doc = json::Value::object();
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = json::Value::array();
+  return doc;
+}
+
+json::Value meta_object(const Snapshot& s) {
+  json::Value meta = json::Value::object();
+  for (const auto& [k, v] : s.meta_strings) meta[k] = v;
+  for (const auto& [k, v] : s.meta_numbers) meta[k] = v;
+  return meta;
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+};
+
+std::map<std::string, SpanAgg> aggregate_spans(const Snapshot& s) {
+  std::map<std::string, SpanAgg> agg;
+  for (const auto& sp : s.spans) {
+    SpanAgg& a = agg[sp.name];
+    ++a.count;
+    if (sp.dur_us > 0.0) a.total_us += sp.dur_us;
+  }
+  return agg;
+}
+
+json::Value stat_object(const MetricStat& st) {
+  json::Value v = json::Value::object();
+  v["min"] = st.min;
+  v["max"] = st.max;
+  v["mean"] = st.mean;
+  v["sum"] = st.sum;
+  v["ranks"] = st.ranks;
+  return v;
+}
+
+}  // namespace
+
+json::Value chrome_trace_json(const Snapshot& s, int pid) {
+  json::Value doc = trace_document();
+  add_trace_events(doc["traceEvents"], s, pid);
+  return doc;
+}
+
+json::Value chrome_trace_json(std::span<const Snapshot> per_rank) {
+  json::Value doc = trace_document();
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    add_trace_events(doc["traceEvents"], per_rank[r], static_cast<int>(r));
+  return doc;
+}
+
+json::Value metrics_json(const Snapshot& s) {
+  json::Value doc = json::Value::object();
+  doc["schema_version"] = kMetricsSchemaVersion;
+  doc["meta"] = meta_object(s);
+  json::Value& counters = (doc["counters"] = json::Value::object());
+  for (const auto& [name, v] : s.counters) counters[name] = v;
+  json::Value& gauges = (doc["gauges"] = json::Value::object());
+  for (const auto& [name, v] : s.gauges) gauges[name] = v;
+  json::Value& spans = (doc["spans"] = json::Value::object());
+  for (const auto& [name, a] : aggregate_spans(s)) {
+    json::Value& sp = (spans[name] = json::Value::object());
+    sp["count"] = a.count;
+    sp["total_seconds"] = a.total_us * 1e-6;
+  }
+  return doc;
+}
+
+json::Value metrics_json(std::span<const Snapshot> per_rank, const MergedReport& merged) {
+  json::Value doc = json::Value::object();
+  doc["schema_version"] = kMetricsSchemaVersion;
+  doc["ranks"] = merged.ranks;
+  if (!per_rank.empty()) doc["meta"] = meta_object(per_rank[0]);
+  json::Value& counters = (doc["counters"] = json::Value::object());
+  for (const auto& [name, st] : merged.counters) counters[name] = stat_object(st);
+  json::Value& gauges = (doc["gauges"] = json::Value::object());
+  for (const auto& [name, st] : merged.gauges) gauges[name] = stat_object(st);
+  json::Value& ranks = (doc["per_rank"] = json::Value::array());
+  for (const Snapshot& s : per_rank) {
+    json::Value one = json::Value::object();
+    json::Value& c = (one["counters"] = json::Value::object());
+    for (const auto& [name, v] : s.counters) c[name] = v;
+    json::Value& g = (one["gauges"] = json::Value::object());
+    for (const auto& [name, v] : s.gauges) g[name] = v;
+    ranks.push(std::move(one));
+  }
+  return doc;
+}
+
+void write_span_tree(const Snapshot& s, std::ostream& os) {
+  // children lists per span (index -1 = virtual root)
+  std::vector<std::vector<std::size_t>> children(s.spans.size() + 1);
+  for (std::size_t i = 0; i < s.spans.size(); ++i) {
+    const std::int64_t p = s.spans[i].parent;
+    children[p < 0 ? s.spans.size() : static_cast<std::size_t>(p)].push_back(i);
+  }
+
+  struct Group {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    std::vector<std::size_t> members;
+  };
+
+  // group a sibling list by span name, order by inclusive time
+  auto group_siblings = [&](const std::vector<std::size_t>& sibs) {
+    std::map<std::string, std::size_t> index;
+    std::vector<Group> groups;
+    for (std::size_t i : sibs) {
+      auto [it, inserted] = index.emplace(s.spans[i].name, groups.size());
+      if (inserted) groups.push_back({s.spans[i].name, 0, 0.0, {}});
+      Group& g = groups[it->second];
+      ++g.count;
+      if (s.spans[i].dur_us > 0.0) g.total_us += s.spans[i].dur_us;
+      g.members.push_back(i);
+    }
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const Group& a, const Group& b) { return a.total_us > b.total_us; });
+    return groups;
+  };
+
+  char buf[64];
+  auto emit = [&](const auto& self, const std::vector<std::size_t>& sibs, int depth) -> void {
+    for (const Group& g : group_siblings(sibs)) {
+      std::snprintf(buf, sizeof buf, "%10.6f s  x%-6llu ", g.total_us * 1e-6,
+                    static_cast<unsigned long long>(g.count));
+      os << buf << std::string(static_cast<std::size_t>(depth) * 2, ' ') << g.name << '\n';
+      std::vector<std::size_t> kids;
+      for (std::size_t m : g.members)
+        kids.insert(kids.end(), children[m].begin(), children[m].end());
+      if (!kids.empty()) self(self, kids, depth + 1);
+    }
+  };
+  os << "  time        calls   span\n";
+  emit(emit, children[s.spans.size()], 0);
+}
+
+void write_file(const json::Value& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("obs: cannot open '" + path + "' for writing");
+  out << doc.dump(2) << '\n';
+  if (!out) throw std::runtime_error("obs: failed writing '" + path + "'");
+}
+
+}  // namespace geofem::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+/// Exporters of the telemetry subsystem. Schemas are documented in DESIGN.md
+/// ("Telemetry"); kMetricsSchemaVersion is bumped on any incompatible change
+/// so downstream tooling can dispatch.
+namespace geofem::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Chrome trace_event document (complete "X" events), loadable in
+/// chrome://tracing and https://ui.perfetto.dev. `pid` distinguishes ranks
+/// when concatenating several snapshots into one timeline.
+json::Value chrome_trace_json(const Snapshot& s, int pid = 0);
+
+/// One trace with all ranks side by side (pid = rank index).
+json::Value chrome_trace_json(std::span<const Snapshot> per_rank);
+
+/// Flat metrics report: schema version, metadata, counters, gauges, and
+/// per-span-name aggregates (count / total seconds).
+json::Value metrics_json(const Snapshot& s);
+
+/// Multi-rank report: rank count, per-metric min/max/mean/sum (the paper's
+/// load-imbalance view), plus the full per-rank metric values.
+json::Value metrics_json(std::span<const Snapshot> per_rank, const MergedReport& merged);
+
+/// Human-readable span tree: spans grouped by name under their parent chain,
+/// with call counts and inclusive seconds, sorted by time within each level.
+void write_span_tree(const Snapshot& s, std::ostream& os);
+
+/// dump(indent=2) + trailing newline to `path`; throws std::runtime_error on
+/// I/O failure.
+void write_file(const json::Value& doc, const std::string& path);
+
+}  // namespace geofem::obs

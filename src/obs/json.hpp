@@ -1,0 +1,385 @@
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Minimal JSON document model used by the telemetry exporters and by the
+/// tests that parse emitted reports back. Self-contained on purpose — the
+/// toolchain image carries no JSON library, and the telemetry schema
+/// (export.hpp) only needs objects, arrays, strings, numbers and booleans.
+/// Object member order is preserved (insertion order), which keeps emitted
+/// reports diffable across runs.
+namespace geofem::obs::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                     // NOLINT(google-explicit-constructor)
+  Value(double v) : kind_(Kind::kNumber), num_(v) {}                  // NOLINT(google-explicit-constructor)
+  Value(int v) : Value(static_cast<double>(v)) {}                     // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) : Value(static_cast<double>(v)) {}            // NOLINT(google-explicit-constructor)
+  Value(std::uint64_t v) : Value(static_cast<double>(v)) {}           // NOLINT(google-explicit-constructor)
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::string_view s) : Value(std::string(s)) {}                // NOLINT(google-explicit-constructor)
+  Value(const char* s) : Value(std::string(s)) {}                     // NOLINT(google-explicit-constructor)
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  [[nodiscard]] bool boolean() const {
+    require(Kind::kBool);
+    return bool_;
+  }
+  [[nodiscard]] double number() const {
+    require(Kind::kNumber);
+    return num_;
+  }
+  [[nodiscard]] const std::string& str() const {
+    require(Kind::kString);
+    return str_;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const {
+    require(Kind::kArray);
+    return items_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const {
+    require(Kind::kObject);
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : members().size();
+  }
+
+  void push(Value v) {
+    require(Kind::kArray);
+    items_.push_back(std::move(v));
+  }
+
+  /// Object member access; inserts a null member when the key is new.
+  Value& operator[](std::string_view key) {
+    require(Kind::kObject);
+    for (auto& [k, v] : members_)
+      if (k == key) return v;
+    members_.emplace_back(std::string(key), Value());
+    return members_.back().second;
+  }
+
+  /// Lookup without insertion; nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    require(Kind::kObject);
+    for (const auto& [k, v] : members_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Member that must exist (throws std::runtime_error otherwise).
+  [[nodiscard]] const Value& at(std::string_view key) const {
+    const Value* v = find(key);
+    if (!v) throw std::runtime_error("json: missing member '" + std::string(key) + "'");
+    return *v;
+  }
+
+  [[nodiscard]] const Value& at(std::size_t i) const {
+    require(Kind::kArray);
+    if (i >= items_.size()) throw std::runtime_error("json: array index out of range");
+    return items_[i];
+  }
+
+  /// Serialize. indent = 0 emits one line; indent > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+  /// Parse a complete document; trailing non-space input is an error.
+  /// Throws std::runtime_error with a byte offset on malformed input.
+  static Value parse(std::string_view text) {
+    Parser p{text, 0};
+    Value v = p.value();
+    p.skip_ws();
+    if (p.pos != text.size()) p.fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  void require(Kind k) const {
+    if (kind_ != k) throw std::runtime_error("json: wrong value kind");
+  }
+
+  static void write_escaped(std::string& out, std::string_view s) {
+    out += '"';
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void write_number(std::string& out, double v) {
+    // shortest round-trippable representation; JSON has no inf/nan
+    if (v != v) {
+      out += "null";
+      return;
+    }
+    if (v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+      out += (v > 0 ? "1e999" : "-1e999");  // clamped on parse; never emitted in practice
+      return;
+    }
+    char buf[32];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, p);
+  }
+
+  void write(std::string& out, int indent, int level) const {
+    const auto newline = [&](int lvl) {
+      if (indent <= 0) return;
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(lvl), ' ');
+    };
+    switch (kind_) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kBool: out += bool_ ? "true" : "false"; break;
+      case Kind::kNumber: write_number(out, num_); break;
+      case Kind::kString: write_escaped(out, str_); break;
+      case Kind::kArray:
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          if (i) out += ',';
+          newline(level + 1);
+          items_[i].write(out, indent, level + 1);
+        }
+        if (!items_.empty()) newline(level);
+        out += ']';
+        break;
+      case Kind::kObject:
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (i) out += ',';
+          newline(level + 1);
+          write_escaped(out, members_[i].first);
+          out += indent > 0 ? ": " : ":";
+          members_[i].second.write(out, indent, level + 1);
+        }
+        if (!members_.empty()) newline(level);
+        out += '}';
+        break;
+    }
+  }
+
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+
+    [[noreturn]] void fail(const std::string& what) const {
+      throw std::runtime_error("json parse error at byte " + std::to_string(pos) + ": " + what);
+    }
+
+    void skip_ws() {
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                                   text[pos] == '\r'))
+        ++pos;
+    }
+
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+
+    void expect(char c) {
+      if (peek() != c) fail(std::string("expected '") + c + "'");
+      ++pos;
+    }
+
+    bool literal(std::string_view lit) {
+      if (text.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    }
+
+    Value value() {
+      skip_ws();
+      switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return Value(string());
+        case 't':
+          if (!literal("true")) fail("bad literal");
+          return Value(true);
+        case 'f':
+          if (!literal("false")) fail("bad literal");
+          return Value(false);
+        case 'n':
+          if (!literal("null")) fail("bad literal");
+          return Value();
+        default: return number();
+      }
+    }
+
+    Value object() {
+      expect('{');
+      Value v = Value::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = string();
+        skip_ws();
+        expect(':');
+        v.members_.emplace_back(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+
+    Value array() {
+      expect('[');
+      Value v = Value::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        v.items_.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+
+    std::string string() {
+      expect('"');
+      std::string out;
+      while (true) {
+        if (pos >= text.size()) fail("unterminated string");
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out += c;
+          continue;
+        }
+        if (pos >= text.size()) fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': out += unicode_escape(); break;
+          default: fail("bad escape");
+        }
+      }
+    }
+
+    std::string unicode_escape() {
+      if (pos + 4 > text.size()) fail("truncated \\u escape");
+      unsigned cp = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char c = text[pos++];
+        cp <<= 4;
+        if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+        else fail("bad hex digit in \\u escape");
+      }
+      // encode the (BMP) code point as UTF-8; surrogate pairs are not needed
+      // by our own reports but are decoded leniently as two separate units
+      std::string out;
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+      return out;
+    }
+
+    Value number() {
+      const std::size_t start = pos;
+      if (pos < text.size() && text[pos] == '-') ++pos;
+      while (pos < text.size() &&
+             ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' || text[pos] == 'e' ||
+              text[pos] == 'E' || text[pos] == '+' || text[pos] == '-'))
+        ++pos;
+      if (pos == start) fail("expected a value");
+      double v = 0.0;
+      const auto [p, ec] = std::from_chars(text.data() + start, text.data() + pos, v);
+      if (ec == std::errc::result_out_of_range) {
+        // overflowed literals (e.g. the writer's clamped 1e999) parse as +-huge
+        v = text[start] == '-' ? -1.7976931348623157e308 : 1.7976931348623157e308;
+      } else if (ec != std::errc{} || p != text.data() + pos) {
+        fail("malformed number");
+      }
+      return Value(v);
+    }
+  };
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace geofem::obs::json

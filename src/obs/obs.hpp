@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header of the geofem::obs telemetry subsystem:
+///   registry.hpp — Registry, Counter/Gauge handles, Attach, rank aggregation
+///   span.hpp     — ScopedSpan (RAII hierarchical trace spans)
+///   export.hpp   — Chrome-trace / metrics JSON / span-tree text exporters
+///   json.hpp     — the minimal JSON model the exporters emit (and tests parse)
+
+#include "obs/export.hpp"   // IWYU pragma: export
+#include "obs/json.hpp"     // IWYU pragma: export
+#include "obs/registry.hpp" // IWYU pragma: export
+#include "obs/span.hpp"     // IWYU pragma: export

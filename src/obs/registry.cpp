@@ -1,0 +1,309 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace geofem::obs {
+
+const std::uint64_t* Snapshot::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+const double* Snapshot::gauge(std::string_view name) const {
+  for (const auto& [k, v] : gauges)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return &counters_[it->second];
+  counters_.emplace_back();
+  counter_names_.emplace_back(name);
+  counter_index_.emplace(std::string(name), counters_.size() - 1);
+  return &counters_.back();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return &gauges_[it->second];
+  gauges_.emplace_back();
+  gauge_names_.emplace_back(name);
+  gauge_index_.emplace(std::string(name), gauges_.size() - 1);
+  return &gauges_.back();
+}
+
+void Registry::set_meta(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (auto& [k, v] : meta_strings_)
+    if (k == key) {
+      v = value;
+      return;
+    }
+  meta_strings_.emplace_back(key, value);
+}
+
+void Registry::set_meta(std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (auto& [k, v] : meta_numbers_)
+    if (k == key) {
+      v = value;
+      return;
+    }
+  meta_numbers_.emplace_back(key, value);
+}
+
+int Registry::thread_index_locked() {
+  const auto id = std::this_thread::get_id();
+  auto it = thread_ids_.find(id);
+  if (it != thread_ids_.end()) return it->second;
+  const int idx = static_cast<int>(thread_ids_.size());
+  thread_ids_.emplace(id, idx);
+  return idx;
+}
+
+std::size_t Registry::span_begin(std::string_view name) {
+  const double t = now_us();
+  std::lock_guard<std::mutex> lock(mtx_);
+  if (spans_.size() >= span_capacity_) {
+    ++spans_dropped_;
+    return static_cast<std::size_t>(-1);
+  }
+  auto& stack = open_stacks_[std::this_thread::get_id()];
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.tid = thread_index_locked();
+  rec.depth = static_cast<int>(stack.size());
+  rec.parent = stack.empty() ? -1 : stack.back();
+  rec.start_us = t;
+  spans_.push_back(std::move(rec));
+  const std::size_t idx = spans_.size() - 1;
+  stack.push_back(static_cast<std::int64_t>(idx));
+  return idx;
+}
+
+void Registry::span_end(std::size_t index) {
+  const double t = now_us();
+  std::lock_guard<std::mutex> lock(mtx_);
+  if (index == static_cast<std::size_t>(-1)) return;  // was dropped at begin
+  GEOFEM_CHECK(index < spans_.size(), "span_end: bad span index");
+  SpanRecord& rec = spans_[index];
+  rec.dur_us = t - rec.start_us;
+  auto& stack = open_stacks_[std::this_thread::get_id()];
+  // RAII guarantees LIFO per thread; tolerate out-of-order ends defensively.
+  auto it = std::find(stack.rbegin(), stack.rend(), static_cast<std::int64_t>(index));
+  if (it != stack.rend()) stack.erase(std::next(it).base(), stack.end());
+}
+
+void Registry::absorb(std::string_view prefix, const util::FlopCounter& fc) {
+  const std::string p(prefix);
+  counter(p + ".flops.spmv")->add(fc.spmv);
+  counter(p + ".flops.precond")->add(fc.precond);
+  counter(p + ".flops.blas1")->add(fc.blas1);
+  counter(p + ".flops.factor")->add(fc.factor);
+  counter(p + ".flops.total")->add(fc.total());
+}
+
+void Registry::absorb(std::string_view prefix, const util::LoopStats& ls) {
+  const std::string p(prefix);
+  Counter* cnt = counter(p + ".loops.count");
+  Counter* tot = counter(p + ".loops.total_length");
+  cnt->add(static_cast<std::uint64_t>(ls.count()));
+  tot->add(static_cast<std::uint64_t>(ls.total_length()));
+  // derived from the accumulated totals, so absorbing several solves keeps
+  // the gauge equal to the overall average vector length
+  gauge(p + ".avg_vector_length")
+      ->set(cnt->value ? static_cast<double>(tot->value) / static_cast<double>(cnt->value) : 0.0);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    s.counters.emplace_back(counter_names_[i], counters_[i].value);
+  s.gauges.reserve(gauges_.size());
+  for (std::size_t i = 0; i < gauges_.size(); ++i)
+    s.gauges.emplace_back(gauge_names_[i], gauges_[i].value);
+  s.meta_numbers = meta_numbers_;
+  s.meta_strings = meta_strings_;
+  s.spans.assign(spans_.begin(), spans_.end());
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// thread-local attachment
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local Registry* tl_current = nullptr;
+}  // namespace
+
+Registry* current() { return tl_current; }
+
+Attach::Attach(Registry* r) : prev_(tl_current) { tl_current = r; }
+
+Attach::~Attach() { tl_current = prev_; }
+
+// ---------------------------------------------------------------------------
+// double-blob codec (see registry.hpp). Layout, all entries doubles:
+//   [magic, body_length,
+//    n_counters, {name_len, chars..., value} * n_counters,
+//    n_gauges,   {name_len, chars..., value} * n_gauges,
+//    n_meta_num, {key_len, chars..., value} * n_meta_num,
+//    n_meta_str, {key_len, chars..., val_len, chars...} * n_meta_str,
+//    n_spans,    {name_len, chars..., tid, depth, parent, start_us, dur_us}]
+// Characters ride one per double (exact below 2^53, which covers all bytes);
+// counter values are exact up to 2^53 — far above any FLOP count we total.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kMagic = 6.02214076e23;  // registry blob sentinel
+
+void put_string(std::vector<double>& out, std::string_view s) {
+  out.push_back(static_cast<double>(s.size()));
+  for (unsigned char c : s) out.push_back(static_cast<double>(c));
+}
+
+std::string get_string(std::span<const double> blob, std::size_t& pos) {
+  GEOFEM_CHECK(pos < blob.size(), "obs decode: truncated blob (string length)");
+  const auto len = static_cast<std::size_t>(blob[pos++]);
+  GEOFEM_CHECK(pos + len <= blob.size(), "obs decode: truncated blob (string body)");
+  std::string s(len, '\0');
+  for (std::size_t i = 0; i < len; ++i) s[i] = static_cast<char>(blob[pos++]);
+  return s;
+}
+
+double get_num(std::span<const double> blob, std::size_t& pos) {
+  GEOFEM_CHECK(pos < blob.size(), "obs decode: truncated blob (number)");
+  return blob[pos++];
+}
+
+}  // namespace
+
+std::vector<double> encode(const Snapshot& s) {
+  std::vector<double> out;
+  out.push_back(kMagic);
+  out.push_back(0.0);  // body length, patched below
+  out.push_back(static_cast<double>(s.counters.size()));
+  for (const auto& [name, value] : s.counters) {
+    put_string(out, name);
+    out.push_back(static_cast<double>(value));
+  }
+  out.push_back(static_cast<double>(s.gauges.size()));
+  for (const auto& [name, value] : s.gauges) {
+    put_string(out, name);
+    out.push_back(value);
+  }
+  out.push_back(static_cast<double>(s.meta_numbers.size()));
+  for (const auto& [key, value] : s.meta_numbers) {
+    put_string(out, key);
+    out.push_back(value);
+  }
+  out.push_back(static_cast<double>(s.meta_strings.size()));
+  for (const auto& [key, value] : s.meta_strings) {
+    put_string(out, key);
+    put_string(out, value);
+  }
+  out.push_back(static_cast<double>(s.spans.size()));
+  for (const auto& sp : s.spans) {
+    put_string(out, sp.name);
+    out.push_back(static_cast<double>(sp.tid));
+    out.push_back(static_cast<double>(sp.depth));
+    out.push_back(static_cast<double>(sp.parent));
+    out.push_back(sp.start_us);
+    out.push_back(sp.dur_us);
+  }
+  out[1] = static_cast<double>(out.size() - 2);
+  return out;
+}
+
+Snapshot decode(std::span<const double> blob, std::size_t& pos) {
+  GEOFEM_CHECK(pos + 2 <= blob.size(), "obs decode: truncated blob (header)");
+  GEOFEM_CHECK(blob[pos] == kMagic, "obs decode: bad magic");
+  ++pos;
+  const auto body = static_cast<std::size_t>(blob[pos++]);
+  GEOFEM_CHECK(pos + body <= blob.size(), "obs decode: truncated blob (body)");
+  const std::size_t end = pos + body;
+
+  Snapshot s;
+  auto n = static_cast<std::size_t>(get_num(blob, pos));
+  s.counters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = get_string(blob, pos);
+    s.counters.emplace_back(std::move(name), static_cast<std::uint64_t>(get_num(blob, pos)));
+  }
+  n = static_cast<std::size_t>(get_num(blob, pos));
+  s.gauges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = get_string(blob, pos);
+    s.gauges.emplace_back(std::move(name), get_num(blob, pos));
+  }
+  n = static_cast<std::size_t>(get_num(blob, pos));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key = get_string(blob, pos);
+    s.meta_numbers.emplace_back(std::move(key), get_num(blob, pos));
+  }
+  n = static_cast<std::size_t>(get_num(blob, pos));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key = get_string(blob, pos);
+    std::string value = get_string(blob, pos);
+    s.meta_strings.emplace_back(std::move(key), std::move(value));
+  }
+  n = static_cast<std::size_t>(get_num(blob, pos));
+  s.spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SpanRecord sp;
+    sp.name = get_string(blob, pos);
+    sp.tid = static_cast<int>(get_num(blob, pos));
+    sp.depth = static_cast<int>(get_num(blob, pos));
+    sp.parent = static_cast<std::int64_t>(get_num(blob, pos));
+    sp.start_us = get_num(blob, pos);
+    sp.dur_us = get_num(blob, pos);
+    s.spans.push_back(std::move(sp));
+  }
+  GEOFEM_CHECK(pos == end, "obs decode: blob length mismatch");
+  return s;
+}
+
+std::vector<Snapshot> decode_all(std::span<const double> blob) {
+  std::vector<Snapshot> out;
+  std::size_t pos = 0;
+  while (pos < blob.size()) out.push_back(decode(blob, pos));
+  return out;
+}
+
+namespace {
+
+void accumulate(std::map<std::string, MetricStat>& into, const std::string& name, double v) {
+  auto [it, inserted] = into.emplace(name, MetricStat{v, v, v, v, 1});
+  if (inserted) return;
+  MetricStat& st = it->second;
+  st.min = std::min(st.min, v);
+  st.max = std::max(st.max, v);
+  st.sum += v;
+  ++st.ranks;
+}
+
+}  // namespace
+
+MergedReport aggregate(std::span<const Snapshot> per_rank) {
+  MergedReport rep;
+  rep.ranks = static_cast<int>(per_rank.size());
+  for (const Snapshot& s : per_rank) {
+    for (const auto& [name, v] : s.counters)
+      accumulate(rep.counters, name, static_cast<double>(v));
+    for (const auto& [name, v] : s.gauges) accumulate(rep.gauges, name, v);
+  }
+  for (auto* metrics : {&rep.counters, &rep.gauges})
+    for (auto& [name, st] : *metrics) st.mean = st.sum / st.ranks;
+  return rep;
+}
+
+}  // namespace geofem::obs

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/flops.hpp"
+#include "util/loop_stats.hpp"
+
+/// geofem::obs — the telemetry subsystem (see DESIGN.md "Telemetry").
+///
+/// A Registry owns all measurements of one execution context (the process in
+/// serial runs, one simulated-MPI rank in distributed runs): named counters
+/// and gauges, problem metadata, and hierarchical trace spans. Hot loops
+/// resolve a Counter*/Gauge* handle once and then pay a single pointer chase
+/// per update — no string lookup on the fast path. Telemetry is off by
+/// default: library code only records into the registry attached to the
+/// current thread (obs::Attach), so unattached runs skip everything behind
+/// one thread-local null check.
+namespace geofem::obs {
+
+/// Monotonic counter (FLOPs, iterations, messages, ...). Handles returned by
+/// Registry::counter() are stable for the registry's lifetime.
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t d) { value += d; }
+};
+
+/// Last-write-wins scalar (seconds, vector lengths, memory, ...).
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// One closed (or still open, dur_us < 0) trace span. Timestamps are
+/// steady-clock microseconds relative to the owning registry's epoch.
+struct SpanRecord {
+  std::string name;
+  int tid = 0;              ///< dense per-registry thread index
+  int depth = 0;            ///< nesting depth at begin (0 = root)
+  std::int64_t parent = -1; ///< index of the enclosing span, -1 for roots
+  double start_us = 0.0;
+  double dur_us = -1.0;
+};
+
+/// Plain-data image of a Registry: what gets serialized across ranks and what
+/// the exporters consume. Snapshot is copyable/movable (Registry itself is
+/// pinned by its mutex and handle stability).
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, double>> meta_numbers;
+  std::vector<std::pair<std::string, std::string>> meta_strings;
+  std::vector<SpanRecord> spans;
+
+  [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
+  [[nodiscard]] const double* gauge(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  Registry() : epoch_(std::chrono::steady_clock::now()) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Create-or-get. Thread-safe; the returned handle is stable and may be
+  /// updated without further synchronization by the thread(s) that own the
+  /// measurement (per-rank registries are single-writer by construction).
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  void set_meta(std::string_view key, std::string_view value);
+  void set_meta(std::string_view key, double value);
+
+  /// Begin a span on the calling thread; returns its record index. Nesting is
+  /// tracked per thread, so concurrent ranks/threads interleave safely.
+  std::size_t span_begin(std::string_view name);
+  void span_end(std::size_t index);
+
+  /// Spans recorded after the cap is hit are counted in `spans_dropped` but
+  /// not stored (backstop against multi-hour traces).
+  void set_span_capacity(std::size_t cap) { span_capacity_ = cap; }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  /// Fold the legacy accumulation structs into registry metrics:
+  ///   <prefix>.flops.{spmv,precond,blas1,factor} counters, and
+  ///   <prefix>.loops.{count,total_length} counters plus the derived
+  ///   <prefix>.avg_vector_length gauge (recomputed from the accumulated
+  ///   totals so repeated absorbs stay consistent).
+  void absorb(std::string_view prefix, const util::FlopCounter& fc);
+  void absorb(std::string_view prefix, const util::LoopStats& ls);
+
+  /// Consistent copy of everything recorded so far.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  int thread_index_locked();
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mtx_;
+  std::deque<Counter> counters_;  // deque: stable addresses for handles
+  std::deque<Gauge> gauges_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::vector<std::pair<std::string, double>> meta_numbers_;
+  std::vector<std::pair<std::string, std::string>> meta_strings_;
+  std::vector<SpanRecord> spans_;
+  std::size_t span_capacity_ = 1u << 20;
+  std::uint64_t spans_dropped_ = 0;
+  std::map<std::thread::id, int> thread_ids_;
+  std::map<std::thread::id, std::vector<std::int64_t>> open_stacks_;
+};
+
+/// Registry attached to the current thread (nullptr when telemetry is off).
+[[nodiscard]] Registry* current();
+
+/// RAII attachment of a registry to the calling thread. Nests (the previous
+/// attachment is restored on destruction). Library code — pcg, preconditioner
+/// set-up, ALM, the distributed solver — records into current() only.
+class Attach {
+ public:
+  explicit Attach(Registry* r);
+  ~Attach();
+  Attach(const Attach&) = delete;
+  Attach& operator=(const Attach&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Cross-rank transport: a Snapshot round-trips through a std::vector<double>
+// blob so per-rank registries ride the existing dist::Comm::gather path
+// (which moves doubles only). Blobs are self-delimiting, so rank 0 can split
+// the gathered concatenation back into one snapshot per rank.
+// ---------------------------------------------------------------------------
+
+std::vector<double> encode(const Snapshot& s);
+Snapshot decode(std::span<const double> blob, std::size_t& pos);
+std::vector<Snapshot> decode_all(std::span<const double> blob);
+
+/// Per-metric spread across ranks — the paper's load-imbalance view (Fig 29).
+struct MetricStat {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double sum = 0.0;
+  int ranks = 0;  ///< how many ranks reported this metric
+};
+
+struct MergedReport {
+  int ranks = 0;
+  std::map<std::string, MetricStat> counters;
+  std::map<std::string, MetricStat> gauges;
+};
+
+MergedReport aggregate(std::span<const Snapshot> per_rank);
+
+}  // namespace geofem::obs

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace geofem::obs {
+
+/// RAII trace span. With telemetry off (no registry attached to the thread
+/// and none passed explicitly) construction and destruction reduce to one
+/// thread-local load and a null check — cheap enough to leave in hot-ish
+/// control paths (per CG iteration, not per matrix entry).
+class ScopedSpan {
+ public:
+  /// Records into the thread's attached registry (obs::current()), if any.
+  explicit ScopedSpan(std::string_view name) : ScopedSpan(current(), name) {}
+
+  /// Records into `reg`; a null registry makes the span a no-op.
+  ScopedSpan(Registry* reg, std::string_view name) : reg_(reg) {
+    if (reg_) index_ = reg_->span_begin(name);
+  }
+
+  ~ScopedSpan() {
+    if (reg_) reg_->span_end(index_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry* reg_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace geofem::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
@@ -27,6 +28,7 @@ void invert_or_reset(const double* d, double* inv) {
 // ---------------------------------------------------------------------------
 
 BIC0::BIC0(const sparse::BlockCSR& a, bool modified) : a_(a) {
+  obs::ScopedSpan span("precond.factor.BIC(0)");
   inv_d_.resize(static_cast<std::size_t>(a.n) * kBB);
   std::vector<double> dmod(static_cast<std::size_t>(a.n) * kBB);
   for (int i = 0; i < a.n; ++i) {
@@ -105,6 +107,7 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
 BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
     : n_(a.n), fill_level_(fill_level) {
   GEOFEM_CHECK(fill_level >= 0, "fill level must be >= 0");
+  obs::ScopedSpan span("precond.factor.BIC(k)");
 
   // ---- symbolic: level-of-fill pattern, row by row ------------------------
   // ulev/ucol per finished row are needed by later rows.

@@ -1,10 +1,12 @@
 #include "precond/diagonal.hpp"
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
 
 DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.factor.Diagonal");
   inv_diag_.resize(a.ndof());
   for (int i = 0; i < a.n; ++i) {
     const double* d = a.block(a.diag_entry(i));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "precond/sb_bic0.hpp"
 #include "reorder/coloring.hpp"
 #include "util/check.hpp"
@@ -13,6 +14,7 @@ using sparse::kBB;
 
 DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj) : dj_(dj) {
   GEOFEM_CHECK(a.n == dj.n(), "matrix/DJDS size mismatch");
+  obs::ScopedSpan span("precond.factor.DJDS-BIC");
 
   // Units per chunk in new-row order (supernode ranges or singletons).
   const int nchunks = dj.num_colors() * dj.npe();
@@ -170,6 +172,7 @@ reorder::Coloring color_for(const sparse::BlockCSR& a, const contact::Supernodes
 OwnedDJDSBIC::OwnedDJDSBIC(const sparse::BlockCSR& a, contact::Supernodes sn, int colors,
                            int npe, bool sort_supernodes)
     : a_(a), sn_(std::move(sn)) {
+  obs::ScopedSpan span("precond.setup.DJDS-reorder");
   const reorder::Coloring coloring = color_for(a_, sn_, colors);
   reorder::DJDSOptions opt;
   opt.npe = npe;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 // GCC 12 emits a false-positive -Waggressive-loop-optimizations here: after
@@ -125,6 +126,7 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
 
 SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified)
     : a_(a), sn_(std::move(sn)) {
+  obs::ScopedSpan span("precond.factor.SB-BIC(0)");
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_diagonals(a, sn_, modified);

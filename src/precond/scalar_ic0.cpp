@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
 
 ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.factor.IC(0)");
   n_ = a.n * sparse::kB;
   // Expand the block matrix to scalar lower/upper CSR (dropping exact zeros,
   // which the block format stores but a scalar method would not).

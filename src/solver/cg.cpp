@@ -1,5 +1,6 @@
 #include "solver/cg.hpp"
 
+#include "obs/span.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -13,12 +14,21 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
   CGResult res;
   util::Timer timer;
 
+  // Telemetry is opt-in: reg is null unless the caller attached a registry to
+  // this thread (obs::Attach), in which case each phase of every iteration
+  // becomes a trace span and the final counts land as registry metrics.
+  obs::Registry* reg = obs::current();
+  obs::ScopedSpan solve_span(reg, "pcg.solve");
+
   std::vector<double> r(n), z(n), p(n), q(n);
   auto* fc = &res.flops;
   auto* ls = &res.loops;
 
   // r = b - A x
-  amul(x, r, fc, ls);
+  {
+    obs::ScopedSpan s(reg, "pcg.spmv");
+    amul(x, r, fc, ls);
+  }
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   fc->blas1 += n;
 
@@ -29,20 +39,33 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
 
   double rho_prev = 0.0;
   for (int it = 0; it < opt.max_iterations && rnorm / bnorm > opt.tolerance; ++it) {
-    m.apply(r, z, fc, ls);
-    const double rho = sparse::dot(r, z, fc);
-    if (it == 0) {
-      sparse::copy(z, p);
-    } else {
-      sparse::xpby(z, rho / rho_prev, p, fc);
+    double rho = 0.0;
+    {
+      obs::ScopedSpan s(reg, "pcg.precond");
+      m.apply(r, z, fc, ls);
+    }
+    {
+      obs::ScopedSpan s(reg, "pcg.blas1");
+      rho = sparse::dot(r, z, fc);
+      if (it == 0) {
+        sparse::copy(z, p);
+      } else {
+        sparse::xpby(z, rho / rho_prev, p, fc);
+      }
     }
     rho_prev = rho;
 
-    amul(p, q, fc, ls);
-    const double alpha = rho / sparse::dot(p, q, fc);
-    sparse::axpy(alpha, p, x, fc);
-    sparse::axpy(-alpha, q, r, fc);
-    rnorm = sparse::norm2(r, fc);
+    {
+      obs::ScopedSpan s(reg, "pcg.spmv");
+      amul(p, q, fc, ls);
+    }
+    {
+      obs::ScopedSpan s(reg, "pcg.blas1");
+      const double alpha = rho / sparse::dot(p, q, fc);
+      sparse::axpy(alpha, p, x, fc);
+      sparse::axpy(-alpha, q, r, fc);
+      rnorm = sparse::norm2(r, fc);
+    }
     ++res.iterations;
     if (opt.record_residuals) res.residual_history.push_back(rnorm / bnorm);
   }
@@ -50,6 +73,15 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
   res.relative_residual = rnorm / bnorm;
   res.converged = res.relative_residual <= opt.tolerance;
   res.solve_seconds = timer.seconds();
+
+  if (reg) {
+    reg->counter("pcg.iterations")->add(static_cast<std::uint64_t>(res.iterations));
+    reg->counter("pcg.solves")->add(1);
+    reg->gauge("pcg.relative_residual")->set(res.relative_residual);
+    reg->gauge("pcg.solve_seconds")->set(res.solve_seconds);
+    reg->absorb("pcg", res.flops);
+    reg->absorb("pcg", res.loops);
+  }
   return res;
 }
 

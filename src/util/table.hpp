@@ -52,6 +52,9 @@ class Table {
     return ss.str();
   }
 
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -23,7 +23,13 @@ class Timer {
 /// Accumulating timer: sums intervals between resume() and pause().
 class AccumTimer {
  public:
-  void resume() { running_.start(); active_ = true; }
+  /// No-op while already running: a stray second resume() must not restart
+  /// the stopwatch and drop the interval accumulated since the first one.
+  void resume() {
+    if (active_) return;
+    running_.start();
+    active_ = true;
+  }
 
   void pause() {
     if (active_) total_ += running_.seconds();

@@ -1,0 +1,350 @@
+// Tests of the telemetry subsystem (src/obs): span nesting and parent/depth
+// bookkeeping, the JSON document model, counter/gauge handles, the cross-rank
+// snapshot codec riding dist::Comm::gather, min/max/mean aggregation, and the
+// exporters (Chrome trace and metrics reports parsed back for validation).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "dist/comm.hpp"
+#include "obs/obs.hpp"
+
+namespace go = geofem::obs;
+namespace gd = geofem::dist;
+
+// ---------------------------------------------------------------------------
+// JSON document model
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, RoundTripsDocument) {
+  auto doc = go::json::Value::object();
+  doc["name"] = "sb-bic0";
+  doc["iterations"] = 123;
+  doc["converged"] = true;
+  doc["eps"] = 1e-8;
+  auto arr = go::json::Value::array();
+  arr.push(1.5);
+  arr.push("two");
+  arr.push(go::json::Value());
+  doc["mixed"] = std::move(arr);
+
+  const auto parsed = go::json::Value::parse(doc.dump(2));
+  EXPECT_EQ(parsed.at("name").str(), "sb-bic0");
+  EXPECT_DOUBLE_EQ(parsed.at("iterations").number(), 123.0);
+  EXPECT_TRUE(parsed.at("converged").boolean());
+  EXPECT_DOUBLE_EQ(parsed.at("eps").number(), 1e-8);
+  EXPECT_EQ(parsed.at("mixed").size(), 3u);
+  EXPECT_EQ(parsed.at("mixed").at(1).str(), "two");
+  EXPECT_TRUE(parsed.at("mixed").at(2).is_null());
+}
+
+TEST(ObsJson, PreservesMemberOrder) {
+  auto doc = go::json::Value::object();
+  doc["zebra"] = 1;
+  doc["alpha"] = 2;
+  doc["mu"] = 3;
+  const auto parsed = go::json::Value::parse(doc.dump());
+  ASSERT_EQ(parsed.members().size(), 3u);
+  EXPECT_EQ(parsed.members()[0].first, "zebra");
+  EXPECT_EQ(parsed.members()[1].first, "alpha");
+  EXPECT_EQ(parsed.members()[2].first, "mu");
+}
+
+TEST(ObsJson, EscapesAndParsesSpecialStrings) {
+  auto doc = go::json::Value::object();
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  doc["s"] = nasty;
+  const auto parsed = go::json::Value::parse(doc.dump());
+  EXPECT_EQ(parsed.at("s").str(), nasty);
+  // \u escapes decode too
+  EXPECT_EQ(go::json::Value::parse("\"\\u0041\\u00e9\"").str(), "A\xC3\xA9");
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(go::json::Value::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(go::json::Value::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(go::json::Value::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(go::json::Value::parse("nul"), std::runtime_error);
+  EXPECT_THROW(go::json::Value::parse(""), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: counters, gauges, meta, spans
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, CounterAndGaugeHandlesAreStable) {
+  go::Registry reg;
+  go::Counter* c = reg.counter("pcg.iterations");
+  c->add(10);
+  // create-or-get: same handle back, other metrics don't invalidate it
+  for (int i = 0; i < 100; ++i) reg.counter("other." + std::to_string(i));
+  EXPECT_EQ(reg.counter("pcg.iterations"), c);
+  c->add(5);
+  go::Gauge* g = reg.gauge("pcg.solve_seconds");
+  g->set(1.25);
+  g->set(2.5);  // last write wins
+
+  const go::Snapshot s = reg.snapshot();
+  ASSERT_NE(s.counter("pcg.iterations"), nullptr);
+  EXPECT_EQ(*s.counter("pcg.iterations"), 15u);
+  ASSERT_NE(s.gauge("pcg.solve_seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(*s.gauge("pcg.solve_seconds"), 2.5);
+  EXPECT_EQ(s.counter("missing"), nullptr);
+}
+
+TEST(ObsRegistry, SpansNestWithDepthAndParent) {
+  go::Registry reg;
+  {
+    go::ScopedSpan outer(&reg, "solve");
+    {
+      go::ScopedSpan setup(&reg, "setup");
+    }
+    {
+      go::ScopedSpan iter(&reg, "iterate");
+      go::ScopedSpan inner(&reg, "spmv");
+    }
+  }
+  const go::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.spans.size(), 4u);
+  // recorded in begin order
+  EXPECT_EQ(s.spans[0].name, "solve");
+  EXPECT_EQ(s.spans[1].name, "setup");
+  EXPECT_EQ(s.spans[2].name, "iterate");
+  EXPECT_EQ(s.spans[3].name, "spmv");
+  EXPECT_EQ(s.spans[0].depth, 0);
+  EXPECT_EQ(s.spans[0].parent, -1);
+  EXPECT_EQ(s.spans[1].depth, 1);
+  EXPECT_EQ(s.spans[1].parent, 0);
+  EXPECT_EQ(s.spans[2].depth, 1);
+  EXPECT_EQ(s.spans[2].parent, 0);
+  EXPECT_EQ(s.spans[3].depth, 2);
+  EXPECT_EQ(s.spans[3].parent, 2);
+  for (const auto& sp : s.spans) {
+    EXPECT_GE(sp.dur_us, 0.0) << sp.name << " left open";
+    EXPECT_GE(sp.start_us, 0.0);
+  }
+  // children start within the parent interval
+  EXPECT_GE(s.spans[3].start_us, s.spans[2].start_us);
+  EXPECT_LE(s.spans[3].start_us + s.spans[3].dur_us,
+            s.spans[2].start_us + s.spans[2].dur_us + 1e-6);
+}
+
+TEST(ObsRegistry, NullRegistrySpansAreNoOps) {
+  go::Attach detach(nullptr);
+  EXPECT_EQ(go::current(), nullptr);
+  go::ScopedSpan span("ignored");  // must not crash or record anywhere
+}
+
+TEST(ObsRegistry, AttachNestsAndRestores) {
+  go::Registry a, b;
+  EXPECT_EQ(go::current(), nullptr);
+  {
+    go::Attach aa(&a);
+    EXPECT_EQ(go::current(), &a);
+    {
+      go::Attach ab(&b);
+      EXPECT_EQ(go::current(), &b);
+    }
+    EXPECT_EQ(go::current(), &a);
+  }
+  EXPECT_EQ(go::current(), nullptr);
+}
+
+TEST(ObsRegistry, SpanCapacityDropsButCounts) {
+  go::Registry reg;
+  reg.set_span_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    go::ScopedSpan s(&reg, "s");
+  }
+  const go::Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.spans.size(), 2u);
+  EXPECT_EQ(reg.spans_dropped(), 3u);
+}
+
+TEST(ObsRegistry, AbsorbFoldsLegacyAccumulators) {
+  geofem::util::FlopCounter fc;
+  fc.spmv += 100;
+  fc.blas1 += 50;
+  geofem::util::LoopStats ls;
+  ls.record(64, 2);
+  ls.record(128);
+
+  go::Registry reg;
+  reg.absorb("pcg", fc);
+  reg.absorb("pcg", ls);
+  const go::Snapshot s = reg.snapshot();
+  EXPECT_EQ(*s.counter("pcg.flops.spmv"), 100u);
+  EXPECT_EQ(*s.counter("pcg.flops.blas1"), 50u);
+  EXPECT_EQ(*s.counter("pcg.flops.total"), 150u);
+  EXPECT_EQ(*s.counter("pcg.loops.count"), 3u);
+  EXPECT_EQ(*s.counter("pcg.loops.total_length"), 256u);
+  EXPECT_DOUBLE_EQ(*s.gauge("pcg.avg_vector_length"), 256.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Codec + cross-rank merge through the simulated-MPI gather path
+// ---------------------------------------------------------------------------
+
+TEST(ObsCodec, SnapshotRoundTripsThroughDoubles) {
+  go::Registry reg;
+  reg.counter("iters")->add(42);
+  reg.gauge("seconds")->set(0.75);
+  reg.set_meta("scale", "small");
+  reg.set_meta("dof", 19890.0);
+  {
+    go::ScopedSpan a(&reg, "outer");
+    go::ScopedSpan b(&reg, "inner");
+  }
+  const go::Snapshot orig = reg.snapshot();
+  const std::vector<double> blob = go::encode(orig);
+  const auto back = go::decode_all(blob);
+  ASSERT_EQ(back.size(), 1u);
+  const go::Snapshot& s = back[0];
+  EXPECT_EQ(*s.counter("iters"), 42u);
+  EXPECT_DOUBLE_EQ(*s.gauge("seconds"), 0.75);
+  ASSERT_EQ(s.meta_strings.size(), 1u);
+  EXPECT_EQ(s.meta_strings[0].second, "small");
+  ASSERT_EQ(s.meta_numbers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.meta_numbers[0].second, 19890.0);
+  ASSERT_EQ(s.spans.size(), 2u);
+  EXPECT_EQ(s.spans[1].name, "inner");
+  EXPECT_EQ(s.spans[1].parent, 0);
+  EXPECT_DOUBLE_EQ(s.spans[0].start_us, orig.spans[0].start_us);
+  EXPECT_DOUBLE_EQ(s.spans[1].dur_us, orig.spans[1].dur_us);
+}
+
+TEST(ObsCodec, MergesCountersAcrossSimulatedRanks) {
+  constexpr int kRanks = 4;
+  std::vector<go::Snapshot> merged;
+  gd::Runtime::run(kRanks, [&](gd::Comm& comm) {
+    go::Registry reg;
+    go::Attach attach(&reg);
+    // rank-dependent values: counter 10*(rank+1), gauge = rank
+    reg.counter("work.items")->add(static_cast<std::uint64_t>(10 * (comm.rank() + 1)));
+    reg.gauge("work.seconds")->set(static_cast<double>(comm.rank()));
+    if (comm.rank() == 1) reg.counter("only.on.rank1")->add(7);
+    const auto gathered = comm.gather(0, go::encode(reg.snapshot()));
+    if (comm.rank() == 0) merged = go::decode_all(gathered);
+  });
+
+  ASSERT_EQ(merged.size(), static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_EQ(*merged[static_cast<std::size_t>(r)].counter("work.items"),
+              static_cast<std::uint64_t>(10 * (r + 1)));
+
+  const go::MergedReport rep = go::aggregate(merged);
+  EXPECT_EQ(rep.ranks, kRanks);
+  const go::MetricStat& items = rep.counters.at("work.items");
+  EXPECT_DOUBLE_EQ(items.min, 10.0);
+  EXPECT_DOUBLE_EQ(items.max, 40.0);
+  EXPECT_DOUBLE_EQ(items.sum, 100.0);
+  EXPECT_DOUBLE_EQ(items.mean, 25.0);
+  EXPECT_EQ(items.ranks, kRanks);
+  const go::MetricStat& secs = rep.gauges.at("work.seconds");
+  EXPECT_DOUBLE_EQ(secs.min, 0.0);
+  EXPECT_DOUBLE_EQ(secs.max, 3.0);
+  // a metric reported by a single rank still aggregates (over that rank only)
+  const go::MetricStat& lone = rep.counters.at("only.on.rank1");
+  EXPECT_EQ(lone.ranks, 1);
+  EXPECT_DOUBLE_EQ(lone.sum, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ObsExport, ChromeTraceParsesBackAndNests) {
+  go::Registry reg;
+  {
+    go::ScopedSpan outer(&reg, "solve");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      go::ScopedSpan inner(&reg, "spmv");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto doc = go::json::Value::parse(go::chrome_trace_json(reg.snapshot(), 3).dump(2));
+  const auto& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+
+  const auto* outer = &events.at(0);
+  const auto* inner = &events.at(1);
+  if (outer->at("name").str() != "solve") std::swap(outer, inner);
+  EXPECT_EQ(outer->at("name").str(), "solve");
+  EXPECT_EQ(inner->at("name").str(), "spmv");
+  for (const auto* e : {outer, inner}) {
+    EXPECT_EQ(e->at("ph").str(), "X");  // complete events
+    EXPECT_DOUBLE_EQ(e->at("pid").number(), 3.0);
+    EXPECT_GE(e->at("dur").number(), 0.0);
+  }
+  // the child interval is contained in the parent interval
+  const double po = outer->at("ts").number(), do_ = outer->at("dur").number();
+  const double pi = inner->at("ts").number(), di = inner->at("dur").number();
+  EXPECT_GE(pi, po);
+  EXPECT_LE(pi + di, po + do_ + 1e-6);
+  EXPECT_GE(do_, 2000.0);  // outer slept >= 2 ms
+  EXPECT_GE(di, 1000.0);
+}
+
+TEST(ObsExport, MetricsJsonRoundTripsMetadata) {
+  go::Registry reg;
+  reg.set_meta("scale", "paper");
+  reg.set_meta("dof", 2471439.0);
+  reg.set_meta("lambda", 1e6);
+  reg.counter("pcg.iterations")->add(205);
+  reg.gauge("pcg.solve_seconds")->set(11.2);
+  {
+    go::ScopedSpan s(&reg, "pcg.solve");
+  }
+
+  const auto doc = go::json::Value::parse(go::metrics_json(reg.snapshot()).dump(2));
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number(),
+                   static_cast<double>(go::kMetricsSchemaVersion));
+  EXPECT_EQ(doc.at("meta").at("scale").str(), "paper");
+  EXPECT_DOUBLE_EQ(doc.at("meta").at("dof").number(), 2471439.0);
+  EXPECT_DOUBLE_EQ(doc.at("meta").at("lambda").number(), 1e6);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("pcg.iterations").number(), 205.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("pcg.solve_seconds").number(), 11.2);
+  const auto& span = doc.at("spans").at("pcg.solve");
+  EXPECT_DOUBLE_EQ(span.at("count").number(), 1.0);
+  EXPECT_GE(span.at("total_seconds").number(), 0.0);
+}
+
+TEST(ObsExport, MultiRankMetricsJsonCarriesSpread) {
+  std::vector<go::Snapshot> per_rank(2);
+  {
+    go::Registry r0;
+    r0.counter("iters")->add(100);
+    per_rank[0] = r0.snapshot();
+    go::Registry r1;
+    r1.counter("iters")->add(300);
+    per_rank[1] = r1.snapshot();
+  }
+  const auto merged = go::aggregate(per_rank);
+  const auto doc = go::json::Value::parse(go::metrics_json(per_rank, merged).dump(2));
+  EXPECT_DOUBLE_EQ(doc.at("ranks").number(), 2.0);
+  const auto& iters = doc.at("counters").at("iters");
+  EXPECT_DOUBLE_EQ(iters.at("min").number(), 100.0);
+  EXPECT_DOUBLE_EQ(iters.at("max").number(), 300.0);
+  EXPECT_DOUBLE_EQ(iters.at("mean").number(), 200.0);
+  EXPECT_EQ(doc.at("per_rank").size(), 2u);
+}
+
+TEST(ObsExport, SpanTreeListsNestedNames) {
+  go::Registry reg;
+  {
+    go::ScopedSpan outer(&reg, "solve");
+    for (int i = 0; i < 3; ++i) {
+      go::ScopedSpan inner(&reg, "spmv");
+    }
+  }
+  std::ostringstream os;
+  go::write_span_tree(reg.snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("solve"), std::string::npos);
+  EXPECT_NE(out.find("spmv"), std::string::npos);
+  EXPECT_NE(out.find("x3"), std::string::npos);  // call count of the inner span
+}

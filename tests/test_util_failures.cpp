@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "contact/penalty.hpp"
 #include "fem/assembly.hpp"
@@ -73,6 +75,18 @@ TEST(Timer, AccumPausesAndResumes) {
   EXPECT_DOUBLE_EQ(t.seconds(), s1);
   t.reset();
   EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(Timer, ResumeWhileRunningKeepsAccumulatedTime) {
+  // Regression: resume() on a running timer used to restart the stopwatch,
+  // silently dropping everything accumulated since the first resume().
+  gu::AccumTimer t;
+  t.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.resume();  // must be a no-op, not a restart
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  t.pause();
+  EXPECT_GE(t.seconds(), 0.005);
 }
 
 // ---------------------------------------------------------------------------
