@@ -1,28 +1,18 @@
 #include "core/geofem.hpp"
 
 #include "obs/span.hpp"
+#include "plan/plan.hpp"
 #include "precond/bic.hpp"
 #include "precond/diagonal.hpp"
 #include "precond/djds_bic.hpp"
 #include "precond/sb_bic0.hpp"
 #include "precond/scalar_ic0.hpp"
-#include "reorder/coloring.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace geofem::core {
 
-std::string to_string(PrecondKind k) {
-  switch (k) {
-    case PrecondKind::kDiagonal: return "Diagonal";
-    case PrecondKind::kScalarIC0: return "IC(0) scalar";
-    case PrecondKind::kBIC0: return "BIC(0)";
-    case PrecondKind::kBIC1: return "BIC(1)";
-    case PrecondKind::kBIC2: return "BIC(2)";
-    case PrecondKind::kSBBIC0: return "SB-BIC(0)";
-  }
-  return "?";
-}
+std::string to_string(PrecondKind k) { return plan::to_string(k); }
 
 precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::BlockCSR& a,
                                                const contact::Supernodes& sn) {
@@ -55,56 +45,54 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
   const auto sn = contact::build_supernodes(sys.a.n, groups);
   util::Timer setup;
 
+  // Plan: everything structure-dependent (symbolic pattern, coloring, DJDS
+  // layout), cached across solves on the same graph; then the per-solve
+  // numeric factorization.
+  plan::PlanConfig pcfg;
+  pcfg.precond = cfg.precond;
+  pcfg.ordering = cfg.ordering;
+  pcfg.colors = cfg.colors;
+  pcfg.npe = cfg.npe;
+  pcfg.sort_supernodes = cfg.sort_supernodes;
+  std::shared_ptr<const plan::SolvePlan> p;
+  if (cfg.use_plan_cache) {
+    plan::PlanCache& cache = cfg.plan_cache ? *cfg.plan_cache : plan::default_cache();
+    const std::uint64_t hits_before = cache.stats().hits;
+    p = cache.get(sys.a, sn, pcfg);
+    rep.plan_cache = cache.stats();
+    rep.plan_reused = rep.plan_cache.hits > hits_before;
+  } else {
+    p = std::make_shared<plan::SolvePlan>(sys.a, sn, pcfg);
+  }
+  rep.symbolic_seconds = p->symbolic_seconds();
+  util::Timer numeric_timer;
+  auto prec = p->numeric(sys.a);
+  rep.numeric_seconds = numeric_timer.seconds();
+  rep.setup_seconds = setup.seconds();
+  if (reg) reg->span_end(setup_idx);
+  if (reg) reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
+  rep.precond_bytes = prec->memory_bytes();
+  rep.precond_name = prec->name();
+
   if (cfg.ordering == OrderingKind::kNatural) {
-    auto prec = make_preconditioner(cfg.precond, sys.a, sn);
-    rep.setup_seconds = setup.seconds();
-    if (reg) reg->span_end(setup_idx);
-    if (reg) reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
-    rep.precond_bytes = prec->memory_bytes();
-    rep.precond_name = prec->name();
     rep.solution.assign(sys.a.ndof(), 0.0);
     rep.cg = solver::pcg(sys.a, *prec, sys.b, rep.solution, cfg.cg);
     return rep;
   }
 
-  // PDJDS/MC path: only the no-fill preconditioners have a vectorized form.
-  GEOFEM_CHECK(cfg.precond == PrecondKind::kBIC0 || cfg.precond == PrecondKind::kSBBIC0,
-               "PDJDS path supports BIC(0) and SB-BIC(0)");
-  const bool selective = cfg.precond == PrecondKind::kSBBIC0;
-
-  const auto g = sparse::graph_of(sys.a);
-  const bool cmrcm = cfg.ordering == OrderingKind::kPDJDSCMRCM;
-  auto color_graph = [&](const sparse::Graph& gr) {
-    return cmrcm ? reorder::cm_rcm(gr, cfg.colors) : reorder::multicolor(gr, cfg.colors);
-  };
-  reorder::Coloring coloring;
-  if (selective) {
-    const auto q = reorder::quotient_graph(g, sn.node_to_super, sn.count());
-    coloring = reorder::lift_coloring(color_graph(q), sn.node_to_super, sys.a.n);
-  } else {
-    coloring = color_graph(g);
-  }
-  reorder::DJDSOptions opt;
-  opt.npe = cfg.npe;
-  opt.sort_supernodes_by_size = cfg.sort_supernodes;
-  reorder::DJDSMatrix dj(sys.a, coloring, selective ? &sn : nullptr, opt);
-  precond::DJDSBIC prec(sys.a, dj);
-  rep.setup_seconds = setup.seconds();
-  if (reg) reg->span_end(setup_idx);
-  rep.precond_bytes = prec.memory_bytes();
-  rep.precond_name = prec.name();
+  // PDJDS/MC path: the plan owns the ordering; solve in the new ordering and
+  // permute back.
+  const reorder::DJDSMatrix& dj = *p->djds();
   rep.avg_vector_length = dj.average_vector_length();
   rep.load_imbalance_percent = dj.load_imbalance_percent();
   rep.dummy_percent = dj.dummy_percent();
   rep.colors_used = dj.num_colors();
   if (reg) {
-    reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
     reg->gauge("core.avg_vector_length")->set(rep.avg_vector_length);
     reg->gauge("core.load_imbalance_percent")->set(rep.load_imbalance_percent);
     reg->gauge("core.colors_used")->set(rep.colors_used);
   }
 
-  // solve in the new ordering, permute back
   std::vector<double> pb(sys.a.ndof()), px(sys.a.ndof(), 0.0);
   for (int i = 0; i < sys.a.n; ++i)
     for (int c = 0; c < 3; ++c)
@@ -114,7 +102,7 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
   rep.cg = solver::pcg(
       [&dj](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
             util::LoopStats* ls) { dj.spmv(in, out, fc, ls); },
-      prec, pb, px, cfg.cg);
+      *prec, pb, px, cfg.cg);
   rep.solution.assign(sys.a.ndof(), 0.0);
   for (int i = 0; i < sys.a.n; ++i)
     for (int c = 0; c < 3; ++c)

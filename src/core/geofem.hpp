@@ -6,6 +6,8 @@
 #include "contact/penalty.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/hex_mesh.hpp"
+#include "plan/cache.hpp"
+#include "plan/fingerprint.hpp"
 #include "precond/preconditioner.hpp"
 #include "reorder/djds.hpp"
 #include "solver/cg.hpp"
@@ -16,24 +18,13 @@
 /// memory, vector-length/imbalance statistics).
 namespace geofem::core {
 
-enum class PrecondKind {
-  kDiagonal,   ///< point diagonal scaling
-  kScalarIC0,  ///< point-wise IC(0)
-  kBIC0,       ///< 3x3-block IC(0)
-  kBIC1,       ///< block ILU(1)
-  kBIC2,       ///< block ILU(2)
-  kSBBIC0,     ///< selective blocking (the paper's contribution)
-};
+// The structure-relevant vocabulary lives with the plan subsystem (it keys
+// the plan cache); aliased here so core callers keep spelling
+// core::PrecondKind::kSBBIC0 etc.
+using PrecondKind = plan::PrecondKind;
+using OrderingKind = plan::OrderingKind;
 
 [[nodiscard]] std::string to_string(PrecondKind k);
-
-enum class OrderingKind {
-  kNatural,     ///< CSR path, mesh order
-  kPDJDSMC,     ///< multicolor + descending jagged diagonals + cyclic PE split
-  kPDJDSCMRCM,  ///< cyclic-multicolored reverse Cuthill-McKee levels (paper
-                ///< §4.6: preferred for simple geometries — fewer iterations
-                ///< than MC at the same color count)
-};
 
 struct SolveConfig {
   PrecondKind precond = PrecondKind::kSBBIC0;
@@ -43,6 +34,11 @@ struct SolveConfig {
   int npe = 8;                 ///< PEs per SMP node (PDJDS path)
   bool sort_supernodes = true; ///< Fig 22 switch
   solver::CGOptions cg;
+  /// Cache consulted for the structure-dependent set-up (coloring, DJDS
+  /// layout, symbolic factorization). Null uses the process-wide
+  /// plan::default_cache(); set use_plan_cache = false to always rebuild.
+  plan::PlanCache* plan_cache = nullptr;
+  bool use_plan_cache = true;
 };
 
 struct SolveReport {
@@ -57,6 +53,11 @@ struct SolveReport {
   double load_imbalance_percent = 0.0;
   double dummy_percent = 0.0;
   int colors_used = 0;
+  // plan reuse
+  bool plan_reused = false;        ///< set-up came from a cached plan
+  double symbolic_seconds = 0.0;   ///< structure phase when the plan was built
+  double numeric_seconds = 0.0;    ///< value phase of this solve
+  plan::CacheStats plan_cache;     ///< stats of the cache consulted
 };
 
 /// Build the requested preconditioner on an assembled matrix. `sn` is only

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/span.hpp"
+#include "plan/plan.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -178,12 +179,24 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     }
   });
   res.solve_seconds = wall.seconds();
+  if (opt.plan_cache) res.plan_cache = opt.plan_cache->stats();
 
   res.iterations = iters[0];
   res.relative_residual = relres[0];
   res.converged = res.relative_residual <= opt.tolerance;
   for (double s : setup_seconds) res.setup_seconds_max = std::max(res.setup_seconds_max, s);
   return res;
+}
+
+PrecondFactory make_plan_factory(plan::PlanCache& cache, plan::PlanConfig cfg,
+                                 std::vector<std::vector<int>> global_groups) {
+  GEOFEM_CHECK(cfg.ordering == plan::OrderingKind::kNatural,
+               "make_plan_factory supports the natural ordering only");
+  return [&cache, cfg, groups = std::move(global_groups)](
+             const part::LocalSystem& ls, const sparse::BlockCSR& aii) {
+    const auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(groups));
+    return std::make_unique<plan::PlannedPreconditioner>(cache.get(aii, sn, cfg), aii);
+  };
 }
 
 }  // namespace geofem::dist

@@ -5,6 +5,7 @@
 #include "dist/comm.hpp"
 #include "obs/registry.hpp"
 #include "part/local_system.hpp"
+#include "plan/cache.hpp"
 #include "precond/preconditioner.hpp"
 #include "solver/cg.hpp"
 
@@ -24,6 +25,10 @@ struct DistOptions {
   /// (DistResult::obs_per_rank / obs_merged). Coarse-grained — spans wrap
   /// set-up and the whole solve, not individual iterations.
   bool telemetry = true;
+  /// Cache whose statistics are snapshotted into DistResult::plan_cache after
+  /// the run. Pass the cache given to make_plan_factory; each rank's distinct
+  /// local graph gets its own plan in it (one plan per rank).
+  plan::PlanCache* plan_cache = nullptr;
 };
 
 struct DistResult {
@@ -41,6 +46,8 @@ struct DistResult {
   /// min/max/mean merge — the paper's per-PE load-imbalance view (Fig 29).
   std::vector<obs::Snapshot> obs_per_rank;
   obs::MergedReport obs_merged;
+  /// Snapshot of DistOptions::plan_cache after the run (zero when unset).
+  plan::CacheStats plan_cache;
 
   [[nodiscard]] util::FlopCounter total_flops() const {
     util::FlopCounter t;
@@ -57,5 +64,13 @@ struct DistResult {
 DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
                              const PrecondFactory& factory, const DistOptions& opt = {},
                              std::vector<double>* x_global = nullptr);
+
+/// Plan-cached localized preconditioner factory: restricts `global_groups` to
+/// the rank's internal nodes, fetches the rank's plan from `cache` (distinct
+/// local graphs hash to distinct keys, so ranks never share a plan), and
+/// refactors numerically. Repeated solve_distributed() calls on the same
+/// partition hit the cache on every rank. Natural ordering only.
+[[nodiscard]] PrecondFactory make_plan_factory(plan::PlanCache& cache, plan::PlanConfig cfg,
+                                               std::vector<std::vector<int>> global_groups);
 
 }  // namespace geofem::dist

@@ -6,6 +6,7 @@
 #include "obs/span.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace geofem::nonlin {
 
@@ -41,14 +42,22 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
     for (std::size_t a = 0; a < g.size(); ++a)
       for (std::size_t b2 = a + 1; b2 < g.size(); ++b2) pairs.emplace_back(g[a], g[b2]);
 
-  precond::PreconditionerPtr prec = builder(sys.a);
-
   ALMResult res;
+  precond::PreconditionerPtr prec;
+  auto build_precond = [&] {
+    obs::ScopedSpan s(reg, "alm.refactor");
+    util::Timer t;
+    prec = builder(sys.a);
+    res.setup_seconds_per_cycle.push_back(t.seconds());
+  };
+  if (!opt.refresh_precond_each_cycle) build_precond();
+
   res.solution.assign(n, 0.0);
   std::vector<double> mu(pairs.size() * 3, 0.0), rhs(n);
 
   for (int cycle = 0; cycle < opt.max_cycles; ++cycle) {
     obs::ScopedSpan cycle_span(reg, "alm.cycle");
+    if (opt.refresh_precond_each_cycle) build_precond();
     // rhs = b - B' mu  (masked on fixed DOFs)
     sparse::copy(sys.b, rhs);
     for (std::size_t p = 0; p < pairs.size(); ++p) {

@@ -25,6 +25,12 @@ struct ALMOptions {
   double constraint_tol = 1e-6;   ///< on |B u| / |u| (relative gap)
   int max_cycles = 60;
   solver::CGOptions inner;
+  /// Rebuild the preconditioner at the start of every cycle instead of once
+  /// up front. With tied contact the matrix is fixed, so this changes nothing
+  /// numerically — it models the general Newton-Raphson workload where each
+  /// cycle refactors, and is what the plan cache amortizes: a plan-cached
+  /// builder pays symbolic set-up on cycle 0 only (see bench_plan_reuse).
+  bool refresh_precond_each_cycle = false;
 };
 
 struct ALMResult {
@@ -33,6 +39,9 @@ struct ALMResult {
   std::vector<int> inner_iterations;  ///< Krylov iterations per cycle
   std::vector<double> gap_history;    ///< relative constraint violation per cycle
   std::vector<double> solution;
+  /// Preconditioner build time per cycle. One entry (cycle 0) unless
+  /// ALMOptions::refresh_precond_each_cycle, then one per cycle.
+  std::vector<double> setup_seconds_per_cycle;
 
   [[nodiscard]] int total_inner_iterations() const {
     int t = 0;

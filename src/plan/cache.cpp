@@ -1,0 +1,74 @@
+#include "plan/cache.hpp"
+
+#include "obs/registry.hpp"
+#include "plan/plan.hpp"
+
+namespace geofem::plan {
+
+namespace {
+
+void bump(const char* name) {
+  if (obs::Registry* reg = obs::current()) reg->counter(name)->add(1);
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const SolvePlan> PlanCache::get(const sparse::BlockCSR& a,
+                                                const contact::Supernodes& sn,
+                                                const PlanConfig& cfg) {
+  const PlanKey key = make_key(a, sn, cfg);
+  {
+    std::lock_guard lock(mtx_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      bump("plan.cache.hit");
+      return *it->second;
+    }
+  }
+  // Build outside the lock: concurrent ranks building distinct plans do not
+  // serialize, and symbolic set-up can be expensive.
+  auto plan = std::make_shared<const SolvePlan>(a, sn, cfg);
+  std::lock_guard lock(mtx_);
+  ++stats_.misses;
+  bump("plan.cache.miss");
+  if (auto it = map_.find(key); it != map_.end()) {
+    // Lost a race with another thread building the same plan; keep theirs.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  lru_.push_front(plan);
+  map_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back()->key());
+    lru_.pop_back();
+    ++stats_.evictions;
+    bump("plan.cache.evict");
+  }
+  return plan;
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard lock(mtx_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mtx_);
+  lru_.clear();
+  map_.clear();
+  stats_ = CacheStats{};
+}
+
+PlanCache& default_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace geofem::plan

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "plan/fingerprint.hpp"
+
+namespace geofem::plan {
+
+class SolvePlan;
+
+/// Counters of one PlanCache, also exported through geofem::obs as
+/// plan.cache.{hit,miss,evict} on every get().
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;  ///< plans currently resident
+};
+
+/// Thread-safe LRU cache of SolvePlans keyed by the graph+config fingerprint.
+/// Plans are handed out as shared_ptr<const SolvePlan>, so an evicted plan
+/// stays alive while any preconditioner still references it. A miss builds
+/// the plan outside the lock (concurrent ranks build distinct plans without
+/// serializing); if two threads race on the same key, one build is discarded.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 8);
+  ~PlanCache();
+
+  /// Look up (building on miss) the plan for `a`'s graph under `sn` and `cfg`.
+  std::shared_ptr<const SolvePlan> get(const sparse::BlockCSR& a, const contact::Supernodes& sn,
+                                       const PlanConfig& cfg);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  using List = std::list<std::shared_ptr<const SolvePlan>>;
+  struct KeyHash {
+    std::size_t operator()(const PlanKey& k) const { return static_cast<std::size_t>(k.hash); }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mtx_;
+  List lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, List::iterator, KeyHash> map_;
+  CacheStats stats_;
+};
+
+/// Process-wide cache used by core::solve() when SolveConfig::plan_cache is
+/// null — repeated solve() calls on an unchanged Problem hit it.
+PlanCache& default_cache();
+
+}  // namespace geofem::plan

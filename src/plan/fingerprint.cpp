@@ -1,0 +1,42 @@
+#include "plan/fingerprint.hpp"
+
+namespace geofem::plan {
+
+std::string to_string(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::kDiagonal: return "Diagonal";
+    case PrecondKind::kScalarIC0: return "IC(0) scalar";
+    case PrecondKind::kBIC0: return "BIC(0)";
+    case PrecondKind::kBIC1: return "BIC(1)";
+    case PrecondKind::kBIC2: return "BIC(2)";
+    case PrecondKind::kSBBIC0: return "SB-BIC(0)";
+  }
+  return "?";
+}
+
+std::uint64_t graph_fingerprint(const sparse::BlockCSR& a) {
+  Fnv1a h;
+  h.pod(a.n);
+  h.ints(a.rowptr);
+  h.ints(a.colind);
+  return h.digest();
+}
+
+PlanKey make_key(const sparse::BlockCSR& a, const contact::Supernodes& sn,
+                 const PlanConfig& cfg) {
+  Fnv1a h;
+  h.pod(a.n);
+  h.ints(a.rowptr);
+  h.ints(a.colind);
+  h.ints(sn.node_to_super);
+  h.pod(static_cast<int>(cfg.precond));
+  h.pod(static_cast<int>(cfg.ordering));
+  if (cfg.ordering != OrderingKind::kNatural) {
+    h.pod(cfg.colors);
+    h.pod(cfg.npe);
+    h.pod(static_cast<int>(cfg.sort_supernodes));
+  }
+  return PlanKey{h.digest(), a.n, a.nnz_blocks()};
+}
+
+}  // namespace geofem::plan

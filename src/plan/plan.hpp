@@ -1,0 +1,102 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "contact/penalty.hpp"
+#include "plan/cache.hpp"
+#include "plan/fingerprint.hpp"
+#include "precond/bic.hpp"
+#include "precond/preconditioner.hpp"
+#include "precond/sb_bic0.hpp"
+#include "precond/scalar_ic0.hpp"
+#include "reorder/djds.hpp"
+#include "sparse/block_csr.hpp"
+
+namespace geofem::plan {
+
+/// Everything structure-dependent about one linear system, built once and
+/// reused across numeric refactorizations: the graph fingerprint, the owned
+/// supernode map, the preconditioner's symbolic pattern (level-of-fill,
+/// selective-block schedule, scalar expansion) and — on the PDJDS orderings —
+/// the coloring plus the jagged-diagonal layout.
+///
+/// numeric() revalues the plan against a matrix with the *same graph* and
+/// returns a freshly factored preconditioner. The natural-ordering kinds only
+/// read plan state, so concurrent numeric() calls are safe; the PDJDS path
+/// mutates the plan-owned DJDSMatrix values and is serialized by an internal
+/// mutex (concurrent *solves* sharing one vectorized plan are not supported —
+/// give each rank its own plan, which distinct local graphs do naturally).
+class SolvePlan {
+ public:
+  SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn, const PlanConfig& cfg);
+
+  [[nodiscard]] const PlanKey& key() const { return key_; }
+  [[nodiscard]] const PlanConfig& config() const { return cfg_; }
+  [[nodiscard]] const contact::Supernodes& supernodes() const { return sn_; }
+
+  /// True on the PDJDS orderings (plan owns a DJDSMatrix).
+  [[nodiscard]] bool vectorized() const { return dj_ != nullptr; }
+  [[nodiscard]] const reorder::DJDSMatrix* djds() const { return dj_.get(); }
+
+  /// Wall-clock seconds the symbolic phase took when the plan was built.
+  [[nodiscard]] double symbolic_seconds() const { return symbolic_seconds_; }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Whether this plan was built for exactly (a's graph, sn, cfg).
+  [[nodiscard]] bool matches(const sparse::BlockCSR& a, const contact::Supernodes& sn,
+                             const PlanConfig& cfg) const {
+    return make_key(a, sn, cfg) == key_;
+  }
+
+  /// Numeric phase: factor `a` on the precomputed structure. Throws
+  /// std::logic_error if `a`'s graph differs from the plan's (stale plan).
+  /// The result references `a` (and, when vectorized, this plan) — both must
+  /// outlive it; PlannedPreconditioner pins the plan automatically.
+  [[nodiscard]] precond::PreconditionerPtr numeric(const sparse::BlockCSR& a) const;
+
+ private:
+  PlanKey key_;
+  std::uint64_t graph_hash_ = 0;
+  PlanConfig cfg_;
+  contact::Supernodes sn_;
+  double symbolic_seconds_ = 0.0;
+  // symbolic state, one non-null per kind (none for Diagonal / BIC(0))
+  std::shared_ptr<const precond::ILUkSymbolic> iluk_;
+  std::shared_ptr<const precond::ScalarIC0Symbolic> ic0_;
+  std::shared_ptr<const precond::SBSymbolic> sb_;
+  // PDJDS orderings: plan-owned layout, revalued in place by numeric()
+  std::unique_ptr<reorder::DJDSMatrix> dj_;
+  mutable std::mutex numeric_mtx_;
+};
+
+/// A numeric factorization bundled with the plan that produced it, presenting
+/// the ORIGINAL row ordering at its interface (the PDJDS factor is permuted
+/// internally, like OwnedDJDSBIC). Keeps the plan alive past cache eviction.
+class PlannedPreconditioner final : public precond::Preconditioner {
+ public:
+  PlannedPreconditioner(std::shared_ptr<const SolvePlan> plan, const sparse::BlockCSR& a);
+
+  void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+             util::LoopStats* loops) const override;
+
+  [[nodiscard]] std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] const SolvePlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const SolvePlan> plan_;
+  precond::PreconditionerPtr inner_;
+  mutable std::vector<double> pr_, pz_;  ///< permutation buffers (PDJDS only)
+};
+
+/// Preconditioner builder for repeated solves on one structure (nonlin::alm):
+/// builds the supernode map from `groups`, fetches the plan from `cache`, and
+/// returns a numeric factorization that pins its plan.
+[[nodiscard]] std::function<precond::PreconditionerPtr(const sparse::BlockCSR&)> cached_builder(
+    PlanCache& cache, PlanConfig cfg, std::vector<std::vector<int>> groups);
+
+}  // namespace geofem::plan

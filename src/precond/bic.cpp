@@ -104,12 +104,24 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
 // BlockILUk
 // ---------------------------------------------------------------------------
 
-BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
-    : n_(a.n), fill_level_(fill_level) {
-  GEOFEM_CHECK(fill_level >= 0, "fill level must be >= 0");
-  obs::ScopedSpan span("precond.factor.BIC(k)");
+std::size_t ILUkSymbolic::memory_bytes() const {
+  return (lptr.size() + lcol.size() + uptr.size() + ucol.size() + aslot.size() +
+          elim_src.size() + elim_dst.size()) *
+             sizeof(int) +
+         elim_ptr.size() * sizeof(std::int64_t);
+}
 
-  // ---- symbolic: level-of-fill pattern, row by row ------------------------
+std::shared_ptr<const ILUkSymbolic> iluk_symbolic(const sparse::BlockCSR& a, int fill_level) {
+  GEOFEM_CHECK(fill_level >= 0, "fill level must be >= 0");
+  obs::ScopedSpan span("precond.symbolic.BIC(k)");
+  auto out = std::make_shared<ILUkSymbolic>();
+  ILUkSymbolic& s = *out;
+  const int n_ = a.n;
+  s.n = n_;
+  s.fill_level = fill_level;
+  const int fill_level_ = fill_level;
+
+  // ---- level-of-fill pattern, row by row ----------------------------------
   // ulev/ucol per finished row are needed by later rows.
   std::vector<std::vector<int>> urows_col(static_cast<std::size_t>(n_));
   std::vector<std::vector<int>> urows_lev(static_cast<std::size_t>(n_));
@@ -160,87 +172,133 @@ BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
   }
 
   // ---- flatten pattern into CSR arrays -------------------------------------
-  lptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  uptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  s.lptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  s.uptr.assign(static_cast<std::size_t>(n_) + 1, 0);
   for (int i = 0; i < n_; ++i) {
-    lptr_[static_cast<std::size_t>(i) + 1] =
-        lptr_[static_cast<std::size_t>(i)] + static_cast<int>(lrows_col[static_cast<std::size_t>(i)].size());
-    uptr_[static_cast<std::size_t>(i) + 1] =
-        uptr_[static_cast<std::size_t>(i)] + static_cast<int>(urows_col[static_cast<std::size_t>(i)].size());
+    s.lptr[static_cast<std::size_t>(i) + 1] =
+        s.lptr[static_cast<std::size_t>(i)] + static_cast<int>(lrows_col[static_cast<std::size_t>(i)].size());
+    s.uptr[static_cast<std::size_t>(i) + 1] =
+        s.uptr[static_cast<std::size_t>(i)] + static_cast<int>(urows_col[static_cast<std::size_t>(i)].size());
   }
-  lcol_.reserve(static_cast<std::size_t>(lptr_.back()));
-  ucol_.reserve(static_cast<std::size_t>(uptr_.back()));
+  s.lcol.reserve(static_cast<std::size_t>(s.lptr.back()));
+  s.ucol.reserve(static_cast<std::size_t>(s.uptr.back()));
   for (int i = 0; i < n_; ++i) {
-    lcol_.insert(lcol_.end(), lrows_col[static_cast<std::size_t>(i)].begin(),
-                 lrows_col[static_cast<std::size_t>(i)].end());
-    ucol_.insert(ucol_.end(), urows_col[static_cast<std::size_t>(i)].begin(),
-                 urows_col[static_cast<std::size_t>(i)].end());
+    s.lcol.insert(s.lcol.end(), lrows_col[static_cast<std::size_t>(i)].begin(),
+                  lrows_col[static_cast<std::size_t>(i)].end());
+    s.ucol.insert(s.ucol.end(), urows_col[static_cast<std::size_t>(i)].begin(),
+                  urows_col[static_cast<std::size_t>(i)].end());
     lrows_col[static_cast<std::size_t>(i)].clear();
     lrows_col[static_cast<std::size_t>(i)].shrink_to_fit();
   }
-  lval_.assign(lcol_.size() * kBB, 0.0);
-  uval_.assign(ucol_.size() * kBB, 0.0);
+
+  // ---- elimination schedule -------------------------------------------------
+  // Slot layout per row i: [0, nl) L entries, [nl, nl+nu) U entries, nl+nu
+  // the diagonal. wslot[col] = slot of col in the current row, -1 otherwise;
+  // the schedule records, per L entry (i,k), every in-pattern update target,
+  // so the numeric phase never consults the pattern again.
+  s.aslot.assign(static_cast<std::size_t>(a.nnz_blocks()), -1);
+  s.elim_ptr.assign(s.lcol.size() + 1, 0);
+  std::vector<int> wslot(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    const int lb = s.lptr[static_cast<std::size_t>(i)], le = s.lptr[static_cast<std::size_t>(i) + 1];
+    const int ub = s.uptr[static_cast<std::size_t>(i)], ue = s.uptr[static_cast<std::size_t>(i) + 1];
+    const int nl = le - lb;
+    for (int t = 0; t < nl; ++t)
+      wslot[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(lb + t)])] = t;
+    for (int t = 0; t < ue - ub; ++t)
+      wslot[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(ub + t)])] = nl + t;
+    wslot[static_cast<std::size_t>(i)] = nl + (ue - ub);
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      s.aslot[static_cast<std::size_t>(e)] = wslot[static_cast<std::size_t>(a.colind[e])];
+    for (int e = lb; e < le; ++e) {
+      const int k = s.lcol[static_cast<std::size_t>(e)];
+      for (int f = s.uptr[static_cast<std::size_t>(k)]; f < s.uptr[static_cast<std::size_t>(k) + 1]; ++f) {
+        const int j = s.ucol[static_cast<std::size_t>(f)];
+        if (wslot[static_cast<std::size_t>(j)] == -1) continue;  // outside pattern: dropped
+        s.elim_src.push_back(f);
+        s.elim_dst.push_back(wslot[static_cast<std::size_t>(j)]);
+      }
+      s.elim_ptr[static_cast<std::size_t>(e) + 1] = static_cast<std::int64_t>(s.elim_src.size());
+    }
+    for (int t = lb; t < le; ++t) wslot[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(t)])] = -1;
+    for (int t = ub; t < ue; ++t) wslot[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(t)])] = -1;
+    wslot[static_cast<std::size_t>(i)] = -1;
+  }
+  return out;
+}
+
+BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
+    : sym_(iluk_symbolic(a, fill_level)) {
+  numeric(a);
+}
+
+BlockILUk::BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym)
+    : sym_(std::move(sym)) {
+  GEOFEM_CHECK(sym_ && sym_->n == a.n, "BlockILUk: symbolic/matrix size mismatch");
+  numeric(a);
+}
+
+void BlockILUk::numeric(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.numeric.BIC(k)");
+  const ILUkSymbolic& s = *sym_;
+  const int n_ = s.n;
+  lval_.assign(s.lcol.size() * kBB, 0.0);
+  uval_.assign(s.ucol.size() * kBB, 0.0);
   inv_d_.assign(static_cast<std::size_t>(n_) * kBB, 0.0);
 
-  // ---- numeric: block IKJ elimination on the fixed pattern -----------------
-  // Workspace: wpos[col] = index into the current row's slot table.
-  std::vector<int> wpos(static_cast<std::size_t>(n_), -1);
-  std::vector<double> wval;   // kBB per touched col
-  std::vector<int> wcols;
+  // Block IKJ elimination on the fixed pattern, driven entirely by the
+  // precomputed schedule. Arithmetic order matches the cold factorization
+  // exactly (ascending pivot k, ascending U entry of k), so factors are
+  // bit-identical whether the pattern was just built or plan-cached.
+  std::size_t max_width = 0;
   for (int i = 0; i < n_; ++i) {
-    wcols.clear();
-    wval.clear();
-    auto slot = [&](int j) -> double* {
-      int& p = wpos[static_cast<std::size_t>(j)];
-      if (p == -1) {
-        p = static_cast<int>(wcols.size());
-        wcols.push_back(j);
-        wval.insert(wval.end(), kBB, 0.0);
-      }
-      return wval.data() + static_cast<std::size_t>(p) * kBB;
-    };
-    // load pattern slots (zero fill) and A values
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      slot(lcol_[static_cast<std::size_t>(e)]);
-    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      slot(ucol_[static_cast<std::size_t>(e)]);
-    slot(i);
+    const std::size_t w = static_cast<std::size_t>(s.lptr[static_cast<std::size_t>(i) + 1] -
+                                                   s.lptr[static_cast<std::size_t>(i)] +
+                                                   s.uptr[static_cast<std::size_t>(i) + 1] -
+                                                   s.uptr[static_cast<std::size_t>(i)]) + 1;
+    max_width = std::max(max_width, w);
+  }
+  std::vector<double> wval(max_width * kBB);
+  for (int i = 0; i < n_; ++i) {
+    const int lb = s.lptr[static_cast<std::size_t>(i)], le = s.lptr[static_cast<std::size_t>(i) + 1];
+    const int ub = s.uptr[static_cast<std::size_t>(i)], ue = s.uptr[static_cast<std::size_t>(i) + 1];
+    const int nl = le - lb, nu = ue - ub;
+    std::fill_n(wval.begin(), static_cast<std::size_t>(nl + nu + 1) * kBB, 0.0);
     for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
       const double* src = a.block(e);
-      double* dst = slot(a.colind[e]);
+      double* dst = wval.data() + static_cast<std::size_t>(s.aslot[static_cast<std::size_t>(e)]) * kBB;
       for (int t = 0; t < kBB; ++t) dst[t] += src[t];
     }
     // eliminate: ascending k < i within the L pattern
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e) {
-      const int k = lcol_[static_cast<std::size_t>(e)];
-      double* lik = wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(k)]) * kBB;
+    for (int e = lb; e < le; ++e) {
+      const int k = s.lcol[static_cast<std::size_t>(e)];
+      double* lik = wval.data() + static_cast<std::size_t>(e - lb) * kBB;
       // L_ik = w_k * invD_k
       double tmp[kBB] = {};
       sparse::b3_gemm(lik, inv_d_.data() + static_cast<std::size_t>(k) * kBB, tmp);
       std::copy_n(tmp, kBB, lik);
-      // w_j -= L_ik * U_kj for all U entries of row k present in this row
-      for (int f = uptr_[static_cast<std::size_t>(k)]; f < uptr_[static_cast<std::size_t>(k) + 1]; ++f) {
-        const int j = ucol_[static_cast<std::size_t>(f)];
-        if (wpos[static_cast<std::size_t>(j)] == -1) continue;  // outside pattern: dropped
-        sparse::b3_gemm_sub(lik, uval_.data() + static_cast<std::size_t>(f) * kBB,
-                            wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(j)]) * kBB);
+      // w_j -= L_ik * U_kj for the scheduled in-pattern targets
+      for (std::int64_t op = s.elim_ptr[static_cast<std::size_t>(e)];
+           op < s.elim_ptr[static_cast<std::size_t>(e) + 1]; ++op) {
+        sparse::b3_gemm_sub(
+            lik, uval_.data() + static_cast<std::size_t>(s.elim_src[static_cast<std::size_t>(op)]) * kBB,
+            wval.data() + static_cast<std::size_t>(s.elim_dst[static_cast<std::size_t>(op)]) * kBB);
       }
     }
     // scatter back
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      std::copy_n(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)])]) * kBB,
-                  kBB, lval_.data() + static_cast<std::size_t>(e) * kBB);
-    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      std::copy_n(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(ucol_[static_cast<std::size_t>(e)])]) * kBB,
-                  kBB, uval_.data() + static_cast<std::size_t>(e) * kBB);
-    invert_or_reset(wval.data() + static_cast<std::size_t>(wpos[static_cast<std::size_t>(i)]) * kBB,
+    std::copy_n(wval.data(), static_cast<std::size_t>(nl) * kBB,
+                lval_.data() + static_cast<std::size_t>(lb) * kBB);
+    std::copy_n(wval.data() + static_cast<std::size_t>(nl) * kBB, static_cast<std::size_t>(nu) * kBB,
+                uval_.data() + static_cast<std::size_t>(ub) * kBB);
+    invert_or_reset(wval.data() + static_cast<std::size_t>(nl + nu) * kBB,
                     inv_d_.data() + static_cast<std::size_t>(i) * kBB);
-    for (int j : wcols) wpos[static_cast<std::size_t>(j)] = -1;
   }
 }
 
 void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
                       util::LoopStats* loops) const {
+  const ILUkSymbolic& s = *sym_;
+  const int n_ = s.n;
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ * kB && static_cast<int>(z.size()) == n_ * kB,
                "BlockILUk apply size mismatch");
   // forward (unit L): y_i = r_i - sum L_ik y_k
@@ -250,14 +308,14 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
     acc[0] = ri[0];
     acc[1] = ri[1];
     acc[2] = ri[2];
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
+    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
       sparse::b3_gemv_sub(lval_.data() + static_cast<std::size_t>(e) * kBB,
-                          z.data() + static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)]) * kB, acc);
+                          z.data() + static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)]) * kB, acc);
     double* zi = z.data() + static_cast<std::size_t>(i) * kB;
     zi[0] = acc[0];
     zi[1] = acc[1];
     zi[2] = acc[2];
-    if (loops) loops->record(lptr_[static_cast<std::size_t>(i) + 1] - lptr_[static_cast<std::size_t>(i)] + 1);
+    if (loops) loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
   }
   // backward: z_i = invD_i (y_i - sum U_ij z_j)
   for (int i = n_ - 1; i >= 0; --i) {
@@ -266,20 +324,19 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
     acc[0] = zi[0];
     acc[1] = zi[1];
     acc[2] = zi[2];
-    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
+    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
       sparse::b3_gemv_sub(uval_.data() + static_cast<std::size_t>(e) * kBB,
-                          z.data() + static_cast<std::size_t>(ucol_[static_cast<std::size_t>(e)]) * kB, acc);
+                          z.data() + static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)]) * kB, acc);
     sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, zi);
-    if (loops) loops->record(uptr_[static_cast<std::size_t>(i) + 1] - uptr_[static_cast<std::size_t>(i)] + 1);
+    if (loops) loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
   }
   if (flops)
     flops->precond +=
-        2ULL * kBB * (lcol_.size() + ucol_.size() + static_cast<std::uint64_t>(n_));
+        2ULL * kBB * (s.lcol.size() + s.ucol.size() + static_cast<std::uint64_t>(n_));
 }
 
 std::size_t BlockILUk::memory_bytes() const {
-  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) +
-         (lcol_.size() + ucol_.size() + lptr_.size() + uptr_.size()) * sizeof(int);
+  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) + sym_->memory_bytes();
 }
 
 }  // namespace geofem::precond

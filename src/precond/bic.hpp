@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
@@ -35,33 +37,65 @@ class BIC0 final : public Preconditioner {
   std::vector<double> inv_d_;  ///< kBB per row: D~_i^-1
 };
 
+/// Structure-only half of the block ILU(k) factorization: the level-of-fill
+/// pattern plus a fully precomputed elimination schedule, so the numeric
+/// phase runs with zero pattern searching. Built once per matrix graph and
+/// shared (plan cache) across numeric refactorizations.
+struct ILUkSymbolic {
+  int n = 0;
+  int fill_level = 0;
+  // strict lower / strict upper patterns, columns ascending per row
+  std::vector<int> lptr, lcol;
+  std::vector<int> uptr, ucol;
+  /// Per matrix entry (aligned with a.colind): slot of its column in the
+  /// owning row's work table. Slot layout per row i: [0, nl) = L entries in
+  /// lcol order, [nl, nl+nu) = U entries in ucol order, nl+nu = diagonal.
+  std::vector<int> aslot;
+  /// Per L entry e = (i,k): updates w_j -= L_ik * U_kj for every U entry of
+  /// row k whose column j lies in row i's pattern. elim_src is the U entry
+  /// index of U_kj; elim_dst the slot of j in row i's work table.
+  std::vector<std::int64_t> elim_ptr;  ///< size lcol.size() + 1
+  std::vector<int> elim_src, elim_dst;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+};
+
+/// Symbolic phase of BlockILUk. Fill entry (i,j) is kept iff its level
+/// min_k(lev_ik + lev_kj + 1) <= fill_level.
+[[nodiscard]] std::shared_ptr<const ILUkSymbolic> iluk_symbolic(const sparse::BlockCSR& a,
+                                                                int fill_level);
+
 /// Block ILU(k) with level-of-fill symbolic factorization and full block LDU
 /// numeric factorization — the paper's BIC(1)/BIC(2) (deep fill-in remedy).
-/// Fill entry (i,j) is kept iff its level min_k(lev_ik + lev_kj + 1) <= k.
 class BlockILUk final : public Preconditioner {
  public:
+  /// Cold set-up: symbolic + numeric.
   BlockILUk(const sparse::BlockCSR& a, int fill_level);
+
+  /// Numeric-only set-up on a previously computed (plan-cached) pattern.
+  /// `a` must have the graph `sym` was built from; produces bit-identical
+  /// factors to the cold constructor.
+  BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::string name() const override {
-    return "BIC(" + std::to_string(fill_level_) + ")";
+    return "BIC(" + std::to_string(sym_->fill_level) + ")";
   }
 
   /// Stored blocks in L + U (fill-in growth diagnostic).
-  [[nodiscard]] std::size_t factor_blocks() const { return lcol_.size() + ucol_.size(); }
+  [[nodiscard]] std::size_t factor_blocks() const {
+    return sym_->lcol.size() + sym_->ucol.size();
+  }
 
  private:
-  int n_ = 0;
-  int fill_level_ = 0;
-  // strict lower factor L (unit block diagonal implied)
-  std::vector<int> lptr_, lcol_;
-  std::vector<double> lval_;
-  // strict upper factor U
-  std::vector<int> uptr_, ucol_;
-  std::vector<double> uval_;
+  void numeric(const sparse::BlockCSR& a);
+
+  std::shared_ptr<const ILUkSymbolic> sym_;
+  std::vector<double> lval_;   ///< kBB per L pattern entry
+  std::vector<double> uval_;   ///< kBB per U pattern entry
   std::vector<double> inv_d_;  ///< kBB per row: U_ii^-1
 };
 

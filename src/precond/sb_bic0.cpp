@@ -17,11 +17,26 @@ namespace geofem::precond {
 using sparse::kB;
 using sparse::kBB;
 
-std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
-                                                 const contact::Supernodes& sn, bool modified) {
+std::size_t SBSymbolic::memory_bytes() const {
+  return (dims.size() + intra_entry.size() + coup_ptr.size() + coup_k.size() +
+          gather_entry.size()) *
+             sizeof(int) +
+         (intra_ptr.size() + intra_off.size() + gather_ptr.size() + gather_off.size()) *
+             sizeof(std::int64_t);
+}
+
+std::shared_ptr<const SBSymbolic> sb_symbolic(const sparse::BlockCSR& a,
+                                              const contact::Supernodes& sn, bool modified) {
   GEOFEM_CHECK(static_cast<int>(sn.node_to_super.size()) == a.n, "supernode map size mismatch");
+  obs::ScopedSpan span("precond.symbolic.SB-BIC(0)");
   const int ns = sn.count();
-  std::vector<sparse::DenseLU> lu_(static_cast<std::size_t>(ns));
+  auto out = std::make_shared<SBSymbolic>();
+  SBSymbolic& sym = *out;
+  sym.n = a.n;
+  sym.modified = modified;
+  sym.dims.resize(static_cast<std::size_t>(ns));
+  for (int s = 0; s < ns; ++s)
+    sym.dims[static_cast<std::size_t>(s)] = kB * static_cast<int>(sn.members[static_cast<std::size_t>(s)].size());
 
   // position of each node inside its supernode
   std::vector<int> pos_in_super(static_cast<std::size_t>(a.n), 0);
@@ -31,16 +46,15 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
       pos_in_super[static_cast<std::size_t>(mem[static_cast<std::size_t>(t)])] = static_cast<int>(t);
   }
 
-  // Factor supernodes in ascending id order with BIC(0)-style diagonal
-  // corrections restricted to the original inter-supernode pattern.
-  std::vector<double> dwork, awork, twork, col;
+  sym.intra_ptr.assign(static_cast<std::size_t>(ns) + 1, 0);
+  sym.coup_ptr.assign(static_cast<std::size_t>(ns) + 1, 0);
+  sym.gather_ptr.assign(1, 0);
   for (int s = 0; s < ns; ++s) {
     const auto& mem = sn.members[static_cast<std::size_t>(s)];
     const int m = static_cast<int>(mem.size());
-    const int dim = kB * m;
-    dwork.assign(static_cast<std::size_t>(dim) * dim, 0.0);
-
-    // Gather A_SS, and the coupling blocks A_SK per earlier neighbour K.
+    const int dim = sym.dims[static_cast<std::size_t>(s)];
+    // Map matrix entries to their dense positions; group coupling entries per
+    // earlier neighbour K (ascending — the elimination order of corrections).
     std::map<int, std::vector<std::pair<int, int>>> earlier;  // K -> [(entry, row-pos)]
     for (int t = 0; t < m; ++t) {
       const int i = mem[static_cast<std::size_t>(t)];
@@ -50,32 +64,68 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
         if (!modified && sj != s) continue;
         if (sj == s) {
           const int tj = pos_in_super[static_cast<std::size_t>(j)];
-          const double* blk = a.block(e);
-          for (int r = 0; r < kB; ++r)
-            for (int c = 0; c < kB; ++c)
-              dwork[static_cast<std::size_t>(kB * t + r) * dim + static_cast<std::size_t>(kB * tj + c)] =
-                  blk[kB * r + c];
+          sym.intra_entry.push_back(e);
+          sym.intra_off.push_back(static_cast<std::int64_t>(kB * t) * dim + kB * tj);
         } else if (sj < s) {
           earlier[sj].emplace_back(e, t);
         }
       }
     }
+    sym.intra_ptr[static_cast<std::size_t>(s) + 1] = static_cast<std::int64_t>(sym.intra_entry.size());
+    for (const auto& [k, entries] : earlier) {
+      const int dimk = sym.dims[static_cast<std::size_t>(k)];
+      sym.coup_k.push_back(k);
+      for (const auto& [e, t] : entries) {
+        const int tj = pos_in_super[static_cast<std::size_t>(a.colind[e])];
+        sym.gather_entry.push_back(e);
+        sym.gather_off.push_back(static_cast<std::int64_t>(kB * t) * dimk + kB * tj);
+      }
+      sym.gather_ptr.push_back(static_cast<std::int64_t>(sym.gather_entry.size()));
+    }
+    sym.coup_ptr[static_cast<std::size_t>(s) + 1] = static_cast<int>(sym.coup_k.size());
+  }
+  return out;
+}
+
+std::vector<sparse::DenseLU> sb_factor_numeric(const sparse::BlockCSR& a, const SBSymbolic& sym) {
+  GEOFEM_CHECK(sym.n == a.n, "SB-BIC(0): symbolic/matrix size mismatch");
+  obs::ScopedSpan span("precond.numeric.SB-BIC(0)");
+  const int ns = static_cast<int>(sym.dims.size());
+  std::vector<sparse::DenseLU> lu_(static_cast<std::size_t>(ns));
+
+  // Factor supernodes in ascending id order with BIC(0)-style diagonal
+  // corrections restricted to the original inter-supernode pattern. The
+  // scatter order and correction order follow the schedule, which preserves
+  // the cold factorization's arithmetic exactly.
+  std::vector<double> dwork, awork, twork, col;
+  for (int s = 0; s < ns; ++s) {
+    const int dim = sym.dims[static_cast<std::size_t>(s)];
+    dwork.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+
+    // Gather A_SS.
+    for (std::int64_t q = sym.intra_ptr[static_cast<std::size_t>(s)];
+         q < sym.intra_ptr[static_cast<std::size_t>(s) + 1]; ++q) {
+      const double* blk = a.block(sym.intra_entry[static_cast<std::size_t>(q)]);
+      double* dst = dwork.data() + sym.intra_off[static_cast<std::size_t>(q)];
+      for (int r = 0; r < kB; ++r)
+        for (int c = 0; c < kB; ++c)
+          dst[static_cast<std::size_t>(r) * dim + static_cast<std::size_t>(c)] = blk[kB * r + c];
+    }
 
     // D~_S -= A_SK * D~_K^-1 * A_SK^T for each earlier neighbour K.
-    for (const auto& [k, entries] : earlier) {
-      const auto& memk = sn.members[static_cast<std::size_t>(k)];
-      const int mk = static_cast<int>(memk.size());
-      const int dimk = kB * mk;
+    for (int ci = sym.coup_ptr[static_cast<std::size_t>(s)];
+         ci < sym.coup_ptr[static_cast<std::size_t>(s) + 1]; ++ci) {
+      const int k = sym.coup_k[static_cast<std::size_t>(ci)];
+      const int dimk = sym.dims[static_cast<std::size_t>(k)];
       // dense A_SK (dim x dimk)
       awork.assign(static_cast<std::size_t>(dim) * dimk, 0.0);
-      for (const auto& [e, t] : entries) {
-        const int j = a.colind[e];
-        const int tj = pos_in_super[static_cast<std::size_t>(j)];
-        const double* blk = a.block(e);
+      for (std::int64_t q = sym.gather_ptr[static_cast<std::size_t>(ci)];
+           q < sym.gather_ptr[static_cast<std::size_t>(ci) + 1]; ++q) {
+        const double* blk = a.block(sym.gather_entry[static_cast<std::size_t>(q)]);
+        double* dst = awork.data() + sym.gather_off[static_cast<std::size_t>(q)];
         for (int r = 0; r < kB; ++r)
           for (int c = 0; c < kB; ++c)
-            awork[static_cast<std::size_t>(kB * t + r) * dimk + static_cast<std::size_t>(kB * tj + c)] =
-                blk[kB * r + c];
+            dst[static_cast<std::size_t>(r) * dimk + static_cast<std::size_t>(c)] = blk[kB * r + c];
       }
       // T = D~_K^-1 * A_SK^T, column by column of A_SK^T (i.e. row of A_SK)
       twork.assign(static_cast<std::size_t>(dimk) * dim, 0.0);
@@ -104,18 +154,13 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
     if (!sparse::is_spd(dwork.data(), dim) ||
         !lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim)) {
       dwork.assign(static_cast<std::size_t>(dim) * dim, 0.0);
-      for (int t = 0; t < m; ++t) {
-        const int i = mem[static_cast<std::size_t>(t)];
-        for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
-          const int j = a.colind[e];
-          if (sn.node_to_super[static_cast<std::size_t>(j)] != s) continue;
-          const int tj = pos_in_super[static_cast<std::size_t>(j)];
-          const double* blk = a.block(e);
-          for (int r = 0; r < kB; ++r)
-            for (int c = 0; c < kB; ++c)
-              dwork[static_cast<std::size_t>(kB * t + r) * dim + static_cast<std::size_t>(kB * tj + c)] =
-                  blk[kB * r + c];
-        }
+      for (std::int64_t q = sym.intra_ptr[static_cast<std::size_t>(s)];
+           q < sym.intra_ptr[static_cast<std::size_t>(s) + 1]; ++q) {
+        const double* blk = a.block(sym.intra_entry[static_cast<std::size_t>(q)]);
+        double* dst = dwork.data() + sym.intra_off[static_cast<std::size_t>(q)];
+        for (int r = 0; r < kB; ++r)
+          for (int c = 0; c < kB; ++c)
+            dst[static_cast<std::size_t>(r) * dim + static_cast<std::size_t>(c)] = blk[kB * r + c];
       }
       GEOFEM_CHECK(lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim),
                    "SB-BIC(0): singular selective block");
@@ -124,12 +169,27 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
   return lu_;
 }
 
+std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
+                                                 const contact::Supernodes& sn, bool modified) {
+  return sb_factor_numeric(a, *sb_symbolic(a, sn, modified));
+}
+
 SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified)
     : a_(a), sn_(std::move(sn)) {
   obs::ScopedSpan span("precond.factor.SB-BIC(0)");
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_diagonals(a, sn_, modified);
+}
+
+SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
+               std::shared_ptr<const SBSymbolic> sym)
+    : a_(a), sn_(std::move(sn)) {
+  GEOFEM_CHECK(sym && sym->n == a.n, "SBBIC0: symbolic/matrix size mismatch");
+  obs::ScopedSpan span("precond.factor.SB-BIC(0)");
+  for (const auto& mem : sn_.members)
+    max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
+  lu_ = sb_factor_numeric(a, *sym);
 }
 
 void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,

@@ -1,10 +1,49 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "contact/penalty.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::precond {
+
+/// Structure-only half of the selective-blocking factorization: per-supernode
+/// dense dimensions plus flattened scatter schedules mapping matrix entries
+/// into the dense intra-block and coupling work arrays. Built once per
+/// (graph, supernode map) and shared across numeric refactorizations.
+struct SBSymbolic {
+  int n = 0;             ///< block rows of the source matrix
+  bool modified = false; ///< whether inter-supernode corrections are applied
+  std::vector<int> dims; ///< per supernode: kB * member count
+
+  /// Intra-supernode scatter: A entries with both endpoints in supernode s
+  /// land at dwork[off + r*dim + c] for block element (r, c).
+  std::vector<std::int64_t> intra_ptr;  ///< size ns + 1
+  std::vector<int> intra_entry;         ///< A entry index
+  std::vector<std::int64_t> intra_off;  ///< (kB*t)*dim + kB*tj
+
+  /// Earlier-neighbour couplings (modified path only; empty otherwise),
+  /// K ascending per supernode — the elimination order of the corrections.
+  std::vector<int> coup_ptr;             ///< size ns + 1, into coup_k
+  std::vector<int> coup_k;               ///< earlier supernode id K
+  std::vector<std::int64_t> gather_ptr;  ///< size coup_k.size() + 1
+  std::vector<int> gather_entry;         ///< A entry index of an A_SK block
+  std::vector<std::int64_t> gather_off;  ///< (kB*t)*dimk + kB*tj
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+};
+
+/// Symbolic phase of the selective-blocking factorization.
+[[nodiscard]] std::shared_ptr<const SBSymbolic> sb_symbolic(const sparse::BlockCSR& a,
+                                                            const contact::Supernodes& sn,
+                                                            bool modified = false);
+
+/// Numeric phase: factor the selective-block diagonals on a precomputed
+/// schedule. Produces bit-identical factors to sb_factor_diagonals.
+[[nodiscard]] std::vector<sparse::DenseLU> sb_factor_numeric(const sparse::BlockCSR& a,
+                                                             const SBSymbolic& sym);
 
 /// Selective blocking preconditioner SB-BIC(0) (paper §3): strongly coupled
 /// nodes of each contact group form one selective block (supernode); the
@@ -31,6 +70,11 @@ class SBBIC0 final : public Preconditioner {
   /// `a` must outlive this preconditioner (the substitution reads its
   /// off-diagonal blocks in place); the supernode partition is owned.
   SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified = false);
+
+  /// Numeric-only set-up on a previously computed (plan-cached) schedule.
+  /// `sym` must have been built from `a`'s graph and `sn`.
+  SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
+         std::shared_ptr<const SBSymbolic> sym);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;

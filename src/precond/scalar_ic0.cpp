@@ -7,18 +7,26 @@
 
 namespace geofem::precond {
 
-ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) {
-  obs::ScopedSpan span("precond.factor.IC(0)");
-  n_ = a.n * sparse::kB;
+std::size_t ScalarIC0Symbolic::memory_bytes() const {
+  return (lptr.size() + lcol.size() + uptr.size() + ucol.size()) * sizeof(int) +
+         (lsrc.size() + usrc.size() + dsrc.size()) * sizeof(std::int64_t);
+}
+
+std::shared_ptr<const ScalarIC0Symbolic> scalar_ic0_symbolic(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.symbolic.IC(0)");
+  auto out = std::make_shared<ScalarIC0Symbolic>();
+  ScalarIC0Symbolic& s = *out;
+  s.n = a.n * sparse::kB;
+  const int n_ = s.n;
   // Expand the block matrix to scalar lower/upper CSR (dropping exact zeros,
   // which the block format stores but a scalar method would not).
-  lptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  uptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  std::vector<double> diag(static_cast<std::size_t>(n_), 0.0);
+  s.lptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  s.uptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  s.dsrc.assign(static_cast<std::size_t>(n_), 0);
 
   for (int pass = 0; pass < 2; ++pass) {
-    std::vector<int> lpos(lptr_.begin(), lptr_.end() - 1);
-    std::vector<int> upos(uptr_.begin(), uptr_.end() - 1);
+    std::vector<int> lpos(s.lptr.begin(), s.lptr.end() - 1);
+    std::vector<int> upos(s.uptr.begin(), s.uptr.end() - 1);
     for (int bi = 0; bi < a.n; ++bi) {
       for (int e = a.rowptr[bi]; e < a.rowptr[bi + 1]; ++e) {
         const int bj = a.colind[e];
@@ -28,25 +36,27 @@ ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) {
           for (int c = 0; c < sparse::kB; ++c) {
             const int col = sparse::kB * bj + c;
             const double v = blk[sparse::kB * r + c];
+            const std::int64_t src =
+                static_cast<std::int64_t>(e) * sparse::kBB + sparse::kB * r + c;
             if (row == col) {
-              diag[static_cast<std::size_t>(row)] = v;
+              s.dsrc[static_cast<std::size_t>(row)] = src;
               continue;
             }
             if (v == 0.0) continue;
             if (col < row) {
               if (pass == 0) {
-                ++lptr_[static_cast<std::size_t>(row) + 1];
+                ++s.lptr[static_cast<std::size_t>(row) + 1];
               } else {
-                lcol_[static_cast<std::size_t>(lpos[static_cast<std::size_t>(row)])] = col;
-                lval_[static_cast<std::size_t>(lpos[static_cast<std::size_t>(row)])] = v;
+                s.lcol[static_cast<std::size_t>(lpos[static_cast<std::size_t>(row)])] = col;
+                s.lsrc[static_cast<std::size_t>(lpos[static_cast<std::size_t>(row)])] = src;
                 ++lpos[static_cast<std::size_t>(row)];
               }
             } else {
               if (pass == 0) {
-                ++uptr_[static_cast<std::size_t>(row) + 1];
+                ++s.uptr[static_cast<std::size_t>(row) + 1];
               } else {
-                ucol_[static_cast<std::size_t>(upos[static_cast<std::size_t>(row)])] = col;
-                uval_[static_cast<std::size_t>(upos[static_cast<std::size_t>(row)])] = v;
+                s.ucol[static_cast<std::size_t>(upos[static_cast<std::size_t>(row)])] = col;
+                s.usrc[static_cast<std::size_t>(upos[static_cast<std::size_t>(row)])] = src;
                 ++upos[static_cast<std::size_t>(row)];
               }
             }
@@ -56,62 +66,88 @@ ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) {
     }
     if (pass == 0) {
       for (int i = 0; i < n_; ++i) {
-        lptr_[static_cast<std::size_t>(i) + 1] += lptr_[static_cast<std::size_t>(i)];
-        uptr_[static_cast<std::size_t>(i) + 1] += uptr_[static_cast<std::size_t>(i)];
+        s.lptr[static_cast<std::size_t>(i) + 1] += s.lptr[static_cast<std::size_t>(i)];
+        s.uptr[static_cast<std::size_t>(i) + 1] += s.uptr[static_cast<std::size_t>(i)];
       }
-      lcol_.resize(static_cast<std::size_t>(lptr_[static_cast<std::size_t>(n_)]));
-      lval_.resize(lcol_.size());
-      ucol_.resize(static_cast<std::size_t>(uptr_[static_cast<std::size_t>(n_)]));
-      uval_.resize(ucol_.size());
+      s.lcol.resize(static_cast<std::size_t>(s.lptr[static_cast<std::size_t>(n_)]));
+      s.lsrc.resize(s.lcol.size());
+      s.ucol.resize(static_cast<std::size_t>(s.uptr[static_cast<std::size_t>(n_)]));
+      s.usrc.resize(s.ucol.size());
     }
   }
+  return out;
+}
+
+ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) : sym_(scalar_ic0_symbolic(a)) {
+  numeric(a);
+}
+
+ScalarIC0::ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym)
+    : sym_(std::move(sym)) {
+  GEOFEM_CHECK(sym_ && sym_->n == a.n * sparse::kB, "ScalarIC0: symbolic/matrix size mismatch");
+  numeric(a);
+}
+
+void ScalarIC0::numeric(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.numeric.IC(0)");
+  const ScalarIC0Symbolic& s = *sym_;
+  const int n_ = s.n;
+  breakdowns_ = 0;
+
+  // Gather scalar values on the fixed pattern.
+  lval_.resize(s.lsrc.size());
+  for (std::size_t e = 0; e < s.lsrc.size(); ++e)
+    lval_[e] = a.val[static_cast<std::size_t>(s.lsrc[e])];
+  uval_.resize(s.usrc.size());
+  for (std::size_t e = 0; e < s.usrc.size(); ++e)
+    uval_[e] = a.val[static_cast<std::size_t>(s.usrc[e])];
 
   // Modified diagonal d_i = a_ii - sum a_ik^2 / d_k over the lower pattern.
   inv_d_.assign(static_cast<std::size_t>(n_), 0.0);
-  std::vector<double> d(static_cast<std::size_t>(n_), 0.0);
   for (int i = 0; i < n_; ++i) {
-    double di = diag[static_cast<std::size_t>(i)];
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e) {
+    const double aii = a.val[static_cast<std::size_t>(s.dsrc[static_cast<std::size_t>(i)])];
+    double di = aii;
+    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e) {
       const double v = lval_[static_cast<std::size_t>(e)];
-      di -= v * v * inv_d_[static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)])];
+      di -= v * v * inv_d_[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])];
     }
     if (!(di > 0.0) || !std::isfinite(di)) {
-      di = diag[static_cast<std::size_t>(i)];
+      di = aii;
       ++breakdowns_;
     }
     GEOFEM_CHECK(di != 0.0, "IC(0): zero diagonal after reset");
-    d[static_cast<std::size_t>(i)] = di;
     inv_d_[static_cast<std::size_t>(i)] = 1.0 / di;
   }
 }
 
 void ScalarIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
                       util::LoopStats* loops) const {
+  const ScalarIC0Symbolic& s = *sym_;
+  const int n_ = s.n;
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ && static_cast<int>(z.size()) == n_,
                "IC(0) apply size mismatch");
   // forward: y_i = (r_i - sum L_ik y_k) / d_i
   for (int i = 0; i < n_; ++i) {
     double acc = r[static_cast<std::size_t>(i)];
-    for (int e = lptr_[static_cast<std::size_t>(i)]; e < lptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      acc -= lval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(lcol_[static_cast<std::size_t>(e)])];
+    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
+      acc -= lval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])];
     z[static_cast<std::size_t>(i)] = acc * inv_d_[static_cast<std::size_t>(i)];
-    if (loops) loops->record(lptr_[static_cast<std::size_t>(i) + 1] - lptr_[static_cast<std::size_t>(i)] + 1);
+    if (loops) loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
   }
   // backward: z_i = y_i - (sum U_ij z_j) / d_i
   for (int i = n_ - 1; i >= 0; --i) {
     double acc = 0.0;
-    for (int e = uptr_[static_cast<std::size_t>(i)]; e < uptr_[static_cast<std::size_t>(i) + 1]; ++e)
-      acc += uval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(ucol_[static_cast<std::size_t>(e)])];
+    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
+      acc += uval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])];
     z[static_cast<std::size_t>(i)] -= acc * inv_d_[static_cast<std::size_t>(i)];
-    if (loops) loops->record(uptr_[static_cast<std::size_t>(i) + 1] - uptr_[static_cast<std::size_t>(i)] + 1);
+    if (loops) loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
   }
   if (flops)
     flops->precond += 2ULL * (lval_.size() + uval_.size()) + 3ULL * static_cast<std::uint64_t>(n_);
 }
 
 std::size_t ScalarIC0::memory_bytes() const {
-  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) +
-         (lcol_.size() + ucol_.size() + lptr_.size() + uptr_.size()) * sizeof(int);
+  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) + sym_->memory_bytes();
 }
 
 }  // namespace geofem::precond

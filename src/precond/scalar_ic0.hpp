@@ -1,9 +1,33 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::precond {
+
+/// Structure-only half of the scalar IC(0): the scalar lower/upper CSR
+/// expansion of the block matrix plus, per scalar entry, the flat index of
+/// its source value in the block value array. The expansion drops exact-zero
+/// off-diagonals, so the pattern is *value-dependent*: plan reuse assumes the
+/// scalar zero pattern is stable across refactorizations (true for penalty
+/// rescaling, where contact couplings scale but never vanish).
+struct ScalarIC0Symbolic {
+  int n = 0;  ///< scalar dimension (kB * block rows)
+  std::vector<int> lptr, lcol;
+  std::vector<int> uptr, ucol;
+  // flat indices into BlockCSR::val (entry * kBB + r * kB + c)
+  std::vector<std::int64_t> lsrc, usrc;
+  std::vector<std::int64_t> dsrc;  ///< per scalar row: source of a_ii
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+};
+
+/// Symbolic phase of ScalarIC0 (scalar expansion of the current zero pattern).
+[[nodiscard]] std::shared_ptr<const ScalarIC0Symbolic> scalar_ic0_symbolic(
+    const sparse::BlockCSR& a);
 
 /// Point-wise (scalar) IC(0) of Table 2's "IC(0) (Scalar Type)" row:
 /// M = (L + D) D^-1 (D + L^T) with L the strict scalar lower triangle of A
@@ -16,6 +40,11 @@ class ScalarIC0 final : public Preconditioner {
  public:
   explicit ScalarIC0(const sparse::BlockCSR& a);
 
+  /// Numeric-only set-up on a previously computed (plan-cached) scalar
+  /// pattern. `a` must have the same scalar zero pattern `sym` was built
+  /// from; produces bit-identical factors to the cold constructor.
+  ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym);
+
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
@@ -26,13 +55,10 @@ class ScalarIC0 final : public Preconditioner {
   [[nodiscard]] int breakdowns() const { return breakdowns_; }
 
  private:
-  int n_ = 0;  // scalar dimension
-  // scalar CSR of the strict lower triangle
-  std::vector<int> lptr_, lcol_;
-  std::vector<double> lval_;
-  // scalar CSR of the strict upper triangle
-  std::vector<int> uptr_, ucol_;
-  std::vector<double> uval_;
+  void numeric(const sparse::BlockCSR& a);
+
+  std::shared_ptr<const ScalarIC0Symbolic> sym_;
+  std::vector<double> lval_, uval_;
   std::vector<double> inv_d_;
   int breakdowns_ = 0;
 };

@@ -155,7 +155,7 @@ DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
     const int count = chunk_begin_[static_cast<std::size_t>(ch) + 1] - begin;
     // Collect entries per row, split into lower/upper by *new* index; skip
     // intra-supernode couplings (handled by the dense blocks above).
-    std::vector<std::vector<std::pair<int, const double*>>> lo(static_cast<std::size_t>(count)),
+    std::vector<std::vector<std::pair<int, int>>> lo(static_cast<std::size_t>(count)),
         up(static_cast<std::size_t>(count));
     for (int t = 0; t < count; ++t) {
       const int in = begin + t;
@@ -167,10 +167,10 @@ DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
             range_of_row_[static_cast<std::size_t>(jn)] ==
                 range_of_row_[static_cast<std::size_t>(in)])
           continue;
-        (jn < in ? lo : up)[static_cast<std::size_t>(t)].emplace_back(jn, a.block(e));
+        (jn < in ? lo : up)[static_cast<std::size_t>(t)].emplace_back(jn, e);
       }
     }
-    auto build = [&](std::vector<std::vector<std::pair<int, const double*>>>& rows, Jagged& out) {
+    auto build = [&](std::vector<std::vector<std::pair<int, int>>>& rows, Jagged& out) {
       // Padded (suffix-max) lengths keep the jagged diagonals monotone when
       // supernode contiguity prevents a perfect descending sort (Fig 21).
       std::vector<int> plen(static_cast<std::size_t>(count), 0);
@@ -192,10 +192,12 @@ DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
           const auto& r = rows[static_cast<std::size_t>(t)];
           if (j < static_cast<int>(r.size())) {
             out.item.push_back(r[static_cast<std::size_t>(j)].first);
-            const double* src = r[static_cast<std::size_t>(j)].second;
+            out.src.push_back(r[static_cast<std::size_t>(j)].second);
+            const double* src = a.block(r[static_cast<std::size_t>(j)].second);
             out.val.insert(out.val.end(), src, src + sparse::kBB);
           } else {
             out.item.push_back(begin + t);  // dummy: zero block on own row
+            out.src.push_back(-1);
             out.val.insert(out.val.end(), sparse::kBB, 0.0);
             ++out.dummies;
           }
@@ -204,6 +206,46 @@ DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
     };
     build(lo, lower_[static_cast<std::size_t>(ch)]);
     build(up, upper_[static_cast<std::size_t>(ch)]);
+  }
+}
+
+void DJDSMatrix::refill(const sparse::BlockCSR& a) {
+  GEOFEM_CHECK(a.n == n_, "DJDSMatrix::refill: matrix size mismatch");
+  // Diagonal blocks.
+  for (int i = 0; i < n_; ++i) {
+    const int old = iperm_[static_cast<std::size_t>(i)];
+    const double* src = a.block(a.diag_entry(old));
+    std::copy(src, src + sparse::kBB, diag_.data() + static_cast<std::size_t>(i) * sparse::kBB);
+  }
+  // Dense supernode blocks (same gather as the constructor).
+  for (std::size_t r = 0; r < super_ranges_.size(); ++r) {
+    const auto& sr = super_ranges_[r];
+    const int dim = sparse::kB * sr.size;
+    auto& dense = super_dense_[r];
+    std::fill(dense.begin(), dense.end(), 0.0);
+    for (int t = 0; t < sr.size; ++t) {
+      const int old = iperm_[static_cast<std::size_t>(sr.start + t)];
+      for (int e = a.rowptr[old]; e < a.rowptr[old + 1]; ++e) {
+        const int jn = perm_[static_cast<std::size_t>(a.colind[e])];
+        if (jn < sr.start || jn >= sr.start + sr.size) continue;
+        const int tj = jn - sr.start;
+        const double* blk = a.block(e);
+        for (int br = 0; br < sparse::kB; ++br)
+          for (int bc = 0; bc < sparse::kB; ++bc)
+            dense[static_cast<std::size_t>(sparse::kB * t + br) * dim +
+                  static_cast<std::size_t>(sparse::kB * tj + bc)] = blk[sparse::kB * br + bc];
+      }
+    }
+  }
+  // Jagged entries; dummies carry a zero block and never change.
+  for (auto* parts : {&lower_, &upper_}) {
+    for (Jagged& p : *parts) {
+      for (std::size_t t = 0; t < p.src.size(); ++t) {
+        if (p.src[t] < 0) continue;
+        const double* src = a.block(p.src[t]);
+        std::copy(src, src + sparse::kBB, p.val.data() + t * sparse::kBB);
+      }
+    }
   }
 }
 
@@ -310,7 +352,8 @@ std::size_t DJDSMatrix::memory_bytes() const {
   for (const auto& d : super_dense_) bytes += d.size() * sizeof(double);
   for (const auto& parts : {std::cref(lower_), std::cref(upper_)}) {
     for (const Jagged& p : parts.get())
-      bytes += p.val.size() * sizeof(double) + (p.item.size() + p.jd_ptr.size()) * sizeof(int);
+      bytes += p.val.size() * sizeof(double) +
+               (p.item.size() + p.src.size() + p.jd_ptr.size()) * sizeof(int);
   }
   return bytes;
 }

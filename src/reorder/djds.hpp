@@ -27,6 +27,7 @@ struct DJDSOptions {
 struct Jagged {
   std::vector<int> jd_ptr;
   std::vector<int> item;
+  std::vector<int> src;     ///< source entry in the original BlockCSR, -1 for dummies
   std::vector<double> val;  ///< sparse::kBB doubles per entry
   int dummies = 0;
 
@@ -87,6 +88,12 @@ class DJDSMatrix {
 
   /// Index into super_ranges() of the range containing new row i, or -1.
   [[nodiscard]] int range_of_row(int i) const { return range_of_row_[static_cast<std::size_t>(i)]; }
+
+  /// Re-gather all numeric values (diagonals, dense supernode blocks, jagged
+  /// entries) from `a`, which must have the graph this layout was built from.
+  /// The permutation, chunk layout, and jagged structure are untouched — this
+  /// is the numeric half of the PDJDS set-up, used for plan reuse.
+  void refill(const sparse::BlockCSR& a);
 
   /// y = A x in the new ordering (x, y indexed by new ids). Records the
   /// length of every executed innermost vector loop in `loops` and counts
