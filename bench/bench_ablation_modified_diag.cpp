@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         const auto res = solver::pcg(sys.a, *prec, sys.b, x, opt);
         const auto est = eig::estimate_spectrum(sys.a, *prec, sys.b, 150);
         table.row({prec->name(), modified ? "modified" : "plain", util::Table::sci(lambda, 0),
-                   res.converged ? std::to_string(res.iterations) : "no conv.",
+                   res.converged() ? std::to_string(res.iterations) : "no conv.",
                    util::Table::fmt(est.emax, 3), util::Table::sci(est.condition(), 2)});
       }
     }

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const auto p = part::rcb(m.coords, ranks);
     const auto systems = part::distribute(sys.a, sys.b, p);
     const auto res = dist::solve_distributed(systems, factory);
-    if (!res.converged) {
+    if (!res.converged()) {
       std::cout << "ranks=" << ranks << " did not converge\n";
       continue;
     }

@@ -51,14 +51,14 @@ int main(int argc, char** argv) {
       const std::string key = prec->name() + "/lambda=" + util::Table::sci(lambda, 0);
       reg.counter(key + "/iterations")->add(static_cast<std::uint64_t>(res.iterations));
       reg.counter(key + "/flops_total")->add(res.flops.total());
-      reg.gauge(key + "/converged")->set(res.converged ? 1.0 : 0.0);
+      reg.gauge(key + "/converged")->set(res.converged() ? 1.0 : 0.0);
       reg.gauge(key + "/setup_seconds")->set(setup);
       reg.gauge(key + "/solve_seconds")->set(res.solve_seconds);
       reg.gauge(key + "/avg_vector_length")->set(res.loops.average());
       reg.gauge(key + "/memory_mb")->set(mem);
 
       table.row({prec->name(), util::Table::sci(lambda, 0),
-                 res.converged ? std::to_string(res.iterations) : "no conv.",
+                 res.converged() ? std::to_string(res.iterations) : "no conv.",
                  util::Table::fmt(setup, 2), util::Table::fmt(res.solve_seconds, 2),
                  util::Table::fmt(setup + res.solve_seconds, 2),
                  util::Table::fmt(res.iterations ? res.solve_seconds / res.iterations : 0.0, 4),

@@ -46,15 +46,15 @@ int main(int argc, char** argv) {
       const auto p_orig = part::by_node_blocks(m.num_nodes(), 8);
       const auto p_impr = part::rcb_contact_aware(m, 8);
       dist::DistOptions opt;
-      opt.max_iterations = 5000;
+      opt.cg.max_iterations = 5000;
       const auto sys_orig = part::distribute(sys.a, sys.b, p_orig);
       const auto sys_impr = part::distribute(sys.a, sys.b, p_impr);
       const auto r_orig = dist::solve_distributed(sys_orig, factory, opt);
       const auto r_impr = dist::solve_distributed(sys_impr, factory, opt);
       table.row({kind.name, util::Table::sci(lambda, 0),
-                 r_orig.converged ? std::to_string(r_orig.iterations) : "no conv.",
+                 r_orig.converged() ? std::to_string(r_orig.iterations) : "no conv.",
                  util::Table::fmt(r_orig.setup_seconds_max + r_orig.solve_seconds, 1),
-                 r_impr.converged ? std::to_string(r_impr.iterations) : "no conv.",
+                 r_impr.converged() ? std::to_string(r_impr.iterations) : "no conv.",
                  util::Table::fmt(r_impr.setup_seconds_max + r_impr.solve_seconds, 1),
                  std::to_string(part::split_contact_groups(m, p_orig)) + " -> " +
                      std::to_string(part::split_contact_groups(m, p_impr))});

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       const auto p = part::rcb_contact_aware(m, ranks);
       const auto systems = part::distribute(sys.a, sys.b, p);
       dist::DistOptions opt;
-      opt.max_iterations = 5000;
+      opt.cg.max_iterations = 5000;
       const auto res = dist::solve_distributed(systems, factory, opt);
       double elapsed = 0.0;
       double mem = 0.0;
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
       }
       if (ranks == 16) t16 = elapsed;
       table.row({std::to_string(ranks),
-                 res.converged ? std::to_string(res.iterations) : "no conv.",
+                 res.converged() ? std::to_string(res.iterations) : "no conv.",
                  util::Table::fmt(elapsed, 3),
                  util::Table::fmt(16.0 * t16 / std::max(elapsed, 1e-30), 1),
                  util::Table::fmt(mem / 1e6, 1)});

@@ -33,7 +33,7 @@ geofem::util::Table report(const char* title, const geofem::mesh::HexMesh& m,
       opt.max_iterations = 2000;
       const auto res = solver::pcg(sys.a, *prec, sys.b, x, opt);
       table.row({prec->name(), util::Table::sci(lambda, 0),
-                 res.converged ? std::to_string(res.iterations) : "> 2000",
+                 res.converged() ? std::to_string(res.iterations) : "> 2000",
                  util::Table::fmt(timer.seconds(), 1)});
     }
   }

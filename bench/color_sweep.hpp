@@ -54,7 +54,7 @@ inline SweepRow run_color_point(const geofem::mesh::HexMesh& m, const geofem::fe
     return std::make_unique<precond::OwnedDJDSBIC>(aii, std::move(sn), colors, npe);
   };
   dist::DistOptions opt;
-  opt.max_iterations = 10000;
+  opt.cg.max_iterations = 10000;
   const auto res = dist::solve_distributed(systems, factory, opt);
 
   // Model: per-rank compute from the structural loop profile of one sweep of

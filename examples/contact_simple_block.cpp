@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       cfg.cg.max_iterations = 5000;
       const auto rep = core::solve(m, {{1.0, 0.3}}, bc, cfg);
       table.row({rep.precond_name, util::Table::sci(lambda, 0),
-                 rep.cg.converged ? std::to_string(rep.cg.iterations) : "no conv.",
+                 rep.cg.converged() ? std::to_string(rep.cg.iterations) : "no conv.",
                  util::Table::fmt(rep.setup_seconds, 2), util::Table::fmt(rep.cg.solve_seconds, 2),
                  util::Table::fmt(rep.setup_seconds + rep.cg.solve_seconds, 2),
                  util::Table::fmt((rep.matrix_bytes + rep.precond_bytes) / 1.0e6, 1)});

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
                std::to_string(res.total_inner_iterations()),
                util::Table::sci(res.gap_history.empty() ? 0.0 : res.gap_history.back(), 1),
                util::Table::fmt(settle, 4)});
-    if (!res.converged) {
+    if (!res.converged()) {
       std::cout << "step " << step << " did not converge\n";
       return 1;
     }

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     }
     table.row({hybrid ? "hybrid" : "flat MPI", std::to_string(ranks),
                std::to_string(res.iterations), util::Table::fmt(msgs / ranks, 1),
-               util::Table::sci(comm, 2), res.converged ? "yes" : "NO"});
+               util::Table::sci(comm, 2), res.converged() ? "yes" : "NO"});
   }
   table.print();
   std::cout << "\nHybrid (fewer, larger domains): fewer iterations; flat MPI: 8x the MPI\n"

@@ -56,6 +56,6 @@ int main(int argc, char** argv) {
         return std::make_unique<precond::SBBIC0>(aii, std::move(sn));
       });
   std::cout << "solve from files: " << res.iterations << " iterations, "
-            << (res.converged ? "converged" : "NOT CONVERGED") << "\n";
-  return res.converged ? 0 : 1;
+            << (res.converged() ? "converged" : "NOT CONVERGED") << "\n";
+  return res.converged() ? 0 : 1;
 }

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   const core::SolveReport rep = core::solve(m, {{1.0, 0.3}}, bc, cfg);
 
   std::cout << "preconditioner: " << rep.precond_name << "\n"
-            << "iterations:     " << rep.cg.iterations << (rep.cg.converged ? "" : " (NOT CONVERGED)")
+            << "iterations:     " << rep.cg.iterations << (rep.cg.converged() ? "" : " (NOT CONVERGED)")
             << "\n"
             << "set-up:         " << rep.setup_seconds << " s\n"
             << "solve:          " << rep.cg.solve_seconds << " s\n"
@@ -74,5 +74,5 @@ int main(int argc, char** argv) {
   const plan::CacheStats cs = cache.stats();
   std::cout << "plan cache: hits=" << cs.hits << " misses=" << cs.misses
             << " evictions=" << cs.evictions << " entries=" << cs.entries << "\n";
-  return rep.cg.converged && rep2.cg.converged ? 0 : 1;
+  return rep.cg.converged() && rep2.cg.converged() ? 0 : 1;
 }

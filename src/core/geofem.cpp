@@ -23,6 +23,7 @@ precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::B
     case PrecondKind::kBIC1: return std::make_unique<precond::BlockILUk>(a, 1);
     case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, 2);
     case PrecondKind::kSBBIC0: return std::make_unique<precond::SBBIC0>(a, sn);
+    case PrecondKind::kBlockDiagonal: return std::make_unique<precond::BlockDiagonal>(a);
   }
   GEOFEM_CHECK(false, "unknown preconditioner kind");
 }
@@ -32,24 +33,32 @@ SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& mate
   fem::System sys = fem::assemble_elasticity(m, materials);
   contact::add_penalty(sys.a, m.contact_groups, cfg.penalty);
   fem::apply_boundary_conditions(sys, bc);
-  return solve_system(sys, m.contact_groups, cfg);
+  return solve_system(sys, contact::build_supernodes(sys.a.n, m.contact_groups), cfg);
 }
 
-SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
-                         const SolveConfig& cfg) {
+namespace {
+
+/// One set-up + CG attempt with preconditioner `kind`: the body of the
+/// pre-resilience solve_system, parameterized so the fallback loop can rerun
+/// it. `x0` (mesh ordering) warm-starts CG; null starts from zero. Throws
+/// geofem::Error(kFactorizationFailed) if the factorization hits an unusable
+/// pivot. Fills everything in the report except status / attempts /
+/// fallback_* (owned by the caller).
+SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
+                          const SolveConfig& cfg, PrecondKind kind,
+                          const solver::CGOptions& cgopt, const std::vector<double>* x0) {
   SolveReport rep;
   rep.matrix_bytes = sys.a.memory_bytes();
   obs::Registry* reg = obs::current();
   // setup span closed (span_end) where setup_seconds is read, in each branch
   const std::size_t setup_idx = reg ? reg->span_begin("core.setup") : 0;
-  const auto sn = contact::build_supernodes(sys.a.n, groups);
   util::Timer setup;
 
   // Plan: everything structure-dependent (symbolic pattern, coloring, DJDS
   // layout), cached across solves on the same graph; then the per-solve
   // numeric factorization.
   plan::PlanConfig pcfg;
-  pcfg.precond = cfg.precond;
+  pcfg.precond = kind;
   pcfg.ordering = cfg.ordering;
   pcfg.colors = cfg.colors;
   pcfg.npe = cfg.npe;
@@ -75,8 +84,12 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
   rep.precond_name = prec->name();
 
   if (cfg.ordering == OrderingKind::kNatural) {
-    rep.solution.assign(sys.a.ndof(), 0.0);
-    rep.cg = solver::pcg(sys.a, *prec, sys.b, rep.solution, cfg.cg);
+    if (x0) {
+      rep.solution = *x0;
+    } else {
+      rep.solution.assign(sys.a.ndof(), 0.0);
+    }
+    rep.cg = solver::pcg(sys.a, *prec, sys.b, rep.solution, cgopt);
     return rep;
   }
 
@@ -99,10 +112,16 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
       pb[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
          static_cast<std::size_t>(c)] =
           sys.b[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)];
+  if (x0)
+    for (int i = 0; i < sys.a.n; ++i)
+      for (int c = 0; c < 3; ++c)
+        px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+           static_cast<std::size_t>(c)] =
+            (*x0)[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)];
   rep.cg = solver::pcg(
       [&dj](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
             util::LoopStats* ls) { dj.spmv(in, out, fc, ls); },
-      *prec, pb, px, cfg.cg);
+      *prec, pb, px, cgopt);
   rep.solution.assign(sys.a.ndof(), 0.0);
   for (int i = 0; i < sys.a.n; ++i)
     for (int c = 0; c < 3; ++c)
@@ -110,6 +129,87 @@ SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<i
           px[static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
              static_cast<std::size_t>(c)];
   return rep;
+}
+
+}  // namespace
+
+SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
+                         const SolveConfig& cfg) {
+  if (!cfg.resilience.enabled) {
+    SolveReport rep = attempt_solve(sys, sn, cfg, cfg.precond, cfg.cg, nullptr);
+    rep.status = rep.cg.status;
+    rep.attempts = {cfg.precond};
+    return rep;
+  }
+
+  // Resilient path. Give the inner CG a stagnation window (unless the caller
+  // set one) so a stalled attempt fails fast enough to leave budget for the
+  // fallback rungs.
+  solver::CGOptions cgopt = cfg.cg;
+  if (cgopt.stagnation_window == 0) cgopt.stagnation_window = cfg.resilience.stagnation_window;
+
+  std::vector<PrecondKind> kinds{cfg.precond};
+  {
+    const auto chain = cfg.resilience.chain.empty() ? default_fallback_chain(cfg.precond)
+                                                    : cfg.resilience.chain;
+    for (PrecondKind k : chain) {
+      if (k == cfg.precond) continue;
+      if (static_cast<int>(kinds.size()) - 1 >= cfg.resilience.max_fallbacks) break;
+      kinds.push_back(k);
+    }
+  }
+
+  obs::Registry* reg = obs::current();
+  SolveReport out;
+  std::vector<PrecondKind> attempted;
+  std::vector<double> warm;  // best iterate so far, mesh ordering
+  bool have_warm = false;
+  int burnt_iterations = 0;
+  double burnt_setup = 0.0;
+  SolveStatus last_status = SolveStatus::kFactorizationFailed;
+
+  for (std::size_t t = 0; t < kinds.size(); ++t) {
+    attempted.push_back(kinds[t]);
+    SolveReport r;
+    try {
+      r = attempt_solve(sys, sn, cfg, kinds[t], cgopt, have_warm ? &warm : nullptr);
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kFactorizationFailed) throw;
+      last_status = SolveStatus::kFactorizationFailed;
+      if (reg) reg->counter("core.fallback.factorization_failed")->add(1);
+      continue;
+    }
+    if (ok(r.cg.status)) {
+      out = std::move(r);
+      out.status = t == 0 ? SolveStatus::kConverged : SolveStatus::kFellBack;
+      out.attempts = std::move(attempted);
+      out.fallback_iterations = burnt_iterations;
+      out.fallback_setup_seconds = burnt_setup;
+      if (t > 0 && reg) reg->counter("core.fallback.recovered")->add(1);
+      return out;
+    }
+    last_status = r.cg.status;
+    burnt_iterations += r.cg.iterations;
+    burnt_setup += r.setup_seconds;
+    warm = r.solution;  // warm-start the next rung from the partial iterate
+    have_warm = true;
+    out = std::move(r);
+    if (reg) reg->counter("core.fallback.attempts")->add(1);
+  }
+
+  // Every rung failed: report the last completed attempt (or an empty report
+  // if every factorization threw), with the chain-wide bookkeeping.
+  out.status = last_status;
+  out.fallback_iterations = burnt_iterations - out.cg.iterations;
+  out.fallback_setup_seconds = burnt_setup - out.setup_seconds;
+  out.attempts = std::move(attempted);
+  if (reg) reg->counter("core.fallback.exhausted")->add(1);
+  return out;
+}
+
+SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
+                         const SolveConfig& cfg) {
+  return solve_system(sys, contact::build_supernodes(sys.a.n, groups), cfg);
 }
 
 }  // namespace geofem::core

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "contact/penalty.hpp"
+#include "core/resilience.hpp"
+#include "core/status.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "plan/cache.hpp"
@@ -39,9 +41,24 @@ struct SolveConfig {
   /// plan::default_cache(); set use_plan_cache = false to always rebuild.
   plan::PlanCache* plan_cache = nullptr;
   bool use_plan_cache = true;
+  /// Automatic preconditioner fallback on stagnation / breakdown /
+  /// factorization failure. Disabled by default: residual histories with the
+  /// default options are bit-identical to a build without the resilience
+  /// layer.
+  ResilienceOptions resilience;
 };
 
 struct SolveReport {
+  /// Outcome of the whole pipeline. Equal to cg.status for a direct solve;
+  /// kFellBack when a fallback rebuild recovered convergence;
+  /// kFactorizationFailed when every attempted factorization threw.
+  SolveStatus status = SolveStatus::kMaxIterations;
+  /// Preconditioner kinds tried in order; the last one produced `cg`.
+  std::vector<PrecondKind> attempts;
+  /// CG iterations / set-up seconds burnt in earlier failed attempts (zero
+  /// for a direct solve).
+  int fallback_iterations = 0;
+  double fallback_setup_seconds = 0.0;
   solver::CGResult cg;
   std::vector<double> solution;    ///< mesh ordering, 3 DOF per node
   std::string precond_name;
@@ -58,6 +75,8 @@ struct SolveReport {
   double symbolic_seconds = 0.0;   ///< structure phase when the plan was built
   double numeric_seconds = 0.0;    ///< value phase of this solve
   plan::CacheStats plan_cache;     ///< stats of the cache consulted
+
+  [[nodiscard]] bool converged() const { return ok(status); }
 };
 
 /// Build the requested preconditioner on an assembled matrix. `sn` is only
@@ -69,8 +88,16 @@ precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::B
 SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& materials,
                   const fem::BoundaryConditions& bc, const SolveConfig& cfg);
 
-/// Solve a prepared system (penalty and BCs already applied). `groups` are
-/// the contact groups of the matrix (for selective blocking).
+/// Solve a prepared system (penalty and BCs already applied). `sn` is the
+/// supernode map built from the matrix's contact groups (selective blocking),
+/// so callers can't hand in a group list inconsistent with the matrix they
+/// assembled it from.
+SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
+                         const SolveConfig& cfg);
+
+/// Deprecated: build the supernode map yourself with
+/// contact::build_supernodes(sys.a.n, groups) and call the overload above.
+[[deprecated("pass contact::build_supernodes(sys.a.n, groups) instead of raw groups")]]
 SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
                          const SolveConfig& cfg);
 

@@ -1,0 +1,22 @@
+#include "core/resilience.hpp"
+
+namespace geofem {
+
+std::vector<plan::PrecondKind> default_fallback_chain(plan::PrecondKind primary) {
+  using K = plan::PrecondKind;
+  switch (primary) {
+    case K::kScalarIC0:
+    case K::kBIC0:
+    case K::kBIC1:
+    case K::kBIC2:
+      return {K::kSBBIC0, K::kBlockDiagonal};
+    case K::kSBBIC0:
+      return {K::kBlockDiagonal};
+    case K::kDiagonal:
+    case K::kBlockDiagonal:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace geofem

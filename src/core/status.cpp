@@ -1,0 +1,30 @@
+#include "core/status.hpp"
+
+namespace geofem {
+
+std::string to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kIoError: return "io error";
+    case StatusCode::kStalePlan: return "stale plan";
+    case StatusCode::kFactorizationFailed: return "factorization failed";
+    case StatusCode::kCommTimeout: return "comm timeout";
+  }
+  return "?";
+}
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kFellBack: return "fell back";
+    case SolveStatus::kMaxIterations: return "max iterations";
+    case SolveStatus::kStagnated: return "stagnated";
+    case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kFactorizationFailed: return "factorization failed";
+    case SolveStatus::kCommTimeout: return "comm timeout";
+  }
+  return "?";
+}
+
+}  // namespace geofem

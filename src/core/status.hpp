@@ -1,0 +1,66 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// geofem — shared failure vocabulary (DESIGN.md §5d).
+///
+/// Two complementary types cover every way a solve pipeline can go wrong:
+///
+///  * geofem::Error (with a StatusCode) is *thrown* by set-up and I/O paths —
+///    a stale plan, an unusable pivot, a malformed mesh stream, an expired
+///    communication deadline. It replaces the previous ad-hoc
+///    std::runtime_error / std::logic_error strings so callers can dispatch
+///    on code() instead of parsing what().
+///
+///  * geofem::SolveStatus is *returned* by solver results (CGResult,
+///    core::SolveReport, dist::DistResult, nonlin::ALMResult). It replaces
+///    the former `bool converged`: ok(status) is the old `converged`, and the
+///    failure states say *why* a solve did not converge — the paper's Table 2
+///    "did not converge" cells, typed.
+namespace geofem {
+
+/// Error category carried by geofem::Error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,      ///< API contract violation (sizes, index ranges)
+  kIoError,              ///< mesh / local-data stream parse or file failure
+  kStalePlan,            ///< plan::SolvePlan::numeric on a mismatched graph
+  kFactorizationFailed,  ///< zero / non-finite pivot beyond the reset remedy
+  kCommTimeout,          ///< a blocking dist::Comm op exceeded its deadline
+};
+
+[[nodiscard]] std::string to_string(StatusCode c);
+
+/// Exception with a machine-readable category. what() is prefixed with the
+/// code name, so existing string-matching diagnostics keep working.
+class Error : public std::runtime_error {
+ public:
+  Error(StatusCode code, const std::string& what)
+      : std::runtime_error(to_string(code) + ": " + what), code_(code) {}
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+/// Outcome of one linear (or outer nonlinear) solve.
+enum class SolveStatus {
+  kConverged = 0,        ///< tolerance reached with the requested preconditioner
+  kFellBack,             ///< tolerance reached, but only after >=1 fallback rebuild
+  kMaxIterations,        ///< iteration budget exhausted without breakdown
+  kStagnated,            ///< no residual progress over the stagnation window
+  kBreakdown,            ///< CG breakdown: rho <= 0, p.Ap <= 0 or non-finite
+  kFactorizationFailed,  ///< preconditioner set-up hit an unusable pivot
+  kCommTimeout,          ///< distributed only: a communication deadline expired
+};
+
+[[nodiscard]] std::string to_string(SolveStatus s);
+
+/// The two success states. ok(status) is the old `bool converged`.
+[[nodiscard]] constexpr bool ok(SolveStatus s) {
+  return s == SolveStatus::kConverged || s == SolveStatus::kFellBack;
+}
+
+}  // namespace geofem

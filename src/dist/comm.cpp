@@ -1,8 +1,10 @@
 #include "dist/comm.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
+#include "core/status.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -13,10 +15,37 @@ void export_traffic(const TrafficStats& t, obs::Registry& reg) {
   reg.counter("comm.bytes_sent")->add(t.bytes_sent);
   reg.counter("comm.allreduces")->add(t.allreduces);
   reg.counter("comm.barriers")->add(t.barriers);
+  reg.counter("comm.messages_dropped")->add(t.messages_dropped);
 }
 
 void Comm::send(int to, int tag, std::span<const double> data) {
   GEOFEM_CHECK(to >= 0 && to < size_, "send: bad destination rank");
+  // Match injected faults first (counters live under the mailbox mutex).
+  double delay = 0.0;
+  bool drop = false;
+  if (!rt_->faults_.empty()) {
+    std::lock_guard<std::mutex> lock(rt_->mtx_);
+    for (std::size_t f = 0; f < rt_->faults_.size(); ++f) {
+      const Fault& ft = rt_->faults_[f];
+      if ((ft.from != Fault::kAny && ft.from != rank_) ||
+          (ft.to != Fault::kAny && ft.to != to) || (ft.tag != Fault::kAny && ft.tag != tag))
+        continue;
+      const int seen = rt_->fault_hits_[f]++;
+      if (seen < ft.after_messages) continue;
+      if (ft.delay_seconds > 0.0) {
+        delay = std::max(delay, ft.delay_seconds);
+      } else {
+        drop = true;
+      }
+    }
+  }
+  if (drop) {
+    ++traffic_.messages_dropped;
+    return;
+  }
+  // A delayed link stalls the sender — delivery and everything the sender
+  // does afterwards slip together, like a congested eager-protocol send.
+  if (delay > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   {
     std::lock_guard<std::mutex> lock(rt_->mtx_);
     rt_->mailbox_[static_cast<std::size_t>(to)][{rank_, tag}].queue.emplace_back(data.begin(),
@@ -31,17 +60,24 @@ std::vector<double> Comm::recv(int from, int tag) {
   GEOFEM_CHECK(from >= 0 && from < size_, "recv: bad source rank");
   std::unique_lock<std::mutex> lock(rt_->mtx_);
   auto& box = rt_->mailbox_[static_cast<std::size_t>(rank_)];
-  rt_->cv_.wait(lock, [&] {
+  const auto ready = [&] {
     auto it = box.find({from, tag});
     return it != box.end() && !it->second.queue.empty();
-  });
+  };
+  if (timeout_seconds_ <= 0.0) {
+    rt_->cv_.wait(lock, ready);
+  } else if (!rt_->cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds_), ready)) {
+    throw Error(StatusCode::kCommTimeout, "recv on rank " + std::to_string(rank_) +
+                                              " from rank " + std::to_string(from) +
+                                              " tag " + std::to_string(tag) + " timed out");
+  }
   auto& ch = box[{from, tag}];
   std::vector<double> msg = std::move(ch.queue.front());
   ch.queue.pop_front();
   return msg;
 }
 
-double Runtime::reduce(int rank, double value, bool is_max) {
+double Runtime::reduce(int rank, double value, bool is_max, double timeout_seconds) {
   std::unique_lock<std::mutex> lock(red_mtx_);
   const std::uint64_t my_gen = red_generation_;
   red_values_[static_cast<std::size_t>(rank)] = value;
@@ -58,23 +94,32 @@ double Runtime::reduce(int rank, double value, bool is_max) {
     red_cv_.notify_all();
     return acc;
   }
-  red_cv_.wait(lock, [&] { return red_generation_ != my_gen; });
+  const auto released = [&] { return red_generation_ != my_gen; };
+  if (timeout_seconds <= 0.0) {
+    red_cv_.wait(lock, released);
+  } else if (!red_cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), released)) {
+    // Withdraw the contribution so a straggler arriving later cannot complete
+    // a reduction this rank has already abandoned.
+    --red_arrived_;
+    throw Error(StatusCode::kCommTimeout,
+                "allreduce on rank " + std::to_string(rank) + " timed out");
+  }
   return red_result_;
 }
 
 double Comm::allreduce_sum(double value) {
   ++traffic_.allreduces;
-  return rt_->reduce(rank_, value, false);
+  return rt_->reduce(rank_, value, false, timeout_seconds_);
 }
 
 double Comm::allreduce_max(double value) {
   ++traffic_.allreduces;
-  return rt_->reduce(rank_, value, true);
+  return rt_->reduce(rank_, value, true, timeout_seconds_);
 }
 
 void Comm::barrier() {
   ++traffic_.barriers;
-  rt_->reduce(rank_, 0.0, false);
+  rt_->reduce(rank_, 0.0, false, timeout_seconds_);
 }
 
 namespace {
@@ -111,11 +156,18 @@ std::vector<double> Comm::gather(int root, std::span<const double> data) {
 }
 
 std::vector<TrafficStats> Runtime::run(int nranks, const std::function<void(Comm&)>& body) {
+  return run(nranks, FaultPlan{}, body);
+}
+
+std::vector<TrafficStats> Runtime::run(int nranks, const FaultPlan& faults,
+                                       const std::function<void(Comm&)>& body) {
   GEOFEM_CHECK(nranks >= 1, "need >= 1 rank");
   Runtime rt;
   rt.size_ = nranks;
   rt.mailbox_.resize(static_cast<std::size_t>(nranks));
   rt.red_values_.assign(static_cast<std::size_t>(nranks), 0.0);
+  rt.faults_ = faults.faults;
+  rt.fault_hits_.assign(rt.faults_.size(), 0);
 
   std::vector<TrafficStats> stats(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
@@ -124,6 +176,7 @@ std::vector<TrafficStats> Runtime::run(int nranks, const std::function<void(Comm
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(&rt, r, nranks);
+      comm.set_timeout(faults.timeout_seconds);
       try {
         body(comm);
       } catch (...) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <climits>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -22,6 +23,30 @@ struct TrafficStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t allreduces = 0;
   std::uint64_t barriers = 0;
+  std::uint64_t messages_dropped = 0;  ///< swallowed by an injected fault
+};
+
+/// One injected communication fault, matched against sends. Wildcards use
+/// kAny (INT_MIN — collective tags are negative, so -1 would be ambiguous).
+/// A matching message beyond `after_messages` is dropped (delay_seconds == 0)
+/// or its sender is stalled for delay_seconds before delivery (a congested
+/// link). Counting is per fault entry, across all matching (from, to) pairs.
+struct Fault {
+  static constexpr int kAny = INT_MIN;
+  int from = kAny;            ///< sender rank
+  int to = kAny;              ///< receiver rank
+  int tag = kAny;             ///< message tag (halo, broadcast, gather, ...)
+  int after_messages = 0;     ///< matching messages delivered before it fires
+  double delay_seconds = 0.0; ///< 0 = drop; > 0 = delay delivery
+};
+
+/// Faults plus the deadline that turns them into errors instead of hangs:
+/// with timeout_seconds > 0 every blocking operation (recv, allreduce,
+/// barrier, broadcast, gather) throws geofem::Error(kCommTimeout) once it has
+/// waited that long. 0 waits forever (the default, faithful to MPI).
+struct FaultPlan {
+  std::vector<Fault> faults;
+  double timeout_seconds = 0.0;
 };
 
 /// Feed the traffic counters into a telemetry registry as
@@ -67,6 +92,11 @@ class Comm {
 
   [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
 
+  /// Rank-local deadline for blocking operations; overrides the FaultPlan
+  /// default. 0 waits forever.
+  void set_timeout(double seconds) { timeout_seconds_ = seconds; }
+  [[nodiscard]] double timeout() const { return timeout_seconds_; }
+
  private:
   friend class Runtime;
   Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
@@ -75,6 +105,7 @@ class Comm {
   int rank_;
   int size_;
   TrafficStats traffic_;
+  double timeout_seconds_ = 0.0;
 };
 
 /// Spawns one std::thread per rank, runs `body`, joins. Exceptions thrown by
@@ -83,6 +114,11 @@ class Comm {
 class Runtime {
  public:
   static std::vector<TrafficStats> run(int nranks, const std::function<void(Comm&)>& body);
+
+  /// As above, with fault injection: every rank starts with the plan's
+  /// timeout, and sends are matched against the plan's faults.
+  static std::vector<TrafficStats> run(int nranks, const FaultPlan& faults,
+                                       const std::function<void(Comm&)>& body);
 
  private:
   friend class Comm;
@@ -96,6 +132,10 @@ class Runtime {
   // mailbox[to] keyed by (from, tag)
   std::vector<std::map<std::pair<int, int>, Channel>> mailbox_;
 
+  // fault injection (read-only after run() starts; hit counters under mtx_)
+  std::vector<Fault> faults_;
+  std::vector<int> fault_hits_;
+
   // reduction state (generation-counted so back-to-back reductions work)
   std::mutex red_mtx_;
   std::condition_variable red_cv_;
@@ -106,7 +146,7 @@ class Runtime {
 
   int size_ = 0;
 
-  double reduce(int rank, double value, bool is_max);
+  double reduce(int rank, double value, bool is_max, double timeout_seconds);
 };
 
 }  // namespace geofem::dist

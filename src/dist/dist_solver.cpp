@@ -5,6 +5,7 @@
 
 #include "obs/span.hpp"
 #include "plan/plan.hpp"
+#include "precond/diagonal.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -68,7 +69,9 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   res.precond_bytes_per_rank.assign(static_cast<std::size_t>(ndom), 0);
   std::vector<double> setup_seconds(static_cast<std::size_t>(ndom), 0.0);
   std::vector<int> iters(static_cast<std::size_t>(ndom), 0);
+  std::vector<int> burnt_iters(static_cast<std::size_t>(ndom), 0);
   std::vector<double> relres(static_cast<std::size_t>(ndom), 0.0);
+  std::vector<SolveStatus> statuses(static_cast<std::size_t>(ndom), SolveStatus::kMaxIterations);
 
   if (x_global) {
     std::size_t total = 0;
@@ -77,10 +80,11 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   }
 
   util::Timer wall;
-  res.traffic_per_rank = Runtime::run(ndom, [&](Comm& comm) {
-    const part::LocalSystem& ls = systems[static_cast<std::size_t>(comm.rank())];
-    auto* fc = &res.flops_per_rank[static_cast<std::size_t>(comm.rank())];
-    auto* lp = &res.loops_per_rank[static_cast<std::size_t>(comm.rank())];
+  res.traffic_per_rank = Runtime::run(ndom, opt.faults, [&](Comm& comm) {
+    const std::size_t rank = static_cast<std::size_t>(comm.rank());
+    const part::LocalSystem& ls = systems[rank];
+    auto* fc = &res.flops_per_rank[rank];
+    auto* lp = &res.loops_per_rank[rank];
     const std::size_t ni = static_cast<std::size_t>(ls.num_internal) * 3;
     const std::size_t nl = static_cast<std::size_t>(ls.num_local()) * 3;
 
@@ -95,95 +99,203 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       rank_reg.set_meta("local_dof", static_cast<double>(nl));
     }
 
-    // localized preconditioner on the internal submatrix (aii must outlive
-    // prec: preconditioners keep a reference to their matrix)
-    util::Timer setup;
-    const sparse::BlockCSR aii = ls.internal_matrix();
-    precond::PreconditionerPtr prec;
-    {
-      obs::ScopedSpan setup_span("dist.setup");
-      prec = factory(ls, aii);
-    }
-    setup_seconds[static_cast<std::size_t>(comm.rank())] = setup.seconds();
-    res.precond_bytes_per_rank[static_cast<std::size_t>(comm.rank())] = prec->memory_bytes();
-    const std::size_t solve_span =
-        opt.telemetry ? rank_reg.span_begin("dist.solve") : std::size_t{0};
-    util::Timer solve_timer;
+    // Everything that communicates runs under this try: once a blocking
+    // operation times out (injected fault, dead neighbour), the rank records
+    // kCommTimeout and stops communicating — which in turn times out every
+    // peer still waiting on it, so the whole run terminates within a few
+    // deadlines instead of hanging.
+    try {
+      // CG controls; resilience supplies a stagnation window if the caller
+      // left detection off, so a stalled attempt fails fast enough to leave
+      // budget for the fallback rung.
+      solver::CGOptions cgopt = opt.cg;
+      if (cgopt.stagnation_window == 0 && opt.resilience.enabled)
+        cgopt.stagnation_window = opt.resilience.stagnation_window;
 
-    std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
-    std::vector<double> r(ni), z(ni), q(ni);
-
-    // r = b (zero initial guess)
-    for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
-    const double bnorm =
-        std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
-    GEOFEM_CHECK(bnorm > 0.0, "distributed pcg: zero rhs");
-    double rnorm = bnorm;
-
-    double rho_prev = 0.0;
-    int it = 0;
-    while (it < opt.max_iterations && rnorm / bnorm > opt.tolerance) {
-      prec->apply(r, z, fc, lp);
-      const double rho = comm.allreduce_sum(sparse::dot(std::span(r), std::span(z), fc));
-      if (it == 0) {
-        for (std::size_t i = 0; i < ni; ++i) p[i] = z[i];
-      } else {
-        const double beta = rho / rho_prev;
-        for (std::size_t i = 0; i < ni; ++i) p[i] = z[i] + beta * p[i];
-        fc->blas1 += 2 * ni;
+      // localized preconditioner on the internal submatrix (aii must outlive
+      // prec: preconditioners keep a reference to their matrix)
+      util::Timer setup;
+      const sparse::BlockCSR aii = ls.internal_matrix();
+      precond::PreconditionerPtr prec;
+      bool build_failed = false;
+      {
+        obs::ScopedSpan setup_span("dist.setup");
+        if (opt.resilience.enabled) {
+          try {
+            prec = factory(ls, aii);
+          } catch (const Error& e) {
+            if (e.code() != StatusCode::kFactorizationFailed) throw;
+            build_failed = true;
+          }
+        } else {
+          prec = factory(ls, aii);
+        }
       }
-      rho_prev = rho;
+      // A rank-local factorization failure must become a global decision —
+      // every rank takes the fallback branch together.
+      bool build_failed_global = false;
+      if (opt.resilience.enabled)
+        build_failed_global = comm.allreduce_max(build_failed ? 1.0 : 0.0) > 0.0;
+      setup_seconds[rank] = setup.seconds();
+      if (prec) res.precond_bytes_per_rank[rank] = prec->memory_bytes();
+      const std::size_t solve_span =
+          opt.telemetry ? rank_reg.span_begin("dist.solve") : std::size_t{0};
+      util::Timer solve_timer;
 
-      halo_exchange(comm, ls, p, sendbuf);
-      local_spmv(ls, p, q, fc);
-      const double pq = comm.allreduce_sum(
-          sparse::dot(std::span(p).first(ni), std::span(q), fc));
-      const double alpha = rho / pq;
-      for (std::size_t i = 0; i < ni; ++i) {
-        x[i] += alpha * p[i];
-        r[i] -= alpha * q[i];
-      }
-      fc->blas1 += 4 * ni;
-      rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
-      ++it;
-    }
-    iters[static_cast<std::size_t>(comm.rank())] = it;
-    relres[static_cast<std::size_t>(comm.rank())] = rnorm / bnorm;
+      std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
+      std::vector<double> r(ni), z(ni), q(ni);
+      std::vector<double> history;
 
-    if (opt.telemetry) {
-      rank_reg.span_end(solve_span);
-      rank_reg.counter("dist.iterations")->add(static_cast<std::uint64_t>(it));
-      rank_reg.gauge("dist.setup_seconds")
-          ->set(setup_seconds[static_cast<std::size_t>(comm.rank())]);
-      rank_reg.gauge("dist.solve_seconds")->set(solve_timer.seconds());
-      rank_reg.gauge("dist.precond_bytes")->set(static_cast<double>(prec->memory_bytes()));
-      rank_reg.absorb("dist", *fc);
-      rank_reg.absorb("dist", *lp);
-      // traffic up to this point; the telemetry gather itself is not counted
-      export_traffic(comm.traffic(), rank_reg);
-      const std::vector<double> blob = encode(rank_reg.snapshot());
-      const std::vector<double> gathered = comm.gather(0, blob);
-      if (comm.rank() == 0) {
-        res.obs_per_rank = obs::decode_all(gathered);
-        res.obs_merged = obs::aggregate(res.obs_per_rank);
-      }
-    }
+      // r = b (zero initial guess)
+      for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
+      const double bnorm =
+          std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
+      GEOFEM_CHECK(bnorm > 0.0, "distributed pcg: zero rhs");
+      double rnorm = bnorm;
+      if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
 
-    if (x_global) {
-      for (int l = 0; l < ls.num_internal; ++l) {
-        const int g = ls.global_of_local[static_cast<std::size_t>(l)];
-        for (int c = 0; c < 3; ++c)
-          (*x_global)[static_cast<std::size_t>(g) * 3 + static_cast<std::size_t>(c)] =
-              x[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)];
+      // One CG attempt against `m`, continuing from the current x/r/rnorm and
+      // drawing on the shared iteration budget. Every exit decision derives
+      // from allreduced scalars, so all ranks leave with the same status.
+      int total_iters = 0;
+      auto cg_loop = [&](const precond::Preconditioner& m) -> SolveStatus {
+        const int window = cgopt.stagnation_window;
+        std::vector<double> ring(window > 0 ? static_cast<std::size_t>(window) : 0);
+        double rho_prev = 0.0;
+        int it = 0;
+        SolveStatus s = SolveStatus::kMaxIterations;
+        while (total_iters < cgopt.max_iterations && rnorm / bnorm > cgopt.tolerance) {
+          m.apply(r, z, fc, lp);
+          const double rho = comm.allreduce_sum(sparse::dot(std::span(r), std::span(z), fc));
+          if (!(rho > 0.0)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          if (it == 0) {
+            for (std::size_t i = 0; i < ni; ++i) p[i] = z[i];
+          } else {
+            const double beta = rho / rho_prev;
+            for (std::size_t i = 0; i < ni; ++i) p[i] = z[i] + beta * p[i];
+            fc->blas1 += 2 * ni;
+          }
+          rho_prev = rho;
+
+          halo_exchange(comm, ls, p, sendbuf);
+          local_spmv(ls, p, q, fc);
+          const double pq =
+              comm.allreduce_sum(sparse::dot(std::span(p).first(ni), std::span(q), fc));
+          if (!(pq > 0.0)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          const double alpha = rho / pq;
+          for (std::size_t i = 0; i < ni; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+          }
+          fc->blas1 += 4 * ni;
+          rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
+          ++it;
+          ++total_iters;
+          if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
+          if (!std::isfinite(rnorm)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          if (window > 0) {
+            const double rel = rnorm / bnorm;
+            const auto slot = static_cast<std::size_t>(it % window);
+            if (it >= window && rel > 0.99 * ring[slot]) {
+              s = SolveStatus::kStagnated;
+              break;
+            }
+            ring[slot] = rel;
+          }
+        }
+        if (rnorm / bnorm <= cgopt.tolerance) s = SolveStatus::kConverged;
+        return s;
+      };
+
+      SolveStatus st =
+          build_failed_global ? SolveStatus::kFactorizationFailed : cg_loop(*prec);
+
+      if (opt.resilience.enabled && !ok(st) && opt.resilience.max_fallbacks >= 1) {
+        // Single fallback rung: the caller's fallback factory, or the
+        // localized block diagonal, which always builds. CG restarts warm
+        // from the partial iterate.
+        burnt_iters[rank] = total_iters;
+        precond::PreconditionerPtr fb;
+        bool fb_failed = false;
+        try {
+          fb = opt.fallback_factory ? opt.fallback_factory(ls, aii)
+                                    : std::make_unique<precond::BlockDiagonal>(aii);
+        } catch (const Error& e) {
+          if (e.code() != StatusCode::kFactorizationFailed) throw;
+          fb_failed = true;
+        }
+        if (comm.allreduce_max(fb_failed ? 1.0 : 0.0) > 0.0) {
+          st = SolveStatus::kFactorizationFailed;
+        } else {
+          res.precond_bytes_per_rank[rank] = fb->memory_bytes();
+          // r = b - A x for the warm start
+          halo_exchange(comm, ls, x, sendbuf);
+          local_spmv(ls, x, q, fc);
+          for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i] - q[i];
+          rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
+          if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
+          const SolveStatus retried = cg_loop(*fb);
+          st = ok(retried) ? SolveStatus::kFellBack : retried;
+          if (opt.telemetry && ok(retried)) rank_reg.counter("dist.fallback.recovered")->add(1);
+        }
       }
+
+      statuses[rank] = st;
+      iters[rank] = total_iters;
+      relres[rank] = rnorm / bnorm;
+      if (comm.rank() == 0) res.residual_history = std::move(history);
+
+      if (opt.telemetry) {
+        rank_reg.span_end(solve_span);
+        rank_reg.counter("dist.iterations")->add(static_cast<std::uint64_t>(total_iters));
+        rank_reg.gauge("dist.setup_seconds")->set(setup_seconds[rank]);
+        rank_reg.gauge("dist.solve_seconds")->set(solve_timer.seconds());
+        rank_reg.gauge("dist.precond_bytes")
+            ->set(static_cast<double>(res.precond_bytes_per_rank[rank]));
+        rank_reg.absorb("dist", *fc);
+        rank_reg.absorb("dist", *lp);
+        // traffic up to this point; the telemetry gather itself is not counted
+        export_traffic(comm.traffic(), rank_reg);
+        const std::vector<double> blob = encode(rank_reg.snapshot());
+        const std::vector<double> gathered = comm.gather(0, blob);
+        if (comm.rank() == 0) {
+          res.obs_per_rank = obs::decode_all(gathered);
+          res.obs_merged = obs::aggregate(res.obs_per_rank);
+        }
+      }
+
+      if (x_global) {
+        for (int l = 0; l < ls.num_internal; ++l) {
+          const int g = ls.global_of_local[static_cast<std::size_t>(l)];
+          for (int c = 0; c < 3; ++c)
+            (*x_global)[static_cast<std::size_t>(g) * 3 + static_cast<std::size_t>(c)] =
+                x[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)];
+        }
+      }
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kCommTimeout) throw;
+      statuses[rank] = SolveStatus::kCommTimeout;
     }
   });
   res.solve_seconds = wall.seconds();
   if (opt.plan_cache) res.plan_cache = opt.plan_cache->stats();
 
+  res.status_per_rank = statuses;
+  res.status = statuses[0];
+  for (SolveStatus s : statuses)
+    if (s == SolveStatus::kCommTimeout) res.status = SolveStatus::kCommTimeout;
   res.iterations = iters[0];
+  res.fallback_iterations = burnt_iters[0];
   res.relative_residual = relres[0];
-  res.converged = res.relative_residual <= opt.tolerance;
   for (double s : setup_seconds) res.setup_seconds_max = std::max(res.setup_seconds_max, s);
   return res;
 }

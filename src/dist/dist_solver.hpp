@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "core/resilience.hpp"
+#include "core/status.hpp"
 #include "dist/comm.hpp"
 #include "obs/registry.hpp"
 #include "part/local_system.hpp"
@@ -19,8 +21,10 @@ using PrecondFactory = std::function<precond::PreconditionerPtr(const part::Loca
                                                                 const sparse::BlockCSR&)>;
 
 struct DistOptions {
-  double tolerance = 1e-8;
-  int max_iterations = 20000;
+  /// Inner CG controls (tolerance, max_iterations, record_residuals,
+  /// stagnation_window) — shared vocabulary with the serial solver instead of
+  /// duplicated fields.
+  solver::CGOptions cg;
   /// Collect per-rank telemetry registries and gather them to rank 0
   /// (DistResult::obs_per_rank / obs_merged). Coarse-grained — spans wrap
   /// set-up and the whole solve, not individual iterations.
@@ -29,12 +33,32 @@ struct DistOptions {
   /// the run. Pass the cache given to make_plan_factory; each rank's distinct
   /// local graph gets its own plan in it (one plan per rank).
   plan::PlanCache* plan_cache = nullptr;
+  /// Automatic fallback on factorization failure / stagnation / breakdown /
+  /// exhausted iterations: every rank rebuilds with `fallback_factory` (or
+  /// the built-in localized block diagonal when unset) and CG restarts warm.
+  /// All fallback decisions derive from allreduced quantities, so every rank
+  /// takes the same branch. Off by default.
+  geofem::ResilienceOptions resilience;
+  PrecondFactory fallback_factory;
+  /// Injected communication faults plus the blocking-operation deadline that
+  /// turns a lost message into geofem::Error(kCommTimeout) — surfaced as
+  /// SolveStatus::kCommTimeout on every rank — instead of a hang.
+  FaultPlan faults;
 };
 
 struct DistResult {
-  bool converged = false;
+  /// Outcome of the run: rank 0's status, except that any rank timing out
+  /// makes the whole result kCommTimeout.
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::vector<SolveStatus> status_per_rank;
+  /// CG iterations burnt in failed attempts before the fallback rebuild
+  /// (zero for a direct solve).
+  int fallback_iterations = 0;
   int iterations = 0;
   double relative_residual = 0.0;
+  /// Relative residual per iteration across all attempts (identical on every
+  /// rank — recorded when DistOptions::cg.record_residuals).
+  std::vector<double> residual_history;
   double solve_seconds = 0.0;       ///< wall clock of the whole parallel solve
   double setup_seconds_max = 0.0;   ///< slowest rank's preconditioner set-up
   std::vector<util::FlopCounter> flops_per_rank;
@@ -48,6 +72,8 @@ struct DistResult {
   obs::MergedReport obs_merged;
   /// Snapshot of DistOptions::plan_cache after the run (zero when unset).
   plan::CacheStats plan_cache;
+
+  [[nodiscard]] bool converged() const { return ok(status); }
 
   [[nodiscard]] util::FlopCounter total_flops() const {
     util::FlopCounter t;

@@ -6,9 +6,19 @@
 #include <limits>
 #include <ostream>
 
-#include "util/check.hpp"
+#include "core/status.hpp"
 
 namespace geofem::mesh {
+
+namespace {
+
+/// Parse / file failures are typed geofem::Error(kIoError) so callers can
+/// dispatch on code() instead of matching message strings.
+void io_check(bool ok, const std::string& what) {
+  if (!ok) throw Error(StatusCode::kIoError, what);
+}
+
+}  // namespace
 
 void write_mesh(std::ostream& os, const HexMesh& m) {
   os << "geofem-mesh 1\n";
@@ -27,26 +37,26 @@ void write_mesh(std::ostream& os, const HexMesh& m) {
     for (int v : g) os << ' ' << v;
     os << '\n';
   }
-  GEOFEM_CHECK(os.good(), "mesh write failed");
+  io_check(os.good(), "mesh write failed");
 }
 
 HexMesh read_mesh(std::istream& is) {
   std::string magic;
   int version = 0;
   is >> magic >> version;
-  GEOFEM_CHECK(magic == "geofem-mesh" && version == 1, "not a geofem-mesh v1 stream");
+  io_check(magic == "geofem-mesh" && version == 1, "not a geofem-mesh v1 stream");
 
   HexMesh m;
   std::string key;
   int n = 0;
   is >> key >> n;
-  GEOFEM_CHECK(key == "nodes" && n >= 0, "bad nodes header");
+  io_check(key == "nodes" && n >= 0, "bad nodes header");
   m.coords.resize(static_cast<std::size_t>(n));
   for (auto& c : m.coords) is >> c[0] >> c[1] >> c[2];
 
   int e = 0;
   is >> key >> e;
-  GEOFEM_CHECK(key == "hexes" && e >= 0, "bad hexes header");
+  io_check(key == "hexes" && e >= 0, "bad hexes header");
   m.hexes.resize(static_cast<std::size_t>(e));
   m.zone.resize(static_cast<std::size_t>(e));
   for (int i = 0; i < e; ++i) {
@@ -56,29 +66,29 @@ HexMesh read_mesh(std::istream& is) {
 
   int g = 0;
   is >> key >> g;
-  GEOFEM_CHECK(key == "contact_groups" && g >= 0, "bad contact_groups header");
+  io_check(key == "contact_groups" && g >= 0, "bad contact_groups header");
   m.contact_groups.resize(static_cast<std::size_t>(g));
   for (auto& grp : m.contact_groups) {
     std::size_t k = 0;
     is >> k;
-    GEOFEM_CHECK(k >= 2, "contact group needs >= 2 nodes");
+    io_check(k >= 2, "contact group needs >= 2 nodes");
     grp.resize(k);
     for (auto& v : grp) is >> v;
   }
-  GEOFEM_CHECK(!is.fail(), "mesh read failed");
+  io_check(!is.fail(), "mesh read failed");
   m.validate();
   return m;
 }
 
 void save_mesh(const std::string& path, const HexMesh& m) {
   std::ofstream os(path);
-  GEOFEM_CHECK(os.is_open(), "cannot open mesh file for writing: " + path);
+  io_check(os.is_open(), "cannot open mesh file for writing: " + path);
   write_mesh(os, m);
 }
 
 HexMesh load_mesh(const std::string& path) {
   std::ifstream is(path);
-  GEOFEM_CHECK(is.is_open(), "cannot open mesh file: " + path);
+  io_check(is.is_open(), "cannot open mesh file: " + path);
   return read_mesh(is);
 }
 

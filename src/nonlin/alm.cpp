@@ -44,20 +44,30 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
 
   ALMResult res;
   precond::PreconditionerPtr prec;
+  // Returns false when the factorization hits an unusable pivot; the outer
+  // loop reports kFactorizationFailed instead of letting the throw escape —
+  // the partial solution and gap history stay available to the caller.
   auto build_precond = [&] {
     obs::ScopedSpan s(reg, "alm.refactor");
     util::Timer t;
-    prec = builder(sys.a);
+    try {
+      prec = builder(sys.a);
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kFactorizationFailed) throw;
+      res.status = SolveStatus::kFactorizationFailed;
+      return false;
+    }
     res.setup_seconds_per_cycle.push_back(t.seconds());
+    return true;
   };
-  if (!opt.refresh_precond_each_cycle) build_precond();
+  const bool setup_ok = opt.refresh_precond_each_cycle || build_precond();
 
   res.solution.assign(n, 0.0);
   std::vector<double> mu(pairs.size() * 3, 0.0), rhs(n);
 
-  for (int cycle = 0; cycle < opt.max_cycles; ++cycle) {
+  for (int cycle = 0; setup_ok && cycle < opt.max_cycles; ++cycle) {
     obs::ScopedSpan cycle_span(reg, "alm.cycle");
-    if (opt.refresh_precond_each_cycle) build_precond();
+    if (opt.refresh_precond_each_cycle && !build_precond()) break;
     // rhs = b - B' mu  (masked on fixed DOFs)
     sparse::copy(sys.b, rhs);
     for (std::size_t p = 0; p < pairs.size(); ++p) {
@@ -74,6 +84,13 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
     auto cg = solver::pcg(sys.a, *prec, rhs, res.solution, opt.inner);
     res.inner_iterations.push_back(cg.iterations);
     ++res.cycles;
+    // Hard inner failure: the iterate is garbage (breakdown) or provably
+    // stuck (stagnation); further multiplier updates can't recover. An inner
+    // kMaxIterations is tolerated — the partial iterate still moves the gap.
+    if (!cg.converged() && cg.status != SolveStatus::kMaxIterations) {
+      res.status = cg.status;
+      break;
+    }
 
     // constraint violation and multiplier update: g_p = u_i - u_j
     double gap2 = 0.0;
@@ -90,7 +107,7 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
     const double rel_gap = std::sqrt(gap2) / (unorm > 0.0 ? unorm : 1.0);
     res.gap_history.push_back(rel_gap);
     if (rel_gap < opt.constraint_tol) {
-      res.converged = true;
+      res.status = SolveStatus::kConverged;
       break;
     }
   }

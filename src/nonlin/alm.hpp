@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "core/status.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "precond/preconditioner.hpp"
@@ -34,7 +35,12 @@ struct ALMOptions {
 };
 
 struct ALMResult {
-  bool converged = false;
+  /// kConverged once the relative gap passes constraint_tol; kMaxIterations
+  /// when the cycle budget runs out. A hard inner-solve failure (breakdown,
+  /// stagnation, failed factorization) aborts the outer loop and surfaces
+  /// here; an inner solve that merely hits its iteration cap does not — the
+  /// next multiplier update often still makes progress.
+  SolveStatus status = SolveStatus::kMaxIterations;
   int cycles = 0;
   std::vector<int> inner_iterations;  ///< Krylov iterations per cycle
   std::vector<double> gap_history;    ///< relative constraint violation per cycle
@@ -42,6 +48,8 @@ struct ALMResult {
   /// Preconditioner build time per cycle. One entry (cycle 0) unless
   /// ALMOptions::refresh_precond_each_cycle, then one per cycle.
   std::vector<double> setup_seconds_per_cycle;
+
+  [[nodiscard]] bool converged() const { return ok(status); }
 
   [[nodiscard]] int total_inner_iterations() const {
     int t = 0;

@@ -5,9 +5,19 @@
 #include <istream>
 #include <ostream>
 
-#include "util/check.hpp"
+#include "core/status.hpp"
 
 namespace geofem::part {
+
+namespace {
+
+/// Parse / file failures are typed geofem::Error(kIoError) so callers can
+/// dispatch on code() instead of matching message strings.
+void io_check(bool ok, const std::string& what) {
+  if (!ok) throw Error(StatusCode::kIoError, what);
+}
+
+}  // namespace
 
 void write_local_system(std::ostream& os, const LocalSystem& ls) {
   os << "geofem-local 1\n";
@@ -31,32 +41,32 @@ void write_local_system(std::ostream& os, const LocalSystem& ls) {
     for (int v : link.recv_local) os << ' ' << v;
     os << '\n';
   }
-  GEOFEM_CHECK(os.good(), "local system write failed");
+  io_check(os.good(), "local system write failed");
 }
 
 LocalSystem read_local_system(std::istream& is) {
   std::string magic, key;
   int version = 0;
   is >> magic >> version;
-  GEOFEM_CHECK(magic == "geofem-local" && version == 1, "not a geofem-local v1 stream");
+  io_check(magic == "geofem-local" && version == 1, "not a geofem-local v1 stream");
 
   LocalSystem ls;
   int nl = 0;
   is >> key >> ls.domain;
-  GEOFEM_CHECK(key == "domain", "bad domain header");
+  io_check(key == "domain", "bad domain header");
   is >> key >> ls.num_internal;
-  GEOFEM_CHECK(key == "internal" && ls.num_internal >= 0, "bad internal header");
+  io_check(key == "internal" && ls.num_internal >= 0, "bad internal header");
   is >> key >> nl;
-  GEOFEM_CHECK(key == "local" && nl >= ls.num_internal, "bad local header");
+  io_check(key == "local" && nl >= ls.num_internal, "bad local header");
 
   is >> key;
-  GEOFEM_CHECK(key == "globals", "bad globals header");
+  io_check(key == "globals", "bad globals header");
   ls.global_of_local.resize(static_cast<std::size_t>(nl));
   for (int& g : ls.global_of_local) is >> g;
 
   int rows = 0, nnz = 0;
   is >> key >> rows >> nnz;
-  GEOFEM_CHECK(key == "matrix" && rows == nl && nnz >= 0, "bad matrix header");
+  io_check(key == "matrix" && rows == nl && nnz >= 0, "bad matrix header");
   ls.a.n = rows;
   ls.a.rowptr.resize(static_cast<std::size_t>(rows) + 1);
   for (int& v : ls.a.rowptr) is >> v;
@@ -67,14 +77,14 @@ LocalSystem read_local_system(std::istream& is) {
 
   std::size_t rhs = 0;
   is >> key >> rhs;
-  GEOFEM_CHECK(key == "rhs" && rhs == static_cast<std::size_t>(ls.num_internal) * 3,
+  io_check(key == "rhs" && rhs == static_cast<std::size_t>(ls.num_internal) * 3,
                "bad rhs header");
   ls.b.resize(rhs);
   for (double& v : ls.b) is >> v;
 
   std::size_t nlinks = 0;
   is >> key >> nlinks;
-  GEOFEM_CHECK(key == "links", "bad links header");
+  io_check(key == "links", "bad links header");
   ls.links.resize(nlinks);
   for (auto& link : ls.links) {
     std::size_t ns = 0, nr = 0;
@@ -85,14 +95,14 @@ LocalSystem read_local_system(std::istream& is) {
     link.recv_local.resize(nr);
     for (int& v : link.recv_local) is >> v;
   }
-  GEOFEM_CHECK(!is.fail(), "local system read failed");
+  io_check(!is.fail(), "local system read failed");
   return ls;
 }
 
 void save_distributed(const std::string& prefix, const std::vector<LocalSystem>& systems) {
   for (const auto& ls : systems) {
     std::ofstream os(prefix + "." + std::to_string(ls.domain) + ".dist");
-    GEOFEM_CHECK(os.is_open(), "cannot open local-data file for writing");
+    io_check(os.is_open(), "cannot open local-data file for writing");
     write_local_system(os, ls);
   }
 }
@@ -102,9 +112,9 @@ std::vector<LocalSystem> load_distributed(const std::string& prefix, int ndom) {
   out.reserve(static_cast<std::size_t>(ndom));
   for (int d = 0; d < ndom; ++d) {
     std::ifstream is(prefix + "." + std::to_string(d) + ".dist");
-    GEOFEM_CHECK(is.is_open(), "cannot open local-data file " + std::to_string(d));
+    io_check(is.is_open(), "cannot open local-data file " + std::to_string(d));
     out.push_back(read_local_system(is));
-    GEOFEM_CHECK(out.back().domain == d, "local-data file has wrong domain id");
+    io_check(out.back().domain == d, "local-data file has wrong domain id");
   }
   return out;
 }

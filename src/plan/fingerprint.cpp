@@ -10,6 +10,7 @@ std::string to_string(PrecondKind k) {
     case PrecondKind::kBIC1: return "BIC(1)";
     case PrecondKind::kBIC2: return "BIC(2)";
     case PrecondKind::kSBBIC0: return "SB-BIC(0)";
+    case PrecondKind::kBlockDiagonal: return "BlockDiagonal";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ enum class PrecondKind {
   kBIC1,       ///< block ILU(1)
   kBIC2,       ///< block ILU(2)
   kSBBIC0,     ///< selective blocking (the paper's contribution)
+  kBlockDiagonal,  ///< 3x3 block Jacobi — the resilience chain's last resort
 };
 
 [[nodiscard]] std::string to_string(PrecondKind k);

@@ -1,5 +1,6 @@
 #include "plan/plan.hpp"
 
+#include "core/status.hpp"
 #include "obs/span.hpp"
 #include "precond/diagonal.hpp"
 #include "precond/djds_bic.hpp"
@@ -22,6 +23,7 @@ SolvePlan::SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn,
   if (cfg.ordering == OrderingKind::kNatural) {
     switch (cfg.precond) {
       case PrecondKind::kDiagonal:
+      case PrecondKind::kBlockDiagonal:
       case PrecondKind::kBIC0:
         break;  // no symbolic state beyond the matrix graph itself
       case PrecondKind::kScalarIC0:
@@ -73,9 +75,9 @@ std::size_t SolvePlan::memory_bytes() const {
 }
 
 precond::PreconditionerPtr SolvePlan::numeric(const sparse::BlockCSR& a) const {
-  GEOFEM_CHECK(a.n == key_.n && a.nnz_blocks() == key_.nnz_blocks &&
-                   graph_fingerprint(a) == graph_hash_,
-               "SolvePlan::numeric: matrix graph does not match the plan (stale plan)");
+  if (a.n != key_.n || a.nnz_blocks() != key_.nnz_blocks || graph_fingerprint(a) != graph_hash_)
+    throw Error(StatusCode::kStalePlan,
+                "SolvePlan::numeric: matrix graph does not match the plan");
   obs::ScopedSpan span("plan.numeric");
   if (dj_) {
     std::lock_guard lock(numeric_mtx_);
@@ -84,13 +86,14 @@ precond::PreconditionerPtr SolvePlan::numeric(const sparse::BlockCSR& a) const {
   }
   switch (cfg_.precond) {
     case PrecondKind::kDiagonal: return std::make_unique<precond::DiagonalScaling>(a);
+    case PrecondKind::kBlockDiagonal: return std::make_unique<precond::BlockDiagonal>(a);
     case PrecondKind::kScalarIC0: return std::make_unique<precond::ScalarIC0>(a, ic0_);
     case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a);
     case PrecondKind::kBIC1:
     case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, iluk_);
     case PrecondKind::kSBBIC0: return std::make_unique<precond::SBBIC0>(a, sn_, sb_);
   }
-  GEOFEM_CHECK(false, "unknown preconditioner kind");
+  throw Error(StatusCode::kInvalidArgument, "unknown preconditioner kind");
 }
 
 PlannedPreconditioner::PlannedPreconditioner(std::shared_ptr<const SolvePlan> plan,

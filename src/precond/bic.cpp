@@ -1,8 +1,10 @@
 #include "precond/bic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
+#include "core/status.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 
@@ -14,11 +16,18 @@ using sparse::kBB;
 namespace {
 
 /// Invert a 3x3 block; on singularity fall back to inverting its diagonal
-/// part (breakdown remedy that keeps the preconditioner usable).
+/// part (breakdown remedy that keeps the preconditioner usable). A zero or
+/// non-finite diagonal entry is beyond the remedy — the factorization cannot
+/// produce a usable M and must say so instead of injecting a silent 1.0.
 void invert_or_reset(const double* d, double* inv) {
   if (sparse::b3_inverse(d, inv)) return;
   for (int t = 0; t < kBB; ++t) inv[t] = 0.0;
-  for (int c = 0; c < kB; ++c) inv[kB * c + c] = d[kB * c + c] != 0.0 ? 1.0 / d[kB * c + c] : 1.0;
+  for (int c = 0; c < kB; ++c) {
+    const double v = d[kB * c + c];
+    if (v == 0.0 || !std::isfinite(v))
+      throw Error(StatusCode::kFactorizationFailed, "BIC: unusable pivot block diagonal");
+    inv[kB * c + c] = 1.0 / v;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "precond/diagonal.hpp"
 
+#include "core/status.hpp"
 #include "obs/span.hpp"
+#include "sparse/dense.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
@@ -12,7 +14,8 @@ DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a) {
     const double* d = a.block(a.diag_entry(i));
     for (int c = 0; c < sparse::kB; ++c) {
       const double v = d[sparse::kB * c + c];
-      GEOFEM_CHECK(v != 0.0, "zero diagonal in DiagonalScaling");
+      if (v == 0.0)
+        throw Error(StatusCode::kFactorizationFailed, "zero diagonal in DiagonalScaling");
       inv_diag_[static_cast<std::size_t>(i) * sparse::kB + static_cast<std::size_t>(c)] = 1.0 / v;
     }
   }
@@ -25,6 +28,33 @@ void DiagonalScaling::apply(std::span<const double> r, std::span<double> z,
   for (std::size_t d = 0; d < r.size(); ++d) z[d] = r[d] * inv_diag_[d];
   if (flops) flops->precond += r.size();
   if (loops) loops->record(static_cast<std::int64_t>(r.size()));
+}
+
+BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a) {
+  obs::ScopedSpan span("precond.factor.BlockDiagonal");
+  inv_d_.assign(static_cast<std::size_t>(a.n) * sparse::kBB, 0.0);
+  for (int i = 0; i < a.n; ++i) {
+    const double* d = a.block(a.diag_entry(i));
+    double* inv = inv_d_.data() + static_cast<std::size_t>(i) * sparse::kBB;
+    if (sparse::b3_inverse(d, inv)) continue;
+    for (int t = 0; t < sparse::kBB; ++t) inv[t] = 0.0;
+    for (int c = 0; c < sparse::kB; ++c) {
+      const double v = d[sparse::kB * c + c];
+      inv[sparse::kB * c + c] = v != 0.0 ? 1.0 / v : 1.0;
+    }
+  }
+}
+
+void BlockDiagonal::apply(std::span<const double> r, std::span<double> z,
+                          util::FlopCounter* flops, util::LoopStats* loops) const {
+  const std::size_t n = inv_d_.size() / sparse::kBB;
+  GEOFEM_CHECK(r.size() == n * sparse::kB && z.size() == n * sparse::kB,
+               "block diagonal apply size mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    sparse::b3_apply(inv_d_.data() + i * sparse::kBB, r.data() + i * sparse::kB,
+                     z.data() + i * sparse::kB);
+  if (flops) flops->precond += 2ULL * sparse::kBB * n;
+  if (loops) loops->record(static_cast<std::int64_t>(n));
 }
 
 }  // namespace geofem::precond

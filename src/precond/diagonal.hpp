@@ -23,4 +23,25 @@ class DiagonalScaling final : public Preconditioner {
   std::vector<double> inv_diag_;
 };
 
+/// Block-Jacobi scaling: z_i = A_ii^-1 r_i per 3x3 diagonal block. The
+/// last-resort rung of the resilience fallback chain: construction is
+/// deliberately permissive — a singular block falls back to its scalar
+/// diagonal and a zero scalar to the identity — so it never throws, at the
+/// cost of being the weakest preconditioner here after the point diagonal.
+class BlockDiagonal final : public Preconditioner {
+ public:
+  explicit BlockDiagonal(const sparse::BlockCSR& a);
+
+  void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+             util::LoopStats* loops) const override;
+
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return inv_d_.size() * sizeof(double);
+  }
+  [[nodiscard]] std::string name() const override { return "BlockDiagonal"; }
+
+ private:
+  std::vector<double> inv_d_;  ///< n dense 3x3 inverse blocks
+};
+
 }  // namespace geofem::precond

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/status.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 
@@ -162,8 +163,8 @@ std::vector<sparse::DenseLU> sb_factor_numeric(const sparse::BlockCSR& a, const 
           for (int c = 0; c < kB; ++c)
             dst[static_cast<std::size_t>(r) * dim + static_cast<std::size_t>(c)] = blk[kB * r + c];
       }
-      GEOFEM_CHECK(lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim),
-                   "SB-BIC(0): singular selective block");
+      if (!lu_[static_cast<std::size_t>(s)].factor(dwork.data(), dim))
+        throw Error(StatusCode::kFactorizationFailed, "SB-BIC(0): singular selective block");
     }
   }
   return lu_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/status.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 
@@ -115,7 +116,8 @@ void ScalarIC0::numeric(const sparse::BlockCSR& a) {
       di = aii;
       ++breakdowns_;
     }
-    GEOFEM_CHECK(di != 0.0, "IC(0): zero diagonal after reset");
+    if (di == 0.0 || !std::isfinite(di))
+      throw Error(StatusCode::kFactorizationFailed, "IC(0): unusable diagonal after reset");
     inv_d_[static_cast<std::size_t>(i)] = 1.0 / di;
   }
 }

@@ -1,5 +1,7 @@
 #include "solver/cg.hpp"
 
+#include <cmath>
+
 #include "obs/span.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
@@ -37,6 +39,11 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
   double rnorm = sparse::norm2(r, fc);
   if (opt.record_residuals) res.residual_history.push_back(rnorm / bnorm);
 
+  // Stagnation ring buffer: slot it % W holds the relative residual from W
+  // iterations ago by the time iteration `it` reads it.
+  const int window = opt.stagnation_window;
+  std::vector<double> stag_ring(window > 0 ? static_cast<std::size_t>(window) : 0);
+
   double rho_prev = 0.0;
   for (int it = 0; it < opt.max_iterations && rnorm / bnorm > opt.tolerance; ++it) {
     double rho = 0.0;
@@ -47,6 +54,13 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
     {
       obs::ScopedSpan s(reg, "pcg.blas1");
       rho = sparse::dot(r, z, fc);
+      // Breakdown: with an SPD preconditioner and r != 0, rho = r.z must be
+      // strictly positive; anything else (including NaN) would previously
+      // poison p and run to max_iterations on garbage.
+      if (!(rho > 0.0)) {
+        res.status = SolveStatus::kBreakdown;
+        break;
+      }
       if (it == 0) {
         sparse::copy(z, p);
       } else {
@@ -61,20 +75,44 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
     }
     {
       obs::ScopedSpan s(reg, "pcg.blas1");
-      const double alpha = rho / sparse::dot(p, q, fc);
+      const double pq = sparse::dot(p, q, fc);
+      // Indefinite direction: p.Ap <= 0 means A is not SPD along p and the
+      // step length alpha is meaningless.
+      if (!(pq > 0.0)) {
+        res.status = SolveStatus::kBreakdown;
+        break;
+      }
+      const double alpha = rho / pq;
       sparse::axpy(alpha, p, x, fc);
       sparse::axpy(-alpha, q, r, fc);
       rnorm = sparse::norm2(r, fc);
     }
     ++res.iterations;
     if (opt.record_residuals) res.residual_history.push_back(rnorm / bnorm);
+    if (!std::isfinite(rnorm)) {
+      res.status = SolveStatus::kBreakdown;
+      break;
+    }
+    if (window > 0) {
+      const double rel = rnorm / bnorm;
+      const auto slot = static_cast<std::size_t>(it % window);
+      if (it >= window && rel > 0.99 * stag_ring[slot]) {
+        res.status = SolveStatus::kStagnated;
+        break;
+      }
+      stag_ring[slot] = rel;
+    }
   }
 
   res.relative_residual = rnorm / bnorm;
-  res.converged = res.relative_residual <= opt.tolerance;
+  if (res.relative_residual <= opt.tolerance) res.status = SolveStatus::kConverged;
   res.solve_seconds = timer.seconds();
 
   if (reg) {
+    std::string slug = to_string(res.status);
+    for (char& ch : slug)
+      if (ch == ' ') ch = '_';
+    reg->counter("pcg.status." + slug)->add(1);
     reg->counter("pcg.iterations")->add(static_cast<std::uint64_t>(res.iterations));
     reg->counter("pcg.solves")->add(1);
     reg->gauge("pcg.relative_residual")->set(res.relative_residual);

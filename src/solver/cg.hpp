@@ -3,6 +3,7 @@
 #include <functional>
 #include <span>
 
+#include "core/status.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 #include "util/flops.hpp"
@@ -14,16 +15,22 @@ struct CGOptions {
   double tolerance = 1e-8;  ///< on ||r||_2 / ||b||_2, the paper's epsilon
   int max_iterations = 20000;
   bool record_residuals = false;
+  /// Stagnation detector: declare kStagnated when the relative residual at
+  /// iteration `it` is > 0.99x its value `stagnation_window` iterations ago.
+  /// 0 disables the check (default), leaving iteration counts untouched.
+  int stagnation_window = 0;
 };
 
 struct CGResult {
-  bool converged = false;
+  SolveStatus status = SolveStatus::kMaxIterations;
   int iterations = 0;
   double relative_residual = 0.0;
   double solve_seconds = 0.0;
   util::FlopCounter flops;
   util::LoopStats loops;
   std::vector<double> residual_history;  ///< if record_residuals
+
+  [[nodiscard]] bool converged() const { return ok(status); }
 };
 
 /// y = A x hook; implementations forward to BlockCSR::spmv, DJDSMatrix::spmv

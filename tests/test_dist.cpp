@@ -187,14 +187,16 @@ TEST(DistSolver, MatchesSerialSolution) {
   std::vector<double> x_ref(pb.sys.a.ndof(), 0.0);
   auto sres = geofem::solver::pcg(pb.sys.a, prec, pb.sys.b, x_ref,
                                   {.tolerance = 1e-10, .max_iterations = 20000});
-  ASSERT_TRUE(sres.converged);
+  ASSERT_TRUE(sres.converged());
 
   auto p = gpart::rcb_contact_aware(pb.mesh, 4);
   auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
   std::vector<double> x;
-  auto dres = gd::solve_distributed(systems, bic0_factory(),
-                                    {.tolerance = 1e-10, .max_iterations = 20000}, &x);
-  ASSERT_TRUE(dres.converged);
+  gd::DistOptions dopt;
+  dopt.cg.tolerance = 1e-10;
+  dopt.cg.max_iterations = 20000;
+  auto dres = gd::solve_distributed(systems, bic0_factory(), dopt, &x);
+  ASSERT_TRUE(dres.converged());
   double err = 0.0, norm = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     err = std::max(err, std::abs(x[i] - x_ref[i]));
@@ -251,7 +253,7 @@ TEST(DistSolver, ContactAwarePartitioningRestoresConvergence) {
   auto sys_bad = gpart::distribute(pb.sys.a, pb.sys.b, p_bad);
   auto sys_good = gpart::distribute(pb.sys.a, pb.sys.b, p_good);
   gd::DistOptions opt;
-  opt.max_iterations = 4000;
+  opt.cg.max_iterations = 4000;
   const int it_bad = gd::solve_distributed(sys_bad, factory, opt).iterations;
   const int it_good = gd::solve_distributed(sys_good, factory, opt).iterations;
   EXPECT_GT(it_bad, 2 * it_good) << it_bad << " vs " << it_good;

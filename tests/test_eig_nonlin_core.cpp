@@ -137,7 +137,7 @@ geofem::nonlin::ALMResult run_alm(double lambda) {
 
 TEST(ALM, ConvergesAndClosesGap) {
   auto res = run_alm(1e4);
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   EXPECT_LT(res.gap_history.back(), 1e-7);
   // gap contracts monotonically
   for (std::size_t c = 1; c < res.gap_history.size(); ++c)
@@ -148,8 +148,8 @@ TEST(ALM, LargerPenaltyFewerCycles) {
   // Fig 2: the Newton-Raphson (outer) cycle count falls with lambda.
   auto weak = run_alm(1e3);
   auto strong = run_alm(1e6);
-  ASSERT_TRUE(weak.converged);
-  ASSERT_TRUE(strong.converged);
+  ASSERT_TRUE(weak.converged());
+  ASSERT_TRUE(strong.converged());
   EXPECT_LT(strong.cycles, weak.cycles) << strong.cycles << " vs " << weak.cycles;
 }
 
@@ -169,7 +169,7 @@ TEST(Core, SolveCSRPath) {
   cfg.precond = gcore::PrecondKind::kSBBIC0;
   cfg.penalty = 1e6;
   auto rep = gcore::solve(mesh, {{1.0, 0.3}}, bc, cfg);
-  EXPECT_TRUE(rep.cg.converged);
+  EXPECT_TRUE(rep.cg.converged());
   EXPECT_EQ(rep.precond_name, "SB-BIC(0)");
   EXPECT_GT(rep.precond_bytes, 0u);
   EXPECT_EQ(rep.solution.size(), mesh.num_dof());
@@ -190,8 +190,8 @@ TEST(Core, PDJDSPathMatchesCSRSolution) {
   djds.colors = 12;
   auto r1 = gcore::solve(mesh, {{1.0, 0.3}}, bc, csr);
   auto r2 = gcore::solve(mesh, {{1.0, 0.3}}, bc, djds);
-  ASSERT_TRUE(r1.cg.converged);
-  ASSERT_TRUE(r2.cg.converged);
+  ASSERT_TRUE(r1.cg.converged());
+  ASSERT_TRUE(r2.cg.converged());
   EXPECT_GT(r2.avg_vector_length, 1.0);
   EXPECT_GT(r2.colors_used, 1);
   double err = 0, scale = 0;
@@ -256,8 +256,8 @@ TEST(Core, CMRCMOrderingAlsoMatches) {
   cmrcm.colors = 10;
   auto r1 = gcore::solve(mesh, {{1.0, 0.3}}, bc, csr);
   auto r2 = gcore::solve(mesh, {{1.0, 0.3}}, bc, cmrcm);
-  ASSERT_TRUE(r1.cg.converged);
-  ASSERT_TRUE(r2.cg.converged);
+  ASSERT_TRUE(r1.cg.converged());
+  ASSERT_TRUE(r2.cg.converged());
   double err = 0, scale = 0;
   for (std::size_t i = 0; i < r1.solution.size(); ++i) {
     err = std::max(err, std::abs(r1.solution[i] - r2.solution[i]));

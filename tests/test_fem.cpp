@@ -123,7 +123,7 @@ TEST(Assembly, UniaxialPatchTest) {
   geofem::solver::CGOptions opt;
   opt.tolerance = 1e-12;
   auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, opt);
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
 
   for (int i = 0; i < m.num_nodes(); ++i) {
     const auto& c = m.coords[static_cast<std::size_t>(i)];
@@ -149,6 +149,6 @@ TEST(Assembly, DirichletValueReproduced) {
   geofem::solver::CGOptions opt;
   opt.tolerance = 1e-12;
   auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, opt);
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   for (int n : top) EXPECT_NEAR(x[static_cast<std::size_t>(n) * 3 + 2], 0.01, 1e-10);
 }

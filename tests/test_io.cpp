@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "contact/penalty.hpp"
+#include "core/status.hpp"
 #include "dist/comm.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/io.hpp"
@@ -58,7 +59,7 @@ TEST(MeshIO, RoundTripDistortedCoordinatesExactly) {
 
 TEST(MeshIO, RejectsGarbage) {
   std::stringstream ss("not-a-mesh 7");
-  EXPECT_THROW(gm::read_mesh(ss), std::logic_error);
+  EXPECT_THROW(gm::read_mesh(ss), geofem::Error);
 }
 
 TEST(LocalDataIO, RoundTripPreservesSolve) {

@@ -233,7 +233,7 @@ TEST(CG, ReportsResidualHistoryMonotonicallyAtEnd) {
   gs::CGOptions opt;
   opt.record_residuals = true;
   auto res = gs::pcg(pb.sys.a, m, pb.sys.b, x, opt);
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   ASSERT_EQ(res.residual_history.size(), static_cast<std::size_t>(res.iterations) + 1);
   EXPECT_LE(res.residual_history.back(), 1e-8);
   EXPECT_GT(res.residual_history.front(), res.residual_history.back());

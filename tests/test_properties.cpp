@@ -235,18 +235,21 @@ TEST_P(DistAgreement, SolutionMatchesSerial) {
   std::vector<double> x_ref(sys.a.ndof(), 0.0);
   auto sres = geofem::solver::pcg(sys.a, prec, sys.b, x_ref,
                                   {.tolerance = 1e-10, .max_iterations = 10000});
-  ASSERT_TRUE(sres.converged);
+  ASSERT_TRUE(sres.converged());
 
   const auto p = gpart::rcb_contact_aware(m, ranks);
   const auto systems = gpart::distribute(sys.a, sys.b, p);
   std::vector<double> x;
+  gd::DistOptions dopt;
+  dopt.cg.tolerance = 1e-10;
+  dopt.cg.max_iterations = 10000;
   const auto dres = gd::solve_distributed(
       systems,
       [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
         return std::make_unique<gp::BIC0>(aii);
       },
-      {.tolerance = 1e-10, .max_iterations = 10000}, &x);
-  ASSERT_TRUE(dres.converged);
+      dopt, &x);
+  ASSERT_TRUE(dres.converged());
   double err = 0, scale = 0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     err = std::max(err, std::abs(x[i] - x_ref[i]));
@@ -280,7 +283,7 @@ TEST_P(SBFlatness, IterationsIndependentOfLambda) {
   gp::SBBIC0 prec(sys.a, sn);
   std::vector<double> x(sys.a.ndof(), 0.0);
   const auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, {.max_iterations = 2000});
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.converged());
   if (baseline < 0) baseline = res.iterations;
   EXPECT_LE(std::abs(res.iterations - baseline), 4)
       << "lambda " << lambda << ": " << res.iterations << " vs baseline " << baseline;

@@ -183,5 +183,5 @@ TEST(OwnedDJDSBIC, SolvesAndExposesStats) {
   // works directly in the ORIGINAL ordering
   std::vector<double> x(sys.a.ndof(), 0.0);
   auto res = geofem::solver::pcg(sys.a, prec, sys.b, x, {.max_iterations = 2000});
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.converged());
 }
