@@ -170,9 +170,15 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
 
   for (std::size_t t = 0; t < kinds.size(); ++t) {
     attempted.push_back(kinds[t]);
+    // The PDJDS orderings only vectorize the no-fill kinds; any other rung
+    // (notably the last-resort block diagonal, which needs no reordering)
+    // runs in the natural ordering instead of tripping the plan's check.
+    SolveConfig acfg = cfg;
+    if (!plan::ordering_supports(acfg.ordering, kinds[t]))
+      acfg.ordering = OrderingKind::kNatural;
     SolveReport r;
     try {
-      r = attempt_solve(sys, sn, cfg, kinds[t], cgopt, have_warm ? &warm : nullptr);
+      r = attempt_solve(sys, sn, acfg, kinds[t], cgopt, have_warm ? &warm : nullptr);
     } catch (const Error& e) {
       if (e.code() != StatusCode::kFactorizationFailed) throw;
       last_status = SolveStatus::kFactorizationFailed;

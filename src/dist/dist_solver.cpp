@@ -1,7 +1,9 @@
 #include "dist/dist_solver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "obs/span.hpp"
 #include "plan/plan.hpp"
@@ -99,6 +101,13 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       rank_reg.set_meta("local_dof", static_cast<double>(nl));
     }
 
+    // Progress state, hoisted above the try so a timeout can still report how
+    // far the rank got (iterations, last residual, recorded history).
+    int total_iters = 0;
+    double bnorm = 0.0;
+    double rnorm = 0.0;
+    std::vector<double> history;
+
     // Everything that communicates runs under this try: once a blocking
     // operation times out (injected fault, dead neighbour), the rank records
     // kCommTimeout and stops communicating — which in turn times out every
@@ -144,20 +153,17 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
 
       std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
       std::vector<double> r(ni), z(ni), q(ni);
-      std::vector<double> history;
 
       // r = b (zero initial guess)
       for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
-      const double bnorm =
-          std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
+      bnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
       GEOFEM_CHECK(bnorm > 0.0, "distributed pcg: zero rhs");
-      double rnorm = bnorm;
+      rnorm = bnorm;
       if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
 
       // One CG attempt against `m`, continuing from the current x/r/rnorm and
       // drawing on the shared iteration budget. Every exit decision derives
       // from allreduced scalars, so all ranks leave with the same status.
-      int total_iters = 0;
       auto cg_loop = [&](const precond::Preconditioner& m) -> SolveStatus {
         const int window = cgopt.stagnation_window;
         std::vector<double> ring(window > 0 ? static_cast<std::size_t>(window) : 0);
@@ -195,13 +201,15 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           }
           fc->blas1 += 4 * ni;
           rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
-          ++it;
           ++total_iters;
           if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
           if (!std::isfinite(rnorm)) {
             s = SolveStatus::kBreakdown;
             break;
           }
+          // Slot it % W holds the relative residual from W iterations ago by
+          // the time iteration `it` reads it: slots 0..W-1 are all written
+          // before the first comparison at it == W (mirrors the serial pcg).
           if (window > 0) {
             const double rel = rnorm / bnorm;
             const auto slot = static_cast<std::size_t>(it % window);
@@ -211,6 +219,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
             }
             ring[slot] = rel;
           }
+          ++it;
         }
         if (rnorm / bnorm <= cgopt.tolerance) s = SolveStatus::kConverged;
         return s;
@@ -219,23 +228,36 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       SolveStatus st =
           build_failed_global ? SolveStatus::kFactorizationFailed : cg_loop(*prec);
 
-      if (opt.resilience.enabled && !ok(st) && opt.resilience.max_fallbacks >= 1) {
-        // Single fallback rung: the caller's fallback factory, or the
-        // localized block diagonal, which always builds. CG restarts warm
-        // from the partial iterate.
-        burnt_iters[rank] = total_iters;
-        precond::PreconditionerPtr fb;
-        bool fb_failed = false;
-        try {
-          fb = opt.fallback_factory ? opt.fallback_factory(ls, aii)
-                                    : std::make_unique<precond::BlockDiagonal>(aii);
-        } catch (const Error& e) {
-          if (e.code() != StatusCode::kFactorizationFailed) throw;
-          fb_failed = true;
-        }
-        if (comm.allreduce_max(fb_failed ? 1.0 : 0.0) > 0.0) {
-          st = SolveStatus::kFactorizationFailed;
-        } else {
+      if (opt.resilience.enabled && !ok(st)) {
+        // Fallback rungs, tried in order while attempts keep failing: the
+        // caller's fallback factory (when set), then the localized block
+        // diagonal, which always builds — capped at resilience.max_fallbacks
+        // rebuilds. Every decision below derives from allreduced scalars, so
+        // all ranks walk the same rungs in lockstep; CG restarts warm from
+        // the partial iterate each time.
+        std::vector<const PrecondFactory*> rungs;
+        const PrecondFactory block_diag = [](const part::LocalSystem&,
+                                             const sparse::BlockCSR& m) {
+          return std::make_unique<precond::BlockDiagonal>(m);
+        };
+        if (opt.fallback_factory) rungs.push_back(&opt.fallback_factory);
+        rungs.push_back(&block_diag);
+        const auto nrungs = std::min(
+            rungs.size(), static_cast<std::size_t>(std::max(opt.resilience.max_fallbacks, 0)));
+        for (std::size_t rung = 0; rung < nrungs && !ok(st); ++rung) {
+          burnt_iters[rank] = total_iters;
+          precond::PreconditionerPtr fb;
+          bool fb_failed = false;
+          try {
+            fb = (*rungs[rung])(ls, aii);
+          } catch (const Error& e) {
+            if (e.code() != StatusCode::kFactorizationFailed) throw;
+            fb_failed = true;
+          }
+          if (comm.allreduce_max(fb_failed ? 1.0 : 0.0) > 0.0) {
+            st = SolveStatus::kFactorizationFailed;
+            continue;
+          }
           res.precond_bytes_per_rank[rank] = fb->memory_bytes();
           // r = b - A x for the warm start
           halo_exchange(comm, ls, x, sendbuf);
@@ -284,6 +306,12 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     } catch (const Error& e) {
       if (e.code() != StatusCode::kCommTimeout) throw;
       statuses[rank] = SolveStatus::kCommTimeout;
+      // Keep whatever progress was made before the deadline hit so a timed-out
+      // run is not misread as "zero iterations, residual 0.0": NaN marks a
+      // timeout that struck before the first residual norm.
+      iters[rank] = total_iters;
+      relres[rank] = bnorm > 0.0 ? rnorm / bnorm : std::numeric_limits<double>::quiet_NaN();
+      if (comm.rank() == 0) res.residual_history = std::move(history);
     }
   });
   res.solve_seconds = wall.seconds();

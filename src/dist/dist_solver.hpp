@@ -34,10 +34,13 @@ struct DistOptions {
   /// local graph gets its own plan in it (one plan per rank).
   plan::PlanCache* plan_cache = nullptr;
   /// Automatic fallback on factorization failure / stagnation / breakdown /
-  /// exhausted iterations: every rank rebuilds with `fallback_factory` (or
-  /// the built-in localized block diagonal when unset) and CG restarts warm.
-  /// All fallback decisions derive from allreduced quantities, so every rank
-  /// takes the same branch. Off by default.
+  /// exhausted iterations. Rungs are tried in order — `fallback_factory`
+  /// (when set), then the built-in localized block diagonal — up to
+  /// resilience.max_fallbacks rebuilds, with CG restarting warm after each.
+  /// Unlike the serial solver, resilience.chain (a PrecondKind list) is not
+  /// consulted: the distributed solver builds preconditioners through
+  /// factories, not kinds. All fallback decisions derive from allreduced
+  /// quantities, so every rank takes the same branch. Off by default.
   geofem::ResilienceOptions resilience;
   PrecondFactory fallback_factory;
   /// Injected communication faults plus the blocking-operation deadline that
@@ -48,7 +51,10 @@ struct DistOptions {
 
 struct DistResult {
   /// Outcome of the run: rank 0's status, except that any rank timing out
-  /// makes the whole result kCommTimeout.
+  /// makes the whole result kCommTimeout. On kCommTimeout, `iterations`,
+  /// `relative_residual` and `residual_history` reflect rank 0's progress up
+  /// to the deadline (relative_residual is NaN when the timeout struck before
+  /// the first residual norm).
   SolveStatus status = SolveStatus::kMaxIterations;
   std::vector<SolveStatus> status_per_rank;
   /// CG iterations burnt in failed attempts before the fallback rebuild

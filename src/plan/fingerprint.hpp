@@ -42,6 +42,13 @@ enum class OrderingKind {
                 ///< than MC at the same color count)
 };
 
+/// Whether a plan can be built for (ordering, kind): the PDJDS orderings only
+/// have vectorized forms of the no-fill kinds (plan.cpp enforces this); every
+/// kind is available in the natural ordering.
+[[nodiscard]] constexpr bool ordering_supports(OrderingKind o, PrecondKind p) {
+  return o == OrderingKind::kNatural || p == PrecondKind::kBIC0 || p == PrecondKind::kSBBIC0;
+}
+
 /// The structure-relevant subset of the solver configuration: everything that
 /// changes a plan's symbolic phase. Numeric-only knobs (penalty value, CG
 /// tolerance) deliberately stay out so a lambda sweep reuses one plan.

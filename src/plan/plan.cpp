@@ -41,7 +41,7 @@ SolvePlan::SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn,
     }
   } else {
     // PDJDS/MC path: only the no-fill preconditioners have a vectorized form.
-    GEOFEM_CHECK(cfg.precond == PrecondKind::kBIC0 || cfg.precond == PrecondKind::kSBBIC0,
+    GEOFEM_CHECK(ordering_supports(cfg.ordering, cfg.precond),
                  "PDJDS path supports BIC(0) and SB-BIC(0)");
     const bool selective = cfg.precond == PrecondKind::kSBBIC0;
     const auto g = sparse::graph_of(a);

@@ -52,7 +52,7 @@ class SolvePlan {
   }
 
   /// Numeric phase: factor `a` on the precomputed structure. Throws
-  /// std::logic_error if `a`'s graph differs from the plan's (stale plan).
+  /// geofem::Error(kStalePlan) if `a`'s graph differs from the plan's.
   /// The result references `a` (and, when vectorized, this plan) — both must
   /// outlive it; PlannedPreconditioner pins the plan automatically.
   [[nodiscard]] precond::PreconditionerPtr numeric(const sparse::BlockCSR& a) const;
