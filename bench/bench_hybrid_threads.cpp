@@ -1,0 +1,115 @@
+// Thread-scaling of the hybrid CG kernels (DESIGN.md §5e). One serial
+// SB-BIC(0) PDJDS solve per OpenMP team size; the residual histories must be
+// BIT-IDENTICAL across team sizes (the par layer's determinism contract —
+// the binary exits nonzero on any mismatch, which is what the CI smoke step
+// checks). Measured wall-clock speed-up is reported next to the Earth
+// Simulator hybrid model's prediction (vector compute divided across the
+// node's PEs plus a fork/join cost per parallel region); on hosts with a
+// single core the measured column is flat while the model shows what an SMP
+// node would do. GEOFEM_BENCH_TINY=1 shrinks the mesh and the team sweep.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "par/par.hpp"
+#include "perf/es_model.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geofem;
+  const char* tiny_env = std::getenv("GEOFEM_BENCH_TINY");
+  const bool tiny = tiny_env && *tiny_env && std::string(tiny_env) != "0";
+  const auto params = tiny                   ? mesh::SimpleBlockParams{4, 4, 3, 4, 4}
+                      : bench::paper_scale() ? mesh::SimpleBlockParams{12, 12, 9, 12, 12}
+                                             : mesh::SimpleBlockParams{6, 6, 4, 6, 6};
+  const std::vector<int> teams = tiny ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const mesh::HexMesh m = mesh::simple_block(params);
+  const auto bc = bench::simple_block_bc(m);
+  const double lambda = 1e6;
+  const fem::System sys = bench::assemble(m, bc, lambda);
+  const auto sn = contact::build_supernodes(sys.a.n, m.contact_groups);
+
+  obs::Registry reg;
+  obs::Attach attach(&reg);
+  bench::describe_problem(reg, m.num_dof(), lambda);
+  reg.set_meta("hardware_threads", static_cast<double>(par::hardware_threads()));
+  std::cout << "== Hybrid thread scaling, SB-BIC(0) PDJDS, " << m.num_dof() << " DOF ("
+            << par::hardware_threads() << " hardware threads) ==\n\n";
+
+  const perf::EsModel es;
+  // Parallel regions per CG iteration in the ES hybrid model: three SpMV
+  // phases, two substitution sweeps, and ~5 BLAS-1 kernels.
+  constexpr double kRegionsPerIteration = 10.0;
+
+  util::Table table(
+      {"threads", "iters", "time [s]", "speedup", "model speedup", "bit-identical"});
+  bool ok = true;
+  core::SolveReport base;
+  double t1 = 0.0, model_t1 = 0.0;
+
+  for (int t : teams) {
+    core::SolveConfig cfg;
+    cfg.precond = core::PrecondKind::kSBBIC0;
+    cfg.ordering = core::OrderingKind::kPDJDSMC;
+    cfg.penalty = lambda;
+    cfg.threads = t;
+    cfg.cg.max_iterations = 4000;
+    cfg.cg.record_residuals = true;
+    cfg.use_plan_cache = false;
+    util::Timer timer;
+    const auto rep = core::solve_system(sys, sn, cfg);
+    const double wall = timer.seconds();
+    if (!rep.converged()) {
+      std::cerr << "FAIL: threads=" << t << " did not converge\n";
+      ok = false;
+    }
+
+    bool identical = true;
+    if (t == teams.front()) {
+      base = rep;
+      t1 = wall;
+    } else {
+      identical = rep.cg.residual_history.size() == base.cg.residual_history.size() &&
+                  rep.cg.iterations == base.cg.iterations;
+      if (identical)
+        for (std::size_t k = 0; k < base.cg.residual_history.size(); ++k)
+          identical = identical && rep.cg.residual_history[k] == base.cg.residual_history[k];
+      if (identical)
+        for (std::size_t i = 0; i < base.solution.size(); ++i)
+          identical = identical && rep.solution[i] == base.solution[i];
+      if (!identical) {
+        std::cerr << "FAIL: threads=" << t
+                  << " is not bit-identical to threads=" << teams.front() << "\n";
+        ok = false;
+      }
+    }
+
+    // ES hybrid model: vector compute spread over t PEs of the node, plus a
+    // fork/join per parallel region per iteration.
+    const double t_vec = es.vector_seconds(rep.cg.loops, 18.0);
+    const double model_t =
+        t_vec / t + es.omp_seconds(static_cast<std::int64_t>(
+                        kRegionsPerIteration * static_cast<double>(rep.cg.iterations)));
+    if (t == teams.front()) model_t1 = model_t;
+
+    const double speedup = wall > 0.0 ? t1 / wall : 0.0;
+    const double model_speedup = model_t > 0.0 ? model_t1 / model_t : 0.0;
+    table.row({std::to_string(t), std::to_string(rep.cg.iterations),
+               util::Table::sci(wall, 2), util::Table::fmt(speedup, 2) + "x",
+               util::Table::fmt(model_speedup, 2) + "x", identical ? "yes" : "NO"});
+    reg.gauge("hybrid.speedup.threads_" + std::to_string(t))->set(speedup);
+    reg.gauge("hybrid.model_speedup.threads_" + std::to_string(t))->set(model_speedup);
+  }
+
+  table.print();
+  bench::emit_json(reg, "hybrid_threads", argc, argv, {&table});
+  if (!ok) {
+    std::cerr << "\nhybrid smoke FAILED\n";
+    return 1;
+  }
+  std::cout << "\nhybrid smoke passed (residual histories bit-identical across team sizes)\n";
+  return 0;
+}

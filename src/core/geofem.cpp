@@ -1,6 +1,7 @@
 #include "core/geofem.hpp"
 
 #include "obs/span.hpp"
+#include "par/par.hpp"
 #include "plan/plan.hpp"
 #include "precond/bic.hpp"
 #include "precond/diagonal.hpp"
@@ -135,6 +136,11 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
 
 SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
                          const SolveConfig& cfg) {
+  // Hybrid execution: every kernel below (SpMV, BLAS-1, substitution sweeps)
+  // runs on a team of cfg.threads OpenMP threads.
+  par::TeamScope team_scope(cfg.threads);
+  if (obs::Registry* r0 = obs::current())
+    r0->gauge("core.threads")->set(static_cast<double>(par::threads()));
   if (!cfg.resilience.enabled) {
     SolveReport rep = attempt_solve(sys, sn, cfg, cfg.precond, cfg.cg, nullptr);
     rep.status = rep.cg.status;

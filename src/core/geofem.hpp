@@ -35,6 +35,11 @@ struct SolveConfig {
   int colors = 20;             ///< MC target color count (PDJDS path)
   int npe = 8;                 ///< PEs per SMP node (PDJDS path)
   bool sort_supernodes = true; ///< Fig 22 switch
+  /// OpenMP team size of the hybrid kernels (SpMV, BLAS-1, substitution
+  /// sweeps); 0 = all hardware threads. Residual histories are bit-identical
+  /// for any value (deterministic fixed-shape reductions + level-scheduled
+  /// sweeps — DESIGN.md §5e).
+  int threads = 0;
   solver::CGOptions cg;
   /// Cache consulted for the structure-dependent set-up (coloring, DJDS
   /// layout, symbolic factorization). Null uses the process-wide

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/span.hpp"
+#include "par/par.hpp"
 #include "plan/plan.hpp"
 #include "precond/diagonal.hpp"
 #include "sparse/vector_ops.hpp"
@@ -18,10 +19,11 @@ namespace {
 
 constexpr int kHaloTag = 7;
 
-/// Exchange boundary values of `v` (full local vector) into the external
-/// slots of the neighbours, per the GeoFEM communication tables (Fig 4).
-void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>& v,
-                   std::vector<double>& sendbuf) {
+/// First half of the halo exchange: post this rank's boundary values to every
+/// neighbour. Sends complete on return (buffered), so computation can proceed
+/// while the messages are delivered.
+void halo_post_sends(Comm& comm, const part::LocalSystem& ls, const std::vector<double>& v,
+                     std::vector<double>& sendbuf) {
   for (const auto& link : ls.links) {
     sendbuf.clear();
     for (int l : link.send_local)
@@ -29,6 +31,11 @@ void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>&
         sendbuf.push_back(v[static_cast<std::size_t>(l) * 3 + static_cast<std::size_t>(c)]);
     comm.send(link.domain, kHaloTag, sendbuf);
   }
+}
+
+/// Second half: receive every neighbour's boundary values into the external
+/// slots of `v` (paper Fig 4 communication tables).
+void halo_complete(Comm& comm, const part::LocalSystem& ls, std::vector<double>& v) {
   for (const auto& link : ls.links) {
     const std::vector<double> msg = comm.recv(link.domain, kHaloTag);
     GEOFEM_CHECK(msg.size() == link.recv_local.size() * 3, "halo message size mismatch");
@@ -39,22 +46,49 @@ void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>&
   }
 }
 
-/// y (internal rows) = A_local * v (all local columns).
-void local_spmv(const part::LocalSystem& ls, const std::vector<double>& v,
-                std::vector<double>& y, util::FlopCounter* fc) {
+/// Blocking halo exchange (the non-overlapped matvec path). The per-link
+/// message sequence is identical to the overlapped path: send all, recv all.
+void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>& v,
+                   std::vector<double>& sendbuf) {
+  halo_post_sends(comm, ls, v, sendbuf);
+  halo_complete(comm, ls, v);
+}
+
+/// y[rows] = A_local[rows] * v. Rows write disjoint y blocks and keep the
+/// serial per-row accumulation order (bit-identical for any team size).
+void spmv_rows(const part::LocalSystem& ls, const std::vector<int>& rows,
+               const std::vector<double>& v, std::vector<double>& y) {
   const auto& a = ls.a;
-  std::uint64_t blocks = 0;
-  for (int i = 0; i < ls.num_internal; ++i) {
+  const int team = par::threads();
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(rows.size());
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (std::ptrdiff_t t = 0; t < m; ++t) {
+    const int i = rows[static_cast<std::size_t>(t)];
     double acc[3] = {0, 0, 0};
-    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
       sparse::b3_gemv(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3, acc);
-      ++blocks;
-    }
     y[static_cast<std::size_t>(i) * 3] = acc[0];
     y[static_cast<std::size_t>(i) * 3 + 1] = acc[1];
     y[static_cast<std::size_t>(i) * 3 + 2] = acc[2];
   }
-  if (fc) fc->spmv += 2ULL * sparse::kBB * blocks;
+}
+
+/// y (internal rows) = A_local * v (all local columns).
+void local_spmv(const part::LocalSystem& ls, const std::vector<double>& v,
+                std::vector<double>& y, util::FlopCounter* fc) {
+  const auto& a = ls.a;
+  const int team = par::threads();
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (int i = 0; i < ls.num_internal; ++i) {
+    double acc[3] = {0, 0, 0};
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      sparse::b3_gemv(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3, acc);
+    y[static_cast<std::size_t>(i) * 3] = acc[0];
+    y[static_cast<std::size_t>(i) * 3 + 1] = acc[1];
+    y[static_cast<std::size_t>(i) * 3 + 2] = acc[2];
+  }
+  // Internal rows are 0..num_internal-1, so the block count is structural.
+  if (fc) fc->spmv += 2ULL * sparse::kBB * static_cast<std::uint64_t>(a.rowptr[ls.num_internal]);
 }
 
 }  // namespace
@@ -90,6 +124,12 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     const std::size_t ni = static_cast<std::size_t>(ls.num_internal) * 3;
     const std::size_t nl = static_cast<std::size_t>(ls.num_local()) * 3;
 
+    // Hybrid execution: every kernel this rank thread calls (SpMV, BLAS-1,
+    // preconditioner sweeps) runs on a team of opt.threads OpenMP threads.
+    par::TeamScope team_scope(opt.threads);
+    const part::LocalSystem::RowSplit split =
+        opt.overlap ? ls.row_split() : part::LocalSystem::RowSplit{};
+
     // Per-rank telemetry: each rank owns a registry for the duration of the
     // solve; snapshots are gathered to rank 0 below. Attaching it also routes
     // the factory's preconditioner set-up spans here.
@@ -99,6 +139,10 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       rank_reg.set_meta("rank", static_cast<double>(comm.rank()));
       rank_reg.set_meta("internal_dof", static_cast<double>(ni));
       rank_reg.set_meta("local_dof", static_cast<double>(nl));
+      rank_reg.set_meta("threads", static_cast<double>(par::threads()));
+      rank_reg.set_meta("overlap", opt.overlap ? 1.0 : 0.0);
+      if (opt.overlap)
+        rank_reg.gauge("dist.boundary_rows")->set(static_cast<double>(split.boundary.size()));
     }
 
     // Progress state, hoisted above the try so a timeout can still report how
@@ -154,6 +198,26 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       std::vector<double> x(nl, 0.0), p(nl, 0.0), sendbuf;
       std::vector<double> r(ni), z(ni), q(ni);
 
+      // One matvec: q/out = A_local * v, with the halo exchange either
+      // blocking (overlap off) or hidden behind the interior-row SpMV.
+      // Interior rows read only internal columns, which the receives never
+      // touch, so overlapping them with message delivery is legal; per-row
+      // arithmetic and the per-link message sequence are identical either
+      // way, hence bit-identical residual histories.
+      auto matvec = [&](std::vector<double>& v, std::vector<double>& out) {
+        if (!opt.overlap) {
+          halo_exchange(comm, ls, v, sendbuf);
+          local_spmv(ls, v, out, fc);
+          return;
+        }
+        halo_post_sends(comm, ls, v, sendbuf);
+        spmv_rows(ls, split.interior, v, out);
+        halo_complete(comm, ls, v);
+        spmv_rows(ls, split.boundary, v, out);
+        fc->spmv +=
+            2ULL * sparse::kBB * static_cast<std::uint64_t>(ls.a.rowptr[ls.num_internal]);
+      };
+
       // r = b (zero initial guess)
       for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
       bnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
@@ -186,8 +250,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           }
           rho_prev = rho;
 
-          halo_exchange(comm, ls, p, sendbuf);
-          local_spmv(ls, p, q, fc);
+          matvec(p, q);
           const double pq =
               comm.allreduce_sum(sparse::dot(std::span(p).first(ni), std::span(q), fc));
           if (!(pq > 0.0)) {
@@ -260,8 +323,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           }
           res.precond_bytes_per_rank[rank] = fb->memory_bytes();
           // r = b - A x for the warm start
-          halo_exchange(comm, ls, x, sendbuf);
-          local_spmv(ls, x, q, fc);
+          matvec(x, q);
           for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i] - q[i];
           rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
           if (cgopt.record_residuals) history.push_back(rnorm / bnorm);

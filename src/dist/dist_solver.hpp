@@ -47,6 +47,15 @@ struct DistOptions {
   /// turns a lost message into geofem::Error(kCommTimeout) — surfaced as
   /// SolveStatus::kCommTimeout on every rank — instead of a hang.
   FaultPlan faults;
+  /// OpenMP team size of every rank's hybrid kernels (0 = all hardware
+  /// threads) — the paper's "PEs per SMP node". Residual histories are
+  /// bit-identical for any value.
+  int threads = 0;
+  /// Overlap each matvec's interior-row SpMV with halo message delivery
+  /// (boundary rows run after the exchange completes). Purely a scheduling
+  /// change: per-rank messages and per-row arithmetic are unchanged, so
+  /// results are bit-identical with overlap on or off.
+  bool overlap = true;
 };
 
 struct DistResult {

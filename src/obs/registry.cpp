@@ -58,10 +58,31 @@ void Registry::set_meta(std::string_view key, double value) {
   meta_numbers_.emplace_back(key, value);
 }
 
+int Registry::tracked_threads() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return static_cast<int>(thread_ids_.size());
+}
+
 int Registry::thread_index_locked() {
   const auto id = std::this_thread::get_id();
   auto it = thread_ids_.find(id);
   if (it != thread_ids_.end()) return it->second;
+  if (static_cast<int>(thread_ids_.size()) >= kMaxTrackedThreads) {
+    // Recycle the slot of a thread with no open span (an OpenMP worker that
+    // was retired between parallel regions). The calling thread is never the
+    // victim: span_begin registers it in open_stacks_ before coming here.
+    for (auto vit = thread_ids_.begin(); vit != thread_ids_.end(); ++vit) {
+      if (open_stacks_.find(vit->first) == open_stacks_.end()) {
+        const int tid = vit->second;
+        thread_ids_.erase(vit);
+        thread_ids_.emplace(id, tid);
+        return tid;
+      }
+    }
+    // More than kMaxTrackedThreads threads hold open spans at once: share the
+    // last slot rather than grow without bound.
+    return kMaxTrackedThreads - 1;
+  }
   const int idx = static_cast<int>(thread_ids_.size());
   thread_ids_.emplace(id, idx);
   return idx;
@@ -94,10 +115,15 @@ void Registry::span_end(std::size_t index) {
   GEOFEM_CHECK(index < spans_.size(), "span_end: bad span index");
   SpanRecord& rec = spans_[index];
   rec.dur_us = t - rec.start_us;
-  auto& stack = open_stacks_[std::this_thread::get_id()];
+  auto sit = open_stacks_.find(std::this_thread::get_id());
+  if (sit == open_stacks_.end()) return;
+  auto& stack = sit->second;
   // RAII guarantees LIFO per thread; tolerate out-of-order ends defensively.
   auto it = std::find(stack.rbegin(), stack.rend(), static_cast<std::int64_t>(index));
   if (it != stack.rend()) stack.erase(std::next(it).base(), stack.end());
+  // Dropping the emptied entry is what lets thread_index_locked recycle this
+  // thread's slot once it stops showing up.
+  if (stack.empty()) open_stacks_.erase(sit);
 }
 
 void Registry::absorb(std::string_view prefix, const util::FlopCounter& fc) {

@@ -91,6 +91,14 @@ class Registry {
   void set_span_capacity(std::size_t cap) { span_capacity_ = cap; }
   [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
 
+  /// Thread-index slots in use. Bounded by kMaxTrackedThreads: when an OpenMP
+  /// runtime (or a caller) keeps spawning short-lived workers, slots of
+  /// threads with no open span are recycled instead of growing the map — a
+  /// long-running attached registry stays O(1) in the number of threads that
+  /// ever touched it.
+  [[nodiscard]] int tracked_threads() const;
+  static constexpr int kMaxTrackedThreads = 256;
+
   /// Fold the legacy accumulation structs into registry metrics:
   ///   <prefix>.flops.{spmv,precond,blas1,factor} counters, and
   ///   <prefix>.loops.{count,total_length} counters plus the derived
@@ -124,6 +132,9 @@ class Registry {
   std::size_t span_capacity_ = 1u << 20;
   std::uint64_t spans_dropped_ = 0;
   std::map<std::thread::id, int> thread_ids_;
+  /// Per-thread stack of open span indices. An entry exists only while its
+  /// thread has a span open (span_end erases emptied entries), which is what
+  /// marks a thread_ids_ slot as recyclable.
   std::map<std::thread::id, std::vector<std::int64_t>> open_stacks_;
 };
 

@@ -35,6 +35,21 @@ std::vector<std::vector<int>> LocalSystem::local_contact_groups(
   return out;
 }
 
+LocalSystem::RowSplit LocalSystem::row_split() const {
+  RowSplit split;
+  for (int i = 0; i < num_internal; ++i) {
+    bool external = false;
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      if (a.colind[e] >= num_internal) {
+        external = true;
+        break;
+      }
+    }
+    (external ? split.boundary : split.interior).push_back(i);
+  }
+  return split;
+}
+
 std::vector<LocalSystem> distribute(const sparse::BlockCSR& a, const std::vector<double>& b,
                                     const Partition& p) {
   GEOFEM_CHECK(static_cast<int>(p.domain_of.size()) == a.n, "partition size mismatch");

@@ -39,6 +39,16 @@ struct LocalSystem {
   /// happens when a contact group is cut by the partition.
   [[nodiscard]] std::vector<std::vector<int>> local_contact_groups(
       const std::vector<std::vector<int>>& global_groups) const;
+
+  /// Internal rows split by whether the row references external columns.
+  /// Interior rows depend only on internal values, so their SpMV can run
+  /// while the halo exchange is in flight; boundary rows wait for it.
+  /// Both lists are ascending; together they cover [0, num_internal) once.
+  struct RowSplit {
+    std::vector<int> interior;
+    std::vector<int> boundary;
+  };
+  [[nodiscard]] RowSplit row_split() const;
 };
 
 /// Split a globally assembled system into GeoFEM local systems. External

@@ -67,43 +67,67 @@ BIC0::BIC0(const sparse::BlockCSR& a, bool modified) : a_(a) {
     }
     invert_or_reset(di, inv_d_.data() + static_cast<std::size_t>(i) * kBB);
   }
+
+  // Substitution dependency levels for the hybrid apply: forward over the
+  // strict lower pattern, backward over the strict upper.
+  lower_len_.assign(static_cast<std::size_t>(a.n), 0);
+  std::vector<int> lev(static_cast<std::size_t>(a.n), 0);
+  for (int i = 0; i < a.n; ++i) {
+    int l = 0, len = 0;
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e) {
+      l = std::max(l, lev[static_cast<std::size_t>(a.colind[e])] + 1);
+      ++len;
+    }
+    lev[static_cast<std::size_t>(i)] = l;
+    lower_len_[static_cast<std::size_t>(i)] = len;
+  }
+  fwd_ = par::schedule_from_levels(lev);
+  for (int i = a.n - 1; i >= 0; --i) {
+    int l = 0;
+    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
+      l = std::max(l, lev[static_cast<std::size_t>(a.colind[e])] + 1);
+    lev[static_cast<std::size_t>(i)] = l;
+  }
+  bwd_ = par::schedule_from_levels(lev);
 }
 
 void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
                  util::LoopStats* loops) const {
   const auto& a = a_;
   GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "BIC0 apply size mismatch");
-  // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k)
-  for (int i = 0; i < a.n; ++i) {
+  const int team = par::threads();
+  // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k). Rows of one dependency
+  // level are independent; per-row arithmetic is the serial sweep's, so the
+  // result is bit-identical for any team size.
+  par::for_levels(fwd_, team, [&](int i) {
     double acc[kB];
     const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
     acc[0] = ri[0];
     acc[1] = ri[1];
     acc[2] = ri[2];
-    int len = 0;
-    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e) {
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e)
       sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
-      ++len;
-    }
     sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc,
                      z.data() + static_cast<std::size_t>(i) * kB);
-    if (loops) loops->record(len + 1);
-  }
+  });
   // backward: z_i -= D~_i^-1 sum_{j>i} A_ij z_j
-  for (int i = a.n - 1; i >= 0; --i) {
+  par::for_levels(bwd_, team, [&](int i) {
     double acc[kB] = {};
-    int len = 0;
-    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e) {
+    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
       sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
-      ++len;
-    }
     double corr[kB];
     sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, corr);
     double* zi = z.data() + static_cast<std::size_t>(i) * kB;
     zi[0] -= corr[0];
     zi[1] -= corr[1];
     zi[2] -= corr[2];
-    if (loops) loops->record(len + 1);
+  });
+  // Loop lengths are pattern-derived; record serially in the serial order.
+  if (loops) {
+    for (int i = 0; i < a.n; ++i) loops->record(lower_len_[static_cast<std::size_t>(i)] + 1);
+    for (int i = a.n - 1; i >= 0; --i)
+      loops->record(a.rowptr[i + 1] - a.rowptr[i] - 1 - lower_len_[static_cast<std::size_t>(i)] +
+                    1);
   }
   if (flops)
     flops->precond += 2ULL * kBB * static_cast<std::uint64_t>(a.nnz_blocks() + a.n);
@@ -115,7 +139,8 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
 
 std::size_t ILUkSymbolic::memory_bytes() const {
   return (lptr.size() + lcol.size() + uptr.size() + ucol.size() + aslot.size() +
-          elim_src.size() + elim_dst.size()) *
+          elim_src.size() + elim_dst.size() + fwd.rows.size() + fwd.level_ptr.size() +
+          bwd.rows.size() + bwd.level_ptr.size()) *
              sizeof(int) +
          elim_ptr.size() * sizeof(std::int64_t);
 }
@@ -233,6 +258,25 @@ std::shared_ptr<const ILUkSymbolic> iluk_symbolic(const sparse::BlockCSR& a, int
     for (int t = ub; t < ue; ++t) wslot[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(t)])] = -1;
     wslot[static_cast<std::size_t>(i)] = -1;
   }
+
+  // ---- substitution dependency levels (hybrid apply) ------------------------
+  {
+    std::vector<int> lev(static_cast<std::size_t>(n_), 0);
+    for (int i = 0; i < n_; ++i) {
+      int l = 0;
+      for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
+        l = std::max(l, lev[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])] + 1);
+      lev[static_cast<std::size_t>(i)] = l;
+    }
+    s.fwd = par::schedule_from_levels(lev);
+    for (int i = n_ - 1; i >= 0; --i) {
+      int l = 0;
+      for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
+        l = std::max(l, lev[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])] + 1);
+      lev[static_cast<std::size_t>(i)] = l;
+    }
+    s.bwd = par::schedule_from_levels(lev);
+  }
   return out;
 }
 
@@ -310,8 +354,10 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
   const int n_ = s.n;
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ * kB && static_cast<int>(z.size()) == n_ * kB,
                "BlockILUk apply size mismatch");
-  // forward (unit L): y_i = r_i - sum L_ik y_k
-  for (int i = 0; i < n_; ++i) {
+  const int team = par::threads();
+  // forward (unit L): y_i = r_i - sum L_ik y_k. Level-parallel; per-row
+  // arithmetic unchanged, so bit-identical for any team size.
+  par::for_levels(s.fwd, team, [&](int i) {
     double acc[kB];
     const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
     acc[0] = ri[0];
@@ -324,10 +370,9 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
     zi[0] = acc[0];
     zi[1] = acc[1];
     zi[2] = acc[2];
-    if (loops) loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
-  }
+  });
   // backward: z_i = invD_i (y_i - sum U_ij z_j)
-  for (int i = n_ - 1; i >= 0; --i) {
+  par::for_levels(s.bwd, team, [&](int i) {
     double acc[kB];
     double* zi = z.data() + static_cast<std::size_t>(i) * kB;
     acc[0] = zi[0];
@@ -337,7 +382,12 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
       sparse::b3_gemv_sub(uval_.data() + static_cast<std::size_t>(e) * kBB,
                           z.data() + static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)]) * kB, acc);
     sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, zi);
-    if (loops) loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
+  });
+  if (loops) {
+    for (int i = 0; i < n_; ++i)
+      loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
+    for (int i = n_ - 1; i >= 0; --i)
+      loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
   }
   if (flops)
     flops->precond +=

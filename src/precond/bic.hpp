@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "par/par.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
@@ -35,6 +36,8 @@ class BIC0 final : public Preconditioner {
  private:
   const sparse::BlockCSR& a_;
   std::vector<double> inv_d_;  ///< kBB per row: D~_i^-1
+  std::vector<int> lower_len_;  ///< strict-lower blocks per row (loop stats)
+  par::LevelSchedule fwd_, bwd_;  ///< substitution dependency levels
 };
 
 /// Structure-only half of the block ILU(k) factorization: the level-of-fill
@@ -56,6 +59,9 @@ struct ILUkSymbolic {
   /// index of U_kj; elim_dst the slot of j in row i's work table.
   std::vector<std::int64_t> elim_ptr;  ///< size lcol.size() + 1
   std::vector<int> elim_src, elim_dst;
+  /// Substitution dependency levels of the L (forward) and U (backward)
+  /// patterns, for the hybrid apply.
+  par::LevelSchedule fwd, bwd;
 
   [[nodiscard]] std::size_t memory_bytes() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/span.hpp"
+#include "par/par.hpp"
 #include "precond/sb_bic0.hpp"
 #include "reorder/coloring.hpp"
 #include "util/check.hpp"
@@ -83,11 +84,12 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
   GEOFEM_CHECK(static_cast<int>(r.size()) == n * kB && static_cast<int>(z.size()) == n * kB,
                "DJDSBIC apply size mismatch");
   const int npe = dj_.npe();
+  const int team = par::threads();
 
   // forward: per color (sequential), per PE chunk (parallel):
   //   z_chunk = r_chunk - L_chunk * z(earlier colors); unit solves in place.
   for (int c = 0; c < dj_.num_colors(); ++c) {
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
     for (int p = 0; p < npe; ++p) {
       const int ch = dj_.chunk_index(c, p);
       const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];
@@ -112,7 +114,7 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
   // backward: z_chunk -= D~^-1 (U_chunk * z(later colors))
   std::vector<double> w(static_cast<std::size_t>(n) * kB);
   for (int c = dj_.num_colors() - 1; c >= 0; --c) {
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
     for (int p = 0; p < npe; ++p) {
       const int ch = dj_.chunk_index(c, p);
       const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];

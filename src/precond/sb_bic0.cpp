@@ -181,6 +181,7 @@ SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified)
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_diagonals(a, sn_, modified);
+  build_schedules();
 }
 
 SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
@@ -191,6 +192,48 @@ SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_numeric(a, *sym);
+  build_schedules();
+}
+
+void SBBIC0::build_schedules() {
+  // Supernode dependency levels for the hybrid apply, plus the structural
+  // per-supernode coupling counts the apply reports as loop/FLOP stats.
+  const int ns = sn_.count();
+  fwd_len_.assign(static_cast<std::size_t>(ns), 0);
+  bwd_len_.assign(static_cast<std::size_t>(ns), 0);
+  std::vector<int> lev(static_cast<std::size_t>(ns), 0);
+  for (int s = 0; s < ns; ++s) {
+    int l = 0, len = 0;
+    for (int i : sn_.members[static_cast<std::size_t>(s)]) {
+      for (int e = a_.rowptr[i]; e < a_.rowptr[i + 1]; ++e) {
+        const int sj = sn_.node_to_super[static_cast<std::size_t>(a_.colind[e])];
+        if (sj >= s) continue;
+        l = std::max(l, lev[static_cast<std::size_t>(sj)] + 1);
+        ++len;
+      }
+    }
+    lev[static_cast<std::size_t>(s)] = l;
+    fwd_len_[static_cast<std::size_t>(s)] = len;
+  }
+  fwd_ = par::schedule_from_levels(lev);
+  for (int s = ns - 1; s >= 0; --s) {
+    int l = 0, len = 0;
+    for (int i : sn_.members[static_cast<std::size_t>(s)]) {
+      for (int e = a_.rowptr[i]; e < a_.rowptr[i + 1]; ++e) {
+        const int sj = sn_.node_to_super[static_cast<std::size_t>(a_.colind[e])];
+        if (sj <= s) continue;
+        l = std::max(l, lev[static_cast<std::size_t>(sj)] + 1);
+        ++len;
+      }
+    }
+    lev[static_cast<std::size_t>(s)] = l;
+    bwd_len_[static_cast<std::size_t>(s)] = len;
+  }
+  bwd_ = par::schedule_from_levels(lev);
+  coupled_ = 0;
+  for (int s = 0; s < ns; ++s)
+    coupled_ += static_cast<std::uint64_t>(fwd_len_[static_cast<std::size_t>(s)]) +
+                static_cast<std::uint64_t>(bwd_len_[static_cast<std::size_t>(s)]);
 }
 
 void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
@@ -199,14 +242,17 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
   const auto& sn = sn_;
   GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "SB-BIC0 apply size mismatch");
 
-  std::vector<double> acc;
-  std::uint64_t coupled = 0;
-  // forward: z_S = D~_S^-1 (r_S - sum_{K<S} A_SK z_K)
-  for (int s = 0; s < sn.count(); ++s) {
+  const int team = par::threads();
+  // Each thread reuses one staging buffer; its content is fully rewritten per
+  // supernode. DenseLU::solve is const and safe to call concurrently.
+  static thread_local std::vector<double> acc;
+  // forward: z_S = D~_S^-1 (r_S - sum_{K<S} A_SK z_K). Supernodes of one
+  // dependency level are independent; per-supernode arithmetic is the serial
+  // sweep's, so the result is bit-identical for any team size.
+  par::for_levels(fwd_, team, [&](int s) {
     const auto& mem = sn.members[static_cast<std::size_t>(s)];
     const int dim = kB * static_cast<int>(mem.size());
     acc.assign(static_cast<std::size_t>(dim), 0.0);
-    int len = 0;
     for (std::size_t t = 0; t < mem.size(); ++t) {
       const int i = mem[t];
       double* ai = acc.data() + t * kB;
@@ -218,8 +264,6 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
         const int j = a.colind[e];
         if (sn.node_to_super[static_cast<std::size_t>(j)] >= s) continue;
         sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(j) * kB, ai);
-        ++len;
-        ++coupled;
       }
     }
     lu_[static_cast<std::size_t>(s)].solve(acc.data());
@@ -229,14 +273,12 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
       zi[1] = acc[t * kB + 1];
       zi[2] = acc[t * kB + 2];
     }
-    if (loops) loops->record(len + 1);
-  }
+  });
   // backward: z_S -= D~_S^-1 sum_{K>S} A_SK z_K
-  for (int s = sn.count() - 1; s >= 0; --s) {
+  par::for_levels(bwd_, team, [&](int s) {
     const auto& mem = sn.members[static_cast<std::size_t>(s)];
     const int dim = kB * static_cast<int>(mem.size());
     acc.assign(static_cast<std::size_t>(dim), 0.0);
-    int len = 0;
     for (std::size_t t = 0; t < mem.size(); ++t) {
       const int i = mem[t];
       for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
@@ -244,8 +286,6 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
         if (sn.node_to_super[static_cast<std::size_t>(j)] <= s) continue;
         sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(j) * kB,
                         acc.data() + t * kB);
-        ++len;
-        ++coupled;
       }
     }
     lu_[static_cast<std::size_t>(s)].solve(acc.data());
@@ -255,10 +295,16 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
       zi[1] -= acc[t * kB + 1];
       zi[2] -= acc[t * kB + 2];
     }
-    if (loops) loops->record(len + 1);
+  });
+  // Stats are pattern-derived; record serially in the serial order.
+  if (loops) {
+    for (int s = 0; s < sn.count(); ++s)
+      loops->record(fwd_len_[static_cast<std::size_t>(s)] + 1);
+    for (int s = sn.count() - 1; s >= 0; --s)
+      loops->record(bwd_len_[static_cast<std::size_t>(s)] + 1);
   }
   if (flops) {
-    flops->precond += 2ULL * kBB * coupled;
+    flops->precond += 2ULL * kBB * coupled_;
     for (const auto& lu : lu_) flops->precond += 2 * lu.solve_flops();
   }
 }

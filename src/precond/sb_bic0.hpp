@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "contact/penalty.hpp"
+#include "par/par.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
@@ -86,10 +87,15 @@ class SBBIC0 final : public Preconditioner {
   [[nodiscard]] int max_block_nodes() const { return max_block_; }
 
  private:
+  void build_schedules();
+
   const sparse::BlockCSR& a_;
   contact::Supernodes sn_;
   std::vector<sparse::DenseLU> lu_;  ///< per supernode
   int max_block_ = 0;
+  par::LevelSchedule fwd_, bwd_;      ///< supernode dependency levels
+  std::vector<int> fwd_len_, bwd_len_;  ///< per supernode coupling counts
+  std::uint64_t coupled_ = 0;           ///< total couplings per apply (flops)
 };
 
 }  // namespace geofem::precond

@@ -9,7 +9,9 @@
 namespace geofem::precond {
 
 std::size_t ScalarIC0Symbolic::memory_bytes() const {
-  return (lptr.size() + lcol.size() + uptr.size() + ucol.size()) * sizeof(int) +
+  return (lptr.size() + lcol.size() + uptr.size() + ucol.size() + fwd.rows.size() +
+          fwd.level_ptr.size() + bwd.rows.size() + bwd.level_ptr.size()) *
+             sizeof(int) +
          (lsrc.size() + usrc.size() + dsrc.size()) * sizeof(std::int64_t);
 }
 
@@ -76,6 +78,25 @@ std::shared_ptr<const ScalarIC0Symbolic> scalar_ic0_symbolic(const sparse::Block
       s.usrc.resize(s.ucol.size());
     }
   }
+
+  // Substitution dependency levels over the scalar rows (hybrid apply).
+  {
+    std::vector<int> lev(static_cast<std::size_t>(n_), 0);
+    for (int i = 0; i < n_; ++i) {
+      int l = 0;
+      for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
+        l = std::max(l, lev[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])] + 1);
+      lev[static_cast<std::size_t>(i)] = l;
+    }
+    s.fwd = par::schedule_from_levels(lev);
+    for (int i = n_ - 1; i >= 0; --i) {
+      int l = 0;
+      for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
+        l = std::max(l, lev[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])] + 1);
+      lev[static_cast<std::size_t>(i)] = l;
+    }
+    s.bwd = par::schedule_from_levels(lev);
+  }
   return out;
 }
 
@@ -128,21 +149,27 @@ void ScalarIC0::apply(std::span<const double> r, std::span<double> z, util::Flop
   const int n_ = s.n;
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ && static_cast<int>(z.size()) == n_,
                "IC(0) apply size mismatch");
-  // forward: y_i = (r_i - sum L_ik y_k) / d_i
-  for (int i = 0; i < n_; ++i) {
+  const int team = par::threads();
+  // forward: y_i = (r_i - sum L_ik y_k) / d_i. Level-parallel; per-row
+  // arithmetic unchanged, so bit-identical for any team size.
+  par::for_levels(s.fwd, team, [&](int i) {
     double acc = r[static_cast<std::size_t>(i)];
     for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
       acc -= lval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])];
     z[static_cast<std::size_t>(i)] = acc * inv_d_[static_cast<std::size_t>(i)];
-    if (loops) loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
-  }
+  });
   // backward: z_i = y_i - (sum U_ij z_j) / d_i
-  for (int i = n_ - 1; i >= 0; --i) {
+  par::for_levels(s.bwd, team, [&](int i) {
     double acc = 0.0;
     for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
       acc += uval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])];
     z[static_cast<std::size_t>(i)] -= acc * inv_d_[static_cast<std::size_t>(i)];
-    if (loops) loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
+  });
+  if (loops) {
+    for (int i = 0; i < n_; ++i)
+      loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
+    for (int i = n_ - 1; i >= 0; --i)
+      loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
   }
   if (flops)
     flops->precond += 2ULL * (lval_.size() + uval_.size()) + 3ULL * static_cast<std::uint64_t>(n_);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "par/par.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
 
@@ -21,6 +22,8 @@ struct ScalarIC0Symbolic {
   // flat indices into BlockCSR::val (entry * kBB + r * kB + c)
   std::vector<std::int64_t> lsrc, usrc;
   std::vector<std::int64_t> dsrc;  ///< per scalar row: source of a_ii
+  /// Substitution dependency levels over the scalar rows (hybrid apply).
+  par::LevelSchedule fwd, bwd;
 
   [[nodiscard]] std::size_t memory_bytes() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "par/par.hpp"
 #include "util/check.hpp"
 
 namespace geofem::reorder {
@@ -254,18 +255,25 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
   GEOFEM_CHECK(static_cast<int>(x.size()) == n_ * sparse::kB &&
                    static_cast<int>(y.size()) == n_ * sparse::kB,
                "djds spmv size mismatch");
-  // Diagonal contribution.
+  // Three phases with a barrier between each; inside a phase every y row is
+  // written by exactly one iteration (its own index / its unique supernode
+  // range / its unique chunk), so each row sees the serial accumulation order
+  // — diagonal assign, dense couplings, lower then upper jagged — and the
+  // result is bit-identical for any team size.
+  const int nt = par::threads();
+
+  // Phase 1: diagonal contribution (assignment).
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
   for (int i = 0; i < n_; ++i)
     sparse::b3_apply(diag(i), x.data() + static_cast<std::size_t>(i) * sparse::kB,
                      y.data() + static_cast<std::size_t>(i) * sparse::kB);
-  if (loops) loops->record(n_);
-  std::uint64_t entries = static_cast<std::uint64_t>(n_);
 
-  // Intra-supernode couplings (dense blocks, member diagonals excluded since
-  // they were applied above).
-  for (std::size_t r = 0; r < super_ranges_.size(); ++r) {
-    const auto& sr = super_ranges_[r];
-    const auto& dense = super_dense_[r];
+  // Phase 2: intra-supernode couplings (dense blocks, member diagonals
+  // excluded since they were applied above). Ranges cover disjoint rows.
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(super_ranges_.size()); ++r) {
+    const auto& sr = super_ranges_[static_cast<std::size_t>(r)];
+    const auto& dense = super_dense_[static_cast<std::size_t>(r)];
     const int dim = sparse::kB * sr.size;
     for (int ti = 0; ti < sr.size; ++ti) {
       double* yi = y.data() + static_cast<std::size_t>(sr.start + ti) * sparse::kB;
@@ -278,12 +286,14 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
                                static_cast<std::size_t>(sparse::kB * tj);
           yi[br] += drow[0] * xj[0] + drow[1] * xj[1] + drow[2] * xj[2];
         }
-        ++entries;
       }
     }
   }
 
+  // Phase 3: jagged parts; each chunk owns a contiguous, disjoint row range
+  // and runs its lower then upper diagonals serially.
   const int nchunks = ncolors_ * opt_.npe;
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
   for (int ch = 0; ch < nchunks; ++ch) {
     const int begin = chunk_begin_[static_cast<std::size_t>(ch)];
     for (const Jagged* part : {&lower_[static_cast<std::size_t>(ch)],
@@ -298,12 +308,34 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
                           x.data() + static_cast<std::size_t>(part->item[static_cast<std::size_t>(t)]) * sparse::kB,
                           y.data() + static_cast<std::size_t>(begin + (t - s)) * sparse::kB);
         }
-        if (loops && e > s) loops->record(e - s);
-        entries += static_cast<std::uint64_t>(e - s);
       }
     }
   }
-  if (flops) flops->spmv += 2ULL * sparse::kBB * entries;
+
+  // Stats are pattern-derived: record them serially afterwards, in the order
+  // the serial sweep would have produced.
+  if (loops) {
+    loops->record(n_);
+    for (int ch = 0; ch < nchunks; ++ch) {
+      for (const Jagged* part : {&lower_[static_cast<std::size_t>(ch)],
+                                 &upper_[static_cast<std::size_t>(ch)]}) {
+        for (int j = 0; j < part->num_jd(); ++j) {
+          const int len = part->jd_ptr[static_cast<std::size_t>(j) + 1] -
+                          part->jd_ptr[static_cast<std::size_t>(j)];
+          if (len > 0) loops->record(len);
+        }
+      }
+    }
+  }
+  if (flops) {
+    std::uint64_t entries = static_cast<std::uint64_t>(n_);
+    for (const auto& sr : super_ranges_)
+      entries += static_cast<std::uint64_t>(sr.size) * static_cast<std::uint64_t>(sr.size - 1);
+    for (int ch = 0; ch < nchunks; ++ch)
+      entries += static_cast<std::uint64_t>(lower_[static_cast<std::size_t>(ch)].entries()) +
+                 static_cast<std::uint64_t>(upper_[static_cast<std::size_t>(ch)].entries());
+    flops->spmv += 2ULL * sparse::kBB * entries;
+  }
 }
 
 double DJDSMatrix::average_vector_length() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/par.hpp"
 #include "util/check.hpp"
 
 namespace geofem::sparse {
@@ -24,6 +25,10 @@ int BlockCSR::diag_entry(int i) const {
 void BlockCSR::spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops,
                     util::LoopStats* loops) const {
   GEOFEM_CHECK(x.size() == ndof() && y.size() == ndof(), "spmv size mismatch");
+  // Rows write disjoint y blocks and each row's accumulation order is the
+  // serial one, so the result is bit-identical for any team size.
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
   for (int i = 0; i < n; ++i) {
     double acc[kB] = {0.0, 0.0, 0.0};
     for (int e = rowptr[i]; e < rowptr[i + 1]; ++e) {
@@ -33,8 +38,11 @@ void BlockCSR::spmv(std::span<const double> x, std::span<double> y, util::FlopCo
     yi[0] = acc[0];
     yi[1] = acc[1];
     yi[2] = acc[2];
-    if (loops) loops->record(rowptr[i + 1] - rowptr[i]);
   }
+  // Stats are pattern-derived: record them serially so the loop-length stream
+  // keeps the serial order regardless of the team size.
+  if (loops)
+    for (int i = 0; i < n; ++i) loops->record(rowptr[i + 1] - rowptr[i]);
   if (flops) flops->spmv += 2ULL * kBB * static_cast<std::uint64_t>(nnz_blocks());
 }
 

@@ -1,8 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <span>
+#include <vector>
 
+#include "par/par.hpp"
 #include "util/check.hpp"
 #include "util/flops.hpp"
 
@@ -10,14 +14,40 @@ namespace geofem::sparse {
 
 /// BLAS-1 helpers used by the Krylov solvers. Each counts its algorithmic
 /// FLOPs so the benchmark harness can report paper-style FLOP rates.
+///
+/// All of these are hybrid kernels: they run on the calling thread's team
+/// (par::threads(), set via par::TeamScope) and are bit-identical for every
+/// team size. The element-wise ops write disjoint elements, so any schedule
+/// gives the same result; `dot` sums fixed kReduceChunk-length chunks whose
+/// grid depends only on the vector length and combines the partials with a
+/// fixed-shape pairwise tree (par::combine) — the same arithmetic whether one
+/// thread computes every chunk or the chunks are spread across a team.
+
+/// Element-wise ops shorter than this stay serial — fork/join would dominate.
+inline constexpr std::size_t kParGrain = 2048;
 
 inline double dot(std::span<const double> x, std::span<const double> y,
                   util::FlopCounter* flops = nullptr) {
   GEOFEM_CHECK(x.size() == y.size(), "dot size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
-  if (flops) flops->blas1 += 2 * x.size();
-  return s;
+  const std::size_t n = x.size();
+  if (flops) flops->blas1 += 2 * n;
+  const std::size_t nc = par::reduce_chunks(n);
+  if (nc <= 1) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    return acc;
+  }
+  std::vector<double> partials(nc);
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
+  for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(nc); ++c) {
+    const std::size_t b = static_cast<std::size_t>(c) * par::kReduceChunk;
+    const std::size_t e = std::min(b + par::kReduceChunk, n);
+    double acc = 0.0;
+    for (std::size_t i = b; i < e; ++i) acc += x[i] * y[i];
+    partials[static_cast<std::size_t>(c)] = acc;
+  }
+  return par::combine(partials.data(), nc);
 }
 
 inline double norm2(std::span<const double> x, util::FlopCounter* flops = nullptr) {
@@ -28,7 +58,11 @@ inline double norm2(std::span<const double> x, util::FlopCounter* flops = nullpt
 inline void axpy(double alpha, std::span<const double> x, std::span<double> y,
                  util::FlopCounter* flops = nullptr) {
   GEOFEM_CHECK(x.size() == y.size(), "axpy size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && x.size() >= kParGrain)
+  for (std::ptrdiff_t i = 0; i < n; ++i) y[static_cast<std::size_t>(i)] +=
+      alpha * x[static_cast<std::size_t>(i)];
   if (flops) flops->blas1 += 2 * x.size();
 }
 
@@ -36,22 +70,38 @@ inline void axpy(double alpha, std::span<const double> x, std::span<double> y,
 inline void xpby(std::span<const double> x, double beta, std::span<double> y,
                  util::FlopCounter* flops = nullptr) {
   GEOFEM_CHECK(x.size() == y.size(), "xpby size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && x.size() >= kParGrain)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    y[u] = x[u] + beta * y[u];
+  }
   if (flops) flops->blas1 += 2 * x.size();
 }
 
 inline void scale(double alpha, std::span<double> x, util::FlopCounter* flops = nullptr) {
-  for (double& v : x) v *= alpha;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && x.size() >= kParGrain)
+  for (std::ptrdiff_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] *= alpha;
   if (flops) flops->blas1 += x.size();
 }
 
 inline void copy(std::span<const double> x, std::span<double> y) {
   GEOFEM_CHECK(x.size() == y.size(), "copy size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && x.size() >= kParGrain)
+  for (std::ptrdiff_t i = 0; i < n; ++i) y[static_cast<std::size_t>(i)] =
+      x[static_cast<std::size_t>(i)];
 }
 
 inline void fill(std::span<double> x, double v) {
-  for (double& e : x) e = v;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && x.size() >= kParGrain)
+  for (std::ptrdiff_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = v;
 }
 
 }  // namespace geofem::sparse

@@ -184,6 +184,58 @@ TEST(ObsRegistry, AbsorbFoldsLegacyAccumulators) {
   EXPECT_DOUBLE_EQ(*s.gauge("pcg.avg_vector_length"), 256.0 / 3.0);
 }
 
+TEST(ObsRegistry, ThreadTrackingStaysBounded) {
+  // Regression: OpenMP runtimes retire and respawn workers between parallel
+  // regions, so a long-lived registry used to accumulate one thread_ids_ /
+  // open_stacks_ entry per worker ever seen. Slots of threads with no open
+  // span must be recycled once the map reaches kMaxTrackedThreads.
+  go::Registry reg;
+  constexpr int kThreads = go::Registry::kMaxTrackedThreads + 100;
+  for (int i = 0; i < kThreads; ++i) {
+    std::thread([&reg] {
+      go::ScopedSpan s(&reg, "worker");
+    }).join();
+  }
+  EXPECT_LE(reg.tracked_threads(), go::Registry::kMaxTrackedThreads);
+  // tids in the recorded spans stay inside the bounded slot range
+  const go::Snapshot s = reg.snapshot();
+  for (const auto& sp : s.spans) {
+    EXPECT_GE(sp.tid, 0);
+    EXPECT_LT(sp.tid, go::Registry::kMaxTrackedThreads);
+  }
+}
+
+TEST(ObsRegistry, ConcurrentSpansFromOmpRegion) {
+  // Span begin/end from inside a parallel region: per-thread nesting must
+  // stay consistent (no cross-thread parent links) and nothing may crash or
+  // leak open-stack entries.
+  go::Registry reg;
+  {
+    go::ScopedSpan root(&reg, "root");
+#pragma omp parallel num_threads(4)
+    {
+      for (int i = 0; i < 50; ++i) {
+        go::ScopedSpan outer(&reg, "outer");
+        go::ScopedSpan inner(&reg, "inner");
+      }
+    }
+  }
+  const go::Snapshot s = reg.snapshot();
+  ASSERT_FALSE(s.spans.empty());
+  for (std::size_t i = 0; i < s.spans.size(); ++i) {
+    const auto& sp = s.spans[i];
+    EXPECT_GE(sp.dur_us, 0.0) << sp.name << " left open";
+    if (sp.name == "inner") {
+      // an inner span's parent is an outer span opened by the same thread
+      ASSERT_GE(sp.parent, 0);
+      const auto& parent = s.spans[static_cast<std::size_t>(sp.parent)];
+      EXPECT_EQ(parent.name, "outer");
+      EXPECT_EQ(parent.tid, sp.tid);
+    }
+  }
+  EXPECT_LE(reg.tracked_threads(), go::Registry::kMaxTrackedThreads);
+}
+
 // ---------------------------------------------------------------------------
 // Codec + cross-rank merge through the simulated-MPI gather path
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -13,6 +14,7 @@
 #include "fem/assembly.hpp"
 #include "mesh/simple_block.hpp"
 #include "mesh/southwest_japan.hpp"
+#include "par/par.hpp"
 #include "part/local_system.hpp"
 #include "part/partition.hpp"
 #include "precond/bic.hpp"
@@ -20,6 +22,7 @@
 #include "reorder/coloring.hpp"
 #include "reorder/djds.hpp"
 #include "solver/cg.hpp"
+#include "sparse/vector_ops.hpp"
 #include "util/rng.hpp"
 
 namespace gc = geofem::contact;
@@ -291,3 +294,134 @@ TEST_P(SBFlatness, IterationsIndependentOfLambda) {
 
 INSTANTIATE_TEST_SUITE_P(Lambdas, SBFlatness,
                          ::testing::Values(1e2, 1e4, 1e6, 1e8, 1e10));
+
+// ---------------------------------------------------------------------------
+// Hybrid kernels: threaded SpMV and BLAS-1 bitwise equal to serial
+// (the par layer's determinism contract as a property over random inputs)
+// ---------------------------------------------------------------------------
+
+namespace {
+namespace gpar = geofem::par;
+
+/// Assembled contact matrix with random values in x (deterministic seed).
+geofem::fem::System random_system(geofem::util::Rng& rng, std::vector<double>& x) {
+  gm::HexMesh m = gm::simple_block({3, 2, 2, 2, 3});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, 1e5);
+  x.resize(sys.a.ndof());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return sys;
+}
+}  // namespace
+
+class HybridTeamSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridTeamSizes, BlockCSRSpmvBitwiseEqualsSerial) {
+  const int team = GetParam();
+  geofem::util::Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x;
+    auto sys = random_system(rng, x);
+    std::vector<double> y1(x.size()), yt(x.size());
+    {
+      gpar::TeamScope s(1);
+      sys.a.spmv(x, y1);
+    }
+    {
+      gpar::TeamScope s(team);
+      sys.a.spmv(x, yt);
+    }
+    for (std::size_t i = 0; i < x.size(); ++i)
+      ASSERT_EQ(y1[i], yt[i]) << "trial " << trial << " component " << i;
+  }
+}
+
+TEST_P(HybridTeamSizes, DJDSSpmvBitwiseEqualsSerial) {
+  const int team = GetParam();
+  geofem::util::Rng rng(321);
+  std::vector<double> x;
+  auto sys = random_system(rng, x);
+  auto sn = gc::build_supernodes(sys.a.n, gm::simple_block({3, 2, 2, 2, 3}).contact_groups);
+  const auto g = gs::graph_of(sys.a);
+  const auto q = gr::quotient_graph(g, sn.node_to_super, sn.count());
+  const auto col = gr::lift_coloring(gr::multicolor(q, 5), sn.node_to_super, sys.a.n);
+  gr::DJDSOptions opt;
+  opt.npe = 2;
+  const gr::DJDSMatrix dj(sys.a, col, &sn, opt);
+  std::vector<double> y1(x.size()), yt(x.size());
+  {
+    gpar::TeamScope s(1);
+    dj.spmv(x, y1);
+  }
+  {
+    gpar::TeamScope s(team);
+    dj.spmv(x, yt);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(y1[i], yt[i]) << "component " << i;
+}
+
+TEST_P(HybridTeamSizes, DotAndAxpyBitwiseEqualSerial) {
+  const int team = GetParam();
+  geofem::util::Rng rng(777);
+  // lengths straddling the reduction-chunk and grain boundaries
+  for (std::size_t n : {1000u, 1024u, 1025u, 5000u, 100000u}) {
+    std::vector<double> x(n), y(n);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    for (auto& v : y) v = rng.uniform(-1, 1);
+    double d1, dt;
+    std::vector<double> a1 = y, at = y;
+    {
+      gpar::TeamScope s(1);
+      d1 = gs::dot(x, y);
+      gs::axpy(0.37, x, a1);
+    }
+    {
+      gpar::TeamScope s(team);
+      dt = gs::dot(x, y);
+      gs::axpy(0.37, x, at);
+    }
+    ASSERT_EQ(d1, dt) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a1[i], at[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, HybridTeamSizes, ::testing::Values(2, 3, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Interior/boundary row split invariants across rank counts
+// ---------------------------------------------------------------------------
+
+class RowSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowSplitProperty, PartitionsRowsExactlyByExternalColumns) {
+  const int ranks = GetParam();
+  gm::HexMesh m = gm::simple_block({4, 3, 2, 3, 4});
+  auto sys = gf::assemble_elasticity(m, {{1.0, 0.3}});
+  gc::add_penalty(sys.a, m.contact_groups, 1e4);
+  const auto p = gpart::rcb_contact_aware(m, ranks);
+  const auto systems = gpart::distribute(sys.a, sys.b, p);
+  for (const auto& ls : systems) {
+    const auto split = ls.row_split();
+    // every internal row appears exactly once, ascending within each list
+    std::vector<int> seen(static_cast<std::size_t>(ls.num_internal), 0);
+    for (int i : split.interior) ++seen[static_cast<std::size_t>(i)];
+    for (int i : split.boundary) ++seen[static_cast<std::size_t>(i)];
+    for (int i = 0; i < ls.num_internal; ++i)
+      ASSERT_EQ(seen[static_cast<std::size_t>(i)], 1) << "rank " << ls.domain << " row " << i;
+    EXPECT_TRUE(std::is_sorted(split.interior.begin(), split.interior.end()));
+    EXPECT_TRUE(std::is_sorted(split.boundary.begin(), split.boundary.end()));
+    // boundary rows are exactly those with an external column
+    for (int i : split.interior)
+      for (int e = ls.a.rowptr[i]; e < ls.a.rowptr[i + 1]; ++e)
+        ASSERT_LT(ls.a.colind[e], ls.num_internal)
+            << "rank " << ls.domain << " interior row " << i << " reads an external column";
+    for (int i : split.boundary) {
+      bool external = false;
+      for (int e = ls.a.rowptr[i]; e < ls.a.rowptr[i + 1]; ++e)
+        external = external || ls.a.colind[e] >= ls.num_internal;
+      ASSERT_TRUE(external) << "rank " << ls.domain << " boundary row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RowSplitProperty, ::testing::Values(2, 3, 4, 8, 12));
