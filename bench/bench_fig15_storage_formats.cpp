@@ -9,8 +9,10 @@
 //
 // The innermost-loop-length histograms are measured from the real execution
 // of each format on each problem size; the GFLOPS column replays them through
-// the Earth Simulator vector model (8 PEs). The host wall-clock column is
-// reported for reference.
+// the Earth Simulator vector model (8 PEs). The host wall-clock columns are
+// reported for reference, twice per format: once under the build's active
+// SIMD tier and once under simd::IsaScope(kScalar) — the modern re-run of the
+// paper's vectorized-vs-scalar comparison on the same storage formats.
 
 #include <iostream>
 
@@ -18,6 +20,7 @@
 #include "perf/es_model.hpp"
 #include "reorder/coloring.hpp"
 #include "reorder/djds.hpp"
+#include "simd/simd.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -28,8 +31,9 @@ int main(int argc, char** argv) {
   const perf::EsModel es;
   std::cout << "== Fig 15: storage format / reordering vs modeled ES GFLOPS (1 SMP node) ==\n\n";
 
+  const std::string host_col = std::string("host GFLOPS (") + simd::active_isa() + ")";
   util::Table table({"DOF", "format", "avg loop len", "modeled GFLOPS", "% of peak",
-                     "host GFLOPS"});
+                     host_col, "host GFLOPS (scalar)", "host speedup"});
   const int sizes_small[] = {8, 12, 16, 24};
   const int sizes_paper[] = {8, 16, 24, 32, 48};
   const auto& sizes = bench::paper_scale() ? std::vector<int>(std::begin(sizes_paper), std::end(sizes_paper))
@@ -57,13 +61,21 @@ int main(int argc, char** argv) {
       util::Timer t;
       for (int s = 0; s < sweeps; ++s) dj.spmv(x, y, &fc, &ls);
       const double host = perf::gflops(static_cast<double>(fc.spmv), t.seconds());
+      double host_scalar;
+      {
+        simd::IsaScope scalar(simd::Isa::kScalar);
+        util::Timer ts;
+        for (int s = 0; s < sweeps; ++s) dj.spmv(x, y);
+        host_scalar = perf::gflops(static_cast<double>(fc.spmv), ts.seconds());
+      }
       // 8 PEs share the chunks; per-PE work = total/8 in the balanced limit
       const double sec = es.vector_seconds(ls, 18.0) / es.pes_per_node;
       const double gf = perf::gflops(static_cast<double>(fc.spmv), sec);
       table.row({std::to_string(ndof), "PDJDS/CM-RCM", util::Table::fmt(ls.average(), 1),
                  util::Table::fmt(gf, 2),
                  util::Table::fmt(100.0 * gf / (es.peak_per_pe * es.pes_per_node / 1e9), 1),
-                 util::Table::fmt(host, 2)});
+                 util::Table::fmt(host, 2), util::Table::fmt(host_scalar, 2),
+                 util::Table::fmt(host / host_scalar, 2) + "x"});
     }
     // --- PDCRS/MC: same permutation, row-wise CRS loops ---
     {
@@ -72,12 +84,20 @@ int main(int argc, char** argv) {
       util::Timer t;
       for (int s = 0; s < sweeps; ++s) sys.a.spmv(x, y, &fc, &ls);
       const double host = perf::gflops(static_cast<double>(fc.spmv), t.seconds());
+      double host_scalar;
+      {
+        simd::IsaScope scalar(simd::Isa::kScalar);
+        util::Timer ts;
+        for (int s = 0; s < sweeps; ++s) sys.a.spmv(x, y);
+        host_scalar = perf::gflops(static_cast<double>(fc.spmv), ts.seconds());
+      }
       const double sec = es.vector_seconds(ls, 18.0) / es.pes_per_node;
       const double gf = perf::gflops(static_cast<double>(fc.spmv), sec);
       table.row({std::to_string(ndof), "PDCRS/CM-RCM", util::Table::fmt(ls.average(), 1),
                  util::Table::fmt(gf, 2),
                  util::Table::fmt(100.0 * gf / (es.peak_per_pe * es.pes_per_node / 1e9), 1),
-                 util::Table::fmt(host, 2)});
+                 util::Table::fmt(host, 2), util::Table::fmt(host_scalar, 2),
+                 util::Table::fmt(host / host_scalar, 2) + "x"});
     }
     // --- CRS without reordering: scalar, single PE (the IC substitution has
     // --- global dependencies and cannot use the other 7 PEs) ---
@@ -88,7 +108,7 @@ int main(int argc, char** argv) {
       const double gf = perf::gflops(static_cast<double>(fc.spmv), sec);
       table.row({std::to_string(ndof), "CRS no reorder", "-", util::Table::fmt(gf, 2),
                  util::Table::fmt(100.0 * gf / (es.peak_per_pe * es.pes_per_node / 1e9), 2),
-                 "-"});
+                 "-", "-", "-"});
     }
   }
   table.print();

@@ -1,10 +1,30 @@
-// Google-benchmark microbenchmarks of the hot kernels on the host CPU:
-// block SpMV in CSR vs PDJDS order, and one apply() of each preconditioner.
+// Microbenchmarks of the hot kernels on the host CPU: block SpMV in CSR vs
+// PDJDS order, one apply() of each preconditioner, and the BLAS-1 dot.
 // These are host-hardware numbers (no machine model) — useful for tracking
 // regressions of this implementation rather than for paper comparison.
+//
+// Two harnesses share this binary:
+//   * A scalar-vs-SIMD comparison table (runs first): every kernel is timed
+//     twice in the same process — once under simd::IsaScope(kScalar), once on
+//     the build's active tier — and reported as GFLOP/s, effective GB/s and
+//     speedup. The table lands in BENCH_kernels.json (GEOFEM_BENCH_JSON=1)
+//     tagged with the active ISA, which is how the DESIGN.md 5f acceptance
+//     numbers are recorded.
+//   * The google-benchmark suite (unchanged) for fine-grained regression
+//     tracking of individual kernels and telemetry overhead.
+//
+// GEOFEM_BENCH_TINY=1 runs a smoke version: few repetitions, no google
+// benchmarks, and — when GEOFEM_REQUIRE_ISA is set (e.g. "avx2") — a hard
+// failure if the active kernel tier is not the required one. CI's SIMD job
+// uses this to catch a build that silently fell back to scalar kernels.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "contact/penalty.hpp"
 #include "fem/assembly.hpp"
 #include "mesh/simple_block.hpp"
@@ -14,8 +34,16 @@
 #include "precond/sb_bic0.hpp"
 #include "reorder/coloring.hpp"
 #include "reorder/djds.hpp"
+#include "simd/simd.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/timer.hpp"
 
 namespace {
+
+bool tiny() {
+  const char* e = std::getenv("GEOFEM_BENCH_TINY");
+  return e && *e && std::string(e) != "0";
+}
 
 struct Fixture {
   geofem::mesh::HexMesh mesh;
@@ -23,12 +51,15 @@ struct Fixture {
   geofem::contact::Supernodes sn;
 
   Fixture() {
-    mesh = geofem::mesh::simple_block({8, 8, 6, 8, 8});
+    const int n = tiny() ? 5 : 11;
+    mesh = geofem::mesh::simple_block({n, n, n * 3 / 4, n, n});
     sys = geofem::fem::assemble_elasticity(mesh, {{1.0, 0.3}});
     geofem::contact::add_penalty(sys.a, mesh.contact_groups, 1e6);
     geofem::fem::BoundaryConditions bc;
     bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
-    bc.surface_load(mesh, [](double, double, double z) { return z > 13.9; }, 2, -1.0);
+    const double zmax = mesh.bounding_box().hi[2];
+    bc.surface_load(
+        mesh, [zmax](double, double, double z) { return z > zmax - 0.1; }, 2, -1.0);
     geofem::fem::apply_boundary_conditions(sys, bc);
     sn = geofem::contact::build_supernodes(mesh.num_nodes(), mesh.contact_groups);
   }
@@ -38,6 +69,157 @@ const Fixture& fixture() {
   static Fixture f;
   return f;
 }
+
+geofem::reorder::DJDSMatrix make_djds(const Fixture& f) {
+  const auto g = geofem::sparse::graph_of(f.sys.a);
+  const auto q = geofem::reorder::quotient_graph(g, f.sn.node_to_super, f.sn.count());
+  const auto col = geofem::reorder::lift_coloring(geofem::reorder::multicolor(q, 20),
+                                                  f.sn.node_to_super, f.sys.a.n);
+  return geofem::reorder::DJDSMatrix(f.sys.a, col, &f.sn, {});
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD comparison
+// ---------------------------------------------------------------------------
+
+/// Median-of-reps wall time of `fn()` (seconds per call). One warm-up call
+/// populates caches and any lazy state before timing starts.
+template <class Fn>
+double time_kernel(Fn&& fn, int reps) {
+  fn();
+  std::vector<double> t(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    geofem::util::Timer timer;
+    fn();
+    t[static_cast<std::size_t>(r)] = timer.seconds();
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+struct KernelRow {
+  std::string name;
+  double flops;  ///< algorithmic FLOPs per call
+  double bytes;  ///< streamed bytes per call (effective-bandwidth model)
+  double sec_scalar = 0.0;
+  double sec_active = 0.0;
+};
+
+/// Effective-bandwidth model shared by both storage formats so the GB/s
+/// column compares like with like: matrix values (72 B/block) + one 4-byte
+/// column index per block + one read of x and one write of y. Cached re-reads
+/// of x are deliberately not counted — "effective" bandwidth is what the
+/// paper-style byte-per-FLOP arguments use.
+double spmv_bytes(std::size_t nnz_blocks, std::size_t ndof) {
+  return static_cast<double>(nnz_blocks) * (72.0 + 4.0) + 16.0 * static_cast<double>(ndof);
+}
+
+/// Substitution sweeps stream the factor once per apply plus r/z traffic.
+double apply_bytes(std::size_t precond_bytes, std::size_t ndof) {
+  return static_cast<double>(precond_bytes) + 16.0 * static_cast<double>(ndof);
+}
+
+void run_comparison(geofem::obs::Registry& reg, int argc, char** argv) {
+  namespace simd = geofem::simd;
+  using geofem::util::FlopCounter;
+  const auto& f = fixture();
+  const std::size_t ndof = f.sys.a.ndof();
+  const int reps = tiny() ? 5 : 41;
+
+  std::cout << "== hot kernels: scalar vs " << simd::active_isa()
+            << " (same binary, IsaScope) ==\n"
+            << "   DOF " << ndof << ", median of " << reps << " calls\n\n";
+
+  const auto dj = make_djds(f);
+  const geofem::precond::BIC0 bic0(f.sys.a);
+  const geofem::precond::BlockILUk bic1(f.sys.a, 1);
+  const geofem::precond::SBBIC0 sbbic0(f.sys.a, f.sn);
+  const geofem::precond::DJDSBIC djdsbic(f.sys.a, dj);
+
+  std::vector<double> x(ndof, 1.0), y(ndof);
+  simd::aligned_vector<double> r(ndof, 1.0), z(ndof);
+
+  std::vector<KernelRow> rows;
+  auto add = [&](std::string name, double flops, double bytes, auto&& call) {
+    KernelRow row{std::move(name), flops, bytes};
+    {
+      simd::IsaScope scalar(simd::Isa::kScalar);
+      row.sec_scalar = time_kernel(call, reps);
+    }
+    row.sec_active = time_kernel(call, reps);
+    rows.push_back(std::move(row));
+  };
+
+  {
+    FlopCounter fc;
+    f.sys.a.spmv(x, y, &fc, nullptr);
+    add("SpMV CSR", static_cast<double>(fc.spmv), spmv_bytes(f.sys.a.nnz_blocks(), ndof),
+        [&] { f.sys.a.spmv(x, y); });
+  }
+  {
+    FlopCounter fc;
+    dj.spmv(x, y, &fc, nullptr);
+    add("SpMV DJDS", static_cast<double>(fc.spmv), spmv_bytes(f.sys.a.nnz_blocks(), ndof),
+        [&] { dj.spmv(x, y); });
+  }
+  {
+    FlopCounter fc;
+    bic0.apply(r, z, &fc, nullptr);
+    add("BIC(0) apply", static_cast<double>(fc.precond), apply_bytes(bic0.memory_bytes(), ndof),
+        [&] { bic0.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    bic1.apply(r, z, &fc, nullptr);
+    add("BIC(1) apply", static_cast<double>(fc.precond), apply_bytes(bic1.memory_bytes(), ndof),
+        [&] { bic1.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    sbbic0.apply(r, z, &fc, nullptr);
+    add("SB-BIC(0) apply", static_cast<double>(fc.precond),
+        apply_bytes(sbbic0.memory_bytes(), ndof), [&] { sbbic0.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    djdsbic.apply(r, z, &fc, nullptr);
+    add("SB-BIC(0) PDJDS apply", static_cast<double>(fc.precond),
+        apply_bytes(djdsbic.memory_bytes(), ndof),
+        [&] { djdsbic.apply(r, z, nullptr, nullptr); });
+  }
+  // BLAS-1 dot: 2n FLOPs, 16 B/element. Regression note — dot used to heap-
+  // allocate its partial-sum buffer on every call; with the reusable
+  // thread-local scratch (sparse/vector_ops.hpp) the timing below is pure
+  // reduction. If this row's ns/call ever jumps for small vectors, suspect a
+  // reintroduced per-call allocation before suspecting the arithmetic.
+  {
+    volatile double sink = 0.0;
+    add("dot", 2.0 * static_cast<double>(ndof), 16.0 * static_cast<double>(ndof),
+        [&] { sink = sink + geofem::sparse::dot(r, z); });
+  }
+
+  geofem::util::Table table({"kernel", "scalar GFLOP/s", std::string(simd::active_isa()) +
+                             " GFLOP/s", "speedup", "eff GB/s"});
+  for (const auto& row : rows) {
+    const double gf_s = row.flops / row.sec_scalar / 1e9;
+    const double gf_a = row.flops / row.sec_active / 1e9;
+    const double gbs = row.bytes / row.sec_active / 1e9;
+    const double speedup = row.sec_scalar / row.sec_active;
+    table.row({row.name, geofem::util::Table::fmt(gf_s, 2), geofem::util::Table::fmt(gf_a, 2),
+               geofem::util::Table::fmt(speedup, 2) + "x", geofem::util::Table::fmt(gbs, 2)});
+    std::string slug = row.name;
+    for (char& c : slug) c = (c == ' ' || c == '(' || c == ')') ? '_' : c;
+    reg.gauge("kernels.speedup." + slug)->set(speedup);
+    reg.gauge("kernels.gflops." + slug)->set(gf_a);
+    reg.gauge("kernels.gbs." + slug)->set(gbs);
+  }
+  table.print();
+  bench::emit_json(reg, "kernels", argc, argv, {&table});
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (regression tracking of individual kernels)
+// ---------------------------------------------------------------------------
 
 void BM_SpmvCSR(benchmark::State& state) {
   const auto& f = fixture();
@@ -52,12 +234,7 @@ BENCHMARK(BM_SpmvCSR);
 
 void BM_SpmvDJDS(benchmark::State& state) {
   const auto& f = fixture();
-  const auto g = geofem::sparse::graph_of(f.sys.a);
-  const auto q = geofem::reorder::quotient_graph(g, f.sn.node_to_super, f.sn.count());
-  const auto col =
-      geofem::reorder::lift_coloring(geofem::reorder::multicolor(q, 20), f.sn.node_to_super,
-                                     f.sys.a.n);
-  const geofem::reorder::DJDSMatrix dj(f.sys.a, col, &f.sn, {});
+  const auto dj = make_djds(f);
   std::vector<double> x(f.sys.a.ndof(), 1.0), y(x.size());
   for (auto _ : state) {
     dj.spmv(x, y);
@@ -109,6 +286,17 @@ void BM_FactorSBBIC0(benchmark::State& state) {
 }
 BENCHMARK(BM_FactorSBBIC0);
 
+void BM_Dot(benchmark::State& state) {
+  const auto& f = fixture();
+  geofem::simd::aligned_vector<double> a(f.sys.a.ndof(), 1.0), b(a.size(), 0.5);
+  for (auto _ : state) {
+    double d = geofem::sparse::dot(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_Dot);
+
 // -- telemetry overhead ------------------------------------------------------
 // The hot kernels above run with no registry attached; these quantify what
 // that costs. With no registry, a ScopedSpan is one thread-local load and a
@@ -146,12 +334,7 @@ BENCHMARK(BM_CounterHandleAdd);
 void BM_SpmvDJDSTelemetryOff(benchmark::State& state) {
   geofem::obs::Attach detach(nullptr);
   const auto& f = fixture();
-  const auto g = geofem::sparse::graph_of(f.sys.a);
-  const auto q = geofem::reorder::quotient_graph(g, f.sn.node_to_super, f.sn.count());
-  const auto col =
-      geofem::reorder::lift_coloring(geofem::reorder::multicolor(q, 20), f.sn.node_to_super,
-                                     f.sys.a.n);
-  const geofem::reorder::DJDSMatrix dj(f.sys.a, col, &f.sn, {});
+  const auto dj = make_djds(f);
   std::vector<double> x(f.sys.a.ndof(), 1.0), y(x.size());
   for (auto _ : state) {
     geofem::obs::ScopedSpan span("bench.spmv");
@@ -164,4 +347,30 @@ BENCHMARK(BM_SpmvDJDSTelemetryOff);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  geofem::obs::Registry reg;
+  geofem::obs::Attach attach(&reg);
+  bench::describe_problem(reg, static_cast<std::int64_t>(fixture().sys.a.ndof()), 1e6);
+
+  // CI's SIMD job sets GEOFEM_REQUIRE_ISA=avx2: fail loudly if the binary
+  // silently fell back to a lower kernel tier (wrong flags, wrong host).
+  if (const char* req = std::getenv("GEOFEM_REQUIRE_ISA")) {
+    if (std::string(req) != geofem::simd::active_isa()) {
+      std::cerr << "[bench] FAIL: active ISA is " << geofem::simd::active_isa()
+                << ", required " << req << "\n";
+      return 1;
+    }
+  }
+
+  run_comparison(reg, argc, argv);
+
+  if (tiny()) {
+    std::cout << "\nsimd kernels smoke passed (isa=" << geofem::simd::active_isa() << ")\n";
+    return 0;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "mesh/simple_block.hpp"
 #include "mesh/southwest_japan.hpp"
 #include "obs/obs.hpp"
+#include "simd/simd.hpp"
 #include "util/table.hpp"
 
 #ifdef _OPENMP
@@ -103,6 +104,9 @@ inline void describe_problem(geofem::obs::Registry& reg, std::int64_t dof, doubl
   reg.set_meta("dof", static_cast<double>(dof));
   if (lambda > 0.0) reg.set_meta("lambda", lambda);
   reg.set_meta("scale", paper_scale() ? "paper" : "small");
+  // Which kernel path produced the numbers (scalar | omp-simd | avx2); every
+  // bench JSON carries it so results from different builds never get mixed up.
+  reg.set_meta("simd.isa", geofem::simd::active_isa());
 #ifdef _OPENMP
   reg.set_meta("threads", static_cast<double>(omp_get_max_threads()));
 #else

@@ -3,6 +3,7 @@
 #include "obs/span.hpp"
 #include "par/par.hpp"
 #include "plan/plan.hpp"
+#include "simd/simd.hpp"
 #include "precond/bic.hpp"
 #include "precond/diagonal.hpp"
 #include "precond/djds_bic.hpp"
@@ -139,8 +140,11 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
   // Hybrid execution: every kernel below (SpMV, BLAS-1, substitution sweeps)
   // runs on a team of cfg.threads OpenMP threads.
   par::TeamScope team_scope(cfg.threads);
-  if (obs::Registry* r0 = obs::current())
+  if (obs::Registry* r0 = obs::current()) {
     r0->gauge("core.threads")->set(static_cast<double>(par::threads()));
+    r0->gauge("core.simd_lane_width")->set(static_cast<double>(simd::lane_width()));
+    r0->set_meta("simd.isa", simd::active_isa());
+  }
   if (!cfg.resilience.enabled) {
     SolveReport rep = attempt_solve(sys, sn, cfg, cfg.precond, cfg.cg, nullptr);
     rep.status = rep.cg.status;

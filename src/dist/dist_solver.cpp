@@ -9,6 +9,7 @@
 #include "par/par.hpp"
 #include "plan/plan.hpp"
 #include "precond/diagonal.hpp"
+#include "simd/block3.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -54,41 +55,68 @@ void halo_exchange(Comm& comm, const part::LocalSystem& ls, std::vector<double>&
   halo_complete(comm, ls, v);
 }
 
-/// y[rows] = A_local[rows] * v. Rows write disjoint y blocks and keep the
-/// serial per-row accumulation order (bit-identical for any team size).
-void spmv_rows(const part::LocalSystem& ls, const std::vector<int>& rows,
-               const std::vector<double>& v, std::vector<double>& y) {
+/// y[rows] = A_local[rows] * v with accumulator kernel `Acc`. Rows write
+/// disjoint y blocks and keep the serial per-row accumulation order
+/// (bit-identical for any team size). Using the same micro-kernel family as
+/// BlockCSR::spmv keeps the per-row arithmetic identical to the serial
+/// solver's, so the 1-domain distributed run stays bit-identical to it in
+/// every SIMD configuration.
+template <class Acc>
+void spmv_rows_impl(const part::LocalSystem& ls, const std::vector<int>& rows,
+                    const std::vector<double>& v, std::vector<double>& y) {
   const auto& a = ls.a;
   const int team = par::threads();
   const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(rows.size());
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
   for (std::ptrdiff_t t = 0; t < m; ++t) {
     const int i = rows[static_cast<std::size_t>(t)];
-    double acc[3] = {0, 0, 0};
+    Acc acc;
+    acc.init_zero();
     for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
-      sparse::b3_gemv(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3, acc);
-    y[static_cast<std::size_t>(i) * 3] = acc[0];
-    y[static_cast<std::size_t>(i) * 3 + 1] = acc[1];
-    y[static_cast<std::size_t>(i) * 3 + 2] = acc[2];
+      acc.madd(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3);
+    acc.reduce(&y[static_cast<std::size_t>(i) * 3]);
   }
 }
 
+void spmv_rows(const part::LocalSystem& ls, const std::vector<int>& rows,
+               const std::vector<double>& v, std::vector<double>& y) {
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    spmv_rows_impl<simd::AvxAcc3>(ls, rows, v, y);
+    return;
+  }
+#endif
+  spmv_rows_impl<simd::ScalarAcc3>(ls, rows, v, y);
+}
+
 /// y (internal rows) = A_local * v (all local columns).
-void local_spmv(const part::LocalSystem& ls, const std::vector<double>& v,
-                std::vector<double>& y, util::FlopCounter* fc) {
+template <class Acc>
+void local_spmv_impl(const part::LocalSystem& ls, const std::vector<double>& v,
+                     std::vector<double>& y) {
   const auto& a = ls.a;
   const int team = par::threads();
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
   for (int i = 0; i < ls.num_internal; ++i) {
-    double acc[3] = {0, 0, 0};
+    Acc acc;
+    acc.init_zero();
     for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
-      sparse::b3_gemv(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3, acc);
-    y[static_cast<std::size_t>(i) * 3] = acc[0];
-    y[static_cast<std::size_t>(i) * 3 + 1] = acc[1];
-    y[static_cast<std::size_t>(i) * 3 + 2] = acc[2];
+      acc.madd(a.block(e), v.data() + static_cast<std::size_t>(a.colind[e]) * 3);
+    acc.reduce(&y[static_cast<std::size_t>(i) * 3]);
+  }
+}
+
+void local_spmv(const part::LocalSystem& ls, const std::vector<double>& v,
+                std::vector<double>& y, util::FlopCounter* fc) {
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    local_spmv_impl<simd::AvxAcc3>(ls, v, y);
+  } else
+#endif
+  {
+    local_spmv_impl<simd::ScalarAcc3>(ls, v, y);
   }
   // Internal rows are 0..num_internal-1, so the block count is structural.
-  if (fc) fc->spmv += 2ULL * sparse::kBB * static_cast<std::uint64_t>(a.rowptr[ls.num_internal]);
+  if (fc) fc->spmv += 2ULL * sparse::kBB * static_cast<std::uint64_t>(ls.a.rowptr[ls.num_internal]);
 }
 
 }  // namespace
@@ -141,6 +169,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       rank_reg.set_meta("local_dof", static_cast<double>(nl));
       rank_reg.set_meta("threads", static_cast<double>(par::threads()));
       rank_reg.set_meta("overlap", opt.overlap ? 1.0 : 0.0);
+      rank_reg.set_meta("simd.isa", simd::active_isa());
       if (opt.overlap)
         rank_reg.gauge("dist.boundary_rows")->set(static_cast<double>(split.boundary.size()));
     }

@@ -18,6 +18,14 @@
 /// grid and the same pairwise combination tree regardless of how chunks are
 /// assigned to threads; parallel sweeps only reorder *row* execution, never
 /// the arithmetic inside a row or the order of accumulations into one row.
+///
+/// Interplay with the SIMD layer (geofem::simd, DESIGN.md 5f): lanes sit
+/// *inside* the unit this layer schedules — vectorization changes how one
+/// row/chunk is computed, threading changes which thread computes it. A
+/// kernel's per-row arithmetic is fixed per build configuration (scalar, omp
+/// or avx2), so the team-size bit-identity above holds within every SIMD
+/// configuration; only *across* configurations do results differ (tolerance-
+/// checked, <= 1e-13 relative).
 namespace geofem::par {
 
 /// Threads the host offers (omp_get_max_threads, 1 without OpenMP).

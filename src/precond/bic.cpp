@@ -6,6 +6,7 @@
 
 #include "core/status.hpp"
 #include "obs/span.hpp"
+#include "simd/block3.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
@@ -14,6 +15,16 @@ using sparse::kB;
 using sparse::kBB;
 
 namespace {
+
+/// z_i = D_i * acc via the accumulator in use. For ScalarAcc3 this is exactly
+/// the historical b3_apply (x + 0.0 is exact), for AvxAcc3 the FMA tree.
+template <class Acc>
+inline void acc_apply_block(const double* d, const double* x, double* z) {
+  Acc a;
+  a.init_zero();
+  a.madd(d, x);
+  a.reduce(z);
+}
 
 /// Invert a 3x3 block; on singularity fall back to inverting its diagonal
 /// part (breakdown remedy that keeps the preconditioner usable). A zero or
@@ -28,6 +39,66 @@ void invert_or_reset(const double* d, double* inv) {
       throw Error(StatusCode::kFactorizationFailed, "BIC: unusable pivot block diagonal");
     inv[kB * c + c] = 1.0 / v;
   }
+}
+
+/// Level-scheduled BIC(0) substitution, accumulator chosen once per apply.
+template <class Acc>
+void bic0_apply_impl(const sparse::BlockCSR& a, const double* inv_d, const par::LevelSchedule& fwd,
+                     const par::LevelSchedule& bwd, const double* r, double* z, int team) {
+  // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k)
+  par::for_levels(fwd, team, [&](int i) {
+    Acc acc;
+    acc.init(r + static_cast<std::size_t>(i) * kB);
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e)
+      acc.msub(a.block(e), z + static_cast<std::size_t>(a.colind[e]) * kB);
+    double tmp[kB];
+    acc.reduce(tmp);
+    acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp,
+                         z + static_cast<std::size_t>(i) * kB);
+  });
+  // backward: z_i -= D~_i^-1 sum_{j>i} A_ij z_j
+  par::for_levels(bwd, team, [&](int i) {
+    Acc acc;
+    acc.init_zero();
+    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
+      acc.madd(a.block(e), z + static_cast<std::size_t>(a.colind[e]) * kB);
+    double tmp[kB], corr[kB];
+    acc.reduce(tmp);
+    acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, corr);
+    double* zi = z + static_cast<std::size_t>(i) * kB;
+    zi[0] -= corr[0];
+    zi[1] -= corr[1];
+    zi[2] -= corr[2];
+  });
+}
+
+/// Level-scheduled ILU(k) substitution over the fill pattern.
+template <class Acc>
+void iluk_apply_impl(const ILUkSymbolic& s, const double* lval, const double* uval,
+                     const double* inv_d, const double* r, double* z, int team) {
+  // forward (unit L): y_i = r_i - sum L_ik y_k
+  par::for_levels(s.fwd, team, [&](int i) {
+    Acc acc;
+    acc.init(r + static_cast<std::size_t>(i) * kB);
+    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1];
+         ++e)
+      acc.msub(lval + static_cast<std::size_t>(e) * kBB,
+               z + static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)]) * kB);
+    acc.reduce(z + static_cast<std::size_t>(i) * kB);
+  });
+  // backward: z_i = invD_i (y_i - sum U_ij z_j)
+  par::for_levels(s.bwd, team, [&](int i) {
+    double* zi = z + static_cast<std::size_t>(i) * kB;
+    Acc acc;
+    acc.init(zi);
+    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1];
+         ++e)
+      acc.msub(uval + static_cast<std::size_t>(e) * kBB,
+               z + static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)]) * kB);
+    double tmp[kB];
+    acc.reduce(tmp);
+    acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, zi);
+  });
 }
 
 }  // namespace
@@ -96,32 +167,17 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
   const auto& a = a_;
   GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "BIC0 apply size mismatch");
   const int team = par::threads();
-  // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k). Rows of one dependency
-  // level are independent; per-row arithmetic is the serial sweep's, so the
-  // result is bit-identical for any team size.
-  par::for_levels(fwd_, team, [&](int i) {
-    double acc[kB];
-    const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
-    acc[0] = ri[0];
-    acc[1] = ri[1];
-    acc[2] = ri[2];
-    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e)
-      sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
-    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc,
-                     z.data() + static_cast<std::size_t>(i) * kB);
-  });
-  // backward: z_i -= D~_i^-1 sum_{j>i} A_ij z_j
-  par::for_levels(bwd_, team, [&](int i) {
-    double acc[kB] = {};
-    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
-      sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(a.colind[e]) * kB, acc);
-    double corr[kB];
-    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, corr);
-    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
-    zi[0] -= corr[0];
-    zi[1] -= corr[1];
-    zi[2] -= corr[2];
-  });
+  // Rows of one dependency level are independent; per-row arithmetic is the
+  // serial sweep's (for the accumulator in use), so the result is
+  // bit-identical for any team size.
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    bic0_apply_impl<simd::AvxAcc3>(a, inv_d_.data(), fwd_, bwd_, r.data(), z.data(), team);
+  } else
+#endif
+  {
+    bic0_apply_impl<simd::ScalarAcc3>(a, inv_d_.data(), fwd_, bwd_, r.data(), z.data(), team);
+  }
   // Loop lengths are pattern-derived; record serially in the serial order.
   if (loops) {
     for (int i = 0; i < a.n; ++i) loops->record(lower_len_[static_cast<std::size_t>(i)] + 1);
@@ -355,34 +411,18 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ * kB && static_cast<int>(z.size()) == n_ * kB,
                "BlockILUk apply size mismatch");
   const int team = par::threads();
-  // forward (unit L): y_i = r_i - sum L_ik y_k. Level-parallel; per-row
-  // arithmetic unchanged, so bit-identical for any team size.
-  par::for_levels(s.fwd, team, [&](int i) {
-    double acc[kB];
-    const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
-    acc[0] = ri[0];
-    acc[1] = ri[1];
-    acc[2] = ri[2];
-    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
-      sparse::b3_gemv_sub(lval_.data() + static_cast<std::size_t>(e) * kBB,
-                          z.data() + static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)]) * kB, acc);
-    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
-    zi[0] = acc[0];
-    zi[1] = acc[1];
-    zi[2] = acc[2];
-  });
-  // backward: z_i = invD_i (y_i - sum U_ij z_j)
-  par::for_levels(s.bwd, team, [&](int i) {
-    double acc[kB];
-    double* zi = z.data() + static_cast<std::size_t>(i) * kB;
-    acc[0] = zi[0];
-    acc[1] = zi[1];
-    acc[2] = zi[2];
-    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
-      sparse::b3_gemv_sub(uval_.data() + static_cast<std::size_t>(e) * kBB,
-                          z.data() + static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)]) * kB, acc);
-    sparse::b3_apply(inv_d_.data() + static_cast<std::size_t>(i) * kBB, acc, zi);
-  });
+  // Level-parallel; per-row arithmetic unchanged (for the accumulator in
+  // use), so bit-identical for any team size.
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    iluk_apply_impl<simd::AvxAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                   z.data(), team);
+  } else
+#endif
+  {
+    iluk_apply_impl<simd::ScalarAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                      z.data(), team);
+  }
   if (loops) {
     for (int i = 0; i < n_; ++i)
       loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);

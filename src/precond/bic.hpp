@@ -4,6 +4,7 @@
 
 #include "par/par.hpp"
 #include "precond/preconditioner.hpp"
+#include "simd/simd.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::precond {
@@ -35,7 +36,7 @@ class BIC0 final : public Preconditioner {
 
  private:
   const sparse::BlockCSR& a_;
-  std::vector<double> inv_d_;  ///< kBB per row: D~_i^-1
+  simd::aligned_vector<double> inv_d_;  ///< kBB per row: D~_i^-1
   std::vector<int> lower_len_;  ///< strict-lower blocks per row (loop stats)
   par::LevelSchedule fwd_, bwd_;  ///< substitution dependency levels
 };
@@ -100,9 +101,9 @@ class BlockILUk final : public Preconditioner {
   void numeric(const sparse::BlockCSR& a);
 
   std::shared_ptr<const ILUkSymbolic> sym_;
-  std::vector<double> lval_;   ///< kBB per L pattern entry
-  std::vector<double> uval_;   ///< kBB per U pattern entry
-  std::vector<double> inv_d_;  ///< kBB per row: U_ii^-1
+  simd::aligned_vector<double> lval_;   ///< kBB per L pattern entry
+  simd::aligned_vector<double> uval_;   ///< kBB per U pattern entry
+  simd::aligned_vector<double> inv_d_;  ///< kBB per row: U_ii^-1
 };
 
 }  // namespace geofem::precond

@@ -43,6 +43,9 @@ BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a) {
       inv[sparse::kB * c + c] = v != 0.0 ? 1.0 / v : 1.0;
     }
   }
+#if GEOFEM_SIMD_HAS_AVX2
+  simd::pack_blocks(inv_d_.data(), a.n, packed_);
+#endif
 }
 
 void BlockDiagonal::apply(std::span<const double> r, std::span<double> z,
@@ -50,9 +53,16 @@ void BlockDiagonal::apply(std::span<const double> r, std::span<double> z,
   const std::size_t n = inv_d_.size() / sparse::kBB;
   GEOFEM_CHECK(r.size() == n * sparse::kB && z.size() == n * sparse::kB,
                "block diagonal apply size mismatch");
-  for (std::size_t i = 0; i < n; ++i)
-    sparse::b3_apply(inv_d_.data() + i * sparse::kBB, r.data() + i * sparse::kB,
-                     z.data() + i * sparse::kB);
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    simd::sweep_avx2<simd::Mode::kAssign>(packed_, r.data(), z.data());
+  } else
+#endif
+  {
+    for (std::size_t i = 0; i < n; ++i)
+      sparse::b3_apply(inv_d_.data() + i * sparse::kBB, r.data() + i * sparse::kB,
+                       z.data() + i * sparse::kB);
+  }
   if (flops) flops->precond += 2ULL * sparse::kBB * n;
   if (loops) loops->record(static_cast<std::int64_t>(n));
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "precond/preconditioner.hpp"
+#include "simd/jagged.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::precond {
@@ -41,7 +42,8 @@ class BlockDiagonal final : public Preconditioner {
   [[nodiscard]] std::string name() const override { return "BlockDiagonal"; }
 
  private:
-  std::vector<double> inv_d_;  ///< n dense 3x3 inverse blocks
+  simd::aligned_vector<double> inv_d_;  ///< n dense 3x3 inverse blocks
+  simd::PackedJagged packed_;  ///< inv_d_ lane-transposed for the AVX2 sweep
 };
 
 }  // namespace geofem::precond

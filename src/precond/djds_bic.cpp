@@ -50,6 +50,37 @@ DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj) : dj_
   snp.members = std::move(unit_members);
   lu_ = sb_factor_diagonals(ap, snp);
 
+#if GEOFEM_SIMD_HAS_AVX2
+  // Batch runs of consecutive singleton units 4-wide (units within a chunk
+  // occupy consecutive rows by construction, so a run of singletons is a
+  // contiguous row range). Multi-node supernodes keep their generic LU.
+  chunk_lu3_.resize(static_cast<std::size_t>(nchunks));
+  chunk_rest_.resize(static_cast<std::size_t>(nchunks));
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const auto& units = chunk_units_[static_cast<std::size_t>(ch)];
+    auto& pack = chunk_lu3_[static_cast<std::size_t>(ch)];
+    auto& rest = chunk_rest_[static_cast<std::size_t>(ch)];
+    for (std::size_t t = 0; t < units.size();) {
+      if (units[t].size != 1) {
+        rest.push_back(units[t]);
+        ++t;
+        continue;
+      }
+      std::size_t end = t;
+      while (end < units.size() && units[end].size == 1) ++end;
+      for (std::size_t g = t; g < end; g += simd::PackedLU3::kLanes) {
+        const int cnt =
+            static_cast<int>(std::min<std::size_t>(simd::PackedLU3::kLanes, end - g));
+        const sparse::DenseLU* lus[simd::PackedLU3::kLanes] = {};
+        for (int l = 0; l < cnt; ++l)
+          lus[l] = &lu_[static_cast<std::size_t>(units[g + static_cast<std::size_t>(l)].id)];
+        simd::pack_lu3_group(pack, lus, cnt, units[g].start);
+      }
+      t = end;
+    }
+  }
+#endif
+
   // Structural loop statistics + FLOPs of one apply() sweep: every jagged
   // diagonal loop (forward + backward) and the same-size selective-block
   // solve batches (Fig 22 vectorization across equal-size dense blocks).
@@ -85,9 +116,15 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
                "DJDSBIC apply size mismatch");
   const int npe = dj_.npe();
   const int team = par::threads();
+  // Kernel tier read once, outside the parallel regions.
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
 
   // forward: per color (sequential), per PE chunk (parallel):
   //   z_chunk = r_chunk - L_chunk * z(earlier colors); unit solves in place.
+  // The jagged gathers only read rows of earlier colors (colors are
+  // independent sets), never the chunk being written, so the lower sweep can
+  // run whole diagonals at a time.
   for (int c = 0; c < dj_.num_colors(); ++c) {
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
     for (int p = 0; p < npe; ++p) {
@@ -96,9 +133,16 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
       const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
       for (int i = b * kB; i < e * kB; ++i) z[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
       const auto& part = dj_.lower(ch);
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::sweep_avx2<simd::Mode::kSub>(part.packed, z.data(),
+                                           z.data() + static_cast<std::size_t>(b) * kB);
+      } else
+#endif
       for (int j = 0; j < part.num_jd(); ++j) {
         const int s = part.jd_ptr[static_cast<std::size_t>(j)];
         const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        GEOFEM_PRAGMA_SIMD
         for (int t = s; t < t1; ++t) {
           sparse::b3_gemv_sub(
               part.val.data() + static_cast<std::size_t>(t) * kBB,
@@ -106,13 +150,21 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
               z.data() + static_cast<std::size_t>(b + (t - s)) * kB);
         }
       }
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::solve_lu3_avx2(chunk_lu3_[static_cast<std::size_t>(ch)], z.data());
+        for (const Unit& u : chunk_rest_[static_cast<std::size_t>(ch)])
+          lu_[static_cast<std::size_t>(u.id)].solve(z.data() +
+                                                    static_cast<std::size_t>(u.start) * kB);
+      } else
+#endif
       for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)])
         lu_[static_cast<std::size_t>(u.id)].solve(z.data() + static_cast<std::size_t>(u.start) * kB);
     }
   }
 
   // backward: z_chunk -= D~^-1 (U_chunk * z(later colors))
-  std::vector<double> w(static_cast<std::size_t>(n) * kB);
+  simd::aligned_vector<double> w(static_cast<std::size_t>(n) * kB);
   for (int c = dj_.num_colors() - 1; c >= 0; --c) {
 #pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
     for (int p = 0; p < npe; ++p) {
@@ -121,9 +173,16 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
       const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
       for (int i = b * kB; i < e * kB; ++i) w[static_cast<std::size_t>(i)] = 0.0;
       const auto& part = dj_.upper(ch);
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::sweep_avx2<simd::Mode::kAdd>(part.packed, z.data(),
+                                           w.data() + static_cast<std::size_t>(b) * kB);
+      } else
+#endif
       for (int j = 0; j < part.num_jd(); ++j) {
         const int s = part.jd_ptr[static_cast<std::size_t>(j)];
         const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        GEOFEM_PRAGMA_SIMD
         for (int t = s; t < t1; ++t) {
           sparse::b3_gemv(
               part.val.data() + static_cast<std::size_t>(t) * kBB,
@@ -131,6 +190,19 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
               w.data() + static_cast<std::size_t>(b + (t - s)) * kB);
         }
       }
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        // Batched variant solves out of w and subtracts straight into z;
+        // w keeps the raw U*z values (nothing reads them back).
+        simd::solve_lu3_sub_avx2(chunk_lu3_[static_cast<std::size_t>(ch)], w.data(), z.data());
+        for (const Unit& u : chunk_rest_[static_cast<std::size_t>(ch)]) {
+          double* wu = w.data() + static_cast<std::size_t>(u.start) * kB;
+          lu_[static_cast<std::size_t>(u.id)].solve(wu);
+          double* zu = z.data() + static_cast<std::size_t>(u.start) * kB;
+          for (int t = 0; t < u.size * kB; ++t) zu[t] -= wu[t];
+        }
+      } else
+#endif
       for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)]) {
         double* wu = w.data() + static_cast<std::size_t>(u.start) * kB;
         lu_[static_cast<std::size_t>(u.id)].solve(wu);
@@ -148,6 +220,8 @@ std::size_t DJDSBIC::memory_bytes() const {
   std::size_t bytes = 0;
   for (const auto& lu : lu_) bytes += lu.memory_bytes();
   for (const auto& cu : chunk_units_) bytes += cu.size() * sizeof(Unit);
+  for (const auto& p : chunk_lu3_) bytes += p.memory_bytes();
+  for (const auto& cu : chunk_rest_) bytes += cu.size() * sizeof(Unit);
   return bytes;
 }
 

@@ -3,6 +3,7 @@
 #include "contact/penalty.hpp"
 #include "precond/preconditioner.hpp"
 #include "reorder/djds.hpp"
+#include "simd/lu3.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::precond {
@@ -55,6 +56,11 @@ class DJDSBIC final : public Preconditioner {
     int id;
   };
   std::vector<std::vector<Unit>> chunk_units_;
+  /// AVX2 path: runs of consecutive singleton (3x3) units batched 4 lanes
+  /// wide — the Fig 22 same-size batch applied at SIMD width — plus the
+  /// leftover units (multi-node supernodes) solved by generic dense LU.
+  std::vector<simd::PackedLU3> chunk_lu3_;
+  std::vector<std::vector<Unit>> chunk_rest_;
   bool has_blocks_ = false;
   util::LoopStats struct_loops_;
   util::LoopStats jagged_loops_;
@@ -89,7 +95,7 @@ class OwnedDJDSBIC final : public Preconditioner {
   contact::Supernodes sn_;
   std::unique_ptr<reorder::DJDSMatrix> dj_;
   std::unique_ptr<DJDSBIC> inner_;
-  mutable std::vector<double> pr_, pz_;
+  mutable simd::aligned_vector<double> pr_, pz_;
 };
 
 }  // namespace geofem::precond

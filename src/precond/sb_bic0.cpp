@@ -5,6 +5,7 @@
 
 #include "core/status.hpp"
 #include "obs/span.hpp"
+#include "simd/block3.hpp"
 #include "util/check.hpp"
 
 // GCC 12 emits a false-positive -Waggressive-loop-optimizations here: after
@@ -236,39 +237,35 @@ void SBBIC0::build_schedules() {
                 static_cast<std::uint64_t>(bwd_len_[static_cast<std::size_t>(s)]);
 }
 
-void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
-                   util::LoopStats* loops) const {
+template <class Acc>
+void SBBIC0::apply_impl(const double* r, double* z, int team) const {
   const auto& a = a_;
   const auto& sn = sn_;
-  GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "SB-BIC0 apply size mismatch");
-
-  const int team = par::threads();
   // Each thread reuses one staging buffer; its content is fully rewritten per
   // supernode. DenseLU::solve is const and safe to call concurrently.
   static thread_local std::vector<double> acc;
   // forward: z_S = D~_S^-1 (r_S - sum_{K<S} A_SK z_K). Supernodes of one
   // dependency level are independent; per-supernode arithmetic is the serial
-  // sweep's, so the result is bit-identical for any team size.
+  // sweep's (for the accumulator in use), so the result is bit-identical for
+  // any team size.
   par::for_levels(fwd_, team, [&](int s) {
     const auto& mem = sn.members[static_cast<std::size_t>(s)];
     const int dim = kB * static_cast<int>(mem.size());
     acc.assign(static_cast<std::size_t>(dim), 0.0);
     for (std::size_t t = 0; t < mem.size(); ++t) {
       const int i = mem[t];
-      double* ai = acc.data() + t * kB;
-      const double* ri = r.data() + static_cast<std::size_t>(i) * kB;
-      ai[0] = ri[0];
-      ai[1] = ri[1];
-      ai[2] = ri[2];
+      Acc ai;
+      ai.init(r + static_cast<std::size_t>(i) * kB);
       for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
         const int j = a.colind[e];
         if (sn.node_to_super[static_cast<std::size_t>(j)] >= s) continue;
-        sparse::b3_gemv_sub(a.block(e), z.data() + static_cast<std::size_t>(j) * kB, ai);
+        ai.msub(a.block(e), z + static_cast<std::size_t>(j) * kB);
       }
+      ai.reduce(acc.data() + t * kB);
     }
     lu_[static_cast<std::size_t>(s)].solve(acc.data());
     for (std::size_t t = 0; t < mem.size(); ++t) {
-      double* zi = z.data() + static_cast<std::size_t>(mem[t]) * kB;
+      double* zi = z + static_cast<std::size_t>(mem[t]) * kB;
       zi[0] = acc[t * kB];
       zi[1] = acc[t * kB + 1];
       zi[2] = acc[t * kB + 2];
@@ -281,21 +278,40 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
     acc.assign(static_cast<std::size_t>(dim), 0.0);
     for (std::size_t t = 0; t < mem.size(); ++t) {
       const int i = mem[t];
+      Acc ai;
+      ai.init_zero();
       for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
         const int j = a.colind[e];
         if (sn.node_to_super[static_cast<std::size_t>(j)] <= s) continue;
-        sparse::b3_gemv(a.block(e), z.data() + static_cast<std::size_t>(j) * kB,
-                        acc.data() + t * kB);
+        ai.madd(a.block(e), z + static_cast<std::size_t>(j) * kB);
       }
+      ai.reduce(acc.data() + t * kB);
     }
     lu_[static_cast<std::size_t>(s)].solve(acc.data());
     for (std::size_t t = 0; t < mem.size(); ++t) {
-      double* zi = z.data() + static_cast<std::size_t>(mem[t]) * kB;
+      double* zi = z + static_cast<std::size_t>(mem[t]) * kB;
       zi[0] -= acc[t * kB];
       zi[1] -= acc[t * kB + 1];
       zi[2] -= acc[t * kB + 2];
     }
   });
+}
+
+void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+                   util::LoopStats* loops) const {
+  const auto& a = a_;
+  const auto& sn = sn_;
+  GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "SB-BIC0 apply size mismatch");
+
+  const int team = par::threads();
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    apply_impl<simd::AvxAcc3>(r.data(), z.data(), team);
+  } else
+#endif
+  {
+    apply_impl<simd::ScalarAcc3>(r.data(), z.data(), team);
+  }
   // Stats are pattern-derived; record serially in the serial order.
   if (loops) {
     for (int s = 0; s < sn.count(); ++s)

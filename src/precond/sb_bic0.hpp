@@ -89,6 +89,11 @@ class SBBIC0 final : public Preconditioner {
  private:
   void build_schedules();
 
+  /// Level-scheduled substitution, 3x3 accumulator chosen once per apply
+  /// (simd::ScalarAcc3 reproduces the historical arithmetic bit-for-bit).
+  template <class Acc>
+  void apply_impl(const double* r, double* z, int team) const;
+
   const sparse::BlockCSR& a_;
   contact::Supernodes sn_;
   std::vector<sparse::DenseLU> lu_;  ///< per supernode

@@ -208,6 +208,16 @@ DJDSMatrix::DJDSMatrix(const sparse::BlockCSR& a, const Coloring& coloring,
     build(lo, lower_[static_cast<std::size_t>(ch)]);
     build(up, upper_[static_cast<std::size_t>(ch)]);
   }
+
+  pack_simd();
+}
+
+void DJDSMatrix::pack_simd() {
+#if GEOFEM_SIMD_HAS_AVX2
+  for (auto* parts : {&lower_, &upper_})
+    for (Jagged& p : *parts) simd::pack_jagged(p.jd_ptr, p.item, p.val.data(), p.packed);
+  simd::pack_blocks(diag_.data(), n_, packed_diag_);
+#endif
 }
 
 void DJDSMatrix::refill(const sparse::BlockCSR& a) {
@@ -248,6 +258,8 @@ void DJDSMatrix::refill(const sparse::BlockCSR& a) {
       }
     }
   }
+
+  pack_simd();
 }
 
 void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops,
@@ -261,12 +273,25 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
   // — diagonal assign, dense couplings, lower then upper jagged — and the
   // result is bit-identical for any team size.
   const int nt = par::threads();
+  // Kernel tier is read once, outside the parallel regions, so one scope on
+  // the calling thread governs the whole operation.
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
 
-  // Phase 1: diagonal contribution (assignment).
+  // Phase 1: diagonal contribution (assignment). The packed sweep runs the
+  // whole vector as one pass — a streaming O(n) kernel where lane width,
+  // not the team, is the lever.
+#if GEOFEM_SIMD_HAS_AVX2
+  if (avx2) {
+    simd::sweep_avx2<simd::Mode::kAssign>(packed_diag_, x.data(), y.data());
+  } else
+#endif
+  {
 #pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
-  for (int i = 0; i < n_; ++i)
-    sparse::b3_apply(diag(i), x.data() + static_cast<std::size_t>(i) * sparse::kB,
-                     y.data() + static_cast<std::size_t>(i) * sparse::kB);
+    for (int i = 0; i < n_; ++i)
+      sparse::b3_apply(diag(i), x.data() + static_cast<std::size_t>(i) * sparse::kB,
+                       y.data() + static_cast<std::size_t>(i) * sparse::kB);
+  }
 
   // Phase 2: intra-supernode couplings (dense blocks, member diagonals
   // excluded since they were applied above). Ranges cover disjoint rows.
@@ -298,11 +323,21 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
     const int begin = chunk_begin_[static_cast<std::size_t>(ch)];
     for (const Jagged* part : {&lower_[static_cast<std::size_t>(ch)],
                                &upper_[static_cast<std::size_t>(ch)]}) {
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::sweep_avx2<simd::Mode::kAdd>(
+            part->packed, x.data(), y.data() + static_cast<std::size_t>(begin) * sparse::kB);
+        continue;
+      }
+#endif
       for (int j = 0; j < part->num_jd(); ++j) {
         const int s = part->jd_ptr[static_cast<std::size_t>(j)];
         const int e = part->jd_ptr[static_cast<std::size_t>(j) + 1];
         // This is the long innermost loop DJDS exists for: one entry of each
-        // covered row, rows contiguous from the chunk start.
+        // covered row, rows contiguous from the chunk start. Rows within a
+        // diagonal are independent (distinct y blocks), so the lanes may
+        // process them together.
+        GEOFEM_PRAGMA_SIMD
         for (int t = s; t < e; ++t) {
           sparse::b3_gemv(part->val.data() + static_cast<std::size_t>(t) * sparse::kBB,
                           x.data() + static_cast<std::size_t>(part->item[static_cast<std::size_t>(t)]) * sparse::kB,
@@ -384,10 +419,12 @@ std::size_t DJDSMatrix::memory_bytes() const {
   for (const auto& d : super_dense_) bytes += d.size() * sizeof(double);
   for (const auto& parts : {std::cref(lower_), std::cref(upper_)}) {
     for (const Jagged& p : parts.get())
-      bytes += p.val.size() * sizeof(double) +
-               (p.item.size() + p.src.size() + p.jd_ptr.size()) * sizeof(int);
+      bytes += (p.val.size() + p.packed.val.size()) * sizeof(double) +
+               (p.item.size() + p.src.size() + p.jd_ptr.size()) * sizeof(int) +
+               p.packed.item3.size() * sizeof(std::int32_t);
   }
-  return bytes;
+  return bytes + packed_diag_.val.size() * sizeof(double) +
+         packed_diag_.item3.size() * sizeof(std::int32_t);
 }
 
 }  // namespace geofem::reorder

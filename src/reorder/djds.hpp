@@ -4,6 +4,7 @@
 
 #include "contact/penalty.hpp"
 #include "reorder/coloring.hpp"
+#include "simd/jagged.hpp"
 #include "sparse/block_csr.hpp"
 #include "util/flops.hpp"
 #include "util/loop_stats.hpp"
@@ -28,8 +29,12 @@ struct Jagged {
   std::vector<int> jd_ptr;
   std::vector<int> item;
   std::vector<int> src;     ///< source entry in the original BlockCSR, -1 for dummies
-  std::vector<double> val;  ///< sparse::kBB doubles per entry
+  simd::aligned_vector<double> val;  ///< sparse::kBB doubles per entry
   int dummies = 0;
+  /// Lane-transposed mirror for the AVX2 sweeps; only populated in AVX2
+  /// builds. The jagged structure itself (and hence every paper statistic —
+  /// dummy %, vector length) is identical across SIMD configurations.
+  simd::PackedJagged packed;
 
   [[nodiscard]] int num_jd() const { return static_cast<int>(jd_ptr.size()) - 1; }
   [[nodiscard]] int entries() const { return static_cast<int>(item.size()); }
@@ -111,13 +116,18 @@ class DJDSMatrix {
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
+  /// (Re)build the packed SIMD mirrors after structure or values change.
+  /// No-op outside AVX2 builds.
+  void pack_simd();
+
   int n_ = 0;
   int ncolors_ = 0;
   DJDSOptions opt_;
   std::vector<int> perm_, iperm_;
   std::vector<int> chunk_begin_;
   std::vector<Jagged> lower_, upper_;
-  std::vector<double> diag_;
+  simd::aligned_vector<double> diag_;
+  simd::PackedJagged packed_diag_;  ///< diag_ packed for the kAssign sweep (AVX2)
   std::vector<SuperRange> super_ranges_;
   std::vector<std::vector<double>> super_dense_;
   std::vector<int> range_of_row_;

@@ -1,0 +1,144 @@
+#pragma once
+
+#include "simd/simd.hpp"
+
+#if GEOFEM_SIMD_HAS_AVX2
+#include <immintrin.h>
+#endif
+
+/// Hand-tiled 3x3 block micro-kernels (block * vec, block^T * vec) shared by
+/// BlockCSR::spmv and the BIC(k)/SB-BIC(0) substitution sweeps. The pattern
+/// everywhere is one accumulator per block row (Acc3) streamed over the
+/// row's blocks and reduced once at the end:
+///
+///   ScalarAcc3 — the historical arithmetic, verbatim: each block contributes
+///     a[0]*x[0] + a[1]*x[1] + a[2]*x[2] (etc.) to a scalar accumulator, so
+///     the off/omp builds stay bit-identical to the pre-SIMD kernels.
+///   AvxAcc3    — three 256-bit FMA accumulators (one per block row) with a
+///     fixed-tree horizontal sum at reduce(). Rounds differently from the
+///     scalar path (FMA + lane tree), covered by the <= 1e-13 cross-build
+///     equivalence contract; deterministic within a build because the lane
+///     tree and block order are fixed.
+///
+/// Callers select the accumulator with a template parameter and branch once
+/// per kernel call on simd::active() — never per block.
+namespace geofem::simd {
+
+struct ScalarAcc3 {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0;
+
+  void init_zero() { a0 = a1 = a2 = 0.0; }
+  void init(const double* r) {
+    a0 = r[0];
+    a1 = r[1];
+    a2 = r[2];
+  }
+  /// acc += A * x (A row-major double[9])
+  void madd(const double* a, const double* x) {
+    a0 += a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
+    a1 += a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
+    a2 += a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
+  }
+  /// acc -= A * x
+  void msub(const double* a, const double* x) {
+    a0 -= a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
+    a1 -= a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
+    a2 -= a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
+  }
+  /// acc += A^T * x
+  void madd_t(const double* a, const double* x) {
+    a0 += a[0] * x[0] + a[3] * x[1] + a[6] * x[2];
+    a1 += a[1] * x[0] + a[4] * x[1] + a[7] * x[2];
+    a2 += a[2] * x[0] + a[5] * x[1] + a[8] * x[2];
+  }
+  void reduce(double* out) const {
+    out[0] = a0;
+    out[1] = a1;
+    out[2] = a2;
+  }
+};
+
+#if GEOFEM_SIMD_HAS_AVX2
+
+namespace detail {
+inline __m256i mask3() { return _mm256_set_epi64x(0, -1, -1, -1); }
+/// Fixed-order horizontal sum: (v0 + v2) + (v1 + v3).
+inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+}  // namespace detail
+
+struct AvxAcc3 {
+  __m256d v0, v1, v2;
+  double s0, s1, s2;
+
+  void init_zero() {
+    v0 = v1 = v2 = _mm256_setzero_pd();
+    s0 = s1 = s2 = 0.0;
+  }
+  void init(const double* r) {
+    init_zero();
+    s0 = r[0];
+    s1 = r[1];
+    s2 = r[2];
+  }
+  // Block rows 0/1 load 4 doubles but stay inside the 9-double block; the
+  // masked loads (row 2, x) read exactly 3, so nothing past either array is
+  // touched. Lane 3 of x is 0.0, so lane 3 of each accumulator stays +0.0
+  // and contributes nothing to the horizontal sum.
+  void madd(const double* a, const double* x) {
+    const __m256d xv = _mm256_maskload_pd(x, detail::mask3());
+    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a), xv, v0);
+    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + 3), xv, v1);
+    v2 = _mm256_fmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), xv, v2);
+  }
+  void msub(const double* a, const double* x) {
+    const __m256d xv = _mm256_maskload_pd(x, detail::mask3());
+    v0 = _mm256_fnmadd_pd(_mm256_loadu_pd(a), xv, v0);
+    v1 = _mm256_fnmadd_pd(_mm256_loadu_pd(a + 3), xv, v1);
+    v2 = _mm256_fnmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), xv, v2);
+  }
+  /// acc += A^T * x: lanes are the *columns* of one block row, so the
+  /// transpose needs no shuffles — broadcast each x component and FMA the
+  /// three rows (no horizontal sum until reduce()).
+  void madd_t(const double* a, const double* x) {
+    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a), _mm256_set1_pd(x[0]), v0);
+    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + 3), _mm256_set1_pd(x[1]), v1);
+    v2 = _mm256_fmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), _mm256_set1_pd(x[2]), v2);
+  }
+  void reduce(double* out) const {
+    out[0] = s0 + detail::hsum(v0);
+    out[1] = s1 + detail::hsum(v1);
+    out[2] = s2 + detail::hsum(v2);
+  }
+  /// reduce() for a madd_t stream: the accumulators hold column partials, so
+  /// the three vectors are summed lane-wise instead of horizontally.
+  void reduce_t(double* out) const {
+    const __m256d t = _mm256_add_pd(_mm256_add_pd(v0, v1), v2);
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, t);
+    out[0] = s0 + lanes[0];
+    out[1] = s1 + lanes[1];
+    out[2] = s2 + lanes[2];
+  }
+};
+
+/// Fixed-tree dot product of two contiguous ranges (dense supernode rows in
+/// DJDSMatrix::spmv phase 2). Deterministic: 4 independent lane chains, one
+/// fixed-order horizontal sum, scalar tail in order.
+inline double dot_avx2(const double* a, const double* b, int n) {
+  __m256d acc = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  double s = detail::hsum(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+}  // namespace geofem::simd

@@ -1,0 +1,250 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+#if GEOFEM_SIMD_HAS_AVX2
+#include <immintrin.h>
+#endif
+
+/// Vectorized jagged-diagonal sweeps — the innermost loops the whole
+/// MC/CM-RCM -> DJDS reordering pipeline exists to create. A jagged diagonal
+/// visits one 3x3 block per output row, rows contiguous from the chunk base:
+///
+///   for t in [jd_ptr[d], jd_ptr[d+1]):
+///     y[t - s] (op)= val[t] * x[item[t]]        (3x3 block * 3-vector)
+///
+/// The ES vector pipes consumed this directly; AVX2 wants the operands
+/// lane-transposed. PackedJagged is that mirror: entries are grouped 4 at a
+/// time (one SIMD register of rows), the 9 block coefficients are stored as
+/// 9 lane-vectors of 4 (36 doubles per group, 64-byte aligned) and the
+/// column indices are pre-multiplied by 3 for direct gather addressing.
+/// Ragged tails are padded to the lane width *here*, not in the Jagged
+/// structure itself — zero-valued blocks gathering x[0..2] — so the paper's
+/// dummy-percent accounting (Fig. 10) is unchanged by the SIMD layer.
+namespace geofem::simd {
+
+/// What the sweep does with each computed block product.
+enum class Mode {
+  kAssign,  ///< y  = A*x   (packed diagonal / block-Jacobi apply)
+  kAdd,     ///< y += A*x   (SpMV accumulation, backward substitution)
+  kSub,     ///< y -= A*x   (forward substitution)
+};
+
+/// Lane-transposed mirror of one Jagged structure (or one packed block list).
+/// Values-only repacks (refill) rebuild `val`; the index side only changes
+/// when the structure does.
+struct PackedJagged {
+  static constexpr int kLanes = 4;
+
+  aligned_vector<double> val;   ///< 36 per group: coeff m of lane l at [36g + 4m + l]
+  aligned_vector<int32_t> item3;  ///< 4 per group: 3*item, 0 for padding lanes
+  std::vector<int> grp_ptr;     ///< group range of each diagonal, size njd+1
+  std::vector<int> len;         ///< real (unpadded) rows per diagonal
+
+  bool built() const { return !grp_ptr.empty(); }
+  void clear() {
+    val.clear();
+    item3.clear();
+    grp_ptr.clear();
+    len.clear();
+  }
+};
+
+/// Build (or value-refresh) the packed mirror of a jagged structure.
+/// `val` holds 9 doubles per entry, entry indices are local to this chunk
+/// (jd_ptr[0] == 0). Padding lanes get zero blocks and item3 == 0, so the
+/// gather they issue reads x[0..2] (always mapped) and contributes +-0.
+inline void pack_jagged(const std::vector<int>& jd_ptr, const std::vector<int>& item,
+                        const double* val, PackedJagged& out) {
+  const int njd = static_cast<int>(jd_ptr.size()) - (jd_ptr.empty() ? 0 : 1);
+  out.grp_ptr.assign(njd + 1, 0);
+  out.len.assign(njd, 0);
+  for (int d = 0; d < njd; ++d) {
+    out.len[d] = jd_ptr[d + 1] - jd_ptr[d];
+    out.grp_ptr[d + 1] =
+        out.grp_ptr[d] + (out.len[d] + PackedJagged::kLanes - 1) / PackedJagged::kLanes;
+  }
+  const int ngroups = out.grp_ptr[njd];
+  out.val.assign(static_cast<std::size_t>(ngroups) * 36, 0.0);
+  out.item3.assign(static_cast<std::size_t>(ngroups) * 4, 0);
+  for (int d = 0; d < njd; ++d) {
+    const int s = jd_ptr[d];
+    for (int g = out.grp_ptr[d]; g < out.grp_ptr[d + 1]; ++g) {
+      const int u0 = (g - out.grp_ptr[d]) * PackedJagged::kLanes;
+      const int cnt = std::min(PackedJagged::kLanes, out.len[d] - u0);
+      for (int l = 0; l < cnt; ++l) {
+        const int t = s + u0 + l;
+        out.item3[static_cast<std::size_t>(g) * 4 + l] = 3 * item[t];
+        for (int m = 0; m < 9; ++m)
+          out.val[static_cast<std::size_t>(g) * 36 + 4 * m + l] = val[9 * t + m];
+      }
+    }
+  }
+}
+
+/// Pack a contiguous list of n 3x3 blocks (a DJDS diagonal, BlockDiagonal's
+/// inverse blocks) as a single jagged diagonal with item[i] = i, so
+/// sweep<kAssign> computes y[i] = B_i * x[i] for every row.
+inline void pack_blocks(const double* blocks, int n, PackedJagged& out) {
+  out.grp_ptr = {0, (n + PackedJagged::kLanes - 1) / PackedJagged::kLanes};
+  out.len = {n};
+  const int ngroups = out.grp_ptr[1];
+  out.val.assign(static_cast<std::size_t>(ngroups) * 36, 0.0);
+  out.item3.assign(static_cast<std::size_t>(ngroups) * 4, 0);
+  for (int i = 0; i < n; ++i) {
+    const int g = i / PackedJagged::kLanes, l = i % PackedJagged::kLanes;
+    out.item3[static_cast<std::size_t>(g) * 4 + l] = 3 * i;
+    for (int m = 0; m < 9; ++m)
+      out.val[static_cast<std::size_t>(g) * 36 + 4 * m + l] = blocks[9 * i + m];
+  }
+}
+
+/// Scalar reference sweep over the *unpacked* jagged arrays — the historical
+/// arithmetic, one block row at a time. Kept de-vectorized (noinline +
+/// no-tree-vectorize) so it is an honest baseline for the equivalence tests
+/// and the scalar column of bench_kernels.
+template <Mode M>
+GEOFEM_NOVEC_FN void sweep_scalar(const std::vector<int>& jd_ptr, const std::vector<int>& item,
+                                  const double* val, const double* x, double* y) {
+  const int njd = static_cast<int>(jd_ptr.size()) - (jd_ptr.empty() ? 0 : 1);
+  for (int d = 0; d < njd; ++d) {
+    const int s = jd_ptr[d], e = jd_ptr[d + 1];
+    GEOFEM_PRAGMA_NOVEC
+    for (int t = s; t < e; ++t) {
+      const double* b = val + 9 * t;
+      const double* xj = x + 3 * item[t];
+      double* yi = y + 3 * (t - s);
+      const double p0 = b[0] * xj[0] + b[1] * xj[1] + b[2] * xj[2];
+      const double p1 = b[3] * xj[0] + b[4] * xj[1] + b[5] * xj[2];
+      const double p2 = b[6] * xj[0] + b[7] * xj[1] + b[8] * xj[2];
+      if constexpr (M == Mode::kAssign) {
+        yi[0] = p0;
+        yi[1] = p1;
+        yi[2] = p2;
+      } else if constexpr (M == Mode::kAdd) {
+        yi[0] += p0;
+        yi[1] += p1;
+        yi[2] += p2;
+      } else {
+        yi[0] -= p0;
+        yi[1] -= p1;
+        yi[2] -= p2;
+      }
+    }
+  }
+}
+
+#if GEOFEM_SIMD_HAS_AVX2
+
+namespace detail {
+
+/// Sliding-window masks: loadu at (4 - valid) yields `valid` leading -1 lanes.
+alignas(32) inline const int64_t kMaskBits[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+
+inline __m256i tail_mask(int valid) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMaskBits + 4 - valid));
+}
+
+/// Transpose (r0, r1, r2) — component vectors for 4 rows — into the three
+/// contiguous output vectors (row0c0 row0c1 row0c2 row1c0 | row1c1 ... ).
+inline void transpose_3x4(__m256d r0, __m256d r1, __m256d r2, __m256d& o0, __m256d& o1,
+                          __m256d& o2) {
+  const __m256d pa0 = _mm256_permute4x64_pd(r0, _MM_SHUFFLE(1, 0, 0, 0));
+  const __m256d pb0 = _mm256_permute4x64_pd(r1, _MM_SHUFFLE(0, 0, 0, 0));
+  const __m256d pc0 = _mm256_permute4x64_pd(r2, _MM_SHUFFLE(0, 0, 0, 0));
+  o0 = _mm256_blend_pd(_mm256_blend_pd(pa0, pb0, 0x2), pc0, 0x4);
+  const __m256d pb1 = _mm256_permute4x64_pd(r1, _MM_SHUFFLE(2, 0, 0, 1));
+  const __m256d pc1 = _mm256_permute4x64_pd(r2, _MM_SHUFFLE(0, 0, 1, 0));
+  const __m256d pa1 = _mm256_permute4x64_pd(r0, _MM_SHUFFLE(0, 2, 0, 0));
+  o1 = _mm256_blend_pd(_mm256_blend_pd(pb1, pc1, 0x2), pa1, 0x4);
+  const __m256d pc2 = _mm256_permute4x64_pd(r2, _MM_SHUFFLE(3, 0, 0, 2));
+  const __m256d pa2 = _mm256_permute4x64_pd(r0, _MM_SHUFFLE(0, 0, 3, 0));
+  const __m256d pb2 = _mm256_permute4x64_pd(r1, _MM_SHUFFLE(0, 3, 0, 0));
+  o2 = _mm256_blend_pd(_mm256_blend_pd(pc2, pa2, 0x2), pb2, 0x4);
+}
+
+template <Mode M>
+inline void apply_vec(double* y, __m256d o) {
+  if constexpr (M == Mode::kAssign)
+    _mm256_storeu_pd(y, o);
+  else if constexpr (M == Mode::kAdd)
+    _mm256_storeu_pd(y, _mm256_add_pd(_mm256_loadu_pd(y), o));
+  else
+    _mm256_storeu_pd(y, _mm256_sub_pd(_mm256_loadu_pd(y), o));
+}
+
+template <Mode M>
+inline void apply_vec_masked(double* y, __m256d o, int valid) {
+  if (valid <= 0) return;
+  const __m256i m = tail_mask(valid);
+  if constexpr (M == Mode::kAssign) {
+    _mm256_maskstore_pd(y, m, o);
+  } else {
+    const __m256d prev = _mm256_maskload_pd(y, m);
+    _mm256_maskstore_pd(y, m,
+                        M == Mode::kAdd ? _mm256_add_pd(prev, o) : _mm256_sub_pd(prev, o));
+  }
+}
+
+}  // namespace detail
+
+/// AVX2 jagged sweep over a packed mirror. `y` is the chunk base (the caller
+/// passes y + 3*chunk_begin); `x` is the full vector the gathers index into.
+/// x and y may alias the same array as long as the gathered rows are outside
+/// the chunk being written — guaranteed by the multicolor ordering (colors
+/// are independent sets, see reorder/coloring.hpp).
+///
+/// Deterministic: groups are processed in order and each output row's 3x3
+/// product uses a fixed FMA tree, independent of thread count (the caller
+/// parallelizes across chunks, never inside one).
+template <Mode M>
+inline void sweep_avx2(const PackedJagged& p, const double* x, double* y) {
+  const int njd = static_cast<int>(p.len.size());
+  for (int d = 0; d < njd; ++d) {
+    for (int g = p.grp_ptr[d]; g < p.grp_ptr[d + 1]; ++g) {
+      const int u0 = (g - p.grp_ptr[d]) * PackedJagged::kLanes;
+      const double* a = p.val.data() + static_cast<std::size_t>(g) * 36;
+      const __m128i idx =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(p.item3.data() + 4 * g));
+      // Masked gather with a zeroed source: same instruction as the plain
+      // form (gathers are always internally masked) without the undefined
+      // pass-through operand GCC warns about.
+      const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+      const __m256d zero = _mm256_setzero_pd();
+      const __m256d x0 = _mm256_mask_i32gather_pd(zero, x, idx, all, 8);
+      const __m256d x1 = _mm256_mask_i32gather_pd(zero, x + 1, idx, all, 8);
+      const __m256d x2 = _mm256_mask_i32gather_pd(zero, x + 2, idx, all, 8);
+      __m256d r0 = _mm256_mul_pd(_mm256_load_pd(a), x0);
+      r0 = _mm256_fmadd_pd(_mm256_load_pd(a + 4), x1, r0);
+      r0 = _mm256_fmadd_pd(_mm256_load_pd(a + 8), x2, r0);
+      __m256d r1 = _mm256_mul_pd(_mm256_load_pd(a + 12), x0);
+      r1 = _mm256_fmadd_pd(_mm256_load_pd(a + 16), x1, r1);
+      r1 = _mm256_fmadd_pd(_mm256_load_pd(a + 20), x2, r1);
+      __m256d r2 = _mm256_mul_pd(_mm256_load_pd(a + 24), x0);
+      r2 = _mm256_fmadd_pd(_mm256_load_pd(a + 28), x1, r2);
+      r2 = _mm256_fmadd_pd(_mm256_load_pd(a + 32), x2, r2);
+      __m256d o0, o1, o2;
+      detail::transpose_3x4(r0, r1, r2, o0, o1, o2);
+      double* yd = y + 3 * u0;
+      const int rem = p.len[d] - u0;
+      if (rem >= PackedJagged::kLanes) {
+        detail::apply_vec<M>(yd, o0);
+        detail::apply_vec<M>(yd + 4, o1);
+        detail::apply_vec<M>(yd + 8, o2);
+      } else {
+        const int nv = 3 * rem;
+        detail::apply_vec_masked<M>(yd, o0, std::min(nv, 4));
+        detail::apply_vec_masked<M>(yd + 4, o1, std::clamp(nv - 4, 0, 4));
+        detail::apply_vec_masked<M>(yd + 8, o2, std::clamp(nv - 8, 0, 4));
+      }
+    }
+  }
+}
+
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+}  // namespace geofem::simd

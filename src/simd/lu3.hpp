@@ -1,0 +1,203 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "simd/jagged.hpp"
+#include "simd/simd.hpp"
+#include "sparse/dense.hpp"
+
+/// Lane-batched 3x3 LU solves — the Fig 22 trick. The PDJDS substitution
+/// sweeps end each chunk with one small dense solve per ordering unit; for
+/// singleton units these are 3x3 solves on CONSECUTIVE rows, and the paper's
+/// size-sorted batching exists precisely so a batch of equal-size solves can
+/// vectorize across the batch instead of running one tiny solve at a time.
+///
+/// PackedLU3 is the lane mirror: groups of 4 consecutive singleton units,
+/// their LU coefficients lane-transposed, and the partial-pivot row swaps
+/// pre-lowered to per-lane blend masks (for a 3x3 pivoted solve the swap
+/// sequence is fully described by piv0 == 1, piv0 == 2 and piv1 == 2). The
+/// batched solve replays the exact per-element pivoted-LU arithmetic of
+/// sparse::DenseLU::solve in every lane, so it sits inside the cross-tier
+/// tolerance contract (<= 1e-13 relative, DESIGN.md 5f) like every other
+/// AVX2 kernel.
+namespace geofem::simd {
+
+/// Groups of up to 4 lane-parallel 3x3 pivoted-LU solves on consecutive rows.
+struct PackedLU3 {
+  static constexpr int kLanes = 4;
+  /// 48 doubles per group: 12 lane-vectors (coefficient m of lane l at
+  /// [48g + 4m + l]) in the order l10 l20 l21 u00 u01 u02 u11 u12 u22
+  /// followed by the three pivot blend masks (all-ones / all-zeros bits).
+  aligned_vector<double> coef;
+  std::vector<int> start;  ///< first (block-)row of each group
+  std::vector<int> cnt;    ///< real units in each group (1..4)
+
+  [[nodiscard]] bool empty() const { return start.empty(); }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return coef.size() * sizeof(double) + (start.size() + cnt.size()) * sizeof(int);
+  }
+};
+
+/// Append one group of `n` (1..4) consecutive singleton units starting at
+/// block-row `row`. `lus[l]` must be 3x3 factors. Unused lanes get the
+/// identity factor (divisions by 1, masks off) so they compute harmlessly.
+inline void pack_lu3_group(PackedLU3& p, const sparse::DenseLU* const lus[], int n, int row) {
+  const double on = std::bit_cast<double>(~std::uint64_t{0});
+  p.start.push_back(row);
+  p.cnt.push_back(n);
+  const std::size_t base = p.coef.size();
+  p.coef.resize(base + 48, 0.0);
+  double* c = p.coef.data() + base;
+  for (int l = 0; l < PackedLU3::kLanes; ++l) {
+    if (l >= n) {
+      c[4 * 3 + l] = c[4 * 6 + l] = c[4 * 8 + l] = 1.0;  // identity U diagonal
+      continue;
+    }
+    const double* f = lus[l]->factor();
+    const auto& piv = lus[l]->pivots();
+    c[4 * 0 + l] = f[3];  // l10
+    c[4 * 1 + l] = f[6];  // l20
+    c[4 * 2 + l] = f[7];  // l21
+    c[4 * 3 + l] = f[0];  // u00
+    c[4 * 4 + l] = f[1];  // u01
+    c[4 * 5 + l] = f[2];  // u02
+    c[4 * 6 + l] = f[4];  // u11
+    c[4 * 7 + l] = f[5];  // u12
+    c[4 * 8 + l] = f[8];  // u22
+    if (piv[0] == 1) c[4 * 9 + l] = on;
+    if (piv[0] == 2) c[4 * 10 + l] = on;
+    if (piv[1] == 2) c[4 * 11 + l] = on;
+  }
+}
+
+#if GEOFEM_SIMD_HAS_AVX2
+
+namespace detail {
+
+/// Inverse of transpose_3x4: three contiguous vectors (12 doubles, 4 rows of
+/// 3 components) into per-component lane vectors.
+inline void untranspose_3x4(__m256d in0, __m256d in1, __m256d in2, __m256d& x0, __m256d& x1,
+                            __m256d& x2) {
+  const __m256d pa0 = _mm256_permute4x64_pd(in0, _MM_SHUFFLE(0, 0, 3, 0));
+  const __m256d pb0 = _mm256_permute4x64_pd(in1, _MM_SHUFFLE(0, 2, 0, 0));
+  const __m256d pc0 = _mm256_permute4x64_pd(in2, _MM_SHUFFLE(1, 0, 0, 0));
+  x0 = _mm256_blend_pd(_mm256_blend_pd(pa0, pb0, 0x4), pc0, 0x8);
+  const __m256d pa1 = _mm256_permute4x64_pd(in0, _MM_SHUFFLE(0, 0, 0, 1));
+  const __m256d pb1 = _mm256_permute4x64_pd(in1, _MM_SHUFFLE(0, 3, 0, 0));
+  const __m256d pc1 = _mm256_permute4x64_pd(in2, _MM_SHUFFLE(2, 0, 0, 0));
+  x1 = _mm256_blend_pd(_mm256_blend_pd(pa1, pb1, 0x6), pc1, 0x8);
+  const __m256d pa2 = _mm256_permute4x64_pd(in0, _MM_SHUFFLE(0, 0, 0, 2));
+  const __m256d pb2 = _mm256_permute4x64_pd(in1, _MM_SHUFFLE(0, 0, 1, 0));
+  const __m256d pc2 = _mm256_permute4x64_pd(in2, _MM_SHUFFLE(3, 0, 0, 0));
+  x2 = _mm256_blend_pd(_mm256_blend_pd(pa2, pb2, 0x2), pc2, 0xC);
+}
+
+/// The pivoted 3x3 solve, all four lanes at once. Mirrors DenseLU::solve:
+/// swap / eliminate column 0, swap / eliminate column 1, back-substitute.
+inline void lu3_solve_lanes(const double* c, __m256d& x0, __m256d& x1, __m256d& x2) {
+  const __m256d mA = _mm256_load_pd(c + 4 * 9);   // piv0 == 1
+  const __m256d mB = _mm256_load_pd(c + 4 * 10);  // piv0 == 2
+  const __m256d mC = _mm256_load_pd(c + 4 * 11);  // piv1 == 2
+  __m256d t = _mm256_blendv_pd(_mm256_blendv_pd(x0, x1, mA), x2, mB);
+  x1 = _mm256_blendv_pd(x1, x0, mA);
+  x2 = _mm256_blendv_pd(x2, x0, mB);
+  x0 = t;
+  x1 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 0), x0, x1);  // l10
+  x2 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 1), x0, x2);  // l20
+  t = _mm256_blendv_pd(x1, x2, mC);
+  x2 = _mm256_blendv_pd(x2, x1, mC);
+  x1 = t;
+  x2 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 2), x1, x2);  // l21
+  x2 = _mm256_div_pd(x2, _mm256_load_pd(c + 4 * 8));         // /u22
+  x0 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 5), x2, x0);  // -u02*x2
+  x1 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 7), x2, x1);  // -u12*x2
+  x1 = _mm256_div_pd(x1, _mm256_load_pd(c + 4 * 6));         // /u11
+  x0 = _mm256_fnmadd_pd(_mm256_load_pd(c + 4 * 4), x1, x0);  // -u01*x1
+  x0 = _mm256_div_pd(x0, _mm256_load_pd(c + 4 * 3));         // /u00
+}
+
+}  // namespace detail
+
+/// In-place batched solve: y[3*start[g] ..] := A^-1 y for every packed unit
+/// (the forward-substitution tail of a DJDSBIC chunk).
+inline void solve_lu3_avx2(const PackedLU3& p, double* y) {
+  const int ng = static_cast<int>(p.start.size());
+  for (int g = 0; g < ng; ++g) {
+    double* yd = y + 3 * static_cast<std::size_t>(p.start[static_cast<std::size_t>(g)]);
+    const double* c = p.coef.data() + 48 * static_cast<std::size_t>(g);
+    const int n = p.cnt[static_cast<std::size_t>(g)];
+    __m256d in0, in1, in2;
+    if (n == PackedLU3::kLanes) {
+      in0 = _mm256_loadu_pd(yd);
+      in1 = _mm256_loadu_pd(yd + 4);
+      in2 = _mm256_loadu_pd(yd + 8);
+    } else {
+      const int nv = 3 * n;
+      in0 = _mm256_maskload_pd(yd, detail::tail_mask(std::min(nv, 4)));
+      in1 = _mm256_maskload_pd(yd + 4, detail::tail_mask(std::clamp(nv - 4, 0, 4)));
+      in2 = _mm256_maskload_pd(yd + 8, detail::tail_mask(std::clamp(nv - 8, 0, 4)));
+    }
+    __m256d x0, x1, x2;
+    detail::untranspose_3x4(in0, in1, in2, x0, x1, x2);
+    detail::lu3_solve_lanes(c, x0, x1, x2);
+    __m256d o0, o1, o2;
+    detail::transpose_3x4(x0, x1, x2, o0, o1, o2);
+    if (n == PackedLU3::kLanes) {
+      _mm256_storeu_pd(yd, o0);
+      _mm256_storeu_pd(yd + 4, o1);
+      _mm256_storeu_pd(yd + 8, o2);
+    } else {
+      const int nv = 3 * n;
+      detail::apply_vec_masked<Mode::kAssign>(yd, o0, std::min(nv, 4));
+      detail::apply_vec_masked<Mode::kAssign>(yd + 4, o1, std::clamp(nv - 4, 0, 4));
+      detail::apply_vec_masked<Mode::kAssign>(yd + 8, o2, std::clamp(nv - 8, 0, 4));
+    }
+  }
+}
+
+/// Batched solve-and-subtract: z[rows] -= A^-1 w[rows] for every packed unit
+/// (the backward-substitution tail; `w` is the per-chunk staging vector and
+/// is not written back).
+inline void solve_lu3_sub_avx2(const PackedLU3& p, const double* w, double* z) {
+  const int ng = static_cast<int>(p.start.size());
+  for (int g = 0; g < ng; ++g) {
+    const std::size_t off = 3 * static_cast<std::size_t>(p.start[static_cast<std::size_t>(g)]);
+    const double* wd = w + off;
+    double* zd = z + off;
+    const double* c = p.coef.data() + 48 * static_cast<std::size_t>(g);
+    const int n = p.cnt[static_cast<std::size_t>(g)];
+    __m256d in0, in1, in2;
+    if (n == PackedLU3::kLanes) {
+      in0 = _mm256_loadu_pd(wd);
+      in1 = _mm256_loadu_pd(wd + 4);
+      in2 = _mm256_loadu_pd(wd + 8);
+    } else {
+      const int nv = 3 * n;
+      in0 = _mm256_maskload_pd(wd, detail::tail_mask(std::min(nv, 4)));
+      in1 = _mm256_maskload_pd(wd + 4, detail::tail_mask(std::clamp(nv - 4, 0, 4)));
+      in2 = _mm256_maskload_pd(wd + 8, detail::tail_mask(std::clamp(nv - 8, 0, 4)));
+    }
+    __m256d x0, x1, x2;
+    detail::untranspose_3x4(in0, in1, in2, x0, x1, x2);
+    detail::lu3_solve_lanes(c, x0, x1, x2);
+    __m256d o0, o1, o2;
+    detail::transpose_3x4(x0, x1, x2, o0, o1, o2);
+    if (n == PackedLU3::kLanes) {
+      detail::apply_vec<Mode::kSub>(zd, o0);
+      detail::apply_vec<Mode::kSub>(zd + 4, o1);
+      detail::apply_vec<Mode::kSub>(zd + 8, o2);
+    } else {
+      const int nv = 3 * n;
+      detail::apply_vec_masked<Mode::kSub>(zd, o0, std::min(nv, 4));
+      detail::apply_vec_masked<Mode::kSub>(zd + 4, o1, std::clamp(nv - 4, 0, 4));
+      detail::apply_vec_masked<Mode::kSub>(zd + 8, o2, std::clamp(nv - 8, 0, 4));
+    }
+  }
+}
+
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+}  // namespace geofem::simd

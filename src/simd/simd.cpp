@@ -1,0 +1,31 @@
+#include "simd/simd.hpp"
+
+namespace geofem::simd {
+
+namespace {
+thread_local Isa g_active = compiled_isa();
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kOmpSimd:
+      return "omp-simd";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Isa active() { return g_active; }
+
+const char* active_isa() { return isa_name(g_active); }
+
+IsaScope::IsaScope(Isa isa) : prev_(g_active) {
+  g_active = static_cast<int>(isa) < static_cast<int>(compiled_isa()) ? isa : compiled_isa();
+}
+
+IsaScope::~IsaScope() { g_active = prev_; }
+
+}  // namespace geofem::simd

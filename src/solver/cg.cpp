@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/span.hpp"
+#include "simd/simd.hpp"
 #include "sparse/vector_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -22,7 +23,7 @@ CGResult pcg(const MatVec& amul, const precond::Preconditioner& m, std::span<con
   obs::Registry* reg = obs::current();
   obs::ScopedSpan solve_span(reg, "pcg.solve");
 
-  std::vector<double> r(n), z(n), p(n), q(n);
+  simd::aligned_vector<double> r(n), z(n), p(n), q(n);
   auto* fc = &res.flops;
   auto* ls = &res.loops;
 

@@ -4,9 +4,30 @@
 #include <cmath>
 
 #include "par/par.hpp"
+#include "simd/block3.hpp"
 #include "util/check.hpp"
 
 namespace geofem::sparse {
+
+namespace {
+
+/// Row-parallel SpMV body, accumulator type chosen once per call. ScalarAcc3
+/// reproduces the historical b3_gemv arithmetic bit-for-bit; AvxAcc3 keeps
+/// three FMA accumulators per row with a fixed-tree reduce.
+template <class Acc>
+void spmv_impl(const BlockCSR& a, const double* x, double* y, int t) {
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
+  for (int i = 0; i < a.n; ++i) {
+    Acc acc;
+    acc.init_zero();
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      acc.madd(a.block(e), x + static_cast<std::size_t>(a.colind[e]) * kB);
+    }
+    acc.reduce(y + static_cast<std::size_t>(i) * kB);
+  }
+}
+
+}  // namespace
 
 int BlockCSR::find(int i, int j) const {
   const int* first = colind.data() + rowptr[i];
@@ -26,18 +47,16 @@ void BlockCSR::spmv(std::span<const double> x, std::span<double> y, util::FlopCo
                     util::LoopStats* loops) const {
   GEOFEM_CHECK(x.size() == ndof() && y.size() == ndof(), "spmv size mismatch");
   // Rows write disjoint y blocks and each row's accumulation order is the
-  // serial one, so the result is bit-identical for any team size.
+  // serial one (per accumulator type), so the result is bit-identical for
+  // any team size.
   const int t = par::threads();
-#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
-  for (int i = 0; i < n; ++i) {
-    double acc[kB] = {0.0, 0.0, 0.0};
-    for (int e = rowptr[i]; e < rowptr[i + 1]; ++e) {
-      b3_gemv(block(e), x.data() + static_cast<std::size_t>(colind[e]) * kB, acc);
-    }
-    double* yi = y.data() + static_cast<std::size_t>(i) * kB;
-    yi[0] = acc[0];
-    yi[1] = acc[1];
-    yi[2] = acc[2];
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    spmv_impl<simd::AvxAcc3>(*this, x.data(), y.data(), t);
+  } else
+#endif
+  {
+    spmv_impl<simd::ScalarAcc3>(*this, x.data(), y.data(), t);
   }
   // Stats are pattern-derived: record them serially so the loop-length stream
   // keeps the serial order regardless of the team size.

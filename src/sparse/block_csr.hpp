@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "simd/simd.hpp"
 #include "sparse/dense.hpp"
 #include "util/flops.hpp"
 #include "util/loop_stats.hpp"
@@ -17,7 +18,7 @@ struct BlockCSR {
   int n = 0;                   ///< number of block rows (= FEM nodes)
   std::vector<int> rowptr;     ///< size n+1
   std::vector<int> colind;     ///< block column index per entry
-  std::vector<double> val;     ///< kBB doubles per entry (row-major 3x3)
+  simd::aligned_vector<double> val;  ///< kBB doubles per entry (row-major 3x3)
 
   [[nodiscard]] int nnz_blocks() const { return static_cast<int>(colind.size()); }
   [[nodiscard]] std::size_t ndof() const { return static_cast<std::size_t>(n) * kB; }

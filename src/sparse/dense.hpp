@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "simd/simd.hpp"
 #include "util/check.hpp"
 
 namespace geofem::sparse {
@@ -143,36 +144,58 @@ class DenseLU {
         const double m = lu_[idx(i, k)] * pivinv;
         lu_[idx(i, k)] = m;
         if (m != 0.0) {
-          for (int j = k + 1; j < n; ++j) lu_[idx(i, j)] -= m * lu_[idx(k, j)];
+          double* ri = lu_.data() + idx(i, k + 1);
+          const double* rk = lu_.data() + idx(k, k + 1);
+          GEOFEM_PRAGMA_SIMD
+          for (int j = 0; j < n - k - 1; ++j) ri[j] -= m * rk[j];
         }
       }
     }
+    // Column-major mirror: solve() walks column k of the factor, which is
+    // stride-n in lu_. Copying once here turns both substitution loops into
+    // unit-stride axpy-style updates the lanes can stream.
+    cm_.resize(lu_.size());
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) cm_[static_cast<std::size_t>(j) * n + i] = lu_[idx(i, j)];
     return true;
   }
 
-  /// x := A^-1 x
+  /// x := A^-1 x. Unit-stride over cm_ columns; per-element arithmetic is
+  /// unchanged from the row-major version, so off/omp builds reproduce the
+  /// historical bits.
   void solve(double* x) const {
     const int n = n_;
     for (int k = 0; k < n; ++k) {
       if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
-      for (int i = k + 1; i < n; ++i) x[i] -= lu_[idx(i, k)] * x[k];
+      const double* col = cm_.data() + static_cast<std::size_t>(k) * n;
+      const double xk = x[k];
+      GEOFEM_PRAGMA_SIMD
+      for (int i = k + 1; i < n; ++i) x[i] -= col[i] * xk;
     }
     for (int k = n - 1; k >= 0; --k) {
-      x[k] /= lu_[idx(k, k)];
-      for (int i = 0; i < k; ++i) x[i] -= lu_[idx(i, k)] * x[k];
+      const double* col = cm_.data() + static_cast<std::size_t>(k) * n;
+      const double xk = (x[k] /= col[k]);
+      GEOFEM_PRAGMA_SIMD
+      for (int i = 0; i < k; ++i) x[i] -= col[i] * xk;
     }
   }
 
   [[nodiscard]] int size() const { return n_; }
+
+  /// Row-major factor of PA (L unit-lower below the diagonal, U on/above)
+  /// and the pivot rows — exposed for the lane-batched 3x3 solve packs
+  /// (simd/lu3.hpp), which replay this exact pivoted solve across lanes.
+  [[nodiscard]] const double* factor() const { return lu_.data(); }
+  [[nodiscard]] const std::vector<int>& pivots() const { return piv_; }
 
   /// Algorithmic FLOPs for one solve() call (2n^2).
   [[nodiscard]] std::uint64_t solve_flops() const {
     return 2ULL * static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_);
   }
 
-  /// Bytes held by the factorization.
+  /// Bytes held by the factorization (row-major factor + column mirror).
   [[nodiscard]] std::size_t memory_bytes() const {
-    return lu_.size() * sizeof(double) + piv_.size() * sizeof(int);
+    return (lu_.size() + cm_.size()) * sizeof(double) + piv_.size() * sizeof(int);
   }
 
  private:
@@ -181,7 +204,8 @@ class DenseLU {
   }
 
   int n_ = 0;
-  std::vector<double> lu_;
+  simd::aligned_vector<double> lu_;
+  simd::aligned_vector<double> cm_;  ///< column-major mirror of lu_ for solve()
   std::vector<int> piv_;
 };
 

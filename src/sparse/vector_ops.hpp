@@ -7,10 +7,36 @@
 #include <vector>
 
 #include "par/par.hpp"
+#include "simd/simd.hpp"
 #include "util/check.hpp"
 #include "util/flops.hpp"
 
 namespace geofem::sparse {
+
+namespace detail {
+
+/// One reduce-chunk of the dot product, lane-vectorized. The chunk grid is
+/// fixed by the vector length (par::kReduceChunk), so the result is identical
+/// for every team size; within a chunk the compiler's lane tree is fixed per
+/// build configuration.
+inline double dot_chunk(const double* x, const double* y, std::size_t b, std::size_t e) {
+  double acc = 0.0;
+  GEOFEM_PRAGMA_SIMD_REDUCTION(+ : acc)
+  for (std::size_t i = b; i < e; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// De-vectorized twin — the honest scalar baseline bench_kernels times under
+/// simd::IsaScope(kScalar).
+GEOFEM_NOVEC_FN inline double dot_chunk_scalar(const double* x, const double* y, std::size_t b,
+                                               std::size_t e) {
+  double acc = 0.0;
+  GEOFEM_PRAGMA_NOVEC
+  for (std::size_t i = b; i < e; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+}  // namespace detail
 
 /// BLAS-1 helpers used by the Krylov solvers. Each counts its algorithmic
 /// FLOPs so the benchmark harness can report paper-style FLOP rates.
@@ -32,22 +58,28 @@ inline double dot(std::span<const double> x, std::span<const double> y,
   const std::size_t n = x.size();
   if (flops) flops->blas1 += 2 * n;
   const std::size_t nc = par::reduce_chunks(n);
-  if (nc <= 1) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-    return acc;
-  }
-  std::vector<double> partials(nc);
+  // Dispatch once per call, not per chunk: inside a SIMD build the scalar
+  // path only runs when an IsaScope lowered the tier (bench baseline).
+  auto* chunk =
+      simd::active() == simd::Isa::kScalar ? detail::dot_chunk_scalar : detail::dot_chunk;
+  if (nc <= 1) return chunk(x.data(), y.data(), 0, n);
+  // Reused per-thread scratch: `dot` runs twice per CG iteration, and a heap
+  // allocation per call showed up ahead of the actual reduction for small
+  // problems (see the dot-scratch note in bench_kernels).
+  static thread_local std::vector<double> partials;
+  if (partials.size() < nc) partials.resize(nc);
+  // The pointer is hoisted so the workers of the parallel region write the
+  // *calling* thread's buffer — inside the region, `partials` would name each
+  // worker's own (empty) thread-local vector.
+  double* parts = partials.data();
   const int t = par::threads();
 #pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
   for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(nc); ++c) {
     const std::size_t b = static_cast<std::size_t>(c) * par::kReduceChunk;
     const std::size_t e = std::min(b + par::kReduceChunk, n);
-    double acc = 0.0;
-    for (std::size_t i = b; i < e; ++i) acc += x[i] * y[i];
-    partials[static_cast<std::size_t>(c)] = acc;
+    parts[static_cast<std::size_t>(c)] = chunk(x.data(), y.data(), b, e);
   }
-  return par::combine(partials.data(), nc);
+  return par::combine(parts, nc);
 }
 
 inline double norm2(std::span<const double> x, util::FlopCounter* flops = nullptr) {

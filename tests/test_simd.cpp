@@ -1,0 +1,410 @@
+// SIMD kernel layer (DESIGN.md 5f): the determinism contract across kernel
+// tiers. Within one build configuration results are bit-identical across
+// thread counts (the hybrid guarantee, re-asserted here so it is checked in
+// the avx2 CI build too); across tiers in the same binary (active vs the
+// de-vectorized scalar reference under simd::IsaScope) kernel outputs agree
+// to <= 1e-13 relative — FMA contraction and fixed-tree horizontal sums round
+// differently, so the cross-tier check is tolerance-based, not bitwise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "contact/penalty.hpp"
+#include "core/geofem.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "par/par.hpp"
+#include "precond/bic.hpp"
+#include "precond/diagonal.hpp"
+#include "precond/djds_bic.hpp"
+#include "precond/sb_bic0.hpp"
+#include "reorder/coloring.hpp"
+#include "reorder/djds.hpp"
+#include "simd/block3.hpp"
+#include "simd/jagged.hpp"
+#include "simd/lu3.hpp"
+#include "simd/simd.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace gc = geofem::contact;
+namespace gcore = geofem::core;
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+namespace gpar = geofem::par;
+namespace gp = geofem::precond;
+namespace gr = geofem::reorder;
+namespace simd = geofem::simd;
+namespace sp = geofem::sparse;
+
+namespace {
+
+constexpr double kTol = 1e-13;
+
+/// Deterministic pseudo-random doubles in [-1, 1) (no <random> so the
+/// sequence is identical on every platform).
+struct Lcg {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  double next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(static_cast<std::int64_t>(s >> 11)) / 4503599627370496.0;
+  }
+};
+
+double rel_inf_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double scale = 1.0, diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    scale = std::max(scale, std::abs(a[i]));
+    diff = std::max(diff, std::abs(a[i] - b[i]));
+  }
+  return diff / scale;
+}
+
+struct Problem {
+  gm::HexMesh mesh;
+  gf::System sys;
+  gc::Supernodes sn;
+
+  Problem() {
+    mesh = gm::simple_block({4, 4, 3, 4, 4});
+    sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+    gc::add_penalty(sys.a, mesh.contact_groups, 1e6);
+    gf::BoundaryConditions bc;
+    bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+    const double zmax = mesh.bounding_box().hi[2];
+    bc.surface_load(
+        mesh, [&](double, double, double z) { return std::abs(z - zmax) < 1e-12; }, 2, -1.0);
+    gf::apply_boundary_conditions(sys, bc);
+    sn = gc::build_supernodes(mesh.num_nodes(), mesh.contact_groups);
+  }
+};
+
+const Problem& problem() {
+  static Problem p;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Infrastructure: aligned storage and the IsaScope dispatch
+// ---------------------------------------------------------------------------
+
+TEST(SimdInfra, AlignedVectorIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    simd::aligned_vector<double> v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u) << "n=" << n;
+    v.resize(3 * n + 1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u) << "resized n=" << n;
+  }
+  simd::aligned_vector<std::int32_t> idx(37, 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(idx.data()) % 64, 0u);
+}
+
+TEST(SimdInfra, ActiveDefaultsToCompiledCeiling) {
+  EXPECT_EQ(simd::active(), simd::compiled_isa());
+  EXPECT_GE(simd::lane_width(), 1);
+}
+
+TEST(SimdInfra, IsaScopeLowersClampsAndRestores) {
+  const simd::Isa ceiling = simd::compiled_isa();
+  {
+    simd::IsaScope scalar(simd::Isa::kScalar);
+    EXPECT_EQ(simd::active(), simd::Isa::kScalar);
+    EXPECT_EQ(simd::lane_width(), 1);
+    {
+      // Requests above the compiled ceiling are clamped, never exceeded.
+      simd::IsaScope up(simd::Isa::kAvx2);
+      EXPECT_LE(static_cast<int>(simd::active()), static_cast<int>(ceiling));
+    }
+    EXPECT_EQ(simd::active(), simd::Isa::kScalar);
+  }
+  EXPECT_EQ(simd::active(), ceiling);
+}
+
+// ---------------------------------------------------------------------------
+// PackedJagged: structure mirror and padding accounting
+// ---------------------------------------------------------------------------
+
+TEST(PackedJagged, PadsTailsToLaneWidthWithZeroBlocks) {
+  // Two diagonals, lengths 5 and 2 -> groups of 2 and 1; padding lanes must
+  // carry item3 == 0 (gathers x[0..2], always mapped) and zero coefficients.
+  const std::vector<int> jd_ptr{0, 5, 7};
+  const std::vector<int> item{3, 1, 4, 1, 5, 2, 6};
+  std::vector<double> val(9 * 7);
+  Lcg rng;
+  for (double& v : val) v = rng.next();
+
+  simd::PackedJagged p;
+  simd::pack_jagged(jd_ptr, item, val.data(), p);
+  ASSERT_TRUE(p.built());
+  ASSERT_EQ(p.grp_ptr.size(), 3u);
+  EXPECT_EQ(p.grp_ptr[1] - p.grp_ptr[0], 2);  // ceil(5/4)
+  EXPECT_EQ(p.grp_ptr[2] - p.grp_ptr[1], 1);  // ceil(2/4)
+  EXPECT_EQ(p.len[0], 5);
+  EXPECT_EQ(p.len[1], 2);
+  // Group 1 covers rows 4..7 of diagonal 0; lanes 1..3 are padding.
+  for (int l = 1; l < 4; ++l) {
+    EXPECT_EQ(p.item3[4 * 1 + l], 0);
+    for (int m = 0; m < 9; ++m) EXPECT_EQ(p.val[36 * 1 + 4 * m + l], 0.0);
+  }
+  // Real lanes round-trip the block coefficients lane-transposed.
+  EXPECT_EQ(p.item3[0], 3 * item[0]);
+  for (int m = 0; m < 9; ++m) EXPECT_EQ(p.val[4 * m + 0], val[static_cast<std::size_t>(m)]);
+}
+
+#if GEOFEM_SIMD_HAS_AVX2
+
+// ---------------------------------------------------------------------------
+// AVX2 sweeps vs the de-vectorized scalar reference, every ragged tail
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <simd::Mode M>
+void check_sweep_tail(int tail) {
+  // One full diagonal (9 rows) plus one of length `tail` (1..8 covers every
+  // mask path: tail < lane width and lane width <= tail < 2 * lane width).
+  const int rows = std::max(9, tail);
+  const std::vector<int> jd_ptr{0, rows, rows + tail};
+  const int n = 16;
+  std::vector<int> item;
+  Lcg rng;
+  for (int t = 0; t < rows + tail; ++t)
+    item.push_back(static_cast<int>(std::abs(rng.next()) * (n - 1)));
+  std::vector<double> val(9 * item.size());
+  for (double& v : val) v = rng.next();
+  std::vector<double> x(3 * n);
+  for (double& v : x) v = rng.next();
+
+  std::vector<double> y_ref(3 * static_cast<std::size_t>(rows), 0.5);
+  std::vector<double> y_simd = y_ref;
+  simd::sweep_scalar<M>(jd_ptr, item, val.data(), x.data(), y_ref.data());
+
+  simd::PackedJagged p;
+  simd::pack_jagged(jd_ptr, item, val.data(), p);
+  simd::sweep_avx2<M>(p, x.data(), y_simd.data());
+
+  EXPECT_LE(rel_inf_diff(y_ref, y_simd), kTol) << "tail=" << tail;
+}
+
+}  // namespace
+
+TEST(SweepAvx2, MatchesScalarForEveryRaggedTail) {
+  for (int tail = 1; tail <= 2 * simd::PackedJagged::kLanes; ++tail) {
+    check_sweep_tail<simd::Mode::kAssign>(tail);
+    check_sweep_tail<simd::Mode::kAdd>(tail);
+    check_sweep_tail<simd::Mode::kSub>(tail);
+  }
+}
+
+TEST(SweepAvx2, PackedBlockApplyMatchesScalar) {
+  // pack_blocks + kAssign is the block-Jacobi / DJDS-diagonal apply path.
+  for (int n : {1, 3, 4, 5, 11}) {
+    Lcg rng;
+    std::vector<double> blocks(9 * static_cast<std::size_t>(n));
+    for (double& v : blocks) v = rng.next();
+    std::vector<double> x(3 * static_cast<std::size_t>(n));
+    for (double& v : x) v = rng.next();
+
+    std::vector<double> ref(3 * static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) sp::b3_apply(&blocks[9 * static_cast<std::size_t>(i)],
+                                             &x[3 * static_cast<std::size_t>(i)],
+                                             &ref[3 * static_cast<std::size_t>(i)]);
+    simd::PackedJagged p;
+    simd::pack_blocks(blocks.data(), n, p);
+    std::vector<double> out(ref.size());
+    simd::sweep_avx2<simd::Mode::kAssign>(p, x.data(), out.data());
+    EXPECT_LE(rel_inf_diff(ref, out), kTol) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PackedLU3: lane-batched 3x3 pivoted solves vs the generic dense LU
+// ---------------------------------------------------------------------------
+
+TEST(PackedLU3Avx2, BatchedSolveMatchesDenseLU) {
+  constexpr int kN = 11;  // two full groups + a ragged tail of 3
+  Lcg rng;
+  std::vector<sp::DenseLU> lus(static_cast<std::size_t>(kN));
+  for (int u = 0; u < kN; ++u) {
+    double a[9];
+    for (double& v : a) v = rng.next();
+    // Rotate the dominant row of column 0 so every pivot path (piv0 = 0, 1,
+    // 2, hence every blend-mask combination) is exercised across the batch.
+    a[3 * (u % 3)] += 3.0;
+    ASSERT_TRUE(lus[static_cast<std::size_t>(u)].factor(a, 3)) << "unit " << u;
+  }
+  simd::PackedLU3 pack;
+  for (int g = 0; g < kN; g += simd::PackedLU3::kLanes) {
+    const int cnt = std::min(simd::PackedLU3::kLanes, kN - g);
+    const sp::DenseLU* ptr[simd::PackedLU3::kLanes] = {};
+    for (int l = 0; l < cnt; ++l) ptr[l] = &lus[static_cast<std::size_t>(g + l)];
+    simd::pack_lu3_group(pack, ptr, cnt, g);
+  }
+  ASSERT_EQ(pack.start.size(), 3u);
+  EXPECT_EQ(pack.cnt[2], 3);
+
+  // One sentinel row past the packed range: the masked tail store of the
+  // ragged group must leave it untouched.
+  std::vector<double> y(3 * (kN + 1));
+  for (double& v : y) v = rng.next();
+  std::vector<double> ref = y;
+  for (int u = 0; u < kN; ++u) lus[static_cast<std::size_t>(u)].solve(ref.data() + 3 * u);
+  std::vector<double> out = y;
+  simd::solve_lu3_avx2(pack, out.data());
+  EXPECT_LE(rel_inf_diff(ref, out), kTol);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(out[3 * kN + c], y[3 * kN + c]);
+
+  // Subtract variant (backward substitution): z -= A^-1 w, w left as-is.
+  std::vector<double> w(3 * (kN + 1)), z(3 * (kN + 1));
+  for (double& v : w) v = rng.next();
+  for (double& v : z) v = rng.next();
+  std::vector<double> zref = z, wtmp = w;
+  for (int u = 0; u < kN; ++u) {
+    lus[static_cast<std::size_t>(u)].solve(wtmp.data() + 3 * u);
+    for (int c = 0; c < 3; ++c) zref[static_cast<std::size_t>(3 * u + c)] -= wtmp[static_cast<std::size_t>(3 * u + c)];
+  }
+  std::vector<double> zout = z;
+  simd::solve_lu3_sub_avx2(pack, w.data(), zout.data());
+  EXPECT_LE(rel_inf_diff(zref, zout), kTol);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(zout[3 * kN + c], z[3 * kN + c]);
+}
+
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+// ---------------------------------------------------------------------------
+// Whole-kernel equivalence: active tier vs scalar reference, same binary
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Run `call` under the active tier and under IsaScope(kScalar), return the
+/// relative inf-norm difference of the produced vectors.
+template <class Call>
+double tier_diff(std::size_t ndof, Call&& call) {
+  std::vector<double> active(ndof), scalar(ndof);
+  call(active);
+  {
+    simd::IsaScope sc(simd::Isa::kScalar);
+    call(scalar);
+  }
+  return rel_inf_diff(scalar, active);
+}
+
+}  // namespace
+
+TEST(TierEquivalence, SpmvCsr) {
+  const auto& pb = problem();
+  std::vector<double> x(pb.sys.a.ndof());
+  Lcg rng;
+  for (double& v : x) v = rng.next();
+  EXPECT_LE(tier_diff(x.size(), [&](std::vector<double>& y) { pb.sys.a.spmv(x, y); }), kTol);
+}
+
+TEST(TierEquivalence, SpmvDjds) {
+  const auto& pb = problem();
+  const auto g = sp::graph_of(pb.sys.a);
+  const auto col = gr::lift_coloring(
+      gr::multicolor(gr::quotient_graph(g, pb.sn.node_to_super, pb.sn.count()), 10),
+      pb.sn.node_to_super, pb.sys.a.n);
+  const gr::DJDSMatrix dj(pb.sys.a, col, &pb.sn, {});
+  std::vector<double> x(pb.sys.a.ndof());
+  Lcg rng;
+  for (double& v : x) v = rng.next();
+  EXPECT_LE(tier_diff(x.size(), [&](std::vector<double>& y) { dj.spmv(x, y); }), kTol);
+}
+
+namespace {
+
+template <class Prec>
+void check_precond_tiers(const Prec& prec) {
+  const auto& pb = problem();
+  std::vector<double> r(pb.sys.a.ndof());
+  Lcg rng;
+  for (double& v : r) v = rng.next();
+  EXPECT_LE(tier_diff(r.size(),
+                      [&](std::vector<double>& z) { prec.apply(r, z, nullptr, nullptr); }),
+            kTol)
+      << prec.name();
+}
+
+}  // namespace
+
+TEST(TierEquivalence, Bic0Apply) { check_precond_tiers(gp::BIC0(problem().sys.a)); }
+
+TEST(TierEquivalence, Bic1Apply) { check_precond_tiers(gp::BlockILUk(problem().sys.a, 1)); }
+
+TEST(TierEquivalence, SbBic0Apply) {
+  check_precond_tiers(gp::SBBIC0(problem().sys.a, problem().sn));
+}
+
+TEST(TierEquivalence, BlockDiagonalApply) {
+  check_precond_tiers(gp::BlockDiagonal(problem().sys.a));
+}
+
+TEST(TierEquivalence, PdjdsBicApply) {
+  // OwnedDJDSBIC presents the original ordering, so this exercises the whole
+  // PDJDS pipeline: permute, jagged forward/backward sweeps, dense LU solves.
+  check_precond_tiers(gp::OwnedDJDSBIC(problem().sys.a, problem().sn, 10, 2));
+}
+
+TEST(TierEquivalence, DotAndNorm) {
+  simd::aligned_vector<double> a(10000), b(a.size());
+  Lcg rng;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next();
+    b[i] = rng.next();
+  }
+  const double active = sp::dot(a, b);
+  double scalar;
+  {
+    simd::IsaScope sc(simd::Isa::kScalar);
+    scalar = sp::dot(a, b);
+  }
+  EXPECT_LE(std::abs(active - scalar) / std::max(1.0, std::abs(scalar)), kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count bit-identity within this build's SIMD configuration
+// ---------------------------------------------------------------------------
+
+TEST(SimdHybrid, ResidualHistoryBitIdenticalAcrossTeamSizes) {
+  // Same contract test_hybrid.cpp enforces, repeated in this suite so the
+  // avx2 CI build re-checks it with the hand-tiled kernels dispatched.
+  const auto& pb = problem();
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  cfg.cg.record_residuals = true;
+  cfg.use_plan_cache = false;
+
+  cfg.threads = 1;
+  const auto base = gcore::solve_system(pb.sys, pb.sn, cfg);
+  EXPECT_TRUE(base.converged());
+  for (int t : {2, 4}) {
+    cfg.threads = t;
+    const auto rep = gcore::solve_system(pb.sys, pb.sn, cfg);
+    ASSERT_EQ(base.cg.residual_history.size(), rep.cg.residual_history.size()) << t;
+    for (std::size_t k = 0; k < base.cg.residual_history.size(); ++k)
+      ASSERT_EQ(base.cg.residual_history[k], rep.cg.residual_history[k])
+          << "threads=" << t << " residual " << k;
+  }
+}
+
+TEST(SimdHybrid, DotBitIdenticalAcrossTeamSizes) {
+  simd::aligned_vector<double> a(50000), b(a.size());
+  Lcg rng;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next();
+    b[i] = rng.next();
+  }
+  gpar::TeamScope one(1);
+  const double base = sp::dot(a, b);
+  for (int t : {2, 3, 8}) {
+    gpar::TeamScope team(t);
+    ASSERT_EQ(sp::dot(a, b), base) << "threads=" << t;
+  }
+}
