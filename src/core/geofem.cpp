@@ -68,10 +68,12 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
   std::shared_ptr<const plan::SolvePlan> p;
   if (cfg.use_plan_cache) {
     plan::PlanCache& cache = cfg.plan_cache ? *cfg.plan_cache : plan::default_cache();
-    const std::uint64_t hits_before = cache.stats().hits;
-    p = cache.get(sys.a, sn, pcfg);
+    // get() reports the hit directly: under concurrent sessions a stats()
+    // delta would attribute other callers' hits to this solve.
+    bool hit = false;
+    p = cache.get(sys.a, sn, pcfg, &hit);
     rep.plan_cache = cache.stats();
-    rep.plan_reused = rep.plan_cache.hits > hits_before;
+    rep.plan_reused = hit;
   } else {
     p = std::make_shared<plan::SolvePlan>(sys.a, sn, pcfg);
   }
@@ -137,6 +139,11 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
 
 SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
                          const SolveConfig& cfg) {
+  // Re-entrant session entry: attach the caller-provided registry for the
+  // duration of this call only (restored on return), so concurrent service
+  // workers record into their service's registry without global state.
+  std::optional<obs::Attach> session_attach;
+  if (cfg.registry) session_attach.emplace(cfg.registry);
   // Hybrid execution: every kernel below (SpMV, BLAS-1, substitution sweeps)
   // runs on a team of cfg.threads OpenMP threads.
   par::TeamScope team_scope(cfg.threads);

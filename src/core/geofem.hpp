@@ -14,6 +14,10 @@
 #include "reorder/djds.hpp"
 #include "solver/cg.hpp"
 
+namespace geofem::obs {
+class Registry;
+}
+
 /// Public one-call API of the library: assemble a contact problem, pick a
 /// preconditioner and (optionally) the PDJDS/MC vector ordering, solve, and
 /// get the paper-style instrumentation back (iterations, timings, FLOPs,
@@ -46,6 +50,12 @@ struct SolveConfig {
   /// plan::default_cache(); set use_plan_cache = false to always rebuild.
   plan::PlanCache* plan_cache = nullptr;
   bool use_plan_cache = true;
+  /// Re-entrant session entry (svc::SolverService): when set, this registry
+  /// is obs::Attach-ed to the calling thread for the duration of the solve,
+  /// so concurrent sessions in one process record telemetry independently
+  /// without the caller managing attachment around every call. Null keeps
+  /// whatever registry the thread already has attached.
+  obs::Registry* registry = nullptr;
   /// Automatic preconditioner fallback on stagnation / breakdown /
   /// factorization failure. Disabled by default: residual histories with the
   /// default options are bit-identical to a build without the resilience

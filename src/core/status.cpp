@@ -23,6 +23,7 @@ std::string to_string(SolveStatus s) {
     case SolveStatus::kBreakdown: return "breakdown";
     case SolveStatus::kFactorizationFailed: return "factorization failed";
     case SolveStatus::kCommTimeout: return "comm timeout";
+    case SolveStatus::kRejected: return "rejected";
   }
   return "?";
 }

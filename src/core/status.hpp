@@ -54,6 +54,7 @@ enum class SolveStatus {
   kBreakdown,            ///< CG breakdown: rho <= 0, p.Ap <= 0 or non-finite
   kFactorizationFailed,  ///< preconditioner set-up hit an unusable pivot
   kCommTimeout,          ///< distributed only: a communication deadline expired
+  kRejected,             ///< service admission control: queue full, never solved
 };
 
 [[nodiscard]] std::string to_string(SolveStatus s);

@@ -64,6 +64,19 @@ json::Value stat_object(const MetricStat& st) {
   return v;
 }
 
+json::Value histogram_object(const HistogramData& h) {
+  json::Value v = json::Value::object();
+  v["count"] = h.count;
+  v["sum"] = h.sum;
+  v["mean"] = h.mean();
+  v["min"] = h.min;
+  v["max"] = h.max;
+  v["p50"] = h.quantile(0.50);
+  v["p95"] = h.quantile(0.95);
+  v["p99"] = h.quantile(0.99);
+  return v;
+}
+
 }  // namespace
 
 json::Value chrome_trace_json(const Snapshot& s, int pid) {
@@ -87,6 +100,8 @@ json::Value metrics_json(const Snapshot& s) {
   for (const auto& [name, v] : s.counters) counters[name] = v;
   json::Value& gauges = (doc["gauges"] = json::Value::object());
   for (const auto& [name, v] : s.gauges) gauges[name] = v;
+  json::Value& hists = (doc["histograms"] = json::Value::object());
+  for (const auto& [name, h] : s.histograms) hists[name] = histogram_object(h);
   json::Value& spans = (doc["spans"] = json::Value::object());
   for (const auto& [name, a] : aggregate_spans(s)) {
     json::Value& sp = (spans[name] = json::Value::object());
@@ -105,6 +120,8 @@ json::Value metrics_json(std::span<const Snapshot> per_rank, const MergedReport&
   for (const auto& [name, st] : merged.counters) counters[name] = stat_object(st);
   json::Value& gauges = (doc["gauges"] = json::Value::object());
   for (const auto& [name, st] : merged.gauges) gauges[name] = stat_object(st);
+  json::Value& hists = (doc["histograms"] = json::Value::object());
+  for (const auto& [name, h] : merged.histograms) hists[name] = histogram_object(h);
   json::Value& ranks = (doc["per_rank"] = json::Value::array());
   for (const Snapshot& s : per_rank) {
     json::Value one = json::Value::object();

@@ -12,7 +12,9 @@
 /// so downstream tooling can dispatch.
 namespace geofem::obs {
 
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2: added the "histograms" section (count/sum/mean/min/max + p50/p95/p99
+/// quantile estimates per histogram metric).
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// Chrome trace_event document (complete "X" events), loadable in
 /// chrome://tracing and https://ui.perfetto.dev. `pid` distinguishes ranks

@@ -18,6 +18,56 @@ const double* Snapshot::gauge(std::string_view name) const {
   return nullptr;
 }
 
+const HistogramData* Snapshot::histogram(std::string_view name) const {
+  for (const auto& [k, v] : histograms)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.count = count.load(std::memory_order_relaxed);
+  d.sum = sum.load(std::memory_order_relaxed);
+  d.min = d.count ? min.load(std::memory_order_relaxed) : 0.0;
+  d.max = d.count ? max.load(std::memory_order_relaxed) : 0.0;
+  d.bins.resize(HistogramBins::kBins);
+  for (int i = 0; i < HistogramBins::kBins; ++i)
+    d.bins[static_cast<std::size_t>(i)] = bins[i].load(std::memory_order_relaxed);
+  return d;
+}
+
+void HistogramData::merge(const HistogramData& o) {
+  if (o.count == 0) return;
+  min = count ? std::min(min, o.min) : o.min;
+  max = count ? std::max(max, o.max) : o.max;
+  count += o.count;
+  sum += o.sum;
+  if (bins.empty()) bins.resize(HistogramBins::kBins);
+  GEOFEM_CHECK(o.bins.size() == bins.size(), "histogram merge: bin geometry mismatch");
+  for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += o.bins[i];
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0 || bins.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank of the target observation, 1-based; walk the cumulative bin counts
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (int i = 0; i < static_cast<int>(bins.size()); ++i) {
+    const double c = static_cast<double>(bins[static_cast<std::size_t>(i)]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      // geometric interpolation inside the log-spaced bin
+      const double frac = c > 0.0 ? std::clamp((target - cum) / c, 0.0, 1.0) : 0.0;
+      const double lo = HistogramBins::lower_edge(i);
+      const double hi = HistogramBins::lower_edge(i + 1);
+      return std::clamp(lo * std::pow(hi / lo, frac), min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
 Counter* Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mtx_);
   auto it = counter_index_.find(std::string(name));
@@ -36,6 +86,16 @@ Gauge* Registry::gauge(std::string_view name) {
   gauge_names_.emplace_back(name);
   gauge_index_.emplace(std::string(name), gauges_.size() - 1);
   return &gauges_.back();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return &histograms_[it->second];
+  histograms_.emplace_back();
+  histogram_names_.emplace_back(name);
+  histogram_index_.emplace(std::string(name), histograms_.size() - 1);
+  return &histograms_.back();
 }
 
 void Registry::set_meta(std::string_view key, std::string_view value) {
@@ -144,7 +204,7 @@ void Registry::absorb(std::string_view prefix, const util::LoopStats& ls) {
   // derived from the accumulated totals, so absorbing several solves keeps
   // the gauge equal to the overall average vector length
   gauge(p + ".avg_vector_length")
-      ->set(cnt->value ? static_cast<double>(tot->value) / static_cast<double>(cnt->value) : 0.0);
+      ->set(cnt->get() ? static_cast<double>(tot->get()) / static_cast<double>(cnt->get()) : 0.0);
 }
 
 Snapshot Registry::snapshot() const {
@@ -152,10 +212,13 @@ Snapshot Registry::snapshot() const {
   Snapshot s;
   s.counters.reserve(counters_.size());
   for (std::size_t i = 0; i < counters_.size(); ++i)
-    s.counters.emplace_back(counter_names_[i], counters_[i].value);
+    s.counters.emplace_back(counter_names_[i], counters_[i].get());
   s.gauges.reserve(gauges_.size());
   for (std::size_t i = 0; i < gauges_.size(); ++i)
-    s.gauges.emplace_back(gauge_names_[i], gauges_[i].value);
+    s.gauges.emplace_back(gauge_names_[i], gauges_[i].get());
+  s.histograms.reserve(histograms_.size());
+  for (std::size_t i = 0; i < histograms_.size(); ++i)
+    s.histograms.emplace_back(histogram_names_[i], histograms_[i].data());
   s.meta_numbers = meta_numbers_;
   s.meta_strings = meta_strings_;
   s.spans.assign(spans_.begin(), spans_.end());
@@ -227,6 +290,23 @@ std::vector<double> encode(const Snapshot& s) {
     put_string(out, name);
     out.push_back(value);
   }
+  out.push_back(static_cast<double>(s.histograms.size()));
+  for (const auto& [name, h] : s.histograms) {
+    put_string(out, name);
+    out.push_back(static_cast<double>(h.count));
+    out.push_back(h.sum);
+    out.push_back(h.min);
+    out.push_back(h.max);
+    // sparse bins: most of the fixed log-spaced range is empty
+    std::size_t nonzero = 0;
+    for (std::uint64_t c : h.bins) nonzero += c != 0;
+    out.push_back(static_cast<double>(nonzero));
+    for (std::size_t i = 0; i < h.bins.size(); ++i)
+      if (h.bins[i] != 0) {
+        out.push_back(static_cast<double>(i));
+        out.push_back(static_cast<double>(h.bins[i]));
+      }
+  }
   out.push_back(static_cast<double>(s.meta_numbers.size()));
   for (const auto& [key, value] : s.meta_numbers) {
     put_string(out, key);
@@ -270,6 +350,24 @@ Snapshot decode(std::span<const double> blob, std::size_t& pos) {
   for (std::size_t i = 0; i < n; ++i) {
     std::string name = get_string(blob, pos);
     s.gauges.emplace_back(std::move(name), get_num(blob, pos));
+  }
+  n = static_cast<std::size_t>(get_num(blob, pos));
+  s.histograms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = get_string(blob, pos);
+    HistogramData h;
+    h.count = static_cast<std::uint64_t>(get_num(blob, pos));
+    h.sum = get_num(blob, pos);
+    h.min = get_num(blob, pos);
+    h.max = get_num(blob, pos);
+    h.bins.resize(HistogramBins::kBins);
+    const auto nonzero = static_cast<std::size_t>(get_num(blob, pos));
+    for (std::size_t b = 0; b < nonzero; ++b) {
+      const auto idx = static_cast<std::size_t>(get_num(blob, pos));
+      GEOFEM_CHECK(idx < h.bins.size(), "obs decode: histogram bin index out of range");
+      h.bins[idx] = static_cast<std::uint64_t>(get_num(blob, pos));
+    }
+    s.histograms.emplace_back(std::move(name), std::move(h));
   }
   n = static_cast<std::size_t>(get_num(blob, pos));
   for (std::size_t i = 0; i < n; ++i) {
@@ -326,6 +424,7 @@ MergedReport aggregate(std::span<const Snapshot> per_rank) {
     for (const auto& [name, v] : s.counters)
       accumulate(rep.counters, name, static_cast<double>(v));
     for (const auto& [name, v] : s.gauges) accumulate(rep.gauges, name, v);
+    for (const auto& [name, h] : s.histograms) rep.histograms[name].merge(h);
   }
   for (auto* metrics : {&rep.counters, &rep.gauges})
     for (auto& [name, st] : *metrics) st.mean = st.sum / st.ranks;

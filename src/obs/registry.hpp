@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <span>
@@ -29,16 +32,93 @@
 namespace geofem::obs {
 
 /// Monotonic counter (FLOPs, iterations, messages, ...). Handles returned by
-/// Registry::counter() are stable for the registry's lifetime.
+/// Registry::counter() are stable for the registry's lifetime. Relaxed
+/// atomic so registries shared by concurrent sessions (svc::SolverService
+/// workers all bumping plan.cache.hit) stay race-free; hot loops still
+/// accumulate into plain util::FlopCounter and absorb() once.
 struct Counter {
-  std::uint64_t value = 0;
-  void add(std::uint64_t d) { value += d; }
+  std::atomic<std::uint64_t> value{0};
+  void add(std::uint64_t d) { value.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const { return value.load(std::memory_order_relaxed); }
 };
 
-/// Last-write-wins scalar (seconds, vector lengths, memory, ...).
+/// Last-write-wins scalar (seconds, vector lengths, memory, ...). Relaxed
+/// atomic for the same multi-session reason as Counter.
 struct Gauge {
-  double value = 0.0;
-  void set(double v) { value = v; }
+  std::atomic<double> value{0.0};
+  void set(double v) { value.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double get() const { return value.load(std::memory_order_relaxed); }
+};
+
+/// Bin layout shared by the live Histogram and its snapshot image: fixed
+/// log-spaced bins, kBinsPerOctave per power of two over [2^kMinExp,
+/// 2^kMaxExp). The geometry is compile-time fixed (not per-histogram) so
+/// histograms merge bin-for-bin across threads, ranks and processes without
+/// negotiation — the same reason the paper fixes its timing buckets.
+struct HistogramBins {
+  static constexpr int kBinsPerOctave = 4;  ///< ~19% relative resolution
+  static constexpr int kMinExp = -24;       ///< 2^-24 ~ 60 ns
+  static constexpr int kMaxExp = 8;         ///< 2^8 = 256 (s, bytes, ...)
+  static constexpr int kBins = (kMaxExp - kMinExp) * kBinsPerOctave;
+
+  /// Bin receiving value `v`; out-of-range values clamp to the edge bins.
+  static int index(double v) {
+    if (!(v > 0.0)) return 0;
+    const double pos = (std::log2(v) - kMinExp) * kBinsPerOctave;
+    if (pos <= 0.0) return 0;
+    if (pos >= kBins - 1) return kBins - 1;
+    return static_cast<int>(pos);
+  }
+  /// Lower edge of bin `i`.
+  static double lower_edge(int i) {
+    return std::exp2(static_cast<double>(kMinExp) + static_cast<double>(i) / kBinsPerOctave);
+  }
+};
+
+/// Plain-data image of one histogram (what snapshots/exporters consume).
+/// Mergeable: bins share the fixed HistogramBins geometry.
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact observed extrema (0 when count == 0)
+  double max = 0.0;
+  std::vector<std::uint64_t> bins;  ///< size HistogramBins::kBins (or empty)
+
+  void merge(const HistogramData& o);
+  [[nodiscard]] double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate (q in [0,1]): geometric interpolation inside the
+  /// containing log-spaced bin, clamped to the exact [min, max] envelope.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Multi-writer distribution metric (request latencies, queue waits, solve
+/// times). record() is lock-free — relaxed atomics on fixed log-spaced bins —
+/// so every service worker thread shares one handle with no contention
+/// beyond cache-line traffic. Handles from Registry::histogram() are stable.
+struct Histogram {
+  std::atomic<std::uint64_t> bins[HistogramBins::kBins] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  /// Extrema start at +/-inf so the CAS loops need no "first value" case;
+  /// data() maps the empty-histogram infinities back to 0.
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+
+  void record(double v) {
+    bins[HistogramBins::index(v)].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+    cur = min.load(std::memory_order_relaxed);
+    while (v < cur && !min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max.load(std::memory_order_relaxed);
+    while (v > cur && !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramData data() const;
 };
 
 /// One closed (or still open, dur_us < 0) trace span. Timestamps are
@@ -58,12 +138,14 @@ struct SpanRecord {
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
   std::vector<std::pair<std::string, double>> meta_numbers;
   std::vector<std::pair<std::string, std::string>> meta_strings;
   std::vector<SpanRecord> spans;
 
   [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
   [[nodiscard]] const double* gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
 };
 
 class Registry {
@@ -77,6 +159,9 @@ class Registry {
   /// measurement (per-rank registries are single-writer by construction).
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
+  /// Unlike Counter/Gauge handles, a Histogram handle is safe for concurrent
+  /// writers: record() is lock-free, so service worker threads share one.
+  Histogram* histogram(std::string_view name);
 
   void set_meta(std::string_view key, std::string_view value);
   void set_meta(std::string_view key, double value);
@@ -122,10 +207,13 @@ class Registry {
   mutable std::mutex mtx_;
   std::deque<Counter> counters_;  // deque: stable addresses for handles
   std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;  // deque also avoids moving the atomics
   std::vector<std::string> counter_names_;
   std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
   std::vector<std::pair<std::string, double>> meta_numbers_;
   std::vector<std::pair<std::string, std::string>> meta_strings_;
   std::vector<SpanRecord> spans_;
@@ -179,6 +267,8 @@ struct MergedReport {
   int ranks = 0;
   std::map<std::string, MetricStat> counters;
   std::map<std::string, MetricStat> gauges;
+  /// Bin-wise merged across ranks (same fixed geometry on every rank).
+  std::map<std::string, HistogramData> histograms;
 };
 
 MergedReport aggregate(std::span<const Snapshot> per_rank);

@@ -1,5 +1,7 @@
 #include "plan/cache.hpp"
 
+#include <string>
+
 #include "obs/registry.hpp"
 #include "plan/plan.hpp"
 
@@ -13,61 +15,109 @@ void bump(const char* name) {
 
 }  // namespace
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (capacity == 0) capacity = 1;
+  shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
 PlanCache::~PlanCache() = default;
 
 std::shared_ptr<const SolvePlan> PlanCache::get(const sparse::BlockCSR& a,
                                                 const contact::Supernodes& sn,
-                                                const PlanConfig& cfg) {
+                                                const PlanConfig& cfg, bool* hit) {
   const PlanKey key = make_key(a, sn, cfg);
+  Shard& sh = shard_for(key);
   {
-    std::lock_guard lock(mtx_);
-    if (auto it = map_.find(key); it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.hits;
+    std::lock_guard lock(sh.mtx);
+    if (auto it = sh.map.find(key); it != sh.map.end()) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      ++sh.stats.hits;
       bump("plan.cache.hit");
+      if (hit) *hit = true;
       return *it->second;
     }
+    // Count the miss at lookup time, not after the build: a concurrent
+    // stats() reader then always sees hits + misses == completed lookups.
+    ++sh.stats.misses;
+    bump("plan.cache.miss");
   }
-  // Build outside the lock: concurrent ranks building distinct plans do not
-  // serialize, and symbolic set-up can be expensive.
+  if (hit) *hit = false;
+  // Build outside the lock: concurrent sessions building distinct plans do
+  // not serialize, and symbolic set-up can be expensive.
   auto plan = std::make_shared<const SolvePlan>(a, sn, cfg);
-  std::lock_guard lock(mtx_);
-  ++stats_.misses;
-  bump("plan.cache.miss");
-  if (auto it = map_.find(key); it != map_.end()) {
-    // Lost a race with another thread building the same plan; keep theirs.
-    lru_.splice(lru_.begin(), lru_, it->second);
+  std::lock_guard lock(sh.mtx);
+  if (auto it = sh.map.find(key); it != sh.map.end()) {
+    // Lost a race with another thread building the same plan; keep theirs
+    // (the lookup was already counted as a miss — this get() did build).
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     return *it->second;
   }
-  lru_.push_front(plan);
-  map_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    map_.erase(lru_.back()->key());
-    lru_.pop_back();
-    ++stats_.evictions;
+  sh.lru.push_front(plan);
+  sh.map.emplace(key, sh.lru.begin());
+  while (sh.lru.size() > shard_capacity_) {
+    sh.map.erase(sh.lru.back()->key());
+    sh.lru.pop_back();
+    ++sh.stats.evictions;
     bump("plan.cache.evict");
   }
   return plan;
 }
 
 CacheStats PlanCache::stats() const {
-  std::lock_guard lock(mtx_);
-  CacheStats s = stats_;
-  s.entries = lru_.size();
-  return s;
+  CacheStats total;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mtx);
+    CacheStats s = sh->stats;
+    s.entries = sh->lru.size();
+    total += s;
+  }
+  return total;
+}
+
+std::vector<CacheStats> PlanCache::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mtx);
+    CacheStats s = sh->stats;
+    s.entries = sh->lru.size();
+    out.push_back(s);
+  }
+  return out;
 }
 
 void PlanCache::clear() {
-  std::lock_guard lock(mtx_);
-  lru_.clear();
-  map_.clear();
-  stats_ = CacheStats{};
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mtx);
+    sh->lru.clear();
+    sh->map.clear();
+    sh->stats = CacheStats{};
+  }
+}
+
+void PlanCache::publish(obs::Registry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  const std::vector<CacheStats> per_shard = shard_stats();
+  CacheStats total;
+  for (const CacheStats& s : per_shard) total += s;
+  reg.gauge(p + ".hits")->set(static_cast<double>(total.hits));
+  reg.gauge(p + ".misses")->set(static_cast<double>(total.misses));
+  reg.gauge(p + ".evictions")->set(static_cast<double>(total.evictions));
+  reg.gauge(p + ".entries")->set(static_cast<double>(total.entries));
+  reg.gauge(p + ".capacity")->set(static_cast<double>(capacity()));
+  reg.gauge(p + ".shards")->set(static_cast<double>(shard_count()));
+  for (std::size_t i = 0; i < per_shard.size(); ++i)
+    reg.gauge(p + ".shard." + std::to_string(i) + ".entries")
+        ->set(static_cast<double>(per_shard[i].entries));
 }
 
 PlanCache& default_cache() {
-  static PlanCache cache;
+  // Four shards: concurrent core::solve() callers that share the process-wide
+  // cache stop contending on one mutex; single-threaded behavior is unchanged.
+  static PlanCache cache(8, 4);
   return cache;
 }
 

@@ -4,52 +4,102 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "plan/fingerprint.hpp"
+
+namespace geofem::obs {
+class Registry;
+}
 
 namespace geofem::plan {
 
 class SolvePlan;
 
-/// Counters of one PlanCache, also exported through geofem::obs as
-/// plan.cache.{hit,miss,evict} on every get().
+/// Counters of one PlanCache (or one of its shards), also exported through
+/// geofem::obs as plan.cache.{hit,miss,evict} on every get(). Totals are
+/// consistent under concurrency: every completed get() is counted exactly
+/// once — as a hit or a miss — inside the shard critical section of its
+/// lookup, so hits + misses equals the number of lookups a concurrent reader
+/// has observed (a miss is counted when the lookup fails, not after the
+/// out-of-lock plan build finishes).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;  ///< plans currently resident
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    entries += o.entries;
+    return *this;
+  }
 };
 
-/// Thread-safe LRU cache of SolvePlans keyed by the graph+config fingerprint.
-/// Plans are handed out as shared_ptr<const SolvePlan>, so an evicted plan
-/// stays alive while any preconditioner still references it. A miss builds
-/// the plan outside the lock (concurrent ranks build distinct plans without
-/// serializing); if two threads race on the same key, one build is discarded.
+/// Thread-safe LRU cache of SolvePlans keyed by the graph+config fingerprint,
+/// split into independent shards so concurrent solve sessions do not contend
+/// on one mutex. A key's shard is chosen by its fingerprint hash; each shard
+/// owns its own mutex, LRU list and stats, so the only cross-shard state is
+/// the immutable shard array itself. Plans are handed out as
+/// shared_ptr<const SolvePlan>, so an evicted plan stays alive while any
+/// preconditioner still references it. A miss builds the plan outside the
+/// lock (concurrent sessions build distinct plans without serializing); if
+/// two threads race on the same key, one build is discarded.
 class PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity = 8);
+  /// `capacity` is the total resident-plan budget, split evenly across
+  /// `shards` (each shard holds at least one plan, so the effective total is
+  /// max(capacity, shards), rounded up to a multiple of the shard count).
+  explicit PlanCache(std::size_t capacity = 8, std::size_t shards = 1);
   ~PlanCache();
 
-  /// Look up (building on miss) the plan for `a`'s graph under `sn` and `cfg`.
+  /// Look up (building on miss) the plan for `a`'s graph under `sn` and
+  /// `cfg`. `hit` (optional) reports whether THIS call was served from the
+  /// cache — under concurrent sessions that is not derivable from stats()
+  /// deltas, which interleave with other callers.
   std::shared_ptr<const SolvePlan> get(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                                       const PlanConfig& cfg);
+                                       const PlanConfig& cfg, bool* hit = nullptr);
 
+  /// Totals across shards. Each shard is read under its own lock, so every
+  /// completed lookup is counted exactly once; shards are sampled in
+  /// sequence, which is the usual sharded-counter contract.
   [[nodiscard]] CacheStats stats() const;
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Per-shard stats (occupancy view for the obs gauges).
+  [[nodiscard]] std::vector<CacheStats> shard_stats() const;
+
+  [[nodiscard]] std::size_t capacity() const { return shards_.size() * shard_capacity_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   void clear();
+
+  /// Export hit/miss/eviction totals, total occupancy and per-shard occupancy
+  /// as gauges `<prefix>.{hits,misses,evictions,entries,capacity,shards}` and
+  /// `<prefix>.shard.<i>.entries`.
+  void publish(obs::Registry& reg, std::string_view prefix = "plan.cache") const;
 
  private:
   using List = std::list<std::shared_ptr<const SolvePlan>>;
   struct KeyHash {
     std::size_t operator()(const PlanKey& k) const { return static_cast<std::size_t>(k.hash); }
   };
+  struct Shard {
+    mutable std::mutex mtx;
+    List lru;  ///< front = most recently used
+    std::unordered_map<PlanKey, List::iterator, KeyHash> map;
+    CacheStats stats;
+  };
 
-  std::size_t capacity_;
-  mutable std::mutex mtx_;
-  List lru_;  ///< front = most recently used
-  std::unordered_map<PlanKey, List::iterator, KeyHash> map_;
-  CacheStats stats_;
+  Shard& shard_for(const PlanKey& key) {
+    // mix the high bits in so shard choice is independent of the map's
+    // bucket choice (unordered_map uses the low bits of the same hash)
+    return *shards_[static_cast<std::size_t>((key.hash >> 32) ^ key.hash) % shards_.size()];
+  }
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Process-wide cache used by core::solve() when SolveConfig::plan_cache is

@@ -1,0 +1,292 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "contact/penalty.hpp"
+#include "util/timer.hpp"
+
+namespace geofem::svc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0,
+                     std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+const char* class_name(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "batch";
+}
+
+}  // namespace
+
+std::string to_string(Priority p) { return class_name(p); }
+
+SolverService::SolverService(ServiceOptions opt)
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_capacity, opt_.cache_shards) {
+  if (opt_.workers < 1) opt_.workers = 1;
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  if (opt_.interactive_burst < 1) opt_.interactive_burst = 1;
+  // The PDJDS plans revalue plan-owned DJDS storage in numeric(), so
+  // vectorized plans must not be shared across in-flight solves: fall back
+  // to one private cache per worker (still warm within each worker).
+  if (opt_.solve.ordering != core::OrderingKind::kNatural) {
+    worker_caches_.reserve(static_cast<std::size_t>(opt_.workers));
+    for (int w = 0; w < opt_.workers; ++w)
+      worker_caches_.push_back(
+          std::make_unique<plan::PlanCache>(opt_.cache_capacity, std::size_t{1}));
+  }
+  registry_.gauge("svc.workers")->set(static_cast<double>(opt_.workers));
+  registry_.gauge("svc.queue_capacity")->set(static_cast<double>(opt_.queue_capacity));
+  threads_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int w = 0; w < opt_.workers; ++w) threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard lock(mtx_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ModelId SolverService::register_model(const mesh::HexMesh& m,
+                                      std::vector<fem::Material> materials,
+                                      fem::BoundaryConditions bc) {
+  Model model;
+  model.base = fem::assemble_elasticity(m, materials);
+  model.bc = std::move(bc);
+  model.groups = m.contact_groups;
+  model.sn = contact::build_supernodes(model.base.a.n, model.groups);
+  std::lock_guard lock(models_mtx_);
+  models_.push_back(std::move(model));
+  registry_.gauge("svc.models")->set(static_cast<double>(models_.size()));
+  return static_cast<ModelId>(models_.size() - 1);
+}
+
+std::future<SolveResponse> SolverService::submit(SolveRequest req) {
+  {
+    std::lock_guard lock(models_mtx_);
+    if (req.model < 0 || static_cast<std::size_t>(req.model) >= models_.size())
+      throw Error(StatusCode::kInvalidArgument, "svc::submit: unknown model id");
+    if (!req.active_groups.empty() &&
+        req.active_groups.size() != models_[static_cast<std::size_t>(req.model)].groups.size())
+      throw Error(StatusCode::kInvalidArgument,
+                  "svc::submit: active_groups size != model contact group count");
+  }
+  const Priority pri = req.priority;
+  const auto cls = static_cast<std::size_t>(pri);
+  Ticket t;
+  t.req = std::move(req);
+  t.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  t.admitted = std::chrono::steady_clock::now();
+  std::future<SolveResponse> fut = t.promise.get_future();
+
+  registry_.counter(std::string("svc.submitted.") + class_name(pri))->add(1);
+  std::unique_lock lock(mtx_);
+  ++counts_.submitted;
+  if (stopping_ || queues_[cls].size() >= opt_.queue_capacity) {
+    // Backpressure: resolve immediately, never queue unboundedly. The caller
+    // sees kRejected and decides whether to retry, shed, or slow down.
+    ++counts_.rejected;
+    lock.unlock();
+    registry_.counter(std::string("svc.rejected.") + class_name(pri))->add(1);
+    SolveResponse resp;
+    resp.id = t.id;
+    resp.priority = pri;
+    resp.status = SolveStatus::kRejected;
+    resp.total_seconds = seconds_since(t.admitted, std::chrono::steady_clock::now());
+    t.promise.set_value(std::move(resp));
+    return fut;
+  }
+  queues_[cls].push_back(std::move(t));
+  const std::size_t depth = queues_[cls].size();
+  if (depth > depth_max_[cls]) depth_max_[cls] = depth;
+  const std::size_t depth_max = depth_max_[cls];
+  lock.unlock();
+  registry_.counter(std::string("svc.accepted.") + class_name(pri))->add(1);
+  registry_.gauge(std::string("svc.queue_depth.") + class_name(pri))
+      ->set(static_cast<double>(depth));
+  registry_.gauge(std::string("svc.queue_depth_max.") + class_name(pri))
+      ->set(static_cast<double>(depth_max));
+  cv_work_.notify_one();
+  return fut;
+}
+
+bool SolverService::next_ticket(Ticket& out) {
+  std::unique_lock lock(mtx_);
+  cv_work_.wait(lock, [this] {
+    return stopping_ || !queues_[0].empty() || !queues_[1].empty();
+  });
+  const bool has_i = !queues_[0].empty();
+  const bool has_b = !queues_[1].empty();
+  if (!has_i && !has_b) return false;  // stopping and drained
+  // Starvation-free priority: interactive first, but after
+  // `interactive_burst` consecutive interactive dispatches with batch work
+  // waiting, one batch request is forced through (bounded bypass count, so
+  // batch latency is bounded by burst * interactive service time).
+  std::size_t cls;
+  if (has_i && (!has_b || interactive_streak_ < opt_.interactive_burst)) {
+    cls = 0;
+    interactive_streak_ = has_b ? interactive_streak_ + 1 : 0;
+  } else {
+    cls = 1;
+    interactive_streak_ = 0;
+  }
+  out = std::move(queues_[cls].front());
+  queues_[cls].pop_front();
+  ++in_flight_;
+  const std::size_t depth = queues_[cls].size();
+  lock.unlock();
+  registry_.gauge(std::string("svc.queue_depth.") + class_name(static_cast<Priority>(cls)))
+      ->set(static_cast<double>(depth));
+  return true;
+}
+
+void SolverService::worker_main(int wid) {
+  // Attach the service registry for the thread's lifetime so svc-level spans
+  // and the plan cache's hit/miss counters land in it. solve_system nests its
+  // own Attach of the same registry via SolveConfig::registry.
+  obs::Attach attach(&registry_);
+  plan::PlanCache* cache =
+      worker_caches_.empty() ? &cache_ : worker_caches_[static_cast<std::size_t>(wid)].get();
+  // Per-worker scratch for the request-path copies (matrix values, RHS,
+  // boundary conditions): vector copy-assignment reuses the allocation, so
+  // the steady state pays a memcpy per request instead of a multi-MB
+  // malloc/free churn.
+  Scratch scratch;
+  Ticket t;
+  while (next_ticket(t)) process(std::move(t), cache, scratch);
+}
+
+void SolverService::process(Ticket t, plan::PlanCache* cache, Scratch& scratch) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  const double queue_wait = seconds_since(t.admitted, dequeued);
+  const char* cls = class_name(t.req.priority);
+  registry_.histogram(std::string("svc.queue_wait.") + cls)->record(queue_wait);
+
+  SolveResponse resp;
+  resp.id = t.id;
+  resp.priority = t.req.priority;
+  resp.queue_seconds = queue_wait;
+
+  bool delivered = false;
+  try {
+    const std::size_t span = registry_.span_begin("svc.request");
+    // models_ is a deque (stable addresses) and only grows, so holding the
+    // lock just for the lookup is enough.
+    const Model* model_ptr;
+    {
+      std::lock_guard lock(models_mtx_);
+      model_ptr = &models_[static_cast<std::size_t>(t.req.model)];
+    }
+    const Model& model = *model_ptr;
+
+    // Per-request deltas on a copy of the registered base system. The copy
+    // (matrix values + RHS) is the numeric cost every request pays; the
+    // symbolic set-up is what the shared plan cache amortizes away.
+    fem::System& sys = scratch.sys;
+    sys.a = model.base.a;
+    sys.b = model.base.b;
+    if (t.req.active_groups.empty()) {
+      contact::add_penalty(sys.a, model.groups, t.req.lambda);
+    } else {
+      std::vector<std::vector<int>> active;
+      active.reserve(model.groups.size());
+      for (std::size_t g = 0; g < model.groups.size(); ++g)
+        if (t.req.active_groups[g]) active.push_back(model.groups[g]);
+      contact::add_penalty(sys.a, active, t.req.lambda);
+    }
+    fem::BoundaryConditions& bc = scratch.bc;
+    bc = model.bc;
+    if (t.req.load_scale != 1.0)
+      for (auto& l : bc.loads) l.value *= t.req.load_scale;
+    fem::apply_boundary_conditions(sys, bc);
+
+    core::SolveConfig cfg = opt_.solve;
+    cfg.penalty = t.req.lambda;
+    cfg.plan_cache = cache;
+    cfg.registry = &registry_;  // re-entrant session entry
+    if (t.req.tolerance > 0.0) cfg.cg.tolerance = t.req.tolerance;
+
+    util::Timer solve_timer;
+    resp.report = core::solve_system(sys, model.sn, cfg);
+    const double solve_seconds = solve_timer.seconds();
+    resp.status = resp.report.status;
+    if (!opt_.keep_solutions) {
+      resp.report.solution.clear();
+      resp.report.solution.shrink_to_fit();
+    }
+    registry_.span_end(span);
+    registry_.histogram("svc.solve_seconds")->record(solve_seconds);
+    if (resp.report.plan_reused)
+      registry_.counter(std::string("svc.plan_reused.") + cls)->add(1);
+
+    resp.total_seconds = seconds_since(t.admitted, std::chrono::steady_clock::now());
+    registry_.histogram(std::string("svc.latency.") + cls)->record(resp.total_seconds);
+    const bool failed = !ok(resp.status);
+    registry_.counter(std::string("svc.completed.") + cls)->add(1);
+    if (failed) registry_.counter(std::string("svc.failed.") + cls)->add(1);
+    {
+      // count BEFORE resolving the future: a caller who has seen every
+      // future resolve must never read stale counts()
+      std::lock_guard lock(mtx_);
+      ++counts_.completed;
+      if (failed) ++counts_.failed;
+    }
+    delivered = true;
+    t.promise.set_value(std::move(resp));
+  } catch (...) {
+    // A throwing solve (factorization failure without resilience, stale
+    // plan, bad request state) must not kill the worker: the exception is
+    // delivered through the future and the request is accounted as failed.
+    registry_.counter(std::string("svc.failed.") + cls)->add(1);
+    if (!delivered) {
+      {
+        std::lock_guard lock(mtx_);
+        ++counts_.completed;
+        ++counts_.failed;
+      }
+      t.promise.set_exception(std::current_exception());
+    }
+  }
+  {
+    std::lock_guard lock(mtx_);
+    --in_flight_;
+    if (in_flight_ == 0 && queues_[0].empty() && queues_[1].empty()) cv_drain_.notify_all();
+  }
+}
+
+void SolverService::drain() {
+  std::unique_lock lock(mtx_);
+  cv_drain_.wait(lock,
+                 [this] { return in_flight_ == 0 && queues_[0].empty() && queues_[1].empty(); });
+}
+
+SolverService::Counts SolverService::counts() const {
+  std::lock_guard lock(mtx_);
+  return counts_;
+}
+
+void SolverService::publish_stats() {
+  if (worker_caches_.empty()) {
+    cache_.publish(registry_);
+    return;
+  }
+  // Vectorized orderings: per-worker caches. Publish each worker's view and
+  // fold the totals into the shared plan.cache.* gauges.
+  plan::CacheStats total;
+  for (std::size_t w = 0; w < worker_caches_.size(); ++w) {
+    worker_caches_[w]->publish(registry_, "plan.cache.worker." + std::to_string(w));
+    total += worker_caches_[w]->stats();
+  }
+  registry_.gauge("plan.cache.hits")->set(static_cast<double>(total.hits));
+  registry_.gauge("plan.cache.misses")->set(static_cast<double>(total.misses));
+  registry_.gauge("plan.cache.evictions")->set(static_cast<double>(total.evictions));
+  registry_.gauge("plan.cache.entries")->set(static_cast<double>(total.entries));
+}
+
+}  // namespace geofem::svc

@@ -1,0 +1,121 @@
+#include "svc/workload.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace geofem::svc {
+
+std::string to_string(ArrivalProcess a) {
+  return a == ArrivalProcess::kPoisson ? "poisson" : "burst";
+}
+
+namespace {
+
+SolveRequest draw_request(const TrafficClass& tc, util::Rng& rng) {
+  SolveRequest req;
+  req.model = tc.model;
+  req.priority = tc.priority;
+  req.lambda = tc.lambdas.empty()
+                   ? 1e6
+                   : tc.lambdas[static_cast<std::size_t>(
+                         rng.next_below(static_cast<std::uint64_t>(tc.lambdas.size())))];
+  req.load_scale = tc.load_scales.empty()
+                       ? 1.0
+                       : tc.load_scales[static_cast<std::size_t>(rng.next_below(
+                             static_cast<std::uint64_t>(tc.load_scales.size())))];
+  req.tolerance = tc.tolerance;
+  if (tc.drop_groups > 0 && tc.group_count > 0) {
+    req.active_groups.assign(static_cast<std::size_t>(tc.group_count), 1);
+    for (int d = 0; d < tc.drop_groups; ++d)
+      req.active_groups[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(tc.group_count)))] = 0;
+  }
+  return req;
+}
+
+/// Geometric burst size with mean `mean` (support >= 1).
+int draw_burst_size(int mean, util::Rng& rng) {
+  if (mean <= 1) return 1;
+  const double p = 1.0 / static_cast<double>(mean);
+  int size = 1;
+  while (rng.next_double() > p && size < 64 * mean) ++size;
+  return size;
+}
+
+}  // namespace
+
+std::vector<Event> generate(const WorkloadOptions& opt) {
+  std::vector<Event> events;
+  const util::Rng root(opt.seed);
+  for (std::size_t c = 0; c < opt.classes.size(); ++c) {
+    const TrafficClass& tc = opt.classes[c];
+    if (tc.rate <= 0.0) continue;
+    // Stream c of the root generator: 2^128 draws per class, so classes stay
+    // independent no matter how many requests each one generates.
+    util::Rng rng = root.stream(c + 1);
+    double t = 0.0;
+    if (tc.arrival == ArrivalProcess::kPoisson) {
+      for (t += rng.next_exponential(tc.rate); t < opt.horizon;
+           t += rng.next_exponential(tc.rate)) {
+        events.push_back({t, draw_request(tc, rng)});
+      }
+    } else {
+      // kBurst: the burst *starts* arrive as a Poisson process thinned so the
+      // mean request rate stays `rate`; requests inside a burst land at the
+      // same virtual instant (what a shared upstream timeout does to a
+      // service) — queue depth and p99 feel it, mean throughput does not.
+      const double burst_rate = tc.rate / static_cast<double>(std::max(1, tc.mean_burst));
+      for (t += rng.next_exponential(burst_rate); t < opt.horizon;
+           t += rng.next_exponential(burst_rate)) {
+        const int size = draw_burst_size(tc.mean_burst, rng);
+        for (int i = 0; i < size; ++i) events.push_back({t, draw_request(tc, rng)});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+  return events;
+}
+
+ReplayStats replay(SolverService& svc, const std::vector<Event>& events, double time_scale) {
+  ReplayStats stats;
+  std::vector<std::future<SolveResponse>> futures;
+  futures.reserve(events.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const Event& ev : events) {
+    if (time_scale > 0.0) {
+      const auto due = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(ev.time * time_scale));
+      std::this_thread::sleep_until(due);
+    }
+    futures.push_back(svc.submit(ev.request));
+    ++stats.submitted;
+  }
+  for (auto& f : futures) {
+    SolveResponse resp;
+    try {
+      resp = f.get();
+    } catch (...) {
+      // a throwing solve is a completed-but-failed request, not a lost one
+      ++stats.accepted;
+      ++stats.completed;
+      ++stats.failed;
+      continue;
+    }
+    if (resp.status == SolveStatus::kRejected) {
+      ++stats.rejected;
+      continue;
+    }
+    ++stats.accepted;
+    ++stats.completed;
+    if (!ok(resp.status)) ++stats.failed;
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace geofem::svc

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+
+/// svc::Workload — deterministic discrete-event workload generation and
+/// replay for SolverService (DESIGN.md §5g). Generation is pure simulation:
+/// the same WorkloadOptions always produce the same event list, because each
+/// traffic class draws from its own util::Rng stream (xoshiro256** jump
+/// streams — no shared-state RNG, no thread races). Replay then drives a live
+/// service with those arrivals and reports closed-form accounting.
+namespace geofem::svc {
+
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrival times at `rate`
+  kBurst,    ///< bursts of geometric size, exponential inter-burst gaps
+             ///< (same mean rate, much heavier queue-depth tail)
+};
+
+[[nodiscard]] std::string to_string(ArrivalProcess a);
+
+/// One traffic class of the mix: an arrival process plus the population the
+/// per-request deltas are drawn from (uniformly, from this class's stream).
+struct TrafficClass {
+  Priority priority = Priority::kBatch;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  double rate = 10.0;     ///< mean arrivals per virtual second
+  int mean_burst = 8;     ///< kBurst: mean requests per burst
+  ModelId model = 0;
+  std::vector<double> lambdas = {1e6};      ///< candidate contact penalties
+  std::vector<double> load_scales = {1.0};  ///< candidate load multipliers
+  double tolerance = 0.0;                   ///< per-request override (<=0: default)
+  /// When nonzero, each request deactivates this many randomly chosen contact
+  /// groups (contact-state churn; needs the group count at generate() time).
+  int drop_groups = 0;
+  int group_count = 0;  ///< model's contact group count (for drop_groups)
+};
+
+struct WorkloadOptions {
+  double horizon = 1.0;  ///< virtual seconds of arrivals per class
+  std::uint64_t seed = 42;
+  std::vector<TrafficClass> classes;
+};
+
+/// One scheduled arrival.
+struct Event {
+  double time = 0.0;  ///< virtual arrival time, seconds from replay start
+  SolveRequest request;
+};
+
+/// Deterministic DES generation: per-class independent streams, merged and
+/// sorted by arrival time (ties broken by class order, then sequence).
+[[nodiscard]] std::vector<Event> generate(const WorkloadOptions& opt);
+
+/// Replay accounting. Latency distributions live in the service registry
+/// (svc.latency.* / svc.queue_wait.* histograms); this carries the closed
+/// per-replay totals.
+struct ReplayStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  ///< futures resolved with a solve outcome
+  std::uint64_t failed = 0;     ///< completed with !ok(status)
+  double wall_seconds = 0.0;
+  /// Completed requests per wall second (the capacity-model number).
+  [[nodiscard]] double throughput() const {
+    return wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  }
+  /// No request may vanish: every submit either completed or was rejected.
+  [[nodiscard]] bool lossless() const { return submitted == completed + rejected; }
+};
+
+/// Drive `svc` with `events`. `time_scale` maps virtual to wall seconds
+/// (2.0 = twice as slow as generated; 0 = submit as fast as possible, the
+/// saturation/backpressure regime). Blocks until every accepted request has
+/// resolved. Responses are discarded after accounting; use submit() directly
+/// when the solutions themselves are needed.
+ReplayStats replay(SolverService& svc, const std::vector<Event>& events, double time_scale = 0.0);
+
+}  // namespace geofem::svc

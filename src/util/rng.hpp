@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace geofem::util {
@@ -43,6 +44,55 @@ class Rng {
 
   /// Uniform integer in [0, n).
   std::uint64_t next_below(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+  /// Exponential variate with rate `rate` (mean 1/rate) — Poisson-process
+  /// inter-arrival times for the service workload generator.
+  double next_exponential(double rate) {
+    // 1 - next_double() is in (0, 1], so the log argument is never zero.
+    double u = 1.0 - next_double();
+    return -std::log(u) / rate;
+  }
+
+  /// Advance 2^128 steps of the underlying sequence (the canonical
+  /// xoshiro256** jump polynomial). Starting from one seed, `k` jumps give
+  /// stream `k`: 2^128 non-overlapping draws per stream, so concurrent
+  /// service sessions never share state or overlap sequences.
+  void jump() {
+    static constexpr std::uint64_t kJump[4] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                               0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump)
+      for (int b = 0; b < 64; ++b) {
+        if (word & (1ULL << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        next_u64();
+      }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  /// Deterministically derive an independent child generator and advance this
+  /// one past the derivation draws. The child is re-seeded through splitmix64
+  /// (not just copied+jumped), so parent and child decorrelate even when many
+  /// splits happen in a tight loop.
+  Rng split() {
+    Rng child(next_u64() ^ 0x9e3779b97f4a7c15ULL);
+    return child;
+  }
+
+  /// Stream `k` of this generator: a copy jumped k times. Each stream has
+  /// 2^128 draws to itself — give one to each service session.
+  Rng stream(std::uint64_t k) const {
+    Rng r = *this;
+    for (std::uint64_t i = 0; i < k; ++i) r.jump();
+    return r;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "dist/comm.hpp"
 #include "obs/obs.hpp"
@@ -383,6 +384,137 @@ TEST(ObsExport, MultiRankMetricsJsonCarriesSpread) {
   EXPECT_DOUBLE_EQ(iters.at("max").number(), 300.0);
   EXPECT_DOUBLE_EQ(iters.at("mean").number(), 200.0);
   EXPECT_EQ(doc.at("per_rank").size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms (latency distributions: log-spaced bins, quantiles, merge)
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, RecordsBasicStatsAndQuantiles) {
+  go::Registry reg;
+  go::Histogram* h = reg.histogram("svc.latency");
+  for (int i = 1; i <= 100; ++i) h->record(static_cast<double>(i) * 1e-3);  // 1..100 ms
+  const go::HistogramData d = h->data();
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_NEAR(d.sum, 5.050, 1e-9);
+  EXPECT_DOUBLE_EQ(d.min, 1e-3);
+  EXPECT_DOUBLE_EQ(d.max, 0.1);
+  EXPECT_NEAR(d.mean(), 0.0505, 1e-12);
+  // log-spaced bins at 4/octave: ~19% relative edge spacing; quantiles are
+  // interpolated, so allow that resolution
+  EXPECT_NEAR(d.quantile(0.5), 0.050, 0.012);
+  EXPECT_NEAR(d.quantile(0.95), 0.095, 0.02);
+  EXPECT_GE(d.quantile(0.99), d.quantile(0.95));
+  // quantiles are clamped into [min, max]
+  EXPECT_GE(d.quantile(0.0), d.min);
+  EXPECT_LE(d.quantile(1.0), d.max);
+}
+
+TEST(ObsHistogram, EmptyHistogramIsInert) {
+  go::Registry reg;
+  const go::HistogramData d = reg.histogram("empty")->data();
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_DOUBLE_EQ(d.min, 0.0);
+  EXPECT_DOUBLE_EQ(d.max, 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, OutOfRangeValuesClampToEdgeBins) {
+  go::Registry reg;
+  go::Histogram* h = reg.histogram("h");
+  h->record(1e-30);  // below 2^-24
+  h->record(1e6);    // above 2^8
+  const go::HistogramData d = h->data();
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_DOUBLE_EQ(d.min, 1e-30);
+  EXPECT_DOUBLE_EQ(d.max, 1e6);
+  EXPECT_EQ(d.bins.front(), 1u);
+  EXPECT_EQ(d.bins.back(), 1u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordLosesNothing) {
+  go::Registry reg;
+  go::Histogram* h = reg.histogram("svc.latency");
+  constexpr int kThreads = 8, kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPer; ++i)
+        h->record(1e-3 * static_cast<double>(1 + ((t * kPer + i) % 64)));
+    });
+  for (auto& th : threads) th.join();
+  const go::HistogramData d = h->data();
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t binned = 0;
+  for (const std::uint64_t b : d.bins) binned += b;
+  EXPECT_EQ(binned, d.count);  // relaxed atomics still lose no increment
+  EXPECT_DOUBLE_EQ(d.min, 1e-3);
+  EXPECT_DOUBLE_EQ(d.max, 64e-3);
+}
+
+TEST(ObsHistogram, MergeMatchesCombinedRecording) {
+  go::Registry a, b, both;
+  for (int i = 1; i <= 50; ++i) {
+    a.histogram("h")->record(i * 1e-3);
+    both.histogram("h")->record(i * 1e-3);
+  }
+  for (int i = 51; i <= 80; ++i) {
+    b.histogram("h")->record(i * 1e-3);
+    both.histogram("h")->record(i * 1e-3);
+  }
+  go::HistogramData merged = a.histogram("h")->data();
+  merged.merge(b.histogram("h")->data());
+  const go::HistogramData ref = both.histogram("h")->data();
+  EXPECT_EQ(merged.count, ref.count);
+  EXPECT_DOUBLE_EQ(merged.sum, ref.sum);
+  EXPECT_DOUBLE_EQ(merged.min, ref.min);
+  EXPECT_DOUBLE_EQ(merged.max, ref.max);
+  ASSERT_EQ(merged.bins.size(), ref.bins.size());
+  for (std::size_t i = 0; i < ref.bins.size(); ++i) EXPECT_EQ(merged.bins[i], ref.bins[i]);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.95), ref.quantile(0.95));
+}
+
+TEST(ObsHistogram, CodecRoundTripsAndAggregates) {
+  go::Registry reg;
+  reg.counter("iters")->add(3);
+  for (int i = 1; i <= 40; ++i) reg.histogram("lat")->record(i * 1e-2);
+  const go::Snapshot orig = reg.snapshot();
+  const auto back = go::decode_all(go::encode(orig));
+  ASSERT_EQ(back.size(), 1u);
+  const go::HistogramData* d = back[0].histogram("lat");
+  ASSERT_NE(d, nullptr);
+  const go::HistogramData* o = orig.histogram("lat");
+  EXPECT_EQ(d->count, o->count);
+  EXPECT_DOUBLE_EQ(d->sum, o->sum);
+  EXPECT_DOUBLE_EQ(d->min, o->min);
+  EXPECT_DOUBLE_EQ(d->max, o->max);
+  for (std::size_t i = 0; i < o->bins.size(); ++i) EXPECT_EQ(d->bins[i], o->bins[i]);
+
+  // cross-rank aggregate merges bin-for-bin
+  const std::vector<go::Snapshot> ranks = {orig, back[0]};
+  const go::MergedReport rep = go::aggregate(ranks);
+  const go::HistogramData& agg = rep.histograms.at("lat");
+  EXPECT_EQ(agg.count, 2 * o->count);
+  EXPECT_DOUBLE_EQ(agg.min, o->min);
+  EXPECT_DOUBLE_EQ(agg.max, o->max);
+}
+
+TEST(ObsHistogram, MetricsJsonReportsQuantiles) {
+  go::Registry reg;
+  for (int i = 1; i <= 100; ++i) reg.histogram("svc.latency.batch")->record(i * 1e-3);
+  const go::Snapshot snap = reg.snapshot();
+  const auto doc = go::json::Value::parse(go::metrics_json(snap).dump(2));
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number(), 2.0);
+  const auto& h = doc.at("histograms").at("svc.latency.batch");
+  EXPECT_DOUBLE_EQ(h.at("count").number(), 100.0);
+  const go::HistogramData* d = snap.histogram("svc.latency.batch");
+  EXPECT_DOUBLE_EQ(h.at("p50").number(), d->quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.at("p95").number(), d->quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.at("p99").number(), d->quantile(0.99));
+  EXPECT_DOUBLE_EQ(h.at("min").number(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.at("max").number(), 0.1);
+  EXPECT_GT(h.at("mean").number(), 0.0);
 }
 
 TEST(ObsExport, SpanTreeListsNestedNames) {
