@@ -9,8 +9,17 @@
 // Hybrid runs as N ranks (one per SMP node, 8 modeled PEs inside via
 // PDJDS/MC chunks); flat MPI as 8N ranks. Time is replayed through the ES
 // machine model from measured FLOPs, loop lengths and traffic.
+//
+// Each configuration also runs with the two-level coarse correction
+// (DistOptions::coarse, one aggregate per domain, deflated) beside the
+// one-level baseline: the localized preconditioner's iteration growth with
+// the domain count is what the coarse space flattens, and both series land
+// in BENCH_*.json as per-domain-count gauges. CI runs the tiny shape
+// (GEOFEM_BENCH_TINY=1) as the two-level smoke test.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common.hpp"
 #include "dist/dist_solver.hpp"
@@ -26,7 +35,9 @@ int main(int argc, char** argv) {
   obs::Attach attach(&reg);
   bench::describe_problem(reg, 0);
   const perf::EsModel es;
-  const int e = bench::paper_scale() ? 14 : 10;  // per-SMP-node cube edge
+  const char* tiny_env = std::getenv("GEOFEM_BENCH_TINY");
+  const bool tiny = tiny_env && *tiny_env && std::string(tiny_env) != "0";
+  const int e = tiny ? 4 : (bench::paper_scale() ? 14 : 10);  // per-SMP-node cube edge
   std::cout << "== Figs 16-19: weak scaling, hybrid vs flat MPI, ICCG(0), "
             << 3 * (e + 1) * (e + 1) * (e + 1) << " DOF per SMP node ==\n\n";
 
@@ -34,9 +45,35 @@ int main(int argc, char** argv) {
     return std::make_unique<precond::BIC0>(aii);
   };
 
-  util::Table table({"SMP nodes", "model", "ranks", "iters", "modeled GFLOPS", "% peak",
-                     "work ratio %"});
+  util::Table table({"SMP nodes", "model", "ranks", "iters", "iters 2-level", "modeled GFLOPS",
+                     "% peak", "work ratio %"});
+  // Iteration series per model: the paper's growth curve (one-level) against
+  // the flattened two-level one. Growth is measured from the smallest
+  // MULTI-domain count — a single domain has no localization error, so its
+  // coarse space (3 rigid translations) has nothing to correct and would
+  // understate the flattening.
+  struct Series {
+    int first1 = 0, last1 = 0, first2 = 0, last2 = 0;
+    void record(int ranks, int iters1, int iters2) {
+      if (ranks < 2) return;
+      if (first1 == 0) {
+        first1 = iters1;
+        first2 = iters2;
+      }
+      last1 = iters1;
+      last2 = iters2;
+    }
+    [[nodiscard]] double growth1() const {
+      return first1 > 0 ? 100.0 * (last1 - first1) / first1 : 0.0;
+    }
+    [[nodiscard]] double growth2() const {
+      return first2 > 0 ? 100.0 * (last2 - first2) / first2 : 0.0;
+    }
+  };
+  Series flat_series, hybrid_series;
+  bool smoke_ok = true;
   for (int nodes : {1, 2, 4, 8}) {
+    if (tiny && nodes > 4) break;
     const mesh::HexMesh m = mesh::unit_cube(e * nodes, e, e, nodes, 1.0, 1.0);
     fem::System sys = fem::assemble_elasticity(m, {{1.0, 0.3}});
     fem::BoundaryConditions bc;
@@ -45,10 +82,25 @@ int main(int argc, char** argv) {
     fem::apply_boundary_conditions(sys, bc);
 
     for (bool hybrid : {false, true}) {
+      if (tiny && !hybrid) continue;  // smoke shape: keep the rank count small
       const int ranks = hybrid ? nodes : nodes * 8;
       const auto p = part::rcb(m.coords, ranks);
       const auto systems = part::distribute(sys.a, sys.b, p);
       const auto res = dist::solve_distributed(systems, factory);
+
+      dist::DistOptions copt;
+      copt.coarse.enabled = true;  // per-domain aggregates, deflated (defaults)
+      const auto res2 = dist::solve_distributed(systems, factory, copt);
+      smoke_ok = smoke_ok && res2.converged() &&
+                 res2.coarse_status == coarse::SetupStatus::kActive &&
+                 res2.iterations <= res.iterations;
+
+      const std::string series = hybrid ? "hybrid" : "flat";
+      const std::string dom = std::to_string(ranks);
+      reg.gauge("weak." + series + "." + dom + ".iters.one_level")->set(res.iterations);
+      reg.gauge("weak." + series + "." + dom + ".iters.two_level")->set(res2.iterations);
+      reg.gauge("weak." + series + "." + dom + ".coarse_dim")->set(res2.coarse_dim);
+      (hybrid ? hybrid_series : flat_series).record(ranks, res.iterations, res2.iterations);
 
       // Per-rank modeled time. Vector compute: the substitution/matvec loop
       // lengths of each rank's local matrix under its own MC/DJDS ordering.
@@ -88,14 +140,31 @@ int main(int argc, char** argv) {
       const double gf = perf::gflops(flops_total, elapsed);
       const double peak = static_cast<double>(nodes) * 8.0 * es.peak_per_pe / 1e9;
       table.row({std::to_string(nodes), hybrid ? "hybrid" : "flat MPI", std::to_string(ranks),
-                 std::to_string(res.iterations), util::Table::fmt(gf, 1),
-                 util::Table::fmt(100.0 * gf / peak, 1),
+                 std::to_string(res.iterations), std::to_string(res2.iterations),
+                 util::Table::fmt(gf, 1), util::Table::fmt(100.0 * gf / peak, 1),
                  util::Table::fmt(worst.work_ratio_percent(), 1)});
     }
   }
   table.print();
+  std::cout << "\niteration growth, smallest multi-domain -> largest domain count:\n";
+  for (const auto* s : {&flat_series, &hybrid_series}) {
+    const std::string name = s == &flat_series ? "flat" : "hybrid";
+    if (s->first1 == 0) continue;
+    reg.gauge("weak." + name + ".growth_percent.one_level")->set(s->growth1());
+    reg.gauge("weak." + name + ".growth_percent.two_level")->set(s->growth2());
+    std::cout << "  " << name << ": one-level " << util::Table::fmt(s->growth1(), 1)
+              << "%, two-level " << util::Table::fmt(s->growth2(), 1) << "%\n";
+  }
   bench::emit_json(reg, "fig16_19_weak_scaling", argc, argv, {&table});
   std::cout << "\nHybrid: fewer iterations and fewer MPI processes (better at scale);\n"
                "flat MPI: no OpenMP sync overhead (slightly better GFLOPS on few nodes).\n";
+  if (tiny) {
+    if (!smoke_ok) {
+      std::cout << "\ncoarse smoke FAILED\n";
+      return 1;
+    }
+    std::cout << "\ncoarse smoke passed (two-level active, converged, never more iterations "
+                 "than one-level)\n";
+  }
   return 0;
 }

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
       if (kind.fill == 0) return std::make_unique<precond::BIC0>(aii);
       return std::make_unique<precond::BlockILUk>(aii, kind.fill);
     };
-    util::Table table({"PE#", "iters", "modeled sec", "speed-up(x16)", "precond MB total"});
+    util::Table table(
+        {"PE#", "iters", "iters 2-level", "modeled sec", "speed-up(x16)", "precond MB total"});
     double t16 = 0.0;
     for (int ranks : pe_counts) {
       const auto p = part::rcb_contact_aware(m, ranks);
@@ -66,6 +67,19 @@ int main(int argc, char** argv) {
       dist::DistOptions opt;
       opt.cg.max_iterations = 5000;
       const auto res = dist::solve_distributed(systems, factory, opt);
+
+      // Two-level series beside the one-level baseline: per-domain aggregates
+      // + deflation, the iteration-flattening counterpoint to the paper's
+      // growth rows. Both series land in BENCH_*.json as per-PE-count gauges.
+      dist::DistOptions copt = opt;
+      copt.coarse.enabled = true;
+      const auto res2 = dist::solve_distributed(systems, factory, copt);
+      {
+        const std::string key = std::string("table04.") + kind.name + "." + std::to_string(ranks);
+        reg.gauge(key + ".iters.one_level")->set(res.iterations);
+        reg.gauge(key + ".iters.two_level")->set(res2.iterations);
+        reg.gauge(key + ".coarse_dim")->set(res2.coarse_dim);
+      }
       double elapsed = 0.0;
       double mem = 0.0;
       for (int r = 0; r < ranks; ++r) {
@@ -79,6 +93,7 @@ int main(int argc, char** argv) {
       if (ranks == 16) t16 = elapsed;
       table.row({std::to_string(ranks),
                  res.converged() ? std::to_string(res.iterations) : "no conv.",
+                 res2.converged() ? std::to_string(res2.iterations) : "no conv.",
                  util::Table::fmt(elapsed, 3),
                  util::Table::fmt(16.0 * t16 / std::max(elapsed, 1e-30), 1),
                  util::Table::fmt(mem / 1e6, 1)});

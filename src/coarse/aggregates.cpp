@@ -1,0 +1,49 @@
+#include "coarse/aggregates.hpp"
+
+#include "plan/fingerprint.hpp"
+#include "util/check.hpp"
+
+namespace geofem::coarse {
+
+std::uint64_t AggregateMap::fingerprint() const {
+  plan::Fnv1a h;
+  h.pod(count);
+  h.ints(node_to_agg);
+  return h.digest();
+}
+
+AggregateMap single_aggregate(int num_nodes) {
+  GEOFEM_CHECK(num_nodes >= 1, "single_aggregate: empty mesh");
+  AggregateMap m;
+  m.count = 1;
+  m.node_to_agg.assign(static_cast<std::size_t>(num_nodes), 0);
+  return m;
+}
+
+AggregateMap refine_by_groups(AggregateMap base,
+                              const std::vector<std::vector<int>>& groups) {
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;  // a cut / singleton group refines nothing
+    const int agg = base.count++;
+    for (int node : g) {
+      GEOFEM_CHECK(node >= 0 && node < static_cast<int>(base.node_to_agg.size()),
+                   "refine_by_groups: group node outside the aggregate map");
+      base.node_to_agg[static_cast<std::size_t>(node)] = agg;
+    }
+  }
+  return base;
+}
+
+AggregateMap from_global(const AggregateMap& global, const std::vector<int>& global_of_local) {
+  AggregateMap m;
+  m.count = global.count;
+  m.node_to_agg.reserve(global_of_local.size());
+  for (int g : global_of_local) {
+    GEOFEM_CHECK(g >= 0 && g < static_cast<int>(global.node_to_agg.size()),
+                 "from_global: local node maps outside the global aggregate map");
+    m.node_to_agg.push_back(global.node_to_agg[static_cast<std::size_t>(g)]);
+  }
+  return m;
+}
+
+}  // namespace geofem::coarse

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// geofem::coarse — the two-level coarse-space subsystem (DESIGN.md §5h).
+///
+/// The paper's localized preconditioning drops every coupling that crosses a
+/// domain boundary, so iteration counts grow with the number of domains
+/// (Table 4 / Figs 16-19 measure exactly this). This subsystem supplies the
+/// standard fix: a piecewise-constant coarse space — one aggregate per domain
+/// (or per contact group), three translational DOFs per aggregate — whose
+/// Galerkin operator A_c = R A P is assembled across all domains, factored
+/// redundantly on every rank, and applied as an additive or deflation-style
+/// second level around any existing one-level preconditioner.
+namespace geofem::coarse {
+
+/// Partition of fine nodes into aggregates: the piecewise-constant coarse
+/// space assigns every node to exactly one aggregate, and each aggregate
+/// carries one coarse DOF per displacement component (3 per aggregate).
+///
+/// In distributed runs the map covers *all local nodes* of a rank (internal
+/// and external), so the Galerkin assembly can attribute halo couplings to
+/// the neighbour's aggregate; restriction/prolongation only ever touch the
+/// internal nodes (each global node is internal on exactly one rank, so the
+/// summed restriction equals the global R^T r exactly).
+struct AggregateMap {
+  std::vector<int> node_to_agg;  ///< size = nodes covered; values in [0, count)
+  int count = 0;                 ///< number of aggregates
+
+  /// Structural identity of the map (FNV-1a over count + node_to_agg), the
+  /// plan-fingerprint component that keys coarse-enabled plans.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Everything in one aggregate — the serial (one-domain) default, where the
+/// coarse space is the three rigid translations of the whole mesh.
+[[nodiscard]] AggregateMap single_aggregate(int num_nodes);
+
+/// Refine `base` by giving every group with >= 2 members its own new
+/// aggregate (kPerContactGroup: contact groups concentrate the large-penalty
+/// couplings, so isolating them in the coarse space targets the paper's
+/// ill-conditioning directly). Groups touching nodes outside the map are
+/// rejected; singleton groups are left in their base aggregate.
+[[nodiscard]] AggregateMap refine_by_groups(AggregateMap base,
+                                            const std::vector<std::vector<int>>& groups);
+
+/// Restrict a global aggregate map to one rank's local numbering:
+/// node_to_agg[l] = global.node_to_agg[global_of_local[l]]. The count stays
+/// global — every rank sees the same coarse space.
+[[nodiscard]] AggregateMap from_global(const AggregateMap& global,
+                                       const std::vector<int>& global_of_local);
+
+}  // namespace geofem::coarse

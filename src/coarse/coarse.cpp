@@ -1,0 +1,152 @@
+#include "coarse/coarse.hpp"
+
+#include <algorithm>
+
+#include "core/status.hpp"
+#include "par/par.hpp"
+#include "util/check.hpp"
+
+namespace geofem::coarse {
+
+std::string to_string(SetupStatus s) {
+  switch (s) {
+    case SetupStatus::kOff: return "off";
+    case SetupStatus::kActive: return "active";
+    case SetupStatus::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+std::string to_string(Mode m) {
+  switch (m) {
+    case Mode::kAdditive: return "additive";
+    case Mode::kDeflated: return "deflated";
+  }
+  return "?";
+}
+
+std::string to_string(Aggregates a) {
+  switch (a) {
+    case Aggregates::kPerDomain: return "per-domain";
+    case Aggregates::kPerContactGroup: return "per-contact-group";
+  }
+  return "?";
+}
+
+CoarseSymbolic::CoarseSymbolic(const AggregateMap& map, int restrict_nodes)
+    : count_(map.count), restrict_nodes_(restrict_nodes), node_to_agg_(map.node_to_agg) {
+  GEOFEM_CHECK(count_ >= 1, "CoarseSymbolic: empty aggregate map");
+  GEOFEM_CHECK(restrict_nodes_ >= 1 &&
+                   restrict_nodes_ <= static_cast<int>(node_to_agg_.size()),
+               "CoarseSymbolic: restrict_nodes outside the aggregate map");
+  for (int g : node_to_agg_)
+    GEOFEM_CHECK(g >= 0 && g < count_, "CoarseSymbolic: aggregate id out of range");
+  members_.resize(static_cast<std::size_t>(count_));
+  for (int i = 0; i < restrict_nodes_; ++i)
+    members_[static_cast<std::size_t>(node_to_agg_[static_cast<std::size_t>(i)])].push_back(i);
+}
+
+std::size_t CoarseSymbolic::memory_bytes() const {
+  std::size_t bytes = node_to_agg_.size() * sizeof(int);
+  for (const auto& m : members_) bytes += m.size() * sizeof(int);
+  return bytes;
+}
+
+std::vector<double> accumulate(const sparse::BlockCSR& a, const CoarseSymbolic& sym) {
+  GEOFEM_CHECK(a.n >= sym.restrict_nodes() &&
+                   a.n <= static_cast<int>(sym.node_to_agg().size()),
+               "coarse::accumulate: matrix does not match the aggregate map");
+  const int nc = sym.dim();
+  const auto& agg = sym.node_to_agg();
+  std::vector<double> dense(static_cast<std::size_t>(nc) * static_cast<std::size_t>(nc), 0.0);
+  // One serial pass over the restricted rows: deterministic for every thread
+  // count, and cheap relative to a single fine matvec (same nnz, no spmv).
+  for (int i = 0; i < sym.restrict_nodes(); ++i) {
+    const int gi = agg[static_cast<std::size_t>(i)];
+    for (int e = a.rowptr[static_cast<std::size_t>(i)];
+         e < a.rowptr[static_cast<std::size_t>(i) + 1]; ++e) {
+      const int j = a.colind[static_cast<std::size_t>(e)];
+      const int gj = agg[static_cast<std::size_t>(j)];
+      const double* b = a.block(e);
+      double* dst = dense.data() + (static_cast<std::size_t>(gi) * 3) * nc +
+                    static_cast<std::size_t>(gj) * 3;
+      for (int ci = 0; ci < 3; ++ci)
+        for (int cj = 0; cj < 3; ++cj)
+          dst[static_cast<std::size_t>(ci) * nc + cj] += b[ci * 3 + cj];
+    }
+  }
+  return dense;
+}
+
+CoarseOperator::CoarseOperator(std::shared_ptr<const CoarseSymbolic> sym,
+                               const std::vector<double>& dense)
+    : sym_(std::move(sym)) {
+  GEOFEM_CHECK(sym_ != nullptr, "CoarseOperator: null symbolic");
+  const int nc = sym_->dim();
+  GEOFEM_CHECK(static_cast<int>(dense.size()) == nc * nc,
+               "CoarseOperator: dense operator size mismatch");
+  if (!lu_.factor(dense.data(), nc))
+    throw Error(StatusCode::kFactorizationFailed,
+                "coarse Galerkin operator is singular (" + std::to_string(nc) + " DOF)");
+}
+
+void CoarseOperator::restrict_residual(std::span<const double> r, std::span<double> y,
+                                       util::FlopCounter* fc) const {
+  const int nc = sym_->dim();
+  GEOFEM_CHECK(static_cast<int>(y.size()) == nc, "restrict_residual: bad coarse size");
+  GEOFEM_CHECK(r.size() >= static_cast<std::size_t>(sym_->restrict_nodes()) * 3,
+               "restrict_residual: residual shorter than the restricted nodes");
+  const auto& members = sym_->members();
+  const int team = par::threads();
+  // One task per coarse DOF (aggregate, component). Within a task the member
+  // sum uses the fixed kReduceChunk grid + pairwise combine, so the bits do
+  // not depend on how tasks are spread over the team.
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (std::ptrdiff_t t = 0; t < static_cast<std::ptrdiff_t>(nc); ++t) {
+    const auto& mem = members[static_cast<std::size_t>(t / 3)];
+    const int c = static_cast<int>(t % 3);
+    const std::size_t nm = mem.size();
+    const std::size_t nchunks = par::reduce_chunks(nm);
+    std::vector<double> partials(nchunks, 0.0);
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      const std::size_t b = ch * par::kReduceChunk;
+      const std::size_t e = std::min(b + par::kReduceChunk, nm);
+      double acc = 0.0;
+      for (std::size_t k = b; k < e; ++k)
+        acc += r[static_cast<std::size_t>(mem[k]) * 3 + static_cast<std::size_t>(c)];
+      partials[ch] = acc;
+    }
+    y[static_cast<std::size_t>(t)] = nchunks ? par::combine(partials.data(), nchunks) : 0.0;
+  }
+  if (fc) fc->blas1 += static_cast<std::uint64_t>(sym_->restrict_nodes()) * 3;
+}
+
+void CoarseOperator::solve(std::span<double> y, util::FlopCounter* fc) const {
+  GEOFEM_CHECK(static_cast<int>(y.size()) == sym_->dim(), "coarse solve: bad size");
+  lu_.solve(y.data());
+  if (fc) fc->precond += lu_.solve_flops();
+}
+
+void CoarseOperator::prolongate_add(std::span<const double> y, std::span<double> z,
+                                    util::FlopCounter* fc) const {
+  GEOFEM_CHECK(static_cast<int>(y.size()) == sym_->dim(), "prolongate_add: bad coarse size");
+  GEOFEM_CHECK(z.size() >= static_cast<std::size_t>(sym_->restrict_nodes()) * 3,
+               "prolongate_add: output shorter than the restricted nodes");
+  const auto& agg = sym_->node_to_agg();
+  const int n = sym_->restrict_nodes();
+  const int team = par::threads();
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+  for (int i = 0; i < n; ++i) {
+    const std::size_t g = static_cast<std::size_t>(agg[static_cast<std::size_t>(i)]) * 3;
+    for (int c = 0; c < 3; ++c)
+      z[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)] +=
+          y[g + static_cast<std::size_t>(c)];
+  }
+  if (fc) fc->blas1 += static_cast<std::uint64_t>(n) * 3;
+}
+
+std::size_t CoarseOperator::memory_bytes() const {
+  return sym_->memory_bytes() + lu_.memory_bytes();
+}
+
+}  // namespace geofem::coarse

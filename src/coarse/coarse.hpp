@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coarse/aggregates.hpp"
+#include "sparse/block_csr.hpp"
+#include "sparse/dense.hpp"
+#include "util/flops.hpp"
+
+namespace geofem::coarse {
+
+/// How fine nodes are aggregated into coarse DOFs.
+enum class Aggregates {
+  kPerDomain,        ///< one aggregate per domain (serial: one for the mesh)
+  kPerContactGroup,  ///< per-domain base refined by one aggregate per contact
+                     ///< group — isolates the large-penalty couplings
+};
+
+/// How the coarse correction combines with the one-level preconditioner M.
+enum class Mode {
+  kAdditive,  ///< z = M^-1 r + Q r                      (Q = P A_c^-1 R)
+  kDeflated,  ///< z = Q r + (I - QA) M^-1 (I - AQ) r     (BNN / deflation)
+};
+
+/// Knobs exposed through core::SolveConfig and dist::DistOptions.
+struct Options {
+  bool enabled = false;
+  Aggregates aggregates = Aggregates::kPerDomain;
+  /// Deflation is the default: the additive form only shifts the low end of
+  /// the spectrum, while the deflated form removes it — which is what makes
+  /// iteration counts near-flat in the #domains (see EXPERIMENTS.md).
+  Mode mode = Mode::kDeflated;
+};
+
+/// Outcome of coarse set-up, reported alongside the solve status. Degrading
+/// (a singular Galerkin operator) is typed, never thrown past set-up: the
+/// solve continues one-level, and in distributed runs the decision is
+/// allreduced so every rank degrades together.
+enum class SetupStatus {
+  kOff,       ///< coarse correction not requested
+  kActive,    ///< second level assembled, factored and applied
+  kDegraded,  ///< assembly/factorization failed; solve ran one-level
+};
+
+[[nodiscard]] std::string to_string(SetupStatus s);
+[[nodiscard]] std::string to_string(Mode m);
+[[nodiscard]] std::string to_string(Aggregates a);
+
+/// Structure-only half of the coarse level, cached inside a SolvePlan: the
+/// aggregate map plus the per-aggregate member lists that drive R/P.
+///
+/// `restrict_nodes` is how many leading nodes participate in restriction and
+/// prolongation — all of them in serial, the internal nodes in a distributed
+/// local system (external halo nodes still appear in node_to_agg so the
+/// Galerkin assembly can attribute their couplings, but each global node is
+/// restricted on exactly one rank).
+class CoarseSymbolic {
+ public:
+  CoarseSymbolic(const AggregateMap& map, int restrict_nodes);
+
+  [[nodiscard]] int aggregates() const { return count_; }
+  /// Coarse problem size: 3 translational DOFs per aggregate.
+  [[nodiscard]] int dim() const { return count_ * 3; }
+  [[nodiscard]] int restrict_nodes() const { return restrict_nodes_; }
+  [[nodiscard]] const std::vector<int>& node_to_agg() const { return node_to_agg_; }
+  /// Per aggregate: its member nodes < restrict_nodes(), ascending.
+  [[nodiscard]] const std::vector<std::vector<int>>& members() const { return members_; }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  int count_ = 0;
+  int restrict_nodes_ = 0;
+  std::vector<int> node_to_agg_;
+  std::vector<std::vector<int>> members_;
+};
+
+/// This rank's contribution to the Galerkin coarse operator: the dense
+/// dim x dim matrix sum_{i < restrict_nodes, j} P(i)^T A_ij P(j) over the
+/// stored blocks of `a`. Serial by design (cost is one pass over the matrix),
+/// so it is bit-identical for every thread count; in distributed runs the
+/// per-rank contributions are summed in rank order (Comm::allreduce_sum on
+/// the flattened matrix), which makes the replicated A_c bit-identical too.
+[[nodiscard]] std::vector<double> accumulate(const sparse::BlockCSR& a,
+                                             const CoarseSymbolic& sym);
+
+/// The factored coarse level: A_c = R A P held as a DenseLU, solved
+/// redundantly wherever it lives (every rank owns an identical copy).
+/// Construction throws geofem::Error(kFactorizationFailed) if A_c is
+/// singular — callers degrade to one-level with SetupStatus::kDegraded.
+class CoarseOperator {
+ public:
+  CoarseOperator(std::shared_ptr<const CoarseSymbolic> sym, const std::vector<double>& dense);
+
+  [[nodiscard]] int dim() const { return sym_->dim(); }
+  [[nodiscard]] const CoarseSymbolic& symbolic() const { return *sym_; }
+
+  /// y = R r (size dim()). Per coarse DOF the member sum runs over a fixed
+  /// kReduceChunk grid combined with par::combine — the same arithmetic for
+  /// every team size, which is what keeps two-level residual histories
+  /// bit-identical across thread counts.
+  void restrict_residual(std::span<const double> r, std::span<double> y,
+                         util::FlopCounter* fc = nullptr) const;
+
+  /// y := A_c^-1 y in place (redundant dense solve).
+  void solve(std::span<double> y, util::FlopCounter* fc = nullptr) const;
+
+  /// z += P y. Disjoint element writes; any schedule gives the same bits.
+  void prolongate_add(std::span<const double> y, std::span<double> z,
+                      util::FlopCounter* fc = nullptr) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::shared_ptr<const CoarseSymbolic> sym_;
+  sparse::DenseLU lu_;
+};
+
+}  // namespace geofem::coarse

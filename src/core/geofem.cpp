@@ -9,6 +9,7 @@
 #include "precond/djds_bic.hpp"
 #include "precond/sb_bic0.hpp"
 #include "precond/scalar_ic0.hpp"
+#include "precond/two_level.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -65,22 +66,51 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
   pcfg.colors = cfg.colors;
   pcfg.npe = cfg.npe;
   pcfg.sort_supernodes = cfg.sort_supernodes;
+  pcfg.coarse = cfg.coarse.enabled;
+  coarse::AggregateMap agg;
+  if (cfg.coarse.enabled) {
+    GEOFEM_CHECK(cfg.ordering == OrderingKind::kNatural,
+                 "coarse correction requires the natural ordering");
+    agg = coarse::single_aggregate(sys.a.n);
+    if (cfg.coarse.aggregates == coarse::Aggregates::kPerContactGroup)
+      agg = coarse::refine_by_groups(std::move(agg), sn.members);
+  }
+  const coarse::AggregateMap* aggp = cfg.coarse.enabled ? &agg : nullptr;
   std::shared_ptr<const plan::SolvePlan> p;
   if (cfg.use_plan_cache) {
     plan::PlanCache& cache = cfg.plan_cache ? *cfg.plan_cache : plan::default_cache();
     // get() reports the hit directly: under concurrent sessions a stats()
     // delta would attribute other callers' hits to this solve.
     bool hit = false;
-    p = cache.get(sys.a, sn, pcfg, &hit);
+    p = cache.get(sys.a, sn, pcfg, &hit, aggp);
     rep.plan_cache = cache.stats();
     rep.plan_reused = hit;
   } else {
-    p = std::make_shared<plan::SolvePlan>(sys.a, sn, pcfg);
+    p = std::make_shared<plan::SolvePlan>(sys.a, sn, pcfg, aggp);
   }
   rep.symbolic_seconds = p->symbolic_seconds();
   util::Timer numeric_timer;
-  auto prec = p->numeric(sys.a);
+  precond::PreconditionerPtr prec = p->numeric(sys.a);
   rep.numeric_seconds = numeric_timer.seconds();
+  if (cfg.coarse.enabled) {
+    // Second level: assemble (value-memoized in the plan) and factor A_c,
+    // then wrap the one-level factorization. A singular A_c is a typed,
+    // non-fatal outcome — the solve continues one-level.
+    util::Timer coarse_timer;
+    rep.coarse_status = coarse::SetupStatus::kActive;
+    try {
+      auto op = p->coarse_numeric(sys.a);
+      rep.coarse_dim = op->dim();
+      prec = std::make_unique<precond::TwoLevel>(std::move(prec), std::move(op), sys.a,
+                                                 cfg.coarse.mode);
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kFactorizationFailed) throw;
+      rep.coarse_status = coarse::SetupStatus::kDegraded;
+      if (reg) reg->counter("coarse.degraded")->add(1);
+    }
+    rep.coarse_setup_seconds = coarse_timer.seconds();
+    if (reg) reg->gauge("coarse.dim")->set(static_cast<double>(rep.coarse_dim));
+  }
   rep.setup_seconds = setup.seconds();
   if (reg) reg->span_end(setup_idx);
   if (reg) reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
@@ -228,11 +258,6 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
   out.attempts = std::move(attempted);
   if (reg) reg->counter("core.fallback.exhausted")->add(1);
   return out;
-}
-
-SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
-                         const SolveConfig& cfg) {
-  return solve_system(sys, contact::build_supernodes(sys.a.n, groups), cfg);
 }
 
 }  // namespace geofem::core

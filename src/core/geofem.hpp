@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "coarse/coarse.hpp"
 #include "contact/penalty.hpp"
 #include "core/resilience.hpp"
 #include "core/status.hpp"
@@ -61,6 +62,12 @@ struct SolveConfig {
   /// default options are bit-identical to a build without the resilience
   /// layer.
   ResilienceOptions resilience;
+  /// Two-level coarse-space correction wrapped around the preconditioner
+  /// (DESIGN.md §5h). Natural ordering only; per-contact-group aggregation
+  /// reads the supernode map's groups. A singular coarse operator degrades
+  /// the solve to one level (SolveReport::coarse_status == kDegraded) rather
+  /// than failing it.
+  coarse::Options coarse;
 };
 
 struct SolveReport {
@@ -90,6 +97,10 @@ struct SolveReport {
   double symbolic_seconds = 0.0;   ///< structure phase when the plan was built
   double numeric_seconds = 0.0;    ///< value phase of this solve
   plan::CacheStats plan_cache;     ///< stats of the cache consulted
+  // two-level coarse correction (kOff unless SolveConfig::coarse.enabled)
+  coarse::SetupStatus coarse_status = coarse::SetupStatus::kOff;
+  int coarse_dim = 0;              ///< coarse DOFs (3 per aggregate) when active
+  double coarse_setup_seconds = 0.0;  ///< Galerkin assembly + dense factorization
 
   [[nodiscard]] bool converged() const { return ok(status); }
 };
@@ -108,12 +119,6 @@ SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& mate
 /// so callers can't hand in a group list inconsistent with the matrix they
 /// assembled it from.
 SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
-                         const SolveConfig& cfg);
-
-/// Deprecated: build the supernode map yourself with
-/// contact::build_supernodes(sys.a.n, groups) and call the overload above.
-[[deprecated("pass contact::build_supernodes(sys.a.n, groups) instead of raw groups")]]
-SolveReport solve_system(const fem::System& sys, const std::vector<std::vector<int>>& groups,
                          const SolveConfig& cfg);
 
 }  // namespace geofem::core

@@ -112,6 +112,25 @@ double Comm::allreduce_sum(double value) {
   return rt_->reduce(rank_, value, false, timeout_seconds_);
 }
 
+std::vector<double> Comm::allreduce_sum(std::span<const double> data) {
+  ++traffic_.allreduces;
+  const std::size_t n = data.size();
+  std::vector<double> all = gather(0, data);
+  std::vector<double> sum;
+  if (rank_ == 0) {
+    GEOFEM_CHECK(all.size() == n * static_cast<std::size_t>(size_),
+                 "allreduce_sum: ranks disagree on the vector length");
+    sum.assign(n, 0.0);
+    // Rank-ascending accumulation: the same order every run, every rank count
+    // pairing, so the replicated result is deterministic down to the bits.
+    for (int r = 0; r < size_; ++r) {
+      const double* part = all.data() + static_cast<std::size_t>(r) * n;
+      for (std::size_t i = 0; i < n; ++i) sum[i] += part[i];
+    }
+  }
+  return broadcast(0, sum);
+}
+
 double Comm::allreduce_max(double value) {
   ++traffic_.allreduces;
   return rt_->reduce(rank_, value, true, timeout_seconds_);

@@ -77,6 +77,12 @@ class Comm {
   /// (deterministic rank-ascending summation order).
   double allreduce_sum(double value);
 
+  /// Element-wise global sum of a vector (all ranks pass the same length).
+  /// Implemented as gather(0) + rank-ascending summation + broadcast(0), so
+  /// the result is bit-identical on every rank and independent of thread
+  /// scheduling — the coarse Galerkin operator relies on this.
+  std::vector<double> allreduce_sum(std::span<const double> data);
+
   /// Global max (same contract).
   double allreduce_max(double value);
 

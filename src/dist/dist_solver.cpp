@@ -136,6 +136,37 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   std::vector<int> burnt_iters(static_cast<std::size_t>(ndom), 0);
   std::vector<double> relres(static_cast<std::size_t>(ndom), 0.0);
   std::vector<SolveStatus> statuses(static_cast<std::size_t>(ndom), SolveStatus::kMaxIterations);
+  std::vector<coarse::SetupStatus> cstats(static_cast<std::size_t>(ndom),
+                                          coarse::SetupStatus::kOff);
+  std::vector<int> cdims(static_cast<std::size_t>(ndom), 0);
+
+  // Two-level set-up, structural half: the aggregate map is global (one
+  // aggregate per domain = the owner of each global node, optionally refined
+  // per contact group), built once here and restricted to each rank's local
+  // numbering — halo columns then resolve to the neighbour's aggregate.
+  std::vector<coarse::AggregateMap> rank_agg;
+  if (opt.coarse.enabled) {
+    int gnodes = 0;
+    for (const auto& ls : systems)
+      for (int g : ls.global_of_local) gnodes = std::max(gnodes, g + 1);
+    coarse::AggregateMap global_agg;
+    global_agg.count = ndom;
+    global_agg.node_to_agg.assign(static_cast<std::size_t>(gnodes), -1);
+    for (int d = 0; d < ndom; ++d) {
+      const auto& ls = systems[static_cast<std::size_t>(d)];
+      for (int l = 0; l < ls.num_internal; ++l)
+        global_agg.node_to_agg[static_cast<std::size_t>(
+            ls.global_of_local[static_cast<std::size_t>(l)])] = d;
+    }
+    for (int g : global_agg.node_to_agg)
+      GEOFEM_CHECK(g >= 0, "coarse set-up: global node internal to no domain");
+    if (opt.coarse.aggregates == coarse::Aggregates::kPerContactGroup)
+      global_agg = coarse::refine_by_groups(std::move(global_agg), opt.coarse_groups);
+    rank_agg.reserve(static_cast<std::size_t>(ndom));
+    for (int d = 0; d < ndom; ++d)
+      rank_agg.push_back(coarse::from_global(
+          global_agg, systems[static_cast<std::size_t>(d)].global_of_local));
+  }
 
   if (x_global) {
     std::size_t total = 0;
@@ -218,6 +249,57 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       bool build_failed_global = false;
       if (opt.resilience.enabled)
         build_failed_global = comm.allreduce_max(build_failed ? 1.0 : 0.0) > 0.0;
+
+      // Two-level set-up, numeric half: each rank assembles its Galerkin
+      // contribution from ls.a (internal rows, ALL local columns — that is
+      // exactly the coupling the localized preconditioner drops), the dense
+      // contributions are summed in rank order, and every rank factors the
+      // identical replicated A_c. Degrading on a singular A_c is a global
+      // decision (allreduced), so lockstep collectives stay aligned.
+      std::shared_ptr<const coarse::CoarseOperator> cop;
+      if (opt.coarse.enabled) {
+        obs::ScopedSpan coarse_span("dist.coarse.setup");
+        util::Timer coarse_timer;
+        std::shared_ptr<const coarse::CoarseSymbolic> csym;
+        std::shared_ptr<const std::vector<double>> contrib;
+        const contact::Supernodes no_sn;
+        if (opt.plan_cache) {
+          // Keyed on the full local matrix ls.a (not aii: its graph drops the
+          // halo columns the assembly needs). kDiagonal+natural carries no
+          // symbolic state, so the plan is purely the coarse schedule + the
+          // value-hash memo that makes warm λ-cycles skip the assembly.
+          plan::PlanConfig ccfg;
+          ccfg.precond = plan::PrecondKind::kDiagonal;
+          ccfg.coarse = true;
+          auto cplan = opt.plan_cache->get(ls.a, no_sn, ccfg, nullptr, &rank_agg[rank],
+                                           ls.num_internal);
+          csym = cplan->coarse_symbolic();
+          contrib = cplan->coarse_contribution(ls.a);
+        } else {
+          csym = std::make_shared<coarse::CoarseSymbolic>(rank_agg[rank], ls.num_internal);
+          contrib =
+              std::make_shared<const std::vector<double>>(coarse::accumulate(ls.a, *csym));
+        }
+        const std::vector<double> ac = comm.allreduce_sum(std::span<const double>(*contrib));
+        bool coarse_failed = false;
+        try {
+          cop = std::make_shared<const coarse::CoarseOperator>(std::move(csym), ac);
+        } catch (const Error& e) {
+          if (e.code() != StatusCode::kFactorizationFailed) throw;
+          coarse_failed = true;
+        }
+        if (comm.allreduce_max(coarse_failed ? 1.0 : 0.0) > 0.0) {
+          cop.reset();
+          cstats[rank] = coarse::SetupStatus::kDegraded;
+          if (opt.telemetry) rank_reg.counter("coarse.degraded")->add(1);
+        } else {
+          cstats[rank] = coarse::SetupStatus::kActive;
+          cdims[rank] = cop->dim();
+          if (opt.telemetry) rank_reg.gauge("dist.coarse.dim")->set(cop->dim());
+        }
+        if (opt.telemetry)
+          rank_reg.gauge("dist.coarse.setup_seconds")->set(coarse_timer.seconds());
+      }
       setup_seconds[rank] = setup.seconds();
       if (prec) res.precond_bytes_per_rank[rank] = prec->memory_bytes();
       const std::size_t solve_span =
@@ -247,6 +329,55 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
             2ULL * sparse::kBB * static_cast<std::uint64_t>(ls.a.rowptr[ls.num_internal]);
       };
 
+      // Coarse-aware preconditioner application. The coarse residual is a
+      // global quantity: each rank restricts its internal rows, the coarse
+      // vectors are allreduced (rank-ascending, bit-identical everywhere) and
+      // the replicated A_c is solved redundantly. Every rank runs the same
+      // collective sequence per apply, so CG's lockstep is preserved.
+      std::vector<double> cyc, cq, cv, ct, cz1, cmz;
+      if (cop) {
+        cyc.resize(static_cast<std::size_t>(cop->dim()));
+        if (opt.coarse.mode == coarse::Mode::kDeflated) {
+          cq.assign(nl, 0.0);
+          cv.resize(ni);
+          ct.resize(ni);
+          cz1.resize(ni);
+          cmz.assign(nl, 0.0);
+        }
+      }
+      auto coarse_solve_global = [&](std::span<const double> fine) {
+        cop->restrict_residual(fine, cyc, fc);
+        const std::vector<double> gy = comm.allreduce_sum(std::span<const double>(cyc));
+        std::copy(gy.begin(), gy.end(), cyc.begin());
+        cop->solve(cyc, fc);
+      };
+      auto apply_precond = [&](const precond::Preconditioner& m, std::vector<double>& rr,
+                               std::vector<double>& zz) {
+        if (!cop) {
+          m.apply(rr, zz, fc, lp);
+          return;
+        }
+        coarse_solve_global(rr);  // cyc = A_c^-1 R r
+        if (opt.coarse.mode == coarse::Mode::kAdditive) {
+          m.apply(rr, zz, fc, lp);
+          cop->prolongate_add(cyc, zz, fc);
+          return;
+        }
+        // Deflated (BNN): z = q + (I - QA) M^-1 (r - A q), q = Q r.
+        std::fill(cq.begin(), cq.end(), 0.0);
+        cop->prolongate_add(cyc, cq, fc);  // q = P yc (internal part)
+        matvec(cq, cv);                    // cv = A q
+        for (std::size_t i = 0; i < ni; ++i) ct[i] = rr[i] - cv[i];
+        m.apply(ct, cz1, fc, lp);          // cz1 = M^-1 (r - A q)
+        std::copy(cz1.begin(), cz1.end(), cmz.begin());
+        matvec(cmz, cv);                   // cv = A cz1
+        coarse_solve_global(cv);           // cyc = A_c^-1 R A cz1
+        for (std::size_t i = 0; i < ni; ++i) zz[i] = cq[i] + cz1[i];
+        for (double& v : cyc) v = -v;
+        cop->prolongate_add(cyc, zz, fc);  // z -= P A_c^-1 R A cz1
+        fc->blas1 += 3 * ni;
+      };
+
       // r = b (zero initial guess)
       for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
       bnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(ls.b), std::span(ls.b), fc)));
@@ -264,7 +395,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
         int it = 0;
         SolveStatus s = SolveStatus::kMaxIterations;
         while (total_iters < cgopt.max_iterations && rnorm / bnorm > cgopt.tolerance) {
-          m.apply(r, z, fc, lp);
+          apply_precond(m, r, z);
           const double rho = comm.allreduce_sum(sparse::dot(std::span(r), std::span(z), fc));
           if (!(rho > 0.0)) {
             s = SolveStatus::kBreakdown;
@@ -415,6 +546,8 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   res.iterations = iters[0];
   res.fallback_iterations = burnt_iters[0];
   res.relative_residual = relres[0];
+  res.coarse_status = cstats[0];
+  res.coarse_dim = cdims[0];
   for (double s : setup_seconds) res.setup_seconds_max = std::max(res.setup_seconds_max, s);
   return res;
 }

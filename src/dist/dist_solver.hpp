@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "coarse/coarse.hpp"
 #include "core/resilience.hpp"
 #include "core/status.hpp"
 #include "dist/comm.hpp"
@@ -56,6 +57,18 @@ struct DistOptions {
   /// change: per-rank messages and per-row arithmetic are unchanged, so
   /// results are bit-identical with overlap on or off.
   bool overlap = true;
+  /// Two-level coarse-space correction (DESIGN.md §5h): one aggregate per
+  /// domain (optionally refined per contact group — see coarse_groups), the
+  /// Galerkin operator allreduced across ranks and factored redundantly on
+  /// every rank. This is what flattens the iteration growth the localized
+  /// preconditioners show as the domain count rises (Table 4 / Figs 16-19).
+  /// A singular coarse operator degrades every rank together to one level
+  /// (DistResult::coarse_status == kDegraded) — lockstep is preserved.
+  coarse::Options coarse;
+  /// Contact groups in GLOBAL node ids, consulted when
+  /// coarse.aggregates == kPerContactGroup (groups of >= 2 nodes each get
+  /// their own aggregate on top of the per-domain base).
+  std::vector<std::vector<int>> coarse_groups;
 };
 
 struct DistResult {
@@ -87,6 +100,10 @@ struct DistResult {
   obs::MergedReport obs_merged;
   /// Snapshot of DistOptions::plan_cache after the run (zero when unset).
   plan::CacheStats plan_cache;
+  /// Two-level coarse correction outcome (kOff unless DistOptions::coarse
+  /// .enabled; identical on every rank — the degrade decision is allreduced).
+  coarse::SetupStatus coarse_status = coarse::SetupStatus::kOff;
+  int coarse_dim = 0;  ///< coarse DOFs (3 per aggregate) when active
 
   [[nodiscard]] bool converged() const { return ok(status); }
 

@@ -58,6 +58,9 @@ ALMResult solve_tied_contact_alm(const mesh::HexMesh& m,
       return false;
     }
     res.setup_seconds_per_cycle.push_back(t.seconds());
+    // Surfaces the composed name (e.g. "SB-BIC(0)+coarse(deflated,6)") so a
+    // workload trace shows whether the cycles ran one- or two-level.
+    if (reg) reg->set_meta("alm.precond", prec->name());
     return true;
   };
   const bool setup_ok = opt.refresh_precond_each_cycle || build_precond();

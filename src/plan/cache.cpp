@@ -27,8 +27,10 @@ PlanCache::~PlanCache() = default;
 
 std::shared_ptr<const SolvePlan> PlanCache::get(const sparse::BlockCSR& a,
                                                 const contact::Supernodes& sn,
-                                                const PlanConfig& cfg, bool* hit) {
-  const PlanKey key = make_key(a, sn, cfg);
+                                                const PlanConfig& cfg, bool* hit,
+                                                const coarse::AggregateMap* agg,
+                                                int restrict_nodes) {
+  const PlanKey key = make_key(a, sn, cfg, agg, restrict_nodes);
   Shard& sh = shard_for(key);
   {
     std::lock_guard lock(sh.mtx);
@@ -47,7 +49,7 @@ std::shared_ptr<const SolvePlan> PlanCache::get(const sparse::BlockCSR& a,
   if (hit) *hit = false;
   // Build outside the lock: concurrent sessions building distinct plans do
   // not serialize, and symbolic set-up can be expensive.
-  auto plan = std::make_shared<const SolvePlan>(a, sn, cfg);
+  auto plan = std::make_shared<const SolvePlan>(a, sn, cfg, agg, restrict_nodes);
   std::lock_guard lock(sh.mtx);
   if (auto it = sh.map.find(key); it != sh.map.end()) {
     // Lost a race with another thread building the same plan; keep theirs

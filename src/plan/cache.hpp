@@ -60,9 +60,13 @@ class PlanCache {
   /// Look up (building on miss) the plan for `a`'s graph under `sn` and
   /// `cfg`. `hit` (optional) reports whether THIS call was served from the
   /// cache — under concurrent sessions that is not derivable from stats()
-  /// deltas, which interleave with other callers.
+  /// deltas, which interleave with other callers. Coarse-enabled configs
+  /// (cfg.coarse) pass the aggregate map and the restricted-node count, which
+  /// join the key (see make_key) and seed the plan's CoarseSymbolic.
   std::shared_ptr<const SolvePlan> get(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                                       const PlanConfig& cfg, bool* hit = nullptr);
+                                       const PlanConfig& cfg, bool* hit = nullptr,
+                                       const coarse::AggregateMap* agg = nullptr,
+                                       int restrict_nodes = -1);
 
   /// Totals across shards. Each shard is read under its own lock, so every
   /// completed lookup is counted exactly once; shards are sampled in

@@ -1,5 +1,8 @@
 #include "plan/fingerprint.hpp"
 
+#include "coarse/aggregates.hpp"
+#include "util/check.hpp"
+
 namespace geofem::plan {
 
 std::string to_string(PrecondKind k) {
@@ -24,7 +27,8 @@ std::uint64_t graph_fingerprint(const sparse::BlockCSR& a) {
 }
 
 PlanKey make_key(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                 const PlanConfig& cfg) {
+                 const PlanConfig& cfg, const coarse::AggregateMap* agg,
+                 int restrict_nodes) {
   Fnv1a h;
   h.pod(a.n);
   h.ints(a.rowptr);
@@ -36,6 +40,15 @@ PlanKey make_key(const sparse::BlockCSR& a, const contact::Supernodes& sn,
     h.pod(cfg.colors);
     h.pod(cfg.npe);
     h.pod(static_cast<int>(cfg.sort_supernodes));
+  }
+  if (cfg.coarse) {
+    GEOFEM_CHECK(agg != nullptr, "make_key: coarse-enabled config needs an aggregate map");
+    // Marker first so a coarse key can never alias the plain key of a stream
+    // that happens to continue the same way.
+    h.pod(static_cast<int>(1));
+    h.pod(agg->count);
+    h.ints(agg->node_to_agg);
+    h.pod(restrict_nodes < 0 ? a.n : restrict_nodes);
   }
   return PlanKey{h.digest(), a.n, a.nnz_blocks()};
 }

@@ -9,6 +9,10 @@
 #include "contact/penalty.hpp"
 #include "sparse/block_csr.hpp"
 
+namespace geofem::coarse {
+struct AggregateMap;
+}
+
 /// geofem::plan — the solve-plan subsystem (DESIGN.md §5c).
 ///
 /// A SolvePlan captures everything *structure-dependent* about one linear
@@ -58,6 +62,11 @@ struct PlanConfig {
   int colors = 20;              ///< MC target color count (PDJDS path)
   int npe = 8;                  ///< PEs per SMP node (PDJDS path)
   bool sort_supernodes = true;  ///< Fig 22 switch (PDJDS path)
+  /// Plan additionally carries the two-level coarse schedule (aggregate
+  /// member lists + Galerkin assembly memo). Coarse-enabled keys hash the
+  /// aggregate map, so the same graph with and without a coarse space — or
+  /// with different aggregations — are distinct plans.
+  bool coarse = false;
 };
 
 /// Incremental FNV-1a 64-bit hash. Byte-order sensitive by construction, so
@@ -92,6 +101,17 @@ class Fnv1a {
     if (i < v.size()) pod(v[i]);
     return *this;
   }
+  /// Value arrays (matrix entries): one fold per double. Used by the coarse
+  /// assembly memo to detect unchanged numeric values cheaply.
+  Fnv1a& doubles(std::span<const double> v) {
+    for (double d : v) {
+      std::uint64_t w;
+      std::memcpy(&w, &d, sizeof w);
+      h_ ^= w;
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
 
   [[nodiscard]] std::uint64_t digest() const { return h_; }
 
@@ -117,7 +137,12 @@ struct PlanKey {
 /// Full plan key: graph + supernode map + the structure-relevant config
 /// fields. PDJDS-only knobs (colors, npe, supernode sort) are hashed only on
 /// the PDJDS orderings, so natural-ordering plans are shared across them.
+/// Coarse-enabled configs (cfg.coarse) additionally hash the aggregate map
+/// and the restricted-node count (`restrict_nodes`; -1 means all of a.n —
+/// distributed local systems restrict over their internal nodes only).
 [[nodiscard]] PlanKey make_key(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                               const PlanConfig& cfg);
+                               const PlanConfig& cfg,
+                               const coarse::AggregateMap* agg = nullptr,
+                               int restrict_nodes = -1);
 
 }  // namespace geofem::plan

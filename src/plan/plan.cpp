@@ -1,9 +1,11 @@
 #include "plan/plan.hpp"
 
 #include "core/status.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "precond/diagonal.hpp"
 #include "precond/djds_bic.hpp"
+#include "precond/two_level.hpp"
 #include "reorder/coloring.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -13,12 +15,17 @@ namespace geofem::plan {
 using sparse::kB;
 
 SolvePlan::SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                     const PlanConfig& cfg)
+                     const PlanConfig& cfg, const coarse::AggregateMap* agg, int restrict_nodes)
     : cfg_(cfg), sn_(sn) {
   obs::ScopedSpan span("plan.symbolic");
   util::Timer timer;
   graph_hash_ = graph_fingerprint(a);
-  key_ = make_key(a, sn, cfg);
+  key_ = make_key(a, sn, cfg, agg, restrict_nodes);
+  if (cfg.coarse) {
+    GEOFEM_CHECK(agg != nullptr, "SolvePlan: coarse-enabled config needs an aggregate map");
+    coarse_ = std::make_shared<coarse::CoarseSymbolic>(
+        *agg, restrict_nodes < 0 ? a.n : restrict_nodes);
+  }
 
   if (cfg.ordering == OrderingKind::kNatural) {
     switch (cfg.precond) {
@@ -96,6 +103,37 @@ precond::PreconditionerPtr SolvePlan::numeric(const sparse::BlockCSR& a) const {
   throw Error(StatusCode::kInvalidArgument, "unknown preconditioner kind");
 }
 
+std::shared_ptr<const std::vector<double>> SolvePlan::coarse_contribution(
+    const sparse::BlockCSR& a) const {
+  GEOFEM_CHECK(coarse_ != nullptr, "coarse_contribution: plan has no coarse space");
+  if (a.n != key_.n || a.nnz_blocks() != key_.nnz_blocks || graph_fingerprint(a) != graph_hash_)
+    throw Error(StatusCode::kStalePlan,
+                "SolvePlan::coarse_contribution: matrix graph does not match the plan");
+  Fnv1a vh;
+  vh.doubles(std::span<const double>(a.val.data(), a.val.size()));
+  const std::uint64_t h = vh.digest();
+  std::lock_guard lock(numeric_mtx_);
+  if (!coarse_contrib_ || coarse_val_hash_ != h) {
+    obs::ScopedSpan span("plan.coarse.assemble");
+    coarse_contrib_ =
+        std::make_shared<const std::vector<double>>(coarse::accumulate(a, *coarse_));
+    coarse_op_.reset();  // the factored operator memo is for these values only
+    coarse_val_hash_ = h;
+  }
+  return coarse_contrib_;
+}
+
+std::shared_ptr<const coarse::CoarseOperator> SolvePlan::coarse_numeric(
+    const sparse::BlockCSR& a) const {
+  auto contrib = coarse_contribution(a);  // refreshes the value hash
+  std::lock_guard lock(numeric_mtx_);
+  if (!coarse_op_) {
+    obs::ScopedSpan span("plan.coarse.factor");
+    coarse_op_ = std::make_shared<const coarse::CoarseOperator>(coarse_, *contrib);
+  }
+  return coarse_op_;
+}
+
 PlannedPreconditioner::PlannedPreconditioner(std::shared_ptr<const SolvePlan> plan,
                                              const sparse::BlockCSR& a)
     : plan_(std::move(plan)) {
@@ -136,6 +174,46 @@ std::function<precond::PreconditionerPtr(const sparse::BlockCSR&)> cached_builde
           memo](const sparse::BlockCSR& a) -> precond::PreconditionerPtr {
     if (memo->first != a.n) *memo = {a.n, contact::build_supernodes(a.n, groups)};
     return std::make_unique<PlannedPreconditioner>(cache.get(a, memo->second, cfg), a);
+  };
+}
+
+std::function<precond::PreconditionerPtr(const sparse::BlockCSR&)> cached_builder(
+    PlanCache& cache, PlanConfig cfg, std::vector<std::vector<int>> groups, coarse::Options copt,
+    coarse::SetupStatus* status) {
+  if (!copt.enabled) {
+    if (status) *status = coarse::SetupStatus::kOff;
+    return cached_builder(cache, cfg, std::move(groups));
+  }
+  cfg.coarse = true;
+  struct Memo {
+    int n = -1;
+    contact::Supernodes sn;
+    coarse::AggregateMap agg;
+  };
+  auto memo = std::make_shared<Memo>();
+  return [&cache, cfg, copt, status, groups = std::move(groups),
+          memo](const sparse::BlockCSR& a) -> precond::PreconditionerPtr {
+    if (memo->n != a.n) {
+      memo->n = a.n;
+      memo->sn = contact::build_supernodes(a.n, groups);
+      memo->agg = coarse::single_aggregate(a.n);
+      if (copt.aggregates == coarse::Aggregates::kPerContactGroup)
+        memo->agg = coarse::refine_by_groups(std::move(memo->agg), groups);
+    }
+    auto plan = cache.get(a, memo->sn, cfg, nullptr, &memo->agg);
+    auto fine = std::make_unique<PlannedPreconditioner>(plan, a);
+    try {
+      // Factor the coarse level before handing `fine` to the wrapper, so a
+      // singular A_c leaves a valid one-level preconditioner to fall back on.
+      auto op = plan->coarse_numeric(a);
+      if (status) *status = coarse::SetupStatus::kActive;
+      return std::make_unique<precond::TwoLevel>(std::move(fine), std::move(op), a, copt.mode);
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kFactorizationFailed) throw;
+      if (obs::Registry* reg = obs::current()) reg->counter("coarse.degraded")->add(1);
+      if (status) *status = coarse::SetupStatus::kDegraded;
+      return fine;
+    }
   };
 }
 

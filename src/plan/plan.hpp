@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "coarse/coarse.hpp"
 #include "contact/penalty.hpp"
 #include "plan/cache.hpp"
 #include "plan/fingerprint.hpp"
@@ -31,7 +32,11 @@ namespace geofem::plan {
 /// give each rank its own plan, which distinct local graphs do naturally).
 class SolvePlan {
  public:
-  SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn, const PlanConfig& cfg);
+  /// Coarse-enabled configs (cfg.coarse) additionally take the aggregate map
+  /// and the restricted-node count (-1 = all of a.n); the plan then owns the
+  /// CoarseSymbolic and memoizes the Galerkin assembly across numeric phases.
+  SolvePlan(const sparse::BlockCSR& a, const contact::Supernodes& sn, const PlanConfig& cfg,
+            const coarse::AggregateMap* agg = nullptr, int restrict_nodes = -1);
 
   [[nodiscard]] const PlanKey& key() const { return key_; }
   [[nodiscard]] const PlanConfig& config() const { return cfg_; }
@@ -45,10 +50,11 @@ class SolvePlan {
   [[nodiscard]] double symbolic_seconds() const { return symbolic_seconds_; }
   [[nodiscard]] std::size_t memory_bytes() const;
 
-  /// Whether this plan was built for exactly (a's graph, sn, cfg).
+  /// Whether this plan was built for exactly (a's graph, sn, cfg[, agg]).
   [[nodiscard]] bool matches(const sparse::BlockCSR& a, const contact::Supernodes& sn,
-                             const PlanConfig& cfg) const {
-    return make_key(a, sn, cfg) == key_;
+                             const PlanConfig& cfg, const coarse::AggregateMap* agg = nullptr,
+                             int restrict_nodes = -1) const {
+    return make_key(a, sn, cfg, agg, restrict_nodes) == key_;
   }
 
   /// Numeric phase: factor `a` on the precomputed structure. Throws
@@ -56,6 +62,25 @@ class SolvePlan {
   /// The result references `a` (and, when vectorized, this plan) — both must
   /// outlive it; PlannedPreconditioner pins the plan automatically.
   [[nodiscard]] precond::PreconditionerPtr numeric(const sparse::BlockCSR& a) const;
+
+  /// True when the plan was built with cfg.coarse and an aggregate map.
+  [[nodiscard]] bool has_coarse() const { return coarse_ != nullptr; }
+  [[nodiscard]] std::shared_ptr<const coarse::CoarseSymbolic> coarse_symbolic() const {
+    return coarse_;
+  }
+
+  /// This rank's Galerkin contribution R_loc A_loc P_loc as a dense
+  /// (dim x dim) column block, memoized on a hash of a.val so the second and
+  /// later λ-cycles on unchanged values skip the assembly pass entirely.
+  /// Throws kStalePlan on a graph mismatch, GEOFEM_CHECKs has_coarse().
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> coarse_contribution(
+      const sparse::BlockCSR& a) const;
+
+  /// Single-address-space convenience: assemble (memoized) and factor the
+  /// coarse operator for `a`. Throws Error(kFactorizationFailed) when the
+  /// Galerkin operator is singular — callers degrade to one level.
+  [[nodiscard]] std::shared_ptr<const coarse::CoarseOperator> coarse_numeric(
+      const sparse::BlockCSR& a) const;
 
  private:
   PlanKey key_;
@@ -69,6 +94,13 @@ class SolvePlan {
   std::shared_ptr<const precond::SBSymbolic> sb_;
   // PDJDS orderings: plan-owned layout, revalued in place by numeric()
   std::unique_ptr<reorder::DJDSMatrix> dj_;
+  // two-level schedule (cfg.coarse): symbolic built once, numeric memoized on
+  // a value hash so warm λ-cycles skip the Galerkin assembly (and, in the
+  // single-address-space path, the factorization too)
+  std::shared_ptr<const coarse::CoarseSymbolic> coarse_;
+  mutable std::uint64_t coarse_val_hash_ = 0;
+  mutable std::shared_ptr<const std::vector<double>> coarse_contrib_;
+  mutable std::shared_ptr<const coarse::CoarseOperator> coarse_op_;
   mutable std::mutex numeric_mtx_;
 };
 
@@ -98,5 +130,16 @@ class PlannedPreconditioner final : public precond::Preconditioner {
 /// returns a numeric factorization that pins its plan.
 [[nodiscard]] std::function<precond::PreconditionerPtr(const sparse::BlockCSR&)> cached_builder(
     PlanCache& cache, PlanConfig cfg, std::vector<std::vector<int>> groups);
+
+/// Two-level variant: wraps the planned one-level factorization in a
+/// precond::TwoLevel when `copt.enabled`. Aggregation is one aggregate for
+/// the whole matrix (kPerDomain — a single address space is one domain) or
+/// one per contact group of ≥2 nodes (kPerContactGroup). A singular coarse
+/// operator degrades to the one-level preconditioner instead of failing the
+/// solve; `status` (when non-null) receives kActive or kDegraded on every
+/// build so callers can report it.
+[[nodiscard]] std::function<precond::PreconditionerPtr(const sparse::BlockCSR&)> cached_builder(
+    PlanCache& cache, PlanConfig cfg, std::vector<std::vector<int>> groups, coarse::Options copt,
+    coarse::SetupStatus* status = nullptr);
 
 }  // namespace geofem::plan

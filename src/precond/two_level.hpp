@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+
+#include "coarse/coarse.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/block_csr.hpp"
+
+namespace geofem::precond {
+
+/// Two-level wrapper around any one-level preconditioner M (serial /
+/// single-address-space path; the distributed solver composes the same
+/// pieces inline so the coarse residual can be allreduced).
+///
+/// With Q = P A_c^-1 R the apply is
+///   kAdditive:  z = M^-1 r + Q r
+///   kDeflated:  z = Q r + (I - QA) M^-1 (I - AQ) r
+/// Both are symmetric when A and M are, so CG stays valid. The deflated form
+/// costs two extra fine matvecs and two coarse solves per apply, but removes
+/// the low-energy modes the localized preconditioners cannot see — which is
+/// what flattens iteration growth with the domain count.
+class TwoLevel final : public Preconditioner {
+ public:
+  /// `a` must outlive the preconditioner (same contract as the one-level
+  /// kinds); `inner` is the wrapped M, `op` the factored coarse level.
+  TwoLevel(PreconditionerPtr inner, std::shared_ptr<const coarse::CoarseOperator> op,
+           const sparse::BlockCSR& a, coarse::Mode mode);
+
+  void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
+             util::LoopStats* loops) const override;
+
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return inner_->memory_bytes() + op_->memory_bytes();
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const Preconditioner& inner() const { return *inner_; }
+  [[nodiscard]] const coarse::CoarseOperator& coarse_op() const { return *op_; }
+
+ private:
+  PreconditionerPtr inner_;
+  std::shared_ptr<const coarse::CoarseOperator> op_;
+  const sparse::BlockCSR& a_;
+  coarse::Mode mode_;
+  // scratch, sized in the constructor so apply() never allocates
+  mutable std::vector<double> yc_;           ///< coarse residual / solution
+  mutable std::vector<double> q_, t_, mt_;   ///< fine-size work (deflated)
+};
+
+}  // namespace geofem::precond

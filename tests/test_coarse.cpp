@@ -1,0 +1,593 @@
+// Two-level coarse-space correction suite (DESIGN.md §5h): aggregation maps,
+// exact Galerkin assembly, plan keying/memoization, serial and distributed
+// solves (iteration reduction, bit-identical determinism across thread counts
+// and warm/cold plans), and the typed lockstep degrade on a singular coarse
+// operator. Own binary, ctest label `coarse`.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coarse/aggregates.hpp"
+#include "coarse/coarse.hpp"
+#include "contact/penalty.hpp"
+#include "core/geofem.hpp"
+#include "dist/comm.hpp"
+#include "dist/dist_solver.hpp"
+#include "fem/assembly.hpp"
+#include "mesh/simple_block.hpp"
+#include "part/local_system.hpp"
+#include "part/partition.hpp"
+#include "plan/cache.hpp"
+#include "plan/fingerprint.hpp"
+#include "plan/plan.hpp"
+#include "precond/two_level.hpp"
+
+namespace gc = geofem::contact;
+namespace gco = geofem::coarse;
+namespace gcore = geofem::core;
+namespace gd = geofem::dist;
+namespace gf = geofem::fem;
+namespace gm = geofem::mesh;
+namespace gpart = geofem::part;
+namespace gplan = geofem::plan;
+namespace gs = geofem::sparse;
+
+namespace {
+
+struct Problem {
+  gm::HexMesh mesh;
+  gf::System sys;
+
+  explicit Problem(double lambda = 1e6, gm::SimpleBlockParams bp = {3, 3, 2, 3, 3}) {
+    mesh = gm::simple_block(bp);
+    sys = gf::assemble_elasticity(mesh, {{1.0, 0.3}});
+    gc::add_penalty(sys.a, mesh.contact_groups, lambda);
+    gf::BoundaryConditions bc;
+    bc.fix_nodes(mesh.nodes_where([](double, double, double z) { return z == 0.0; }), -1);
+    const double zmax = mesh.bounding_box().hi[2];
+    bc.surface_load(
+        mesh, [&](double, double, double z) { return std::abs(z - zmax) < 1e-12; }, 2, -1.0);
+    gf::apply_boundary_conditions(sys, bc);
+  }
+};
+
+double true_relative_residual(const gs::BlockCSR& a, const std::vector<double>& b,
+                              const std::vector<double>& x) {
+  std::vector<double> ax(b.size(), 0.0);
+  a.spmv(x, ax);
+  double rr = 0.0, bb = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = b[i] - ax[i];
+    rr += d * d;
+    bb += b[i] * b[i];
+  }
+  return std::sqrt(rr / bb);
+}
+
+// 3x3 identity block scaled by s.
+std::array<double, 9> scaled_identity(double s) {
+  return {s, 0.0, 0.0, 0.0, s, 0.0, 0.0, 0.0, s};
+}
+
+// Block-diagonal matrix with the given scale per node: diag(s_0 I, s_1 I, ...).
+gs::BlockCSR block_diag(const std::vector<double>& scales) {
+  gs::BlockCSRBuilder bld(static_cast<int>(scales.size()));
+  for (int i = 0; i < static_cast<int>(scales.size()); ++i) bld.add_pattern(i, i);
+  bld.finalize_pattern();
+  for (int i = 0; i < static_cast<int>(scales.size()); ++i)
+    bld.add_block(i, i, scaled_identity(scales[static_cast<std::size_t>(i)]).data());
+  return bld.take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Aggregation maps
+// ---------------------------------------------------------------------------
+
+TEST(CoarseAggregates, SingleAggregateCoversEverything) {
+  const auto m = gco::single_aggregate(7);
+  EXPECT_EQ(m.count, 1);
+  ASSERT_EQ(m.node_to_agg.size(), 7u);
+  for (int a : m.node_to_agg) EXPECT_EQ(a, 0);
+}
+
+TEST(CoarseAggregates, RefineByGroupsSplitsOnlyRealGroups) {
+  auto base = gco::single_aggregate(6);
+  const std::uint64_t fp0 = base.fingerprint();
+  const auto refined = gco::refine_by_groups(base, {{1, 2}, {4}});
+  EXPECT_EQ(refined.count, 2);  // {1,2} gets aggregate 1; singleton {4} stays
+  EXPECT_EQ(refined.node_to_agg[1], 1);
+  EXPECT_EQ(refined.node_to_agg[2], 1);
+  EXPECT_EQ(refined.node_to_agg[0], 0);
+  EXPECT_EQ(refined.node_to_agg[4], 0);
+  EXPECT_NE(refined.fingerprint(), fp0);
+}
+
+TEST(CoarseAggregates, FromGlobalKeepsGlobalCount) {
+  gco::AggregateMap global;
+  global.count = 3;
+  global.node_to_agg = {0, 0, 1, 1, 2, 2};
+  const auto local = gco::from_global(global, {4, 1, 3});
+  EXPECT_EQ(local.count, 3);
+  ASSERT_EQ(local.node_to_agg.size(), 3u);
+  EXPECT_EQ(local.node_to_agg[0], 2);
+  EXPECT_EQ(local.node_to_agg[1], 0);
+  EXPECT_EQ(local.node_to_agg[2], 1);
+}
+
+TEST(CoarseAggregates, FingerprintIsOrderSensitive) {
+  gco::AggregateMap a;
+  a.count = 2;
+  a.node_to_agg = {0, 1, 0, 1};
+  gco::AggregateMap b = a;
+  std::swap(b.node_to_agg[0], b.node_to_agg[1]);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Galerkin assembly
+// ---------------------------------------------------------------------------
+
+TEST(CoarseGalerkin, SingleAggregateIsExactBlockSum) {
+  // With one aggregate, R A P collapses to the 3x3 sum of every stored block.
+  Problem pb;
+  const gs::BlockCSR& a = pb.sys.a;
+  const gco::CoarseSymbolic sym(gco::single_aggregate(a.n), a.n);
+  ASSERT_EQ(sym.dim(), 3);
+  const auto ac = gco::accumulate(a, sym);
+  ASSERT_EQ(ac.size(), 9u);
+
+  double expect[9] = {0.0};
+  for (int e = 0; e < a.nnz_blocks(); ++e) {
+    const double* blk = a.block(e);
+    for (int k = 0; k < 9; ++k) expect[k] += blk[k];
+  }
+  for (int k = 0; k < 9; ++k) EXPECT_NEAR(ac[static_cast<std::size_t>(k)], expect[k], 1e-9);
+}
+
+TEST(CoarseGalerkin, TwoAggregatesPartitionTheSum) {
+  // Splitting nodes across two aggregates redistributes, never changes, the
+  // total: the four 3x3 quadrant sums of A_c must add back to the block sum.
+  Problem pb;
+  const gs::BlockCSR& a = pb.sys.a;
+  gco::AggregateMap map;
+  map.count = 2;
+  map.node_to_agg.assign(static_cast<std::size_t>(a.n), 0);
+  for (int i = a.n / 2; i < a.n; ++i) map.node_to_agg[static_cast<std::size_t>(i)] = 1;
+  const gco::CoarseSymbolic sym(map, a.n);
+  ASSERT_EQ(sym.dim(), 6);
+  const auto ac = gco::accumulate(a, sym);
+
+  // Tolerance scales with the absolute mass summed: the ±λ penalty blocks
+  // cancel in the total but land in different quadrants, so the comparison
+  // carries their rounding (~|val|·eps), not the cancelled result's.
+  double total[9] = {0.0}, mass = 0.0;
+  for (int e = 0; e < a.nnz_blocks(); ++e)
+    for (int k = 0; k < 9; ++k) {
+      total[k] += a.block(e)[k];
+      mass += std::abs(a.block(e)[k]);
+    }
+  const double tol = mass * 1e-12;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      double s = 0.0;
+      for (int qi = 0; qi < 2; ++qi)
+        for (int qj = 0; qj < 2; ++qj)
+          s += ac[static_cast<std::size_t>((qi * 3 + r) * 6 + qj * 3 + c)];
+      EXPECT_NEAR(s, total[r * 3 + c], tol);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan keying and memoization
+// ---------------------------------------------------------------------------
+
+TEST(CoarsePlanKey, CoarseFlagAndAggregationAreKeyed) {
+  Problem pb;
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  gplan::PlanConfig plain;
+  plain.precond = gplan::PrecondKind::kSBBIC0;
+  auto coarse_cfg = plain;
+  coarse_cfg.coarse = true;
+
+  const auto agg = gco::single_aggregate(pb.sys.a.n);
+  const auto refined = gco::refine_by_groups(agg, sn.members);
+  const auto k_plain = gplan::make_key(pb.sys.a, sn, plain);
+  const auto k_coarse = gplan::make_key(pb.sys.a, sn, coarse_cfg, &agg);
+  const auto k_refined = gplan::make_key(pb.sys.a, sn, coarse_cfg, &refined);
+  EXPECT_FALSE(k_plain == k_coarse);
+  EXPECT_FALSE(k_coarse == k_refined);
+
+  // The restricted-node count (distributed: internal nodes only) is keyed too.
+  const auto k_restricted = gplan::make_key(pb.sys.a, sn, coarse_cfg, &agg, pb.sys.a.n - 1);
+  EXPECT_FALSE(k_coarse == k_restricted);
+  // -1 means "all rows": identical to passing a.n explicitly.
+  EXPECT_TRUE(gplan::make_key(pb.sys.a, sn, coarse_cfg, &agg, pb.sys.a.n) == k_coarse);
+}
+
+TEST(CoarsePlan, GalerkinMemoizedOnValueHash) {
+  Problem pb;
+  const auto sn = gc::build_supernodes(pb.sys.a.n, {});
+  gplan::PlanConfig cfg;
+  cfg.precond = gplan::PrecondKind::kDiagonal;
+  cfg.coarse = true;
+  const auto agg = gco::single_aggregate(pb.sys.a.n);
+  const gplan::SolvePlan plan(pb.sys.a, sn, cfg, &agg);
+  ASSERT_TRUE(plan.has_coarse());
+
+  // Unchanged values: assembly and factorization are served from the memo.
+  const auto c1 = plan.coarse_contribution(pb.sys.a);
+  const auto c2 = plan.coarse_contribution(pb.sys.a);
+  EXPECT_EQ(c1.get(), c2.get());
+  const auto op1 = plan.coarse_numeric(pb.sys.a);
+  const auto op2 = plan.coarse_numeric(pb.sys.a);
+  EXPECT_EQ(op1.get(), op2.get());
+
+  // A value change (same graph — a λ update) must rebuild, not serve stale.
+  gs::BlockCSR bumped = pb.sys.a;
+  bumped.val[0] *= 2.0;
+  const auto c3 = plan.coarse_contribution(bumped);
+  EXPECT_NE(c1.get(), c3.get());
+  EXPECT_NE((*c1)[0], (*c3)[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Serial two-level solves
+// ---------------------------------------------------------------------------
+
+TEST(CoarseSerial, DeflatedConvergesNoSlowerThanOneLevel) {
+  Problem pb(1e6);
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  const auto one = gcore::solve_system(pb.sys, sn, cfg);
+  ASSERT_TRUE(one.converged());
+  EXPECT_EQ(one.coarse_status, gco::SetupStatus::kOff);
+
+  auto ccfg = cfg;
+  ccfg.coarse.enabled = true;  // kPerDomain + kDeflated defaults
+  const auto two = gcore::solve_system(pb.sys, sn, ccfg);
+  ASSERT_TRUE(two.converged());
+  EXPECT_EQ(two.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(two.coarse_dim, 3);  // serial: one aggregate, 3 rigid translations
+  EXPECT_LE(two.cg.iterations, one.cg.iterations);
+  EXPECT_NE(two.precond_name.find("+coarse("), std::string::npos) << two.precond_name;
+  EXPECT_LT(true_relative_residual(pb.sys.a, pb.sys.b, two.solution), 1e-6);
+}
+
+TEST(CoarseSerial, AdditiveModeConverges) {
+  Problem pb(1e6);
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  cfg.coarse.enabled = true;
+  cfg.coarse.mode = gco::Mode::kAdditive;
+  const auto rep = gcore::solve_system(pb.sys, sn, cfg);
+  ASSERT_TRUE(rep.converged());
+  EXPECT_EQ(rep.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_NE(rep.precond_name.find("additive"), std::string::npos) << rep.precond_name;
+  EXPECT_LT(true_relative_residual(pb.sys.a, pb.sys.b, rep.solution), 1e-6);
+}
+
+TEST(CoarseSerial, PerContactGroupRefinesTheCoarseSpace) {
+  Problem pb(1e6);
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  int real_groups = 0;
+  for (const auto& m : sn.members) real_groups += m.size() >= 2 ? 1 : 0;
+  ASSERT_GT(real_groups, 0) << "fixture must have contact supernodes";
+
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  cfg.coarse.enabled = true;
+  cfg.coarse.aggregates = gco::Aggregates::kPerContactGroup;
+  const auto rep = gcore::solve_system(pb.sys, sn, cfg);
+  ASSERT_TRUE(rep.converged());
+  EXPECT_EQ(rep.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(rep.coarse_dim, 3 * (1 + real_groups));
+  EXPECT_LT(true_relative_residual(pb.sys.a, pb.sys.b, rep.solution), 1e-6);
+}
+
+TEST(CoarseSerial, ResidualHistoryBitIdenticalAcrossThreadCounts) {
+  Problem pb(1e6);
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  cfg.cg.record_residuals = true;
+  cfg.coarse.enabled = true;
+
+  cfg.threads = 1;
+  const auto base = gcore::solve_system(pb.sys, sn, cfg);
+  ASSERT_TRUE(base.converged());
+  ASSERT_EQ(base.coarse_status, gco::SetupStatus::kActive);
+  for (int threads : {2, 4}) {
+    cfg.threads = threads;
+    const auto rep = gcore::solve_system(pb.sys, sn, cfg);
+    EXPECT_EQ(rep.cg.iterations, base.cg.iterations) << threads << " threads";
+    ASSERT_EQ(rep.cg.residual_history.size(), base.cg.residual_history.size());
+    for (std::size_t k = 0; k < base.cg.residual_history.size(); ++k)
+      ASSERT_EQ(rep.cg.residual_history[k], base.cg.residual_history[k])
+          << "iteration " << k << " with " << threads << " threads";
+    ASSERT_EQ(rep.solution.size(), base.solution.size());
+    for (std::size_t i = 0; i < base.solution.size(); ++i)
+      ASSERT_EQ(rep.solution[i], base.solution[i]);
+  }
+}
+
+TEST(CoarseSerial, WarmPlanIsBitIdenticalAndReused) {
+  Problem pb(1e6);
+  const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
+  gplan::PlanCache cache(4);
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kSBBIC0;
+  cfg.cg.tolerance = 1e-8;
+  cfg.cg.record_residuals = true;
+  cfg.coarse.enabled = true;
+  cfg.plan_cache = &cache;
+
+  const auto cold = gcore::solve_system(pb.sys, sn, cfg);
+  const auto warm = gcore::solve_system(pb.sys, sn, cfg);
+  ASSERT_TRUE(cold.converged());
+  EXPECT_FALSE(cold.plan_reused);
+  EXPECT_TRUE(warm.plan_reused);
+  EXPECT_EQ(cold.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(warm.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(warm.cg.iterations, cold.cg.iterations);
+  ASSERT_EQ(warm.cg.residual_history.size(), cold.cg.residual_history.size());
+  for (std::size_t k = 0; k < cold.cg.residual_history.size(); ++k)
+    ASSERT_EQ(warm.cg.residual_history[k], cold.cg.residual_history[k]);
+  for (std::size_t i = 0; i < cold.solution.size(); ++i)
+    ASSERT_EQ(warm.solution[i], cold.solution[i]);
+}
+
+TEST(CoarseSerial, SingularCoarseOperatorDegradesTyped) {
+  // diag(+I, -I): every block sum cancels, so the single-aggregate Galerkin
+  // operator is exactly zero — set-up must degrade to one level, not throw or
+  // apply a garbage correction.
+  gf::System sys;
+  sys.a = block_diag({1.0, -1.0});
+  sys.b.assign(sys.a.ndof(), 1.0);
+  const auto sn = gc::build_supernodes(sys.a.n, {});
+  gcore::SolveConfig cfg;
+  cfg.precond = gcore::PrecondKind::kDiagonal;
+  cfg.coarse.enabled = true;
+  const auto rep = gcore::solve_system(sys, sn, cfg);
+  EXPECT_EQ(rep.coarse_status, gco::SetupStatus::kDegraded);
+  EXPECT_EQ(rep.coarse_dim, 0);
+  EXPECT_EQ(rep.precond_name.find("+coarse("), std::string::npos) << rep.precond_name;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed two-level solves
+// ---------------------------------------------------------------------------
+
+namespace {
+
+gd::PrecondFactory localized_sbbic0(const Problem& pb) {
+  return [&pb](const gpart::LocalSystem& ls, const gs::BlockCSR& aii) {
+    const auto sn = gc::build_supernodes(aii.n, ls.local_contact_groups(pb.mesh.contact_groups));
+    return gcore::make_preconditioner(gcore::PrecondKind::kSBBIC0, aii, sn);
+  };
+}
+
+}  // namespace
+
+TEST(CoarseDist, ActiveAndNoSlowerThanOneLevel) {
+  Problem pb(1e6);
+  const auto p = gpart::rcb_contact_aware(pb.mesh, 4);
+  const auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
+  const auto factory = localized_sbbic0(pb);
+
+  gd::DistOptions opt;
+  opt.cg.tolerance = 1e-8;
+  const auto one = gd::solve_distributed(systems, factory, opt);
+  ASSERT_TRUE(one.converged());
+  EXPECT_EQ(one.coarse_status, gco::SetupStatus::kOff);
+
+  auto copt = opt;
+  copt.coarse.enabled = true;
+  std::vector<double> x;
+  const auto two = gd::solve_distributed(systems, factory, copt, &x);
+  ASSERT_TRUE(two.converged());
+  EXPECT_EQ(two.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(two.coarse_dim, 12);  // 4 domains x 3 translations
+  EXPECT_LE(two.iterations, one.iterations);
+  EXPECT_LT(true_relative_residual(pb.sys.a, pb.sys.b, x), 1e-6);
+}
+
+TEST(CoarseDist, PerContactGroupAddsGlobalGroupAggregates) {
+  Problem pb(1e6);
+  int real_groups = 0;
+  for (const auto& g : pb.mesh.contact_groups) real_groups += g.size() >= 2 ? 1 : 0;
+  ASSERT_GT(real_groups, 0);
+
+  const auto p = gpart::rcb_contact_aware(pb.mesh, 4);
+  const auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
+  gd::DistOptions opt;
+  opt.cg.tolerance = 1e-8;
+  opt.coarse.enabled = true;
+  opt.coarse.aggregates = gco::Aggregates::kPerContactGroup;
+  opt.coarse_groups = pb.mesh.contact_groups;
+  const auto res = gd::solve_distributed(systems, localized_sbbic0(pb), opt);
+  ASSERT_TRUE(res.converged());
+  EXPECT_EQ(res.coarse_status, gco::SetupStatus::kActive);
+  EXPECT_EQ(res.coarse_dim, 3 * (4 + real_groups));
+}
+
+TEST(CoarseDist, BitIdenticalAcrossThreadCountsAndOverlap) {
+  Problem pb(1e6);
+  const auto p = gpart::rcb_contact_aware(pb.mesh, 4);
+  const auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
+  const auto factory = localized_sbbic0(pb);
+
+  gd::DistOptions opt;
+  opt.cg.tolerance = 1e-8;
+  opt.cg.record_residuals = true;
+  opt.coarse.enabled = true;
+  opt.threads = 1;
+  std::vector<double> x_base;
+  const auto base = gd::solve_distributed(systems, factory, opt, &x_base);
+  ASSERT_TRUE(base.converged());
+  ASSERT_EQ(base.coarse_status, gco::SetupStatus::kActive);
+
+  for (const auto& [threads, overlap] : std::vector<std::pair<int, bool>>{{2, true}, {4, false}}) {
+    auto o = opt;
+    o.threads = threads;
+    o.overlap = overlap;
+    std::vector<double> x;
+    const auto rep = gd::solve_distributed(systems, factory, o, &x);
+    EXPECT_EQ(rep.iterations, base.iterations) << threads << " threads";
+    ASSERT_EQ(rep.residual_history.size(), base.residual_history.size());
+    for (std::size_t k = 0; k < base.residual_history.size(); ++k)
+      ASSERT_EQ(rep.residual_history[k], base.residual_history[k])
+          << "iteration " << k << " with " << threads << " threads, overlap " << overlap;
+    ASSERT_EQ(x.size(), x_base.size());
+    for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], x_base[i]);
+  }
+}
+
+TEST(CoarseDist, WarmPlanCacheIsBitIdentical) {
+  Problem pb(1e6);
+  const auto p = gpart::rcb_contact_aware(pb.mesh, 4);
+  const auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
+
+  gplan::PlanCache cache(16);
+  gplan::PlanConfig pcfg;
+  pcfg.precond = gplan::PrecondKind::kSBBIC0;
+  const auto factory = gd::make_plan_factory(cache, pcfg, pb.mesh.contact_groups);
+  gd::DistOptions opt;
+  opt.cg.tolerance = 1e-8;
+  opt.cg.record_residuals = true;
+  opt.coarse.enabled = true;
+  opt.plan_cache = &cache;
+
+  std::vector<double> x_cold, x_warm;
+  const auto cold = gd::solve_distributed(systems, factory, opt, &x_cold);
+  ASSERT_TRUE(cold.converged());
+  ASSERT_EQ(cold.coarse_status, gco::SetupStatus::kActive);
+  // 4 fine plans + 4 coarse plans built cold...
+  EXPECT_EQ(cold.plan_cache.misses, 8u);
+  EXPECT_EQ(cold.plan_cache.hits, 0u);
+
+  const auto warm = gd::solve_distributed(systems, factory, opt, &x_warm);
+  ASSERT_TRUE(warm.converged());
+  // ...and all 8 served warm on the second run.
+  EXPECT_EQ(warm.plan_cache.misses, 8u);
+  EXPECT_EQ(warm.plan_cache.hits, 8u);
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  ASSERT_EQ(warm.residual_history.size(), cold.residual_history.size());
+  for (std::size_t k = 0; k < cold.residual_history.size(); ++k)
+    ASSERT_EQ(warm.residual_history[k], cold.residual_history[k]);
+  ASSERT_EQ(x_warm.size(), x_cold.size());
+  for (std::size_t i = 0; i < x_cold.size(); ++i) ASSERT_EQ(x_warm[i], x_cold[i]);
+}
+
+TEST(CoarseDist, SingularCoarseOperatorDegradesInLockstep) {
+  // Domain 0 holds diag(+I, -I) (its Galerkin contribution cancels), domain 1
+  // a regular block. The allreduced A_c has a zero row, so factorization
+  // fails — on EVERY rank, by the allreduced degrade decision, and the run
+  // finishes one-level instead of hanging or diverging across ranks.
+  gpart::LocalSystem d0;
+  d0.domain = 0;
+  d0.num_internal = 2;
+  d0.global_of_local = {0, 1};
+  d0.a = block_diag({1.0, -1.0});
+  d0.b = {1.0, 1.0, 1.0, -1.0, -1.0, -1.0};
+  gpart::LocalSystem d1;
+  d1.domain = 1;
+  d1.num_internal = 1;
+  d1.global_of_local = {2};
+  d1.a = block_diag({2.0});
+  d1.b = {2.0, 2.0, 2.0};
+
+  gd::PrecondFactory diag = [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+    return gcore::make_preconditioner(gcore::PrecondKind::kDiagonal, aii,
+                                      gc::build_supernodes(aii.n, {}));
+  };
+  gd::DistOptions opt;
+  opt.coarse.enabled = true;
+  const auto res = gd::solve_distributed({d0, d1}, diag, opt);
+  EXPECT_EQ(res.coarse_status, gco::SetupStatus::kDegraded);
+  EXPECT_EQ(res.coarse_dim, 0);
+  ASSERT_EQ(res.status_per_rank.size(), 2u);
+  EXPECT_EQ(res.status_per_rank[0], res.status_per_rank[1]) << "ranks must agree after degrade";
+}
+
+TEST(CoarseDist, VectorAllreduceSumIsRankOrderedAndIdentical) {
+  // The Galerkin allreduce contract: element-wise sum in ascending rank order,
+  // bit-identical result on every rank.
+  constexpr int kRanks = 3;
+  std::vector<std::vector<double>> got(kRanks);
+  gd::Runtime::run(kRanks, [&](gd::Comm& c) {
+    std::vector<double> mine(4);
+    for (int i = 0; i < 4; ++i)
+      mine[static_cast<std::size_t>(i)] = std::pow(0.1, c.rank()) * (i + 1);
+    got[static_cast<std::size_t>(c.rank())] = c.allreduce_sum(std::span<const double>(mine));
+  });
+  std::vector<double> expect(4, 0.0);
+  for (int r = 0; r < kRanks; ++r)  // ascending rank order, like the implementation
+    for (int i = 0; i < 4; ++i) expect[static_cast<std::size_t>(i)] += std::pow(0.1, r) * (i + 1);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 4u);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)])
+          << "rank " << r << " element " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cached_builder: the ALM-facing two-level factory
+// ---------------------------------------------------------------------------
+
+TEST(CoarseBuilder, WrapsAndReportsStatus) {
+  Problem pb(1e6);
+  gplan::PlanCache cache(4);
+  gplan::PlanConfig cfg;
+  cfg.precond = gplan::PrecondKind::kSBBIC0;
+  gco::Options copt;
+  copt.enabled = true;
+  gco::SetupStatus status = gco::SetupStatus::kOff;
+  const auto builder =
+      gplan::cached_builder(cache, cfg, pb.mesh.contact_groups, copt, &status);
+  const auto prec = builder(pb.sys.a);
+  EXPECT_EQ(status, gco::SetupStatus::kActive);
+  EXPECT_NE(prec->name().find("+coarse("), std::string::npos) << prec->name();
+}
+
+TEST(CoarseBuilder, DisabledDelegatesToOneLevel) {
+  Problem pb(1e6);
+  gplan::PlanCache cache(4);
+  gplan::PlanConfig cfg;
+  cfg.precond = gplan::PrecondKind::kSBBIC0;
+  gco::SetupStatus status = gco::SetupStatus::kActive;  // must be overwritten
+  const auto builder = gplan::cached_builder(cache, cfg, pb.mesh.contact_groups, {}, &status);
+  const auto prec = builder(pb.sys.a);
+  EXPECT_EQ(status, gco::SetupStatus::kOff);
+  EXPECT_EQ(prec->name().find("+coarse("), std::string::npos) << prec->name();
+}
+
+TEST(CoarseBuilder, SingularCoarseFallsBackToFine) {
+  const auto a = block_diag({1.0, -1.0});
+  gplan::PlanCache cache(4);
+  gplan::PlanConfig cfg;
+  cfg.precond = gplan::PrecondKind::kDiagonal;
+  gco::Options copt;
+  copt.enabled = true;
+  gco::SetupStatus status = gco::SetupStatus::kOff;
+  const auto builder = gplan::cached_builder(cache, cfg, {}, copt, &status);
+  const auto prec = builder(a);
+  ASSERT_NE(prec, nullptr);
+  EXPECT_EQ(status, gco::SetupStatus::kDegraded);
+  EXPECT_EQ(prec->name().find("+coarse("), std::string::npos) << prec->name();
+}

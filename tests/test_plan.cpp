@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "contact/penalty.hpp"
 #include "core/geofem.hpp"
@@ -334,6 +337,148 @@ TEST(Plan, SameDimensionsDifferentGraphRejected) {
   const auto sn = gc::build_supernodes(pb.sys.a.n, pb.mesh.contact_groups);
   gplan::SolvePlan plan(pb.sys.a, sn, config_for(gplan::PrecondKind::kBIC0));
   EXPECT_THROW((void)plan.numeric(tampered), geofem::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cache: per-shard stats under concurrent eviction, hash collisions
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheShards, StatsConsistentUnderConcurrentEviction) {
+  // 6 distinct graphs churning through a 2-shard cache of total capacity 4:
+  // every completed get() must be counted exactly once (hits + misses ==
+  // lookups), shard totals must add up to stats(), and no shard may exceed
+  // its per-shard budget even while evicting concurrently.
+  std::vector<Problem> problems;
+  std::vector<gc::Supernodes> sns;
+  for (int nx = 3; nx < 9; ++nx) {
+    problems.emplace_back(1e4, gm::SimpleBlockParams{nx, 3, 2, 3, 3});
+    sns.push_back(gc::build_supernodes(problems.back().sys.a.n,
+                                       problems.back().mesh.contact_groups));
+  }
+  const auto cfg = config_for(gplan::PrecondKind::kDiagonal);
+
+  gplan::PlanCache cache(4, 2);
+  ASSERT_EQ(cache.shard_count(), 2u);
+  constexpr int kThreads = 4, kRounds = 10;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round)
+        for (std::size_t i = 0; i < problems.size(); ++i) {
+          // rotate the start per thread so eviction interleaves
+          const std::size_t j = (i + static_cast<std::size_t>(t)) % problems.size();
+          (void)cache.get(problems[j].sys.a, sns[j], cfg);
+        }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto totals = cache.stats();
+  EXPECT_EQ(totals.hits + totals.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds * problems.size());
+  EXPECT_LE(totals.entries, cache.capacity());
+
+  const auto per_shard = cache.shard_stats();
+  ASSERT_EQ(per_shard.size(), 2u);
+  gplan::CacheStats summed;
+  for (const auto& s : per_shard) {
+    summed += s;
+    EXPECT_LE(s.entries, cache.capacity() / cache.shard_count());
+    // Every resident plan came from a miss that wasn't (or hasn't been)
+    // evicted; racing builds on one key may discard an insert, never add one.
+    EXPECT_LE(s.entries, s.misses - s.evictions);
+  }
+  EXPECT_EQ(summed.hits, totals.hits);
+  EXPECT_EQ(summed.misses, totals.misses);
+  EXPECT_EQ(summed.evictions, totals.evictions);
+  EXPECT_EQ(summed.entries, totals.entries);
+}
+
+namespace {
+
+// FNV-1a step h' = (h ^ w) * kPrime run backwards: invert the multiply with
+// the modular inverse of the (odd) prime in Z/2^64, then undo the xor.
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_prime_inverse() {
+  std::uint64_t x = kFnvPrime;  // Newton: x_{k+1} = x_k (2 - p x_k) doubles precision
+  for (int i = 0; i < 6; ++i) x *= 2 - kFnvPrime * x;
+  return x;
+}
+
+std::uint64_t word_of(int a, int b) {
+  const int pair[2] = {a, b};
+  std::uint64_t w;
+  std::memcpy(&w, pair, sizeof w);
+  return w;
+}
+
+}  // namespace
+
+TEST(PlanCacheShards, EqualHashDifferentDimensionsAreDistinctEntries) {
+  // Force a full 64-bit fingerprint collision between two structurally
+  // different matrices and check the lookup path tells them apart by the
+  // PlanKey's (n, nnz) second factor — two resident entries, no false hit.
+  //
+  // Construction: diagonal-pattern matrices under kDiagonal/kNatural, whose
+  // plans never dereference colind — so B's last two colind words are free
+  // bytes we steer. Replaying make_key's hash stream (pod(n), ints(rowptr),
+  // ints(colind), ints(node_to_super), pod(precond), pod(ordering) — all
+  // invertible FNV-1a steps) backwards from A's digest yields the one
+  // compensating colind word that makes the digests equal.
+  const auto cfg = config_for(gplan::PrecondKind::kDiagonal);
+
+  gs::BlockCSR a;
+  a.n = 2;
+  a.rowptr = {0, 1, 2};
+  a.colind = {0, 1};
+  a.val.assign(2 * 9, 1.0);
+  const auto sn_a = gc::build_supernodes(2, {});
+  const auto key_a = gplan::make_key(a, sn_a, cfg);
+
+  gs::BlockCSR b;
+  b.n = 4;
+  b.rowptr = {0, 1, 2, 3, 4};
+  b.colind = {0, 1, 0, 0};  // last word steered below
+  b.val.assign(4 * 9, 1.0);
+  const auto sn_b = gc::build_supernodes(4, {});
+
+  // Forward state up to (excluding) the final colind word.
+  gplan::Fnv1a pre;
+  pre.pod(b.n);
+  pre.ints(b.rowptr);
+  pre.ints(std::span<const int>(b.colind).first(2));
+  const std::uint64_t h_pre = pre.digest();
+
+  // Backward from the target over the suffix: ints(node_to_super {0,1,2,3})
+  // folds two words, then pod(precond=0) and pod(ordering=0) fold 8 zero
+  // bytes (one multiply each, xor with 0).
+  const std::uint64_t pinv = fnv_prime_inverse();
+  ASSERT_EQ(kFnvPrime * pinv, 1ULL);
+  std::uint64_t h = key_a.hash;
+  for (int i = 0; i < 8; ++i) h *= pinv;               // undo the 8 config bytes
+  h = h * pinv ^ word_of(2, 3);                        // undo node_to_super word 2
+  h = h * pinv ^ word_of(0, 1);                        // undo node_to_super word 1
+  const std::uint64_t w = h * pinv ^ h_pre;            // compensating colind word
+  std::memcpy(b.colind.data() + 2, &w, sizeof w);
+
+  const auto key_b = gplan::make_key(b, sn_b, cfg);
+  ASSERT_EQ(key_b.hash, key_a.hash) << "collision construction must hold";
+  EXPECT_FALSE(key_a == key_b);  // (n, nnz) still distinguish them
+
+  gplan::PlanCache cache(8);
+  auto plan_a = cache.get(a, sn_a, cfg);
+  auto plan_b = cache.get(b, sn_b, cfg);
+  EXPECT_EQ(cache.stats().misses, 2u) << "colliding keys must not alias";
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_NE(plan_a.get(), plan_b.get());
+
+  // Re-lookups walk the same bucket past the colliding key and still resolve
+  // to the right plan.
+  EXPECT_EQ(cache.get(a, sn_a, cfg).get(), plan_a.get());
+  EXPECT_EQ(cache.get(b, sn_b, cfg).get(), plan_b.get());
+  EXPECT_EQ(cache.stats().hits, 2u);
 }
 
 // ---------------------------------------------------------------------------
