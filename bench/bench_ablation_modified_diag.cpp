@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         if (selective) {
           prec = std::make_unique<precond::SBBIC0>(sys.a, sn, modified);
         } else {
-          prec = std::make_unique<precond::BIC0>(sys.a, modified);
+          prec = std::make_unique<precond::BIC0>(sys.a, precond::Precision::kDouble, modified);
         }
         std::vector<double> x(sys.a.ndof(), 0.0);
         solver::CGOptions opt;

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   obs::Attach attach(&reg);
   bench::describe_problem(reg, 0);
   const perf::EsModel sr = perf::EsModel::sr2201();
-  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
+  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii, precond::Precision) {
     return std::make_unique<precond::BIC0>(aii);
   };
   std::cout << "== Fig 5: parallel work ratio, weak scaling, homogeneous cube ==\n"

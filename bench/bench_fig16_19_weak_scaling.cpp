@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   std::cout << "== Figs 16-19: weak scaling, hybrid vs flat MPI, ICCG(0), "
             << 3 * (e + 1) * (e + 1) * (e + 1) << " DOF per SMP node ==\n\n";
 
-  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
+  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii, precond::Precision) {
     return std::make_unique<precond::BIC0>(aii);
   };
 

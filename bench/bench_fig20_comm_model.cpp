@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::cout << "== Fig 20: time decomposition vs processor count (fixed " << sys.a.ndof()
             << " DOF) ==\n\n";
 
-  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
+  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii, precond::Precision) {
     return std::make_unique<precond::BIC0>(aii);
   };
 

@@ -99,8 +99,9 @@ double time_kernel(Fn&& fn, int reps) {
 
 struct KernelRow {
   std::string name;
-  double flops;  ///< algorithmic FLOPs per call
-  double bytes;  ///< streamed bytes per call (effective-bandwidth model)
+  std::string prec;  ///< stored precision of the kernel's operand ("fp64"/"fp32")
+  double flops;      ///< algorithmic FLOPs per call
+  double bytes;      ///< streamed bytes per call (effective-bandwidth model)
   double sec_scalar = 0.0;
   double sec_active = 0.0;
 };
@@ -130,18 +131,25 @@ void run_comparison(geofem::obs::Registry& reg, int argc, char** argv) {
             << " (same binary, IsaScope) ==\n"
             << "   DOF " << ndof << ", median of " << reps << " calls\n\n";
 
+  using geofem::precond::Precision;
   const auto dj = make_djds(f);
   const geofem::precond::BIC0 bic0(f.sys.a);
   const geofem::precond::BlockILUk bic1(f.sys.a, 1);
   const geofem::precond::SBBIC0 sbbic0(f.sys.a, f.sn);
   const geofem::precond::DJDSBIC djdsbic(f.sys.a, dj);
+  // fp32-stored twins of the apply kernels (fp64 factorization, narrowed
+  // storage): half the factor bandwidth, 8-lane AVX2 sweeps.
+  const geofem::precond::BIC0 bic0_32(f.sys.a, Precision::kSingle);
+  const geofem::precond::SBBIC0 sbbic0_32(f.sys.a, f.sn, /*modified=*/false,
+                                          Precision::kSingle);
+  const geofem::precond::DJDSBIC djdsbic32(f.sys.a, dj, Precision::kSingle);
 
   std::vector<double> x(ndof, 1.0), y(ndof);
   simd::aligned_vector<double> r(ndof, 1.0), z(ndof);
 
   std::vector<KernelRow> rows;
-  auto add = [&](std::string name, double flops, double bytes, auto&& call) {
-    KernelRow row{std::move(name), flops, bytes};
+  auto add = [&](std::string name, const char* prec, double flops, double bytes, auto&& call) {
+    KernelRow row{std::move(name), prec, flops, bytes};
     {
       simd::IsaScope scalar(simd::Isa::kScalar);
       row.sec_scalar = time_kernel(call, reps);
@@ -153,39 +161,61 @@ void run_comparison(geofem::obs::Registry& reg, int argc, char** argv) {
   {
     FlopCounter fc;
     f.sys.a.spmv(x, y, &fc, nullptr);
-    add("SpMV CSR", static_cast<double>(fc.spmv), spmv_bytes(f.sys.a.nnz_blocks(), ndof),
-        [&] { f.sys.a.spmv(x, y); });
+    add("SpMV CSR", "fp64", static_cast<double>(fc.spmv),
+        spmv_bytes(f.sys.a.nnz_blocks(), ndof), [&] { f.sys.a.spmv(x, y); });
   }
   {
     FlopCounter fc;
     dj.spmv(x, y, &fc, nullptr);
-    add("SpMV DJDS", static_cast<double>(fc.spmv), spmv_bytes(f.sys.a.nnz_blocks(), ndof),
-        [&] { dj.spmv(x, y); });
+    add("SpMV DJDS", "fp64", static_cast<double>(fc.spmv),
+        spmv_bytes(f.sys.a.nnz_blocks(), ndof), [&] { dj.spmv(x, y); });
   }
   {
     FlopCounter fc;
     bic0.apply(r, z, &fc, nullptr);
-    add("BIC(0) apply", static_cast<double>(fc.precond), apply_bytes(bic0.memory_bytes(), ndof),
-        [&] { bic0.apply(r, z, nullptr, nullptr); });
+    add("BIC(0) apply", "fp64", static_cast<double>(fc.precond),
+        apply_bytes(bic0.memory_bytes(), ndof), [&] { bic0.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    bic0_32.apply(r, z, &fc, nullptr);
+    add("BIC(0) apply", "fp32", static_cast<double>(fc.precond),
+        apply_bytes(bic0_32.memory_bytes(), ndof),
+        [&] { bic0_32.apply(r, z, nullptr, nullptr); });
   }
   {
     FlopCounter fc;
     bic1.apply(r, z, &fc, nullptr);
-    add("BIC(1) apply", static_cast<double>(fc.precond), apply_bytes(bic1.memory_bytes(), ndof),
-        [&] { bic1.apply(r, z, nullptr, nullptr); });
+    add("BIC(1) apply", "fp64", static_cast<double>(fc.precond),
+        apply_bytes(bic1.memory_bytes(), ndof), [&] { bic1.apply(r, z, nullptr, nullptr); });
   }
   {
     FlopCounter fc;
     sbbic0.apply(r, z, &fc, nullptr);
-    add("SB-BIC(0) apply", static_cast<double>(fc.precond),
-        apply_bytes(sbbic0.memory_bytes(), ndof), [&] { sbbic0.apply(r, z, nullptr, nullptr); });
+    add("SB-BIC(0) apply", "fp64", static_cast<double>(fc.precond),
+        apply_bytes(sbbic0.memory_bytes(), ndof),
+        [&] { sbbic0.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    sbbic0_32.apply(r, z, &fc, nullptr);
+    add("SB-BIC(0) apply", "fp32", static_cast<double>(fc.precond),
+        apply_bytes(sbbic0_32.memory_bytes(), ndof),
+        [&] { sbbic0_32.apply(r, z, nullptr, nullptr); });
   }
   {
     FlopCounter fc;
     djdsbic.apply(r, z, &fc, nullptr);
-    add("SB-BIC(0) PDJDS apply", static_cast<double>(fc.precond),
+    add("SB-BIC(0) PDJDS apply", "fp64", static_cast<double>(fc.precond),
         apply_bytes(djdsbic.memory_bytes(), ndof),
         [&] { djdsbic.apply(r, z, nullptr, nullptr); });
+  }
+  {
+    FlopCounter fc;
+    djdsbic32.apply(r, z, &fc, nullptr);
+    add("SB-BIC(0) PDJDS apply", "fp32", static_cast<double>(fc.precond),
+        apply_bytes(djdsbic32.memory_bytes(), ndof),
+        [&] { djdsbic32.apply(r, z, nullptr, nullptr); });
   }
   // BLAS-1 dot: 2n FLOPs, 16 B/element. Regression note — dot used to heap-
   // allocate its partial-sum buffer on every call; with the reusable
@@ -194,24 +224,34 @@ void run_comparison(geofem::obs::Registry& reg, int argc, char** argv) {
   // reintroduced per-call allocation before suspecting the arithmetic.
   {
     volatile double sink = 0.0;
-    add("dot", 2.0 * static_cast<double>(ndof), 16.0 * static_cast<double>(ndof),
+    add("dot", "fp64", 2.0 * static_cast<double>(ndof), 16.0 * static_cast<double>(ndof),
         [&] { sink = sink + geofem::sparse::dot(r, z); });
   }
 
-  geofem::util::Table table({"kernel", "scalar GFLOP/s", std::string(simd::active_isa()) +
-                             " GFLOP/s", "speedup", "eff GB/s"});
+  geofem::util::Table table({"kernel", "precision", "scalar GFLOP/s",
+                             std::string(simd::active_isa()) + " GFLOP/s", "speedup",
+                             "eff GB/s"});
   for (const auto& row : rows) {
     const double gf_s = row.flops / row.sec_scalar / 1e9;
     const double gf_a = row.flops / row.sec_active / 1e9;
     const double gbs = row.bytes / row.sec_active / 1e9;
     const double speedup = row.sec_scalar / row.sec_active;
-    table.row({row.name, geofem::util::Table::fmt(gf_s, 2), geofem::util::Table::fmt(gf_a, 2),
-               geofem::util::Table::fmt(speedup, 2) + "x", geofem::util::Table::fmt(gbs, 2)});
+    table.row({row.name, row.prec, geofem::util::Table::fmt(gf_s, 2),
+               geofem::util::Table::fmt(gf_a, 2), geofem::util::Table::fmt(speedup, 2) + "x",
+               geofem::util::Table::fmt(gbs, 2)});
     std::string slug = row.name;
     for (char& c : slug) c = (c == ' ' || c == '(' || c == ')') ? '_' : c;
+    if (row.prec != "fp64") slug += "." + row.prec;  // fp64 keeps historical keys
     reg.gauge("kernels.speedup." + slug)->set(speedup);
     reg.gauge("kernels.gflops." + slug)->set(gf_a);
     reg.gauge("kernels.gbs." + slug)->set(gbs);
+    // fp32-vs-fp64 apply ratio of the same kernel (same algorithmic FLOPs,
+    // half the streamed factor bytes): the DESIGN.md §5i acceptance number.
+    if (row.prec == "fp32") {
+      for (const auto& base : rows)
+        if (base.name == row.name && base.prec == "fp64")
+          reg.gauge("kernels.fp32_speedup." + slug)->set(base.sec_active / row.sec_active);
+    }
   }
   table.print();
   bench::emit_json(reg, "kernels", argc, argv, {&table});
@@ -365,7 +405,20 @@ int main(int argc, char** argv) {
   run_comparison(reg, argc, argv);
 
   if (tiny()) {
-    std::cout << "\nsimd kernels smoke passed (isa=" << geofem::simd::active_isa() << ")\n";
+    // Gate: both precision series must have produced numbers — a build that
+    // silently drops the fp32 kernels (or the fp64 baseline) fails here.
+    const auto snap = reg.snapshot();
+    for (const char* g : {"kernels.gflops.SB-BIC_0__PDJDS_apply",
+                          "kernels.gflops.SB-BIC_0__PDJDS_apply.fp32",
+                          "kernels.fp32_speedup.SB-BIC_0__PDJDS_apply.fp32"}) {
+      const double* v = snap.gauge(g);
+      if (!v || !(*v > 0.0)) {
+        std::cerr << "[bench] FAIL: missing precision series gauge " << g << "\n";
+        return 1;
+      }
+    }
+    std::cout << "\nsimd kernels smoke passed (isa=" << geofem::simd::active_isa()
+              << ", fp64+fp32)\n";
     return 0;
   }
 

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
             << " DOF ==\n(paper: 3x44^3 = 255,552 DOF; iterations +34% from 1 to 64 PEs)\n\n";
 
   const perf::EsModel es = perf::EsModel::sr2201();
-  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii) {
+  auto factory = [](const part::LocalSystem&, const sparse::BlockCSR& aii, precond::Precision) {
     return std::make_unique<precond::BIC0>(aii);
   };
 

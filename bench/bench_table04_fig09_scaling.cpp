@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   std::vector<util::Table> tables;
   for (const Kind& kind : kinds) {
     auto factory = [&](const part::LocalSystem& ls,
-                       const sparse::BlockCSR& aii) -> precond::PreconditionerPtr {
+                       const sparse::BlockCSR& aii, precond::Precision) -> precond::PreconditionerPtr {
       if (kind.fill < 0) {
         auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
         return std::make_unique<precond::SBBIC0>(aii, std::move(sn));

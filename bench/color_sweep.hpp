@@ -48,8 +48,8 @@ inline SweepRow run_color_point(const geofem::mesh::HexMesh& m, const geofem::fe
   const auto systems = part::distribute(sys.a, sys.b, p);
 
   // localized PDJDS/MC SB-BIC(0) preconditioner per rank
-  auto factory = [&](const part::LocalSystem& ls,
-                     const sparse::BlockCSR& aii) -> precond::PreconditionerPtr {
+  auto factory = [&](const part::LocalSystem& ls, const sparse::BlockCSR& aii,
+                     precond::Precision) -> precond::PreconditionerPtr {
     auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
     return std::make_unique<precond::OwnedDJDSBIC>(aii, std::move(sn), colors, npe);
   };

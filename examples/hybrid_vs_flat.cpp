@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   std::cout << "model: " << sys.a.ndof() << " DOF on " << smp_nodes
             << " simulated SMP nodes (8 PEs each)\n\n";
 
-  auto factory = [&m](const part::LocalSystem& ls, const sparse::BlockCSR& aii) {
+  auto factory = [&m](const part::LocalSystem& ls, const sparse::BlockCSR& aii, precond::Precision) {
     auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m.contact_groups));
     return std::make_unique<precond::SBBIC0>(aii, std::move(sn));
   };

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   const mesh::HexMesh m2 = mesh::load_mesh(prefix + ".mesh");
   const auto loaded = part::load_distributed(prefix, ndom);
   const auto res = dist::solve_distributed(
-      loaded, [&m2](const part::LocalSystem& ls, const sparse::BlockCSR& aii) {
+      loaded, [&m2](const part::LocalSystem& ls, const sparse::BlockCSR& aii, precond::Precision) {
         auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(m2.contact_groups));
         return std::make_unique<precond::SBBIC0>(aii, std::move(sn));
       });

@@ -18,15 +18,19 @@ namespace geofem::core {
 std::string to_string(PrecondKind k) { return plan::to_string(k); }
 
 precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::BlockCSR& a,
-                                               const contact::Supernodes& sn) {
+                                               const contact::Supernodes& sn,
+                                               precond::Precision precision) {
   switch (kind) {
-    case PrecondKind::kDiagonal: return std::make_unique<precond::DiagonalScaling>(a);
-    case PrecondKind::kScalarIC0: return std::make_unique<precond::ScalarIC0>(a);
-    case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a);
-    case PrecondKind::kBIC1: return std::make_unique<precond::BlockILUk>(a, 1);
-    case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, 2);
-    case PrecondKind::kSBBIC0: return std::make_unique<precond::SBBIC0>(a, sn);
-    case PrecondKind::kBlockDiagonal: return std::make_unique<precond::BlockDiagonal>(a);
+    case PrecondKind::kDiagonal:
+      return std::make_unique<precond::DiagonalScaling>(a, precision);
+    case PrecondKind::kScalarIC0: return std::make_unique<precond::ScalarIC0>(a, precision);
+    case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a, precision);
+    case PrecondKind::kBIC1: return std::make_unique<precond::BlockILUk>(a, 1, precision);
+    case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, 2, precision);
+    case PrecondKind::kSBBIC0:
+      return std::make_unique<precond::SBBIC0>(a, sn, /*modified=*/false, precision);
+    case PrecondKind::kBlockDiagonal:
+      return std::make_unique<precond::BlockDiagonal>(a, precision);
   }
   GEOFEM_CHECK(false, "unknown preconditioner kind");
 }
@@ -49,7 +53,8 @@ namespace {
 /// fallback_* (owned by the caller).
 SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
                           const SolveConfig& cfg, PrecondKind kind,
-                          const solver::CGOptions& cgopt, const std::vector<double>* x0) {
+                          const solver::CGOptions& cgopt, const std::vector<double>* x0,
+                          precond::Precision precision) {
   SolveReport rep;
   rep.matrix_bytes = sys.a.memory_bytes();
   obs::Registry* reg = obs::current();
@@ -62,6 +67,7 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
   // numeric factorization.
   plan::PlanConfig pcfg;
   pcfg.precond = kind;
+  pcfg.precision = precision;
   pcfg.ordering = cfg.ordering;
   pcfg.colors = cfg.colors;
   pcfg.npe = cfg.npe;
@@ -115,7 +121,8 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
   if (reg) reg->span_end(setup_idx);
   if (reg) reg->gauge("core.setup_seconds")->set(rep.setup_seconds);
   rep.precond_bytes = prec->memory_bytes();
-  rep.precond_name = prec->name();
+  rep.precond = prec->desc();
+  rep.precond_name = rep.precond.display_name();
 
   if (cfg.ordering == OrderingKind::kNatural) {
     if (x0) {
@@ -182,11 +189,59 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
     r0->gauge("core.simd_lane_width")->set(static_cast<double>(simd::lane_width()));
     r0->set_meta("simd.isa", simd::active_isa());
   }
+  obs::Registry* reg0 = obs::current();
+
+  // fp32 rung: when cfg.precision is kSingle the first set-up stores fp32
+  // factors; stagnation or an fp32-induced breakdown triggers exactly one
+  // fp64 re-set-up with a COLD restart (x = 0, the caller's own CG options),
+  // so the recovery's residual history is bit-identical to a direct fp64
+  // solve. Armed independently of cfg.resilience.enabled.
+  int precision_burnt_iters = 0;
+  double precision_burnt_setup = 0.0;
+  bool precision_fell = false;
+  if (cfg.precision == precond::Precision::kSingle) {
+    // Give the fp32 attempt a stagnation window (unless the caller set one)
+    // so a stalled inexact-M attempt fails fast instead of burning maxiter.
+    solver::CGOptions cgopt32 = cfg.cg;
+    if (cgopt32.stagnation_window == 0)
+      cgopt32.stagnation_window = cfg.resilience.stagnation_window;
+    bool built = false;
+    SolveReport r;
+    try {
+      r = attempt_solve(sys, sn, cfg, cfg.precond, cgopt32, nullptr,
+                        precond::Precision::kSingle);
+      built = true;
+    } catch (const Error& e) {
+      if (e.code() != StatusCode::kFactorizationFailed) throw;
+    }
+    if (built && ok(r.cg.status)) {
+      r.status = r.cg.status;
+      r.attempts = {cfg.precond};
+      return r;
+    }
+    precision_burnt_iters = built ? r.cg.iterations : 0;
+    precision_burnt_setup = built ? r.setup_seconds : 0.0;
+    precision_fell = true;
+    if (reg0) reg0->counter("core.fallback.precision")->add(1);
+  }
+
+  // Merge the fp32 bookkeeping into whatever the fp64 path below produced.
+  const auto finish = [&](SolveReport rep) {
+    if (precision_fell) {
+      rep.precision_fallbacks = 1;
+      rep.fallback_iterations += precision_burnt_iters;
+      rep.fallback_setup_seconds += precision_burnt_setup;
+      if (rep.status == SolveStatus::kConverged) rep.status = SolveStatus::kFellBack;
+    }
+    return rep;
+  };
+
   if (!cfg.resilience.enabled) {
-    SolveReport rep = attempt_solve(sys, sn, cfg, cfg.precond, cfg.cg, nullptr);
+    SolveReport rep =
+        attempt_solve(sys, sn, cfg, cfg.precond, cfg.cg, nullptr, precond::Precision::kDouble);
     rep.status = rep.cg.status;
     rep.attempts = {cfg.precond};
-    return rep;
+    return finish(std::move(rep));
   }
 
   // Resilient path. Give the inner CG a stagnation window (unless the caller
@@ -225,7 +280,8 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
       acfg.ordering = OrderingKind::kNatural;
     SolveReport r;
     try {
-      r = attempt_solve(sys, sn, acfg, kinds[t], cgopt, have_warm ? &warm : nullptr);
+      r = attempt_solve(sys, sn, acfg, kinds[t], cgopt, have_warm ? &warm : nullptr,
+                        precond::Precision::kDouble);
     } catch (const Error& e) {
       if (e.code() != StatusCode::kFactorizationFailed) throw;
       last_status = SolveStatus::kFactorizationFailed;
@@ -239,7 +295,7 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
       out.fallback_iterations = burnt_iterations;
       out.fallback_setup_seconds = burnt_setup;
       if (t > 0 && reg) reg->counter("core.fallback.recovered")->add(1);
-      return out;
+      return finish(std::move(out));
     }
     last_status = r.cg.status;
     burnt_iterations += r.cg.iterations;
@@ -257,7 +313,7 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
   out.fallback_setup_seconds = burnt_setup - out.setup_seconds;
   out.attempts = std::move(attempted);
   if (reg) reg->counter("core.fallback.exhausted")->add(1);
-  return out;
+  return finish(std::move(out));
 }
 
 }  // namespace geofem::core

@@ -5,6 +5,7 @@
 
 #include "coarse/coarse.hpp"
 #include "contact/penalty.hpp"
+#include "core/options.hpp"
 #include "core/resilience.hpp"
 #include "core/status.hpp"
 #include "fem/assembly.hpp"
@@ -33,23 +34,19 @@ using OrderingKind = plan::OrderingKind;
 
 [[nodiscard]] std::string to_string(PrecondKind k);
 
-struct SolveConfig {
+/// Shared solver knobs (cg, threads, overlap, plan_cache, resilience, coarse,
+/// precision) live in core::SolveOptionsBase — one header embedded by this
+/// struct and dist::DistOptions alike — so the two entry points cannot drift.
+struct SolveConfig : SolveOptionsBase {
   PrecondKind precond = PrecondKind::kSBBIC0;
   double penalty = 1e6;        ///< lambda applied to the mesh contact groups
   OrderingKind ordering = OrderingKind::kNatural;
   int colors = 20;             ///< MC target color count (PDJDS path)
   int npe = 8;                 ///< PEs per SMP node (PDJDS path)
   bool sort_supernodes = true; ///< Fig 22 switch
-  /// OpenMP team size of the hybrid kernels (SpMV, BLAS-1, substitution
-  /// sweeps); 0 = all hardware threads. Residual histories are bit-identical
-  /// for any value (deterministic fixed-shape reductions + level-scheduled
-  /// sweeps — DESIGN.md §5e).
-  int threads = 0;
-  solver::CGOptions cg;
-  /// Cache consulted for the structure-dependent set-up (coloring, DJDS
-  /// layout, symbolic factorization). Null uses the process-wide
-  /// plan::default_cache(); set use_plan_cache = false to always rebuild.
-  plan::PlanCache* plan_cache = nullptr;
+  /// Consult the plan cache (SolveOptionsBase::plan_cache, or the
+  /// process-wide plan::default_cache() when that is null) for the
+  /// structure-dependent set-up; false always rebuilds.
   bool use_plan_cache = true;
   /// Re-entrant session entry (svc::SolverService): when set, this registry
   /// is obs::Attach-ed to the calling thread for the duration of the solve,
@@ -57,17 +54,6 @@ struct SolveConfig {
   /// without the caller managing attachment around every call. Null keeps
   /// whatever registry the thread already has attached.
   obs::Registry* registry = nullptr;
-  /// Automatic preconditioner fallback on stagnation / breakdown /
-  /// factorization failure. Disabled by default: residual histories with the
-  /// default options are bit-identical to a build without the resilience
-  /// layer.
-  ResilienceOptions resilience;
-  /// Two-level coarse-space correction wrapped around the preconditioner
-  /// (DESIGN.md §5h). Natural ordering only; per-contact-group aggregation
-  /// reads the supernode map's groups. A singular coarse operator degrades
-  /// the solve to one level (SolveReport::coarse_status == kDegraded) rather
-  /// than failing it.
-  coarse::Options coarse;
 };
 
 struct SolveReport {
@@ -83,7 +69,13 @@ struct SolveReport {
   double fallback_setup_seconds = 0.0;
   solver::CGResult cg;
   std::vector<double> solution;    ///< mesh ordering, 3 DOF per node
+  /// Structured identity of the preconditioner that produced `cg` (kind,
+  /// precision, PDJDS, coarse mode/dim). `precond_name` is its rendering
+  /// (Desc::display_name()), kept for table/report compatibility.
+  precond::Desc precond;
   std::string precond_name;
+  /// fp32 attempts re-set-up at fp64 after stagnation/breakdown (0 or 1).
+  int precision_fallbacks = 0;
   double setup_seconds = 0.0;      ///< reorder + factorization
   std::size_t matrix_bytes = 0;
   std::size_t precond_bytes = 0;
@@ -106,9 +98,12 @@ struct SolveReport {
 };
 
 /// Build the requested preconditioner on an assembled matrix. `sn` is only
-/// used by kSBBIC0 (copied).
-precond::PreconditionerPtr make_preconditioner(PrecondKind kind, const sparse::BlockCSR& a,
-                                               const contact::Supernodes& sn);
+/// used by kSBBIC0 (copied). `precision` selects the stored factor scalar
+/// (kSingle = fp32 mirrors; throws Error(kFactorizationFailed) on narrowing
+/// overflow).
+precond::PreconditionerPtr make_preconditioner(
+    PrecondKind kind, const sparse::BlockCSR& a, const contact::Supernodes& sn,
+    precond::Precision precision = precond::Precision::kDouble);
 
 /// Assemble (elasticity + penalty + boundary conditions) and solve.
 SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& materials,

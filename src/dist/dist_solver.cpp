@@ -136,6 +136,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   std::vector<int> burnt_iters(static_cast<std::size_t>(ndom), 0);
   std::vector<double> relres(static_cast<std::size_t>(ndom), 0.0);
   std::vector<SolveStatus> statuses(static_cast<std::size_t>(ndom), SolveStatus::kMaxIterations);
+  std::vector<int> pfell(static_cast<std::size_t>(ndom), 0);
   std::vector<coarse::SetupStatus> cstats(static_cast<std::size_t>(ndom),
                                           coarse::SetupStatus::kOff);
   std::vector<int> cdims(static_cast<std::size_t>(ndom), 0);
@@ -220,9 +221,16 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     try {
       // CG controls; resilience supplies a stagnation window if the caller
       // left detection off, so a stalled attempt fails fast enough to leave
-      // budget for the fallback rung.
+      // budget for the fallback rung. The fp32 safety net arms one too
+      // (independent of resilience.enabled): an fp32-preconditioned CG that
+      // stalls must fail fast so the fp64 re-setup gets the budget — the
+      // user's window is restored for the fp64 retry.
       solver::CGOptions cgopt = opt.cg;
       if (cgopt.stagnation_window == 0 && opt.resilience.enabled)
+        cgopt.stagnation_window = opt.resilience.stagnation_window;
+      const int user_window = cgopt.stagnation_window;
+      const bool fp32 = opt.precision == precond::Precision::kSingle;
+      if (fp32 && cgopt.stagnation_window == 0)
         cgopt.stagnation_window = opt.resilience.stagnation_window;
 
       // localized preconditioner on the internal submatrix (aii must outlive
@@ -233,21 +241,24 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       bool build_failed = false;
       {
         obs::ScopedSpan setup_span("dist.setup");
-        if (opt.resilience.enabled) {
+        if (opt.resilience.enabled || fp32) {
+          // fp32 narrowing overflow surfaces as kFactorizationFailed and is
+          // caught here even with resilience off — the fp64 re-setup below is
+          // always armed under kSingle.
           try {
-            prec = factory(ls, aii);
+            prec = factory(ls, aii, opt.precision);
           } catch (const Error& e) {
             if (e.code() != StatusCode::kFactorizationFailed) throw;
             build_failed = true;
           }
         } else {
-          prec = factory(ls, aii);
+          prec = factory(ls, aii, opt.precision);
         }
       }
       // A rank-local factorization failure must become a global decision —
       // every rank takes the fallback branch together.
       bool build_failed_global = false;
-      if (opt.resilience.enabled)
+      if (opt.resilience.enabled || fp32)
         build_failed_global = comm.allreduce_max(build_failed ? 1.0 : 0.0) > 0.0;
 
       // Two-level set-up, numeric half: each rank assembles its Galerkin
@@ -451,6 +462,42 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       SolveStatus st =
           build_failed_global ? SolveStatus::kFactorizationFailed : cg_loop(*prec);
 
+      if (fp32 && !ok(st)) {
+        // fp32-induced stagnation/breakdown (or narrowing overflow at
+        // set-up): re-set-up the fp64 plan on every rank together — the
+        // decision above derives from allreduced scalars, so all ranks
+        // rebuild in lockstep — and restart COLD. The cold restart is what
+        // makes the recovery's residual history bit-identical to a direct
+        // fp64 solve of the same system.
+        burnt_iters[rank] = total_iters;
+        // The re-set-up itself is the counted event (like the serial path):
+        // it happened on every rank together whether or not the fp64 retry
+        // then converges.
+        pfell[rank] = 1;
+        if (opt.telemetry) rank_reg.counter("dist.fallback.precision")->add(1);
+        precond::PreconditionerPtr fb64;
+        bool fb_failed = false;
+        try {
+          fb64 = factory(ls, aii, precond::Precision::kDouble);
+        } catch (const Error& e) {
+          if (e.code() != StatusCode::kFactorizationFailed) throw;
+          fb_failed = true;
+        }
+        if (comm.allreduce_max(fb_failed ? 1.0 : 0.0) > 0.0) {
+          st = SolveStatus::kFactorizationFailed;
+        } else {
+          res.precond_bytes_per_rank[rank] = fb64->memory_bytes();
+          cgopt.stagnation_window = user_window;
+          std::fill(x.begin(), x.end(), 0.0);
+          for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
+          rnorm = bnorm;
+          if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
+          const SolveStatus retried = cg_loop(*fb64);
+          st = ok(retried) ? SolveStatus::kFellBack : retried;
+          prec = std::move(fb64);
+        }
+      }
+
       if (opt.resilience.enabled && !ok(st)) {
         // Fallback rungs, tried in order while attempts keep failing: the
         // caller's fallback factory (when set), then the localized block
@@ -460,7 +507,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
         // the partial iterate each time.
         std::vector<const PrecondFactory*> rungs;
         const PrecondFactory block_diag = [](const part::LocalSystem&,
-                                             const sparse::BlockCSR& m) {
+                                             const sparse::BlockCSR& m, precond::Precision) {
           return std::make_unique<precond::BlockDiagonal>(m);
         };
         if (opt.fallback_factory) rungs.push_back(&opt.fallback_factory);
@@ -472,7 +519,9 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           precond::PreconditionerPtr fb;
           bool fb_failed = false;
           try {
-            fb = (*rungs[rung])(ls, aii);
+            // Ordinary rungs always rebuild at fp64: a fallback exists to
+            // restore convergence, not to preserve the precision experiment.
+            fb = (*rungs[rung])(ls, aii, precond::Precision::kDouble);
           } catch (const Error& e) {
             if (e.code() != StatusCode::kFactorizationFailed) throw;
             fb_failed = true;
@@ -545,6 +594,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
     if (s == SolveStatus::kCommTimeout) res.status = SolveStatus::kCommTimeout;
   res.iterations = iters[0];
   res.fallback_iterations = burnt_iters[0];
+  res.precision_fallbacks = pfell[0];
   res.relative_residual = relres[0];
   res.coarse_status = cstats[0];
   res.coarse_dim = cdims[0];
@@ -557,9 +607,15 @@ PrecondFactory make_plan_factory(plan::PlanCache& cache, plan::PlanConfig cfg,
   GEOFEM_CHECK(cfg.ordering == plan::OrderingKind::kNatural,
                "make_plan_factory supports the natural ordering only");
   return [&cache, cfg, groups = std::move(global_groups)](
-             const part::LocalSystem& ls, const sparse::BlockCSR& aii) {
+             const part::LocalSystem& ls, const sparse::BlockCSR& aii,
+             precond::Precision precision) {
     const auto sn = contact::build_supernodes(aii.n, ls.local_contact_groups(groups));
-    return std::make_unique<plan::PlannedPreconditioner>(cache.get(aii, sn, cfg), aii);
+    // The requested precision perturbs the plan key (only when kSingle), so
+    // an fp64 re-setup after an fp32 failure builds — and caches — a second,
+    // full-precision plan instead of refilling the fp32 one.
+    plan::PlanConfig c = cfg;
+    c.precision = precision;
+    return std::make_unique<plan::PlannedPreconditioner>(cache.get(aii, sn, c), aii);
   };
 }
 

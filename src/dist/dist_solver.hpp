@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "coarse/coarse.hpp"
+#include "core/options.hpp"
 #include "core/resilience.hpp"
 #include "core/status.hpp"
 #include "dist/comm.hpp"
@@ -14,57 +15,42 @@
 
 namespace geofem::dist {
 
-/// Builds the localized preconditioner of one domain. Receives the local
-/// system and its internal-by-internal submatrix (external couplings zeroed —
-/// the "localized" part); closes over whatever else it needs (e.g. global
-/// contact groups for SB-BIC(0)).
-using PrecondFactory = std::function<precond::PreconditionerPtr(const part::LocalSystem&,
-                                                                const sparse::BlockCSR&)>;
+/// Builds the localized preconditioner of one domain at the requested stored
+/// precision. Receives the local system and its internal-by-internal
+/// submatrix (external couplings zeroed — the "localized" part); closes over
+/// whatever else it needs (e.g. global contact groups for SB-BIC(0)). The
+/// precision argument is how the solver re-requests an fp64 build after an
+/// fp32 attempt stagnates or breaks down — factories that only support fp64
+/// may ignore it.
+using PrecondFactory = std::function<precond::PreconditionerPtr(
+    const part::LocalSystem&, const sparse::BlockCSR&, precond::Precision)>;
 
-struct DistOptions {
-  /// Inner CG controls (tolerance, max_iterations, record_residuals,
-  /// stagnation_window) — shared vocabulary with the serial solver instead of
-  /// duplicated fields.
-  solver::CGOptions cg;
+/// Shared solver knobs (cg, threads, overlap, plan_cache, resilience, coarse,
+/// precision) come from core::SolveOptionsBase — the same base
+/// core::SolveConfig embeds — so the serial and distributed entry points
+/// cannot drift apart. Distributed-specific notes on the inherited fields:
+///   * resilience — rungs are tried in order: `fallback_factory` (when set),
+///     then the built-in localized block diagonal, up to
+///     resilience.max_fallbacks rebuilds, CG restarting warm after each.
+///     resilience.chain (a PrecondKind list) is not consulted: this solver
+///     builds preconditioners through factories, not kinds. All fallback
+///     decisions derive from allreduced quantities (lockstep).
+///   * plan_cache — only snapshotted into DistResult::plan_cache; pass the
+///     cache given to make_plan_factory (one plan per rank).
+///   * precision — forwarded to the PrecondFactory; an fp32 attempt that
+///     stagnates/breaks down is rebuilt at fp64 on every rank together
+///     (allreduced decision), restarting cold so the recovery's residual
+///     history is bit-identical to a direct fp64 run.
+struct DistOptions : core::SolveOptionsBase {
   /// Collect per-rank telemetry registries and gather them to rank 0
   /// (DistResult::obs_per_rank / obs_merged). Coarse-grained — spans wrap
   /// set-up and the whole solve, not individual iterations.
   bool telemetry = true;
-  /// Cache whose statistics are snapshotted into DistResult::plan_cache after
-  /// the run. Pass the cache given to make_plan_factory; each rank's distinct
-  /// local graph gets its own plan in it (one plan per rank).
-  plan::PlanCache* plan_cache = nullptr;
-  /// Automatic fallback on factorization failure / stagnation / breakdown /
-  /// exhausted iterations. Rungs are tried in order — `fallback_factory`
-  /// (when set), then the built-in localized block diagonal — up to
-  /// resilience.max_fallbacks rebuilds, with CG restarting warm after each.
-  /// Unlike the serial solver, resilience.chain (a PrecondKind list) is not
-  /// consulted: the distributed solver builds preconditioners through
-  /// factories, not kinds. All fallback decisions derive from allreduced
-  /// quantities, so every rank takes the same branch. Off by default.
-  geofem::ResilienceOptions resilience;
   PrecondFactory fallback_factory;
   /// Injected communication faults plus the blocking-operation deadline that
   /// turns a lost message into geofem::Error(kCommTimeout) — surfaced as
   /// SolveStatus::kCommTimeout on every rank — instead of a hang.
   FaultPlan faults;
-  /// OpenMP team size of every rank's hybrid kernels (0 = all hardware
-  /// threads) — the paper's "PEs per SMP node". Residual histories are
-  /// bit-identical for any value.
-  int threads = 0;
-  /// Overlap each matvec's interior-row SpMV with halo message delivery
-  /// (boundary rows run after the exchange completes). Purely a scheduling
-  /// change: per-rank messages and per-row arithmetic are unchanged, so
-  /// results are bit-identical with overlap on or off.
-  bool overlap = true;
-  /// Two-level coarse-space correction (DESIGN.md §5h): one aggregate per
-  /// domain (optionally refined per contact group — see coarse_groups), the
-  /// Galerkin operator allreduced across ranks and factored redundantly on
-  /// every rank. This is what flattens the iteration growth the localized
-  /// preconditioners show as the domain count rises (Table 4 / Figs 16-19).
-  /// A singular coarse operator degrades every rank together to one level
-  /// (DistResult::coarse_status == kDegraded) — lockstep is preserved.
-  coarse::Options coarse;
   /// Contact groups in GLOBAL node ids, consulted when
   /// coarse.aggregates == kPerContactGroup (groups of >= 2 nodes each get
   /// their own aggregate on top of the per-domain base).
@@ -82,6 +68,9 @@ struct DistResult {
   /// CG iterations burnt in failed attempts before the fallback rebuild
   /// (zero for a direct solve).
   int fallback_iterations = 0;
+  /// fp32 attempts re-set-up at fp64 after stagnation/breakdown (0 or 1;
+  /// identical on every rank — the decision is allreduced).
+  int precision_fallbacks = 0;
   int iterations = 0;
   double relative_residual = 0.0;
   /// Relative residual per iteration across all attempts (identical on every

@@ -34,14 +34,6 @@ TeamScope::TeamScope(int requested) : prev_(tl_team) { tl_team = resolve_threads
 
 TeamScope::~TeamScope() { tl_team = prev_; }
 
-double combine(const double* partials, std::size_t n) {
-  if (n == 0) return 0.0;
-  if (n == 1) return partials[0];
-  if (n == 2) return partials[0] + partials[1];
-  const std::size_t h = n / 2;
-  return combine(partials, h) + combine(partials + h, n - h);
-}
-
 Range static_range(std::size_t n, int parts, int part) {
   GEOFEM_CHECK(parts >= 1 && part >= 0 && part < parts, "static_range: bad part index");
   const std::size_t p = static_cast<std::size_t>(parts);

@@ -71,8 +71,17 @@ inline constexpr std::size_t kReduceChunk = 1024;
 /// Combine per-chunk partials with a fixed-shape pairwise tree (split at
 /// n/2, recurse). The shape depends only on `n`, which makes the result
 /// independent of thread count — and better conditioned than a left-to-right
-/// running sum as a bonus.
-[[nodiscard]] double combine(const double* partials, std::size_t n);
+/// running sum as a bonus. Templated on the partial scalar so fp32-staged
+/// kernels can reduce in their stored precision; T = double is the
+/// historical (bit-exact) reduction.
+template <class T>
+[[nodiscard]] T combine(const T* partials, std::size_t n) {
+  if (n == 0) return T(0);
+  if (n == 1) return partials[0];
+  if (n == 2) return partials[0] + partials[1];
+  const std::size_t h = n / 2;
+  return combine(partials, h) + combine(partials + h, n - h);
+}
 
 // ---------------------------------------------------------------------------
 // Static range partition

@@ -5,19 +5,6 @@
 
 namespace geofem::plan {
 
-std::string to_string(PrecondKind k) {
-  switch (k) {
-    case PrecondKind::kDiagonal: return "Diagonal";
-    case PrecondKind::kScalarIC0: return "IC(0) scalar";
-    case PrecondKind::kBIC0: return "BIC(0)";
-    case PrecondKind::kBIC1: return "BIC(1)";
-    case PrecondKind::kBIC2: return "BIC(2)";
-    case PrecondKind::kSBBIC0: return "SB-BIC(0)";
-    case PrecondKind::kBlockDiagonal: return "BlockDiagonal";
-  }
-  return "?";
-}
-
 std::uint64_t graph_fingerprint(const sparse::BlockCSR& a) {
   Fnv1a h;
   h.pod(a.n);
@@ -36,6 +23,10 @@ PlanKey make_key(const sparse::BlockCSR& a, const contact::Supernodes& sn,
   h.ints(sn.node_to_super);
   h.pod(static_cast<int>(cfg.precond));
   h.pod(static_cast<int>(cfg.ordering));
+  // Precision perturbs the key only when it deviates from the default, so
+  // every pre-existing fp64 key (and any serialized digest) is unchanged.
+  if (cfg.precision != precond::Precision::kDouble)
+    h.pod(static_cast<int>(cfg.precision));
   if (cfg.ordering != OrderingKind::kNatural) {
     h.pod(cfg.colors);
     h.pod(cfg.npe);

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "contact/penalty.hpp"
+#include "precond/desc.hpp"
 #include "sparse/block_csr.hpp"
 
 namespace geofem::coarse {
@@ -23,20 +24,13 @@ struct AggregateMap;
 /// sweeps) pay the symbolic cost once and only refresh numeric values.
 namespace geofem::plan {
 
-/// Which preconditioner a plan prepares. Aliased as core::PrecondKind — the
-/// kind is structure-relevant (it selects the symbolic phase), so it lives
-/// with the fingerprint vocabulary rather than the top-level API.
-enum class PrecondKind {
-  kDiagonal,   ///< point diagonal scaling
-  kScalarIC0,  ///< point-wise IC(0)
-  kBIC0,       ///< 3x3-block IC(0)
-  kBIC1,       ///< block ILU(1)
-  kBIC2,       ///< block ILU(2)
-  kSBBIC0,     ///< selective blocking (the paper's contribution)
-  kBlockDiagonal,  ///< 3x3 block Jacobi — the resilience chain's last resort
-};
+/// Which preconditioner a plan prepares. The enum itself lives with the
+/// structured identity (precond::Desc, precond/desc.hpp); it is aliased here
+/// (and as core::PrecondKind) because the kind is structure-relevant — it
+/// selects the symbolic phase and keys the plan cache.
+using PrecondKind = precond::PrecondKind;
 
-[[nodiscard]] std::string to_string(PrecondKind k);
+[[nodiscard]] inline std::string to_string(PrecondKind k) { return precond::to_string(k); }
 
 enum class OrderingKind {
   kNatural,     ///< CSR path, mesh order
@@ -62,6 +56,11 @@ struct PlanConfig {
   int colors = 20;              ///< MC target color count (PDJDS path)
   int npe = 8;                  ///< PEs per SMP node (PDJDS path)
   bool sort_supernodes = true;  ///< Fig 22 switch (PDJDS path)
+  /// Stored precision of the factors the numeric phase produces. Strictly a
+  /// value-layout choice, but it is keyed (kSingle perturbs the hash; kDouble
+  /// leaves historical keys unchanged) so warm reuse never hands an fp32
+  /// factorization to an fp64 solve or vice versa.
+  precond::Precision precision = precond::Precision::kDouble;
   /// Plan additionally carries the two-level coarse schedule (aggregate
   /// member lists + Galerkin assembly memo). Coarse-enabled keys hash the
   /// aggregate map, so the same graph with and without a coarse space — or

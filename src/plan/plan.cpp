@@ -89,16 +89,21 @@ precond::PreconditionerPtr SolvePlan::numeric(const sparse::BlockCSR& a) const {
   if (dj_) {
     std::lock_guard lock(numeric_mtx_);
     dj_->refill(a);
-    return std::make_unique<precond::DJDSBIC>(a, *dj_);
+    return std::make_unique<precond::DJDSBIC>(a, *dj_, cfg_.precision);
   }
   switch (cfg_.precond) {
-    case PrecondKind::kDiagonal: return std::make_unique<precond::DiagonalScaling>(a);
-    case PrecondKind::kBlockDiagonal: return std::make_unique<precond::BlockDiagonal>(a);
-    case PrecondKind::kScalarIC0: return std::make_unique<precond::ScalarIC0>(a, ic0_);
-    case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a);
+    case PrecondKind::kDiagonal:
+      return std::make_unique<precond::DiagonalScaling>(a, cfg_.precision);
+    case PrecondKind::kBlockDiagonal:
+      return std::make_unique<precond::BlockDiagonal>(a, cfg_.precision);
+    case PrecondKind::kScalarIC0:
+      return std::make_unique<precond::ScalarIC0>(a, ic0_, cfg_.precision);
+    case PrecondKind::kBIC0: return std::make_unique<precond::BIC0>(a, cfg_.precision);
     case PrecondKind::kBIC1:
-    case PrecondKind::kBIC2: return std::make_unique<precond::BlockILUk>(a, iluk_);
-    case PrecondKind::kSBBIC0: return std::make_unique<precond::SBBIC0>(a, sn_, sb_);
+    case PrecondKind::kBIC2:
+      return std::make_unique<precond::BlockILUk>(a, iluk_, cfg_.precision);
+    case PrecondKind::kSBBIC0:
+      return std::make_unique<precond::SBBIC0>(a, sn_, sb_, cfg_.precision);
   }
   throw Error(StatusCode::kInvalidArgument, "unknown preconditioner kind");
 }

@@ -116,6 +116,7 @@ class PlannedPreconditioner final : public precond::Preconditioner {
 
   [[nodiscard]] std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] precond::Desc desc() const override { return inner_->desc(); }
 
   [[nodiscard]] const SolvePlan& plan() const { return *plan_; }
 

@@ -18,8 +18,9 @@ namespace {
 
 /// z_i = D_i * acc via the accumulator in use. For ScalarAcc3 this is exactly
 /// the historical b3_apply (x + 0.0 is exact), for AvxAcc3 the FMA tree.
-template <class Acc>
-inline void acc_apply_block(const double* d, const double* x, double* z) {
+/// T = float widens the stored block on load; arithmetic stays fp64.
+template <class Acc, class T>
+inline void acc_apply_block(const T* d, const double* x, double* z) {
   Acc a;
   a.init_zero();
   a.madd(d, x);
@@ -42,15 +43,19 @@ void invert_or_reset(const double* d, double* inv) {
 }
 
 /// Level-scheduled BIC(0) substitution, accumulator chosen once per apply.
-template <class Acc>
-void bic0_apply_impl(const sparse::BlockCSR& a, const double* inv_d, const par::LevelSchedule& fwd,
-                     const par::LevelSchedule& bwd, const double* r, double* z, int team) {
+/// `aval` is the block value array the sweep streams — a.val for fp64, the
+/// narrowed fp32 mirror for kSingle (same entry indexing).
+template <class Acc, class T>
+void bic0_apply_impl(const sparse::BlockCSR& a, const T* aval, const T* inv_d,
+                     const par::LevelSchedule& fwd, const par::LevelSchedule& bwd,
+                     const double* r, double* z, int team) {
   // forward: y_i = D~_i^-1 (r_i - sum_{k<i} A_ik y_k)
   par::for_levels(fwd, team, [&](int i) {
     Acc acc;
     acc.init(r + static_cast<std::size_t>(i) * kB);
     for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e)
-      acc.msub(a.block(e), z + static_cast<std::size_t>(a.colind[e]) * kB);
+      acc.msub(aval + static_cast<std::size_t>(e) * kBB,
+               z + static_cast<std::size_t>(a.colind[e]) * kB);
     double tmp[kB];
     acc.reduce(tmp);
     acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp,
@@ -61,7 +66,8 @@ void bic0_apply_impl(const sparse::BlockCSR& a, const double* inv_d, const par::
     Acc acc;
     acc.init_zero();
     for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
-      acc.madd(a.block(e), z + static_cast<std::size_t>(a.colind[e]) * kB);
+      acc.madd(aval + static_cast<std::size_t>(e) * kBB,
+               z + static_cast<std::size_t>(a.colind[e]) * kB);
     double tmp[kB], corr[kB];
     acc.reduce(tmp);
     acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, corr);
@@ -73,9 +79,9 @@ void bic0_apply_impl(const sparse::BlockCSR& a, const double* inv_d, const par::
 }
 
 /// Level-scheduled ILU(k) substitution over the fill pattern.
-template <class Acc>
-void iluk_apply_impl(const ILUkSymbolic& s, const double* lval, const double* uval,
-                     const double* inv_d, const double* r, double* z, int team) {
+template <class Acc, class T>
+void iluk_apply_impl(const ILUkSymbolic& s, const T* lval, const T* uval,
+                     const T* inv_d, const double* r, double* z, int team) {
   // forward (unit L): y_i = r_i - sum L_ik y_k
   par::for_levels(s.fwd, team, [&](int i) {
     Acc acc;
@@ -107,7 +113,8 @@ void iluk_apply_impl(const ILUkSymbolic& s, const double* lval, const double* uv
 // BIC(0)
 // ---------------------------------------------------------------------------
 
-BIC0::BIC0(const sparse::BlockCSR& a, bool modified) : a_(a) {
+BIC0::BIC0(const sparse::BlockCSR& a, Precision precision, bool modified)
+    : a_(a), precision_(precision) {
   obs::ScopedSpan span("precond.factor.BIC(0)");
   inv_d_.resize(static_cast<std::size_t>(a.n) * kBB);
   std::vector<double> dmod(static_cast<std::size_t>(a.n) * kBB);
@@ -160,6 +167,15 @@ BIC0::BIC0(const sparse::BlockCSR& a, bool modified) : a_(a) {
     lev[static_cast<std::size_t>(i)] = l;
   }
   bwd_ = par::schedule_from_levels(lev);
+
+  // kSingle: narrow the stored form — D~^-1 plus the matrix values the
+  // substitution reads in place — and drop the fp64 diagonal array.
+  if (precision_ == Precision::kSingle) {
+    narrow_or_throw(inv_d_, inv32_);
+    narrow_or_throw(std::span<const double>(a.val.data(), a.val.size()), aval32_);
+    inv_d_.clear();
+    inv_d_.shrink_to_fit();
+  }
 }
 
 void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
@@ -170,13 +186,28 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
   // Rows of one dependency level are independent; per-row arithmetic is the
   // serial sweep's (for the accumulator in use), so the result is
   // bit-identical for any team size.
+  if (precision_ == Precision::kSingle) {
 #if GEOFEM_SIMD_HAS_AVX2
-  if (simd::active() == simd::Isa::kAvx2) {
-    bic0_apply_impl<simd::AvxAcc3>(a, inv_d_.data(), fwd_, bwd_, r.data(), z.data(), team);
-  } else
+    if (simd::active() == simd::Isa::kAvx2) {
+      bic0_apply_impl<simd::AvxAcc3T<float>>(a, aval32_.data(), inv32_.data(), fwd_, bwd_,
+                                             r.data(), z.data(), team);
+    } else
 #endif
-  {
-    bic0_apply_impl<simd::ScalarAcc3>(a, inv_d_.data(), fwd_, bwd_, r.data(), z.data(), team);
+    {
+      bic0_apply_impl<simd::ScalarAcc3T<float>>(a, aval32_.data(), inv32_.data(), fwd_, bwd_,
+                                                r.data(), z.data(), team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (simd::active() == simd::Isa::kAvx2) {
+      bic0_apply_impl<simd::AvxAcc3>(a, a.val.data(), inv_d_.data(), fwd_, bwd_, r.data(),
+                                     z.data(), team);
+    } else
+#endif
+    {
+      bic0_apply_impl<simd::ScalarAcc3>(a, a.val.data(), inv_d_.data(), fwd_, bwd_, r.data(),
+                                        z.data(), team);
+    }
   }
   // Loop lengths are pattern-derived; record serially in the serial order.
   if (loops) {
@@ -336,13 +367,14 @@ std::shared_ptr<const ILUkSymbolic> iluk_symbolic(const sparse::BlockCSR& a, int
   return out;
 }
 
-BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level)
-    : sym_(iluk_symbolic(a, fill_level)) {
+BlockILUk::BlockILUk(const sparse::BlockCSR& a, int fill_level, Precision precision)
+    : sym_(iluk_symbolic(a, fill_level)), precision_(precision) {
   numeric(a);
 }
 
-BlockILUk::BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym)
-    : sym_(std::move(sym)) {
+BlockILUk::BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym,
+                     Precision precision)
+    : sym_(std::move(sym)), precision_(precision) {
   GEOFEM_CHECK(sym_ && sym_->n == a.n, "BlockILUk: symbolic/matrix size mismatch");
   numeric(a);
 }
@@ -402,6 +434,20 @@ void BlockILUk::numeric(const sparse::BlockCSR& a) {
     invert_or_reset(wval.data() + static_cast<std::size_t>(nl + nu) * kBB,
                     inv_d_.data() + static_cast<std::size_t>(i) * kBB);
   }
+
+  // kSingle: the factorization above always runs in fp64; narrow the stored
+  // factors and drop the fp64 arrays.
+  if (precision_ == Precision::kSingle) {
+    narrow_or_throw(lval_, lval32_);
+    narrow_or_throw(uval_, uval32_);
+    narrow_or_throw(inv_d_, inv32_);
+    lval_.clear();
+    lval_.shrink_to_fit();
+    uval_.clear();
+    uval_.shrink_to_fit();
+    inv_d_.clear();
+    inv_d_.shrink_to_fit();
+  }
 }
 
 void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
@@ -413,15 +459,28 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
   const int team = par::threads();
   // Level-parallel; per-row arithmetic unchanged (for the accumulator in
   // use), so bit-identical for any team size.
+  if (precision_ == Precision::kSingle) {
 #if GEOFEM_SIMD_HAS_AVX2
-  if (simd::active() == simd::Isa::kAvx2) {
-    iluk_apply_impl<simd::AvxAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
-                                   z.data(), team);
-  } else
+    if (simd::active() == simd::Isa::kAvx2) {
+      iluk_apply_impl<simd::AvxAcc3T<float>>(s, lval32_.data(), uval32_.data(), inv32_.data(),
+                                             r.data(), z.data(), team);
+    } else
 #endif
-  {
-    iluk_apply_impl<simd::ScalarAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
-                                      z.data(), team);
+    {
+      iluk_apply_impl<simd::ScalarAcc3T<float>>(s, lval32_.data(), uval32_.data(), inv32_.data(),
+                                                r.data(), z.data(), team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (simd::active() == simd::Isa::kAvx2) {
+      iluk_apply_impl<simd::AvxAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                     z.data(), team);
+    } else
+#endif
+    {
+      iluk_apply_impl<simd::ScalarAcc3>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                        z.data(), team);
+    }
   }
   if (loops) {
     for (int i = 0; i < n_; ++i)
@@ -435,7 +494,9 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
 }
 
 std::size_t BlockILUk::memory_bytes() const {
-  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) + sym_->memory_bytes();
+  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) +
+         (lval32_.size() + uval32_.size() + inv32_.size()) * sizeof(float) +
+         sym_->memory_bytes();
 }
 
 }  // namespace geofem::precond

@@ -24,19 +24,35 @@ class BIC0 final : public Preconditioner {
   /// into near-singular blocks (kappa(M^-1 A) explodes on distorted meshes),
   /// while the plain form guarantees an SPD M with spectrum in (0, 1] —
   /// see bench_ablation_modified_diag for the measured comparison.
-  explicit BIC0(const sparse::BlockCSR& a, bool modified = false);
+  /// `precision` selects the STORED form the substitution streams (the
+  /// factorization itself always runs in fp64): kSingle keeps fp32 mirrors
+  /// of D~^-1 and of the off-diagonal blocks of `a`, widening each block on
+  /// load and accumulating in fp64; narrowing overflow throws
+  /// Error(kFactorizationFailed).
+  explicit BIC0(const sparse::BlockCSR& a, Precision precision = Precision::kDouble,
+                bool modified = false);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override {
-    return inv_d_.size() * sizeof(double);
+    return inv_d_.size() * sizeof(double) + (inv32_.size() + aval32_.size()) * sizeof(float);
   }
-  [[nodiscard]] std::string name() const override { return "BIC(0)"; }
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = PrecondKind::kBIC0;
+    d.precision = precision_;
+    return d;
+  }
 
  private:
   const sparse::BlockCSR& a_;
-  simd::aligned_vector<double> inv_d_;  ///< kBB per row: D~_i^-1
+  Precision precision_ = Precision::kDouble;
+  simd::aligned_vector<double> inv_d_;  ///< kBB per row: D~_i^-1 (kDouble only)
+  /// fp32 storage (kSingle only): narrowed D~^-1 and a full narrowed mirror
+  /// of the matrix values (the substitution reads a's off-diagonals in place).
+  simd::aligned_vector<float> inv32_, aval32_;
   std::vector<int> lower_len_;  ///< strict-lower blocks per row (loop stats)
   par::LevelSchedule fwd_, bwd_;  ///< substitution dependency levels
 };
@@ -76,20 +92,35 @@ struct ILUkSymbolic {
 /// numeric factorization — the paper's BIC(1)/BIC(2) (deep fill-in remedy).
 class BlockILUk final : public Preconditioner {
  public:
-  /// Cold set-up: symbolic + numeric.
-  BlockILUk(const sparse::BlockCSR& a, int fill_level);
+  /// Cold set-up: symbolic + numeric. The numeric factorization always runs
+  /// in fp64; `precision` = kSingle narrows the stored L/U/D~^-1 factors to
+  /// fp32 (throwing Error(kFactorizationFailed) on overflow), with the
+  /// substitution widening each block on load and accumulating in fp64.
+  BlockILUk(const sparse::BlockCSR& a, int fill_level,
+            Precision precision = Precision::kDouble);
 
   /// Numeric-only set-up on a previously computed (plan-cached) pattern.
   /// `a` must have the graph `sym` was built from; produces bit-identical
   /// factors to the cold constructor.
-  BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym);
+  BlockILUk(const sparse::BlockCSR& a, std::shared_ptr<const ILUkSymbolic> sym,
+            Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
-  [[nodiscard]] std::string name() const override {
-    return "BIC(" + std::to_string(sym_->fill_level) + ")";
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    if (sym_->fill_level == 1) {
+      d.kind = PrecondKind::kBIC1;
+    } else if (sym_->fill_level == 2) {
+      d.kind = PrecondKind::kBIC2;
+    } else {
+      d.custom = "BIC(" + std::to_string(sym_->fill_level) + ")";
+    }
+    d.precision = precision_;
+    return d;
   }
 
   /// Stored blocks in L + U (fill-in growth diagnostic).
@@ -101,9 +132,12 @@ class BlockILUk final : public Preconditioner {
   void numeric(const sparse::BlockCSR& a);
 
   std::shared_ptr<const ILUkSymbolic> sym_;
+  Precision precision_ = Precision::kDouble;
   simd::aligned_vector<double> lval_;   ///< kBB per L pattern entry
   simd::aligned_vector<double> uval_;   ///< kBB per U pattern entry
   simd::aligned_vector<double> inv_d_;  ///< kBB per row: U_ii^-1
+  /// fp32-stored factors (kSingle only; the fp64 arrays above stay empty)
+  simd::aligned_vector<float> lval32_, uval32_, inv32_;
 };
 
 }  // namespace geofem::precond

@@ -1,0 +1,31 @@
+#include "precond/desc.hpp"
+
+namespace geofem::precond {
+
+std::string to_string(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::kDiagonal: return "Diagonal";
+    case PrecondKind::kScalarIC0: return "IC(0) scalar";
+    case PrecondKind::kBIC0: return "BIC(0)";
+    case PrecondKind::kBIC1: return "BIC(1)";
+    case PrecondKind::kBIC2: return "BIC(2)";
+    case PrecondKind::kSBBIC0: return "SB-BIC(0)";
+    case PrecondKind::kBlockDiagonal: return "BlockDiagonal";
+  }
+  return "?";
+}
+
+std::string Desc::display_name() const {
+  std::string s = custom.empty() ? to_string(kind) : custom;
+  if (custom.empty() && pdjds) s += " PDJDS";
+  if (coarse != CoarseKind::kNone) {
+    s += "+coarse(";
+    s += coarse == CoarseKind::kDeflated ? "deflated," : "additive,";
+    s += std::to_string(coarse_dim);
+    s += ")";
+  }
+  if (precision == Precision::kSingle) s += " [fp32]";
+  return s;
+}
+
+}  // namespace geofem::precond

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "core/status.hpp"
+#include "simd/simd.hpp"
+
+/// Structured preconditioner identity (DESIGN.md §5i).
+///
+/// Reports, telemetry and plan keys used to carry the preconditioner identity
+/// as an ad-hoc display string composed in several places ("SB-BIC(0) PDJDS",
+/// "BIC(0)+coarse(deflated,840)"). Desc replaces that with one struct — kind,
+/// fill level, stored precision, ordering, coarse mode/dimension — and
+/// renders the display name in exactly one place (Desc::display_name).
+///
+/// The PrecondKind enum itself lives here (not in plan/) because the identity
+/// is a preconditioner concept; plan/fingerprint.hpp aliases it so every
+/// existing spelling (plan::PrecondKind, core::PrecondKind) keeps compiling.
+namespace geofem::precond {
+
+/// Which preconditioner a plan prepares / a factorization implements.
+enum class PrecondKind {
+  kDiagonal,   ///< point diagonal scaling
+  kScalarIC0,  ///< point-wise IC(0)
+  kBIC0,       ///< 3x3-block IC(0)
+  kBIC1,       ///< block ILU(1)
+  kBIC2,       ///< block ILU(2)
+  kSBBIC0,     ///< selective blocking (the paper's contribution)
+  kBlockDiagonal,  ///< 3x3 block Jacobi — the resilience chain's last resort
+};
+
+[[nodiscard]] std::string to_string(PrecondKind k);
+
+/// Stored scalar of the preconditioner factors (DJDS values, packed SIMD
+/// mirrors, dense LU blocks). CG always iterates in fp64; kSingle halves the
+/// factor bandwidth and doubles the AVX2 lane width, at the cost of an
+/// inexact (but fixed) M — covered by the automatic fp64 fallback.
+enum class Precision {
+  kDouble,  ///< fp64 factors, the historical arithmetic (default)
+  kSingle,  ///< fp32-stored factors, fp64 Krylov vectors
+};
+
+[[nodiscard]] inline const char* to_string(Precision p) {
+  return p == Precision::kSingle ? "fp32" : "fp64";
+}
+
+/// Coarse second level carried by a preconditioner stack (precond::TwoLevel).
+enum class CoarseKind {
+  kNone,
+  kAdditive,
+  kDeflated,
+};
+
+/// Structured identity of one preconditioner instance. display_name() renders
+/// the table/report string in one place; everything else (plan keys,
+/// telemetry labels) reads the typed fields.
+struct Desc {
+  PrecondKind kind = PrecondKind::kSBBIC0;
+  Precision precision = Precision::kDouble;
+  bool pdjds = false;            ///< vectorized PDJDS/MC form
+  CoarseKind coarse = CoarseKind::kNone;
+  int coarse_dim = 0;            ///< coarse DOFs when coarse != kNone
+  /// Non-empty for preconditioners outside the PrecondKind vocabulary
+  /// (test doubles, fault-injection wrappers); display_name() returns it
+  /// verbatim, ignoring every other field except the precision tag.
+  std::string custom;
+
+  [[nodiscard]] int fill_level() const {
+    if (kind == PrecondKind::kBIC1) return 1;
+    if (kind == PrecondKind::kBIC2) return 2;
+    return 0;
+  }
+
+  /// The one place a preconditioner identity becomes a display string:
+  ///   "SB-BIC(0)", "BIC(0) PDJDS", "SB-BIC(0) PDJDS [fp32]",
+  ///   "BIC(0)+coarse(deflated,840)". fp64 renders exactly the historical
+  ///   names so existing tables/tests are unchanged.
+  [[nodiscard]] std::string display_name() const;
+};
+
+/// Narrow an fp64 factor array to fp32 storage, throwing
+/// Error(kFactorizationFailed) if any value falls outside fp32 range — the
+/// "fp32-induced breakdown" half of the precision fallback contract: callers
+/// catch it exactly like a failed pivot and re-set-up the fp64 plan.
+inline void narrow_or_throw(std::span<const double> src, simd::aligned_vector<float>& dst) {
+  dst.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float v = static_cast<float>(src[i]);
+    // Overflow: the double was finite but its fp32 image is not. NaNs in the
+    // source would have failed the fp64 factorization already.
+    if (!std::isfinite(v) && std::isfinite(src[i]))
+      throw Error(StatusCode::kFactorizationFailed,
+                  "fp32 narrowing overflow in preconditioner factors");
+    dst[i] = v;
+  }
+}
+
+}  // namespace geofem::precond

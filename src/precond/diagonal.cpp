@@ -7,7 +7,8 @@
 
 namespace geofem::precond {
 
-DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a) {
+DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a, Precision precision)
+    : precision_(precision) {
   obs::ScopedSpan span("precond.factor.Diagonal");
   inv_diag_.resize(a.ndof());
   for (int i = 0; i < a.n; ++i) {
@@ -19,18 +20,30 @@ DiagonalScaling::DiagonalScaling(const sparse::BlockCSR& a) {
       inv_diag_[static_cast<std::size_t>(i) * sparse::kB + static_cast<std::size_t>(c)] = 1.0 / v;
     }
   }
+  if (precision_ == Precision::kSingle) {
+    narrow_or_throw(inv_diag_, inv32_);
+    inv_diag_.clear();
+    inv_diag_.shrink_to_fit();
+  }
 }
 
 void DiagonalScaling::apply(std::span<const double> r, std::span<double> z,
                             util::FlopCounter* flops, util::LoopStats* loops) const {
-  GEOFEM_CHECK(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
-               "diagonal apply size mismatch");
-  for (std::size_t d = 0; d < r.size(); ++d) z[d] = r[d] * inv_diag_[d];
+  if (precision_ == Precision::kSingle) {
+    GEOFEM_CHECK(r.size() == inv32_.size() && z.size() == inv32_.size(),
+                 "diagonal apply size mismatch");
+    for (std::size_t d = 0; d < r.size(); ++d) z[d] = r[d] * static_cast<double>(inv32_[d]);
+  } else {
+    GEOFEM_CHECK(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+                 "diagonal apply size mismatch");
+    for (std::size_t d = 0; d < r.size(); ++d) z[d] = r[d] * inv_diag_[d];
+  }
   if (flops) flops->precond += r.size();
   if (loops) loops->record(static_cast<std::int64_t>(r.size()));
 }
 
-BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a) {
+BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a, Precision precision)
+    : n_(a.n), precision_(precision) {
   obs::ScopedSpan span("precond.factor.BlockDiagonal");
   inv_d_.assign(static_cast<std::size_t>(a.n) * sparse::kBB, 0.0);
   for (int i = 0; i < a.n; ++i) {
@@ -43,6 +56,17 @@ BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a) {
       inv[sparse::kB * c + c] = v != 0.0 ? 1.0 / v : 1.0;
     }
   }
+  if (precision_ == Precision::kSingle) {
+    narrow_or_throw(inv_d_, inv32_);
+    rf_.resize(static_cast<std::size_t>(a.n) * sparse::kB);
+    zf_.resize(rf_.size());
+#if GEOFEM_SIMD_HAS_AVX2
+    simd::pack_blocks(inv32_.data(), a.n, packed32_);
+#endif
+    inv_d_.clear();
+    inv_d_.shrink_to_fit();
+    return;
+  }
 #if GEOFEM_SIMD_HAS_AVX2
   simd::pack_blocks(inv_d_.data(), a.n, packed_);
 #endif
@@ -50,18 +74,34 @@ BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a) {
 
 void BlockDiagonal::apply(std::span<const double> r, std::span<double> z,
                           util::FlopCounter* flops, util::LoopStats* loops) const {
-  const std::size_t n = inv_d_.size() / sparse::kBB;
+  const std::size_t n = static_cast<std::size_t>(n_);
   GEOFEM_CHECK(r.size() == n * sparse::kB && z.size() == n * sparse::kB,
                "block diagonal apply size mismatch");
+  if (precision_ == Precision::kSingle) {
+    // Stage in fp32: narrow r once, sweep in float, widen z once.
+    for (std::size_t d = 0; d < r.size(); ++d) rf_[d] = static_cast<float>(r[d]);
 #if GEOFEM_SIMD_HAS_AVX2
-  if (simd::active() == simd::Isa::kAvx2) {
-    simd::sweep_avx2<simd::Mode::kAssign>(packed_, r.data(), z.data());
-  } else
+    if (simd::active() == simd::Isa::kAvx2) {
+      simd::sweep_avx2<simd::Mode::kAssign>(packed32_, rf_.data(), zf_.data());
+    } else
 #endif
-  {
-    for (std::size_t i = 0; i < n; ++i)
-      sparse::b3_apply(inv_d_.data() + i * sparse::kBB, r.data() + i * sparse::kB,
-                       z.data() + i * sparse::kB);
+    {
+      for (std::size_t i = 0; i < n; ++i)
+        sparse::b3_apply(inv32_.data() + i * sparse::kBB, rf_.data() + i * sparse::kB,
+                         zf_.data() + i * sparse::kB);
+    }
+    for (std::size_t d = 0; d < z.size(); ++d) z[d] = static_cast<double>(zf_[d]);
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (simd::active() == simd::Isa::kAvx2) {
+      simd::sweep_avx2<simd::Mode::kAssign>(packed_, r.data(), z.data());
+    } else
+#endif
+    {
+      for (std::size_t i = 0; i < n; ++i)
+        sparse::b3_apply(inv_d_.data() + i * sparse::kBB, r.data() + i * sparse::kB,
+                         z.data() + i * sparse::kB);
+    }
   }
   if (flops) flops->precond += 2ULL * sparse::kBB * n;
   if (loops) loops->record(static_cast<std::int64_t>(n));

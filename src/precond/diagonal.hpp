@@ -10,40 +10,66 @@ namespace geofem::precond {
 /// diverges for large penalty numbers.
 class DiagonalScaling final : public Preconditioner {
  public:
-  explicit DiagonalScaling(const sparse::BlockCSR& a);
+  explicit DiagonalScaling(const sparse::BlockCSR& a,
+                           Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override {
-    return inv_diag_.size() * sizeof(double);
+    return inv_diag_.size() * sizeof(double) + inv32_.size() * sizeof(float);
   }
-  [[nodiscard]] std::string name() const override { return "Diagonal"; }
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = PrecondKind::kDiagonal;
+    d.precision = precision_;
+    return d;
+  }
 
  private:
-  std::vector<double> inv_diag_;
+  Precision precision_ = Precision::kDouble;
+  std::vector<double> inv_diag_;          ///< fp64 storage (kDouble only)
+  simd::aligned_vector<float> inv32_;     ///< fp32 storage (kSingle only)
 };
 
 /// Block-Jacobi scaling: z_i = A_ii^-1 r_i per 3x3 diagonal block. The
 /// last-resort rung of the resilience fallback chain: construction is
 /// deliberately permissive — a singular block falls back to its scalar
-/// diagonal and a zero scalar to the identity — so it never throws, at the
-/// cost of being the weakest preconditioner here after the point diagonal.
+/// diagonal and a zero scalar to the identity — so it never throws at fp64,
+/// at the cost of being the weakest preconditioner here after the point
+/// diagonal. (An fp32-stored build can still throw kFactorizationFailed on
+/// narrowing overflow; the resilience chain always requests fp64.)
 class BlockDiagonal final : public Preconditioner {
  public:
-  explicit BlockDiagonal(const sparse::BlockCSR& a);
+  explicit BlockDiagonal(const sparse::BlockCSR& a,
+                         Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override {
-    return inv_d_.size() * sizeof(double);
+    return inv_d_.size() * sizeof(double) + inv32_.size() * sizeof(float) +
+           packed32_.val.size() * sizeof(float) + packed32_.item3.size() * sizeof(std::int32_t);
   }
-  [[nodiscard]] std::string name() const override { return "BlockDiagonal"; }
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = PrecondKind::kBlockDiagonal;
+    d.precision = precision_;
+    return d;
+  }
 
  private:
-  simd::aligned_vector<double> inv_d_;  ///< n dense 3x3 inverse blocks
+  int n_ = 0;
+  Precision precision_ = Precision::kDouble;
+  simd::aligned_vector<double> inv_d_;  ///< n dense 3x3 inverse blocks (kDouble)
   simd::PackedJagged packed_;  ///< inv_d_ lane-transposed for the AVX2 sweep
+  /// fp32 storage (kSingle only): narrowed inverse blocks, their 8-lane packed
+  /// mirror, and the float staging vectors the sweep runs in.
+  simd::aligned_vector<float> inv32_;
+  simd::PackedJaggedT<float> packed32_;
+  mutable simd::aligned_vector<float> rf_, zf_;
 };
 
 }  // namespace geofem::precond

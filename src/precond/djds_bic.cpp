@@ -13,7 +13,37 @@ namespace geofem::precond {
 using sparse::kB;
 using sparse::kBB;
 
-DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj) : dj_(dj) {
+namespace {
+
+/// Fig 22 singleton batching at the pack's lane width: runs of consecutive
+/// 3x3 units go into `pack`, everything else (multi-node supernodes) into
+/// `rest`. Shared by the 4-lane fp64 and 8-lane fp32 mirrors.
+template <class Pack, class Unit>
+void batch_singleton_runs(const std::vector<Unit>& units, const std::vector<sparse::DenseLU>& lu,
+                          Pack& pack, std::vector<Unit>& rest) {
+  for (std::size_t t = 0; t < units.size();) {
+    if (units[t].size != 1) {
+      rest.push_back(units[t]);
+      ++t;
+      continue;
+    }
+    std::size_t end = t;
+    while (end < units.size() && units[end].size == 1) ++end;
+    for (std::size_t g = t; g < end; g += Pack::kLanes) {
+      const int cnt = static_cast<int>(std::min<std::size_t>(Pack::kLanes, end - g));
+      const sparse::DenseLU* lus[Pack::kLanes] = {};
+      for (int l = 0; l < cnt; ++l)
+        lus[l] = &lu[static_cast<std::size_t>(units[g + static_cast<std::size_t>(l)].id)];
+      simd::pack_lu3_group(pack, lus, cnt, units[g].start);
+    }
+    t = end;
+  }
+}
+
+}  // namespace
+
+DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj, Precision precision)
+    : dj_(dj), precision_(precision) {
   GEOFEM_CHECK(a.n == dj.n(), "matrix/DJDS size mismatch");
   obs::ScopedSpan span("precond.factor.DJDS-BIC");
 
@@ -50,34 +80,48 @@ DJDSBIC::DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj) : dj_
   snp.members = std::move(unit_members);
   lu_ = sb_factor_diagonals(ap, snp);
 
-#if GEOFEM_SIMD_HAS_AVX2
-  // Batch runs of consecutive singleton units 4-wide (units within a chunk
-  // occupy consecutive rows by construction, so a run of singletons is a
-  // contiguous row range). Multi-node supernodes keep their generic LU.
-  chunk_lu3_.resize(static_cast<std::size_t>(nchunks));
-  chunk_rest_.resize(static_cast<std::size_t>(nchunks));
-  for (int ch = 0; ch < nchunks; ++ch) {
-    const auto& units = chunk_units_[static_cast<std::size_t>(ch)];
-    auto& pack = chunk_lu3_[static_cast<std::size_t>(ch)];
-    auto& rest = chunk_rest_[static_cast<std::size_t>(ch)];
-    for (std::size_t t = 0; t < units.size();) {
-      if (units[t].size != 1) {
-        rest.push_back(units[t]);
-        ++t;
-        continue;
-      }
-      std::size_t end = t;
-      while (end < units.size() && units[end].size == 1) ++end;
-      for (std::size_t g = t; g < end; g += simd::PackedLU3::kLanes) {
-        const int cnt =
-            static_cast<int>(std::min<std::size_t>(simd::PackedLU3::kLanes, end - g));
-        const sparse::DenseLU* lus[simd::PackedLU3::kLanes] = {};
-        for (int l = 0; l < cnt; ++l)
-          lus[l] = &lu_[static_cast<std::size_t>(units[g + static_cast<std::size_t>(l)].id)];
-        simd::pack_lu3_group(pack, lus, cnt, units[g].start);
-      }
-      t = end;
+  // fp32 storage: narrow the unit LU factors and the jagged values once at
+  // set-up (factorization itself ran in fp64 above). Overflow while
+  // narrowing is this precision's "breakdown" — surfaced exactly like a
+  // failed pivot so the precision-fallback layer re-sets-up at fp64.
+  if (precision_ == Precision::kSingle) {
+    lu32_.reserve(lu_.size());
+    for (const auto& lu : lu_) {
+      lu32_.emplace_back(lu);
+      if (lu32_.back().overflowed())
+        throw Error(StatusCode::kFactorizationFailed,
+                    "fp32 narrowing overflow in selective-block factors");
     }
+    f32_.resize(static_cast<std::size_t>(nchunks));
+    for (int ch = 0; ch < nchunks; ++ch) {
+      auto& f = f32_[static_cast<std::size_t>(ch)];
+      const auto& lo = dj.lower(ch);
+      const auto& up = dj.upper(ch);
+      narrow_or_throw(lo.val, f.lower_val);
+      narrow_or_throw(up.val, f.upper_val);
+      simd::pack_jagged(lo.jd_ptr, lo.item, f.lower_val.data(), f.lower_packed);
+      simd::pack_jagged(up.jd_ptr, up.item, f.upper_val.data(), f.upper_packed);
+    }
+  }
+
+#if GEOFEM_SIMD_HAS_AVX2
+  // Batch runs of consecutive singleton units one SIMD register wide (4 for
+  // fp64, 8 for fp32 — units within a chunk occupy consecutive rows by
+  // construction, so a run of singletons is a contiguous row range).
+  // Multi-node supernodes keep their generic LU.
+  chunk_rest_.resize(static_cast<std::size_t>(nchunks));
+  if (precision_ == Precision::kSingle) {
+    chunk_lu3f_.resize(static_cast<std::size_t>(nchunks));
+    for (int ch = 0; ch < nchunks; ++ch)
+      batch_singleton_runs(chunk_units_[static_cast<std::size_t>(ch)], lu_,
+                           chunk_lu3f_[static_cast<std::size_t>(ch)],
+                           chunk_rest_[static_cast<std::size_t>(ch)]);
+  } else {
+    chunk_lu3_.resize(static_cast<std::size_t>(nchunks));
+    for (int ch = 0; ch < nchunks; ++ch)
+      batch_singleton_runs(chunk_units_[static_cast<std::size_t>(ch)], lu_,
+                           chunk_lu3_[static_cast<std::size_t>(ch)],
+                           chunk_rest_[static_cast<std::size_t>(ch)]);
   }
 #endif
 
@@ -114,6 +158,12 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
   const int n = dj_.n();
   GEOFEM_CHECK(static_cast<int>(r.size()) == n * kB && static_cast<int>(z.size()) == n * kB,
                "DJDSBIC apply size mismatch");
+  if (precision_ == Precision::kSingle) {
+    apply_f32(r, z);
+    if (flops) flops->precond += apply_flops_;
+    if (loops) loops->merge(struct_loops_);
+    return;
+  }
   const int npe = dj_.npe();
   const int team = par::threads();
   // Kernel tier read once, outside the parallel regions.
@@ -216,12 +266,130 @@ void DJDSBIC::apply(std::span<const double> r, std::span<double> z, util::FlopCo
   if (loops) loops->merge(struct_loops_);
 }
 
+/// fp32 substitution: the same two color sweeps as apply(), staged entirely
+/// in fp32 (narrowed values, fp32 staging vectors, 8-lane AVX2 sweeps). The
+/// fp64 r is narrowed chunk by chunk on the way in and the finished z is
+/// widened once at the end — the only places the precisions meet.
+void DJDSBIC::apply_f32(std::span<const double> r, std::span<double> z) const {
+  const int n = dj_.n();
+  const int npe = dj_.npe();
+  const int team = par::threads();
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
+
+  simd::aligned_vector<float> zf(static_cast<std::size_t>(n) * kB);
+  for (int c = 0; c < dj_.num_colors(); ++c) {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+    for (int p = 0; p < npe; ++p) {
+      const int ch = dj_.chunk_index(c, p);
+      const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];
+      const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
+      for (int i = b * kB; i < e * kB; ++i)
+        zf[static_cast<std::size_t>(i)] = static_cast<float>(r[static_cast<std::size_t>(i)]);
+      const auto& fc = f32_[static_cast<std::size_t>(ch)];
+      const auto& part = dj_.lower(ch);
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::sweep_avx2<simd::Mode::kSub>(fc.lower_packed, zf.data(),
+                                           zf.data() + static_cast<std::size_t>(b) * kB);
+      } else
+#endif
+      for (int j = 0; j < part.num_jd(); ++j) {
+        const int s = part.jd_ptr[static_cast<std::size_t>(j)];
+        const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        GEOFEM_PRAGMA_SIMD
+        for (int t = s; t < t1; ++t) {
+          sparse::b3_gemv_sub(
+              fc.lower_val.data() + static_cast<std::size_t>(t) * kBB,
+              zf.data() + static_cast<std::size_t>(part.item[static_cast<std::size_t>(t)]) * kB,
+              zf.data() + static_cast<std::size_t>(b + (t - s)) * kB);
+        }
+      }
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::solve_lu3_avx2(chunk_lu3f_[static_cast<std::size_t>(ch)], zf.data());
+        for (const Unit& u : chunk_rest_[static_cast<std::size_t>(ch)])
+          lu32_[static_cast<std::size_t>(u.id)].solve(zf.data() +
+                                                      static_cast<std::size_t>(u.start) * kB);
+      } else
+#endif
+      for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)])
+        lu32_[static_cast<std::size_t>(u.id)].solve(zf.data() +
+                                                    static_cast<std::size_t>(u.start) * kB);
+    }
+  }
+
+  simd::aligned_vector<float> wf(static_cast<std::size_t>(n) * kB);
+  for (int c = dj_.num_colors() - 1; c >= 0; --c) {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+    for (int p = 0; p < npe; ++p) {
+      const int ch = dj_.chunk_index(c, p);
+      const int b = dj_.chunk_begin()[static_cast<std::size_t>(ch)];
+      const int e = dj_.chunk_begin()[static_cast<std::size_t>(ch) + 1];
+      for (int i = b * kB; i < e * kB; ++i) wf[static_cast<std::size_t>(i)] = 0.0f;
+      const auto& fc = f32_[static_cast<std::size_t>(ch)];
+      const auto& part = dj_.upper(ch);
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::sweep_avx2<simd::Mode::kAdd>(fc.upper_packed, zf.data(),
+                                           wf.data() + static_cast<std::size_t>(b) * kB);
+      } else
+#endif
+      for (int j = 0; j < part.num_jd(); ++j) {
+        const int s = part.jd_ptr[static_cast<std::size_t>(j)];
+        const int t1 = part.jd_ptr[static_cast<std::size_t>(j) + 1];
+        GEOFEM_PRAGMA_SIMD
+        for (int t = s; t < t1; ++t) {
+          sparse::b3_gemv(
+              fc.upper_val.data() + static_cast<std::size_t>(t) * kBB,
+              zf.data() + static_cast<std::size_t>(part.item[static_cast<std::size_t>(t)]) * kB,
+              wf.data() + static_cast<std::size_t>(b + (t - s)) * kB);
+        }
+      }
+#if GEOFEM_SIMD_HAS_AVX2
+      if (avx2) {
+        simd::solve_lu3_sub_avx2(chunk_lu3f_[static_cast<std::size_t>(ch)], wf.data(),
+                                 zf.data());
+        for (const Unit& u : chunk_rest_[static_cast<std::size_t>(ch)]) {
+          float* wu = wf.data() + static_cast<std::size_t>(u.start) * kB;
+          lu32_[static_cast<std::size_t>(u.id)].solve(wu);
+          float* zu = zf.data() + static_cast<std::size_t>(u.start) * kB;
+          for (int t = 0; t < u.size * kB; ++t) zu[t] -= wu[t];
+        }
+      } else
+#endif
+      for (const Unit& u : chunk_units_[static_cast<std::size_t>(ch)]) {
+        float* wu = wf.data() + static_cast<std::size_t>(u.start) * kB;
+        lu32_[static_cast<std::size_t>(u.id)].solve(wu);
+        float* zu = zf.data() + static_cast<std::size_t>(u.start) * kB;
+        for (int t = 0; t < u.size * kB; ++t) zu[t] -= wu[t];
+      }
+    }
+  }
+
+  for (int i = 0; i < n * kB; ++i)
+    z[static_cast<std::size_t>(i)] = static_cast<double>(zf[static_cast<std::size_t>(i)]);
+}
+
 std::size_t DJDSBIC::memory_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& lu : lu_) bytes += lu.memory_bytes();
   for (const auto& cu : chunk_units_) bytes += cu.size() * sizeof(Unit);
-  for (const auto& p : chunk_lu3_) bytes += p.memory_bytes();
   for (const auto& cu : chunk_rest_) bytes += cu.size() * sizeof(Unit);
+  if (precision_ == Precision::kSingle) {
+    // Report the fp32 structures the sweeps actually stream — the halved
+    // footprint IS the optimization (the fp64 factors are retained only as
+    // the narrowing source).
+    for (const auto& lu : lu32_) bytes += lu.memory_bytes();
+    for (const auto& f : f32_) {
+      bytes += (f.lower_val.size() + f.upper_val.size()) * sizeof(float);
+      bytes += (f.lower_packed.val.size() + f.upper_packed.val.size()) * sizeof(float);
+      bytes += (f.lower_packed.item3.size() + f.upper_packed.item3.size()) * sizeof(int32_t);
+    }
+    for (const auto& p : chunk_lu3f_) bytes += p.memory_bytes();
+    return bytes;
+  }
+  for (const auto& lu : lu_) bytes += lu.memory_bytes();
+  for (const auto& p : chunk_lu3_) bytes += p.memory_bytes();
   return bytes;
 }
 
@@ -246,7 +414,7 @@ reorder::Coloring color_for(const sparse::BlockCSR& a, const contact::Supernodes
 }  // namespace
 
 OwnedDJDSBIC::OwnedDJDSBIC(const sparse::BlockCSR& a, contact::Supernodes sn, int colors,
-                           int npe, bool sort_supernodes)
+                           int npe, bool sort_supernodes, Precision precision)
     : a_(a), sn_(std::move(sn)) {
   obs::ScopedSpan span("precond.setup.DJDS-reorder");
   const reorder::Coloring coloring = color_for(a_, sn_, colors);
@@ -256,7 +424,7 @@ OwnedDJDSBIC::OwnedDJDSBIC(const sparse::BlockCSR& a, contact::Supernodes sn, in
   bool has_blocks = false;
   for (const auto& m : sn_.members) has_blocks |= m.size() > 1;
   dj_ = std::make_unique<reorder::DJDSMatrix>(a_, coloring, has_blocks ? &sn_ : nullptr, opt);
-  inner_ = std::make_unique<DJDSBIC>(a_, *dj_);
+  inner_ = std::make_unique<DJDSBIC>(a_, *dj_, precision);
   pr_.resize(a_.ndof());
   pz_.resize(a_.ndof());
 }

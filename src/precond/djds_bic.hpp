@@ -20,16 +20,28 @@ namespace geofem::precond {
 class DJDSBIC final : public Preconditioner {
  public:
   /// `a` is the matrix in the ORIGINAL ordering (the same one `dj` was built
-  /// from); factorization runs in the DJDS elimination order.
-  DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj);
+  /// from); factorization runs in the DJDS elimination order — always in
+  /// fp64. `precision` selects the STORED form the sweeps stream: kSingle
+  /// narrows the jagged values, the packed SIMD mirrors and the unit LU
+  /// factors to fp32 (8-lane AVX2 sweeps, half the factor bandwidth) and
+  /// throws Error(kFactorizationFailed) if any factor overflows fp32 range.
+  DJDSBIC(const sparse::BlockCSR& a, const reorder::DJDSMatrix& dj,
+          Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
-  [[nodiscard]] std::string name() const override {
-    return has_blocks_ ? "SB-BIC(0) PDJDS" : "BIC(0) PDJDS";
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = has_blocks_ ? PrecondKind::kSBBIC0 : PrecondKind::kBIC0;
+    d.pdjds = true;
+    d.precision = precision_;
+    return d;
   }
+
+  [[nodiscard]] Precision precision() const { return precision_; }
 
   /// Innermost vector-loop lengths of one apply() sweep (jagged loops plus
   /// same-size selective-block solve batches); structural, data-independent.
@@ -46,7 +58,10 @@ class DJDSBIC final : public Preconditioner {
   [[nodiscard]] double block_solve_flops() const { return block_solve_flops_; }
 
  private:
+  void apply_f32(std::span<const double> r, std::span<double> z) const;
+
   const reorder::DJDSMatrix& dj_;
+  Precision precision_ = Precision::kDouble;
   std::vector<sparse::DenseLU> lu_;  ///< per ordering unit, in new-row order
   /// per chunk: ordering units as (new start row, node count, unit id = index
   /// into lu_ / elimination order)
@@ -61,6 +76,17 @@ class DJDSBIC final : public Preconditioner {
   /// leftover units (multi-node supernodes) solved by generic dense LU.
   std::vector<simd::PackedLU3> chunk_lu3_;
   std::vector<std::vector<Unit>> chunk_rest_;
+  /// fp32 storage (kSingle only): narrowed jagged values per chunk with
+  /// their 8-lane packed mirrors, narrowed unit LU factors, and the 8-wide
+  /// singleton solve batches. The substitution runs entirely in fp32 staging
+  /// and widens back into the fp64 z at the end of apply().
+  struct ChunkF32 {
+    simd::aligned_vector<float> lower_val, upper_val;
+    simd::PackedJaggedT<float> lower_packed, upper_packed;
+  };
+  std::vector<ChunkF32> f32_;
+  std::vector<sparse::DenseSolveT<float>> lu32_;
+  std::vector<simd::PackedLU3T<float>> chunk_lu3f_;
   bool has_blocks_ = false;
   util::LoopStats struct_loops_;
   util::LoopStats jagged_loops_;
@@ -79,13 +105,14 @@ class OwnedDJDSBIC final : public Preconditioner {
   /// Builds MC coloring (quotient-graph based when `sn` has multi-node
   /// supernodes), the DJDS ordering, and the factorization from `a` (copied).
   OwnedDJDSBIC(const sparse::BlockCSR& a, contact::Supernodes sn, int colors, int npe,
-               bool sort_supernodes = true);
+               bool sort_supernodes = true, Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] Desc desc() const override { return inner_->desc(); }
 
   [[nodiscard]] const reorder::DJDSMatrix& djds() const { return *dj_; }
   [[nodiscard]] const DJDSBIC& inner() const { return *inner_; }

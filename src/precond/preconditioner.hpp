@@ -4,6 +4,7 @@
 #include <span>
 #include <string>
 
+#include "precond/desc.hpp"
 #include "util/flops.hpp"
 #include "util/loop_stats.hpp"
 
@@ -27,6 +28,17 @@ class Preconditioner {
   /// Wall-clock set-up cost is measured by the caller; this reports the name
   /// used in tables ("BIC(1)", "SB-BIC(0)", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Structured identity (kind, stored precision, PDJDS, coarse level) —
+  /// what reports/telemetry/plan keys carry instead of parsing name(). The
+  /// library's preconditioners override this and derive name() from it
+  /// (Desc::display_name renders in one place); external implementations
+  /// (test doubles, fault wrappers) fall back to a custom-named Desc.
+  [[nodiscard]] virtual Desc desc() const {
+    Desc d;
+    d.custom = name();
+    return d;
+  }
 };
 
 using PreconditionerPtr = std::unique_ptr<Preconditioner>;

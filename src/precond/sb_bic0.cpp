@@ -176,24 +176,46 @@ std::vector<sparse::DenseLU> sb_factor_diagonals(const sparse::BlockCSR& a,
   return sb_factor_numeric(a, *sb_symbolic(a, sn, modified));
 }
 
-SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified)
-    : a_(a), sn_(std::move(sn)) {
+SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified,
+               Precision precision)
+    : a_(a), sn_(std::move(sn)), precision_(precision) {
   obs::ScopedSpan span("precond.factor.SB-BIC(0)");
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_diagonals(a, sn_, modified);
   build_schedules();
+  narrow_storage();
 }
 
 SBBIC0::SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
-               std::shared_ptr<const SBSymbolic> sym)
-    : a_(a), sn_(std::move(sn)) {
+               std::shared_ptr<const SBSymbolic> sym, Precision precision)
+    : a_(a), sn_(std::move(sn)), precision_(precision) {
   GEOFEM_CHECK(sym && sym->n == a.n, "SBBIC0: symbolic/matrix size mismatch");
   obs::ScopedSpan span("precond.factor.SB-BIC(0)");
   for (const auto& mem : sn_.members)
     max_block_ = std::max(max_block_, static_cast<int>(mem.size()));
   lu_ = sb_factor_numeric(a, *sym);
   build_schedules();
+  narrow_storage();
+}
+
+void SBBIC0::narrow_storage() {
+  lu_solve_flops_ = 0.0;
+  for (const auto& lu : lu_) lu_solve_flops_ += lu.solve_flops();
+  if (precision_ != Precision::kSingle) return;
+  // Narrow the per-supernode dense factors and the matrix value mirror the
+  // sweeps stream; the fp64 factors are dropped — an fp32 build that cannot
+  // represent them is a breakdown, not a silent fallback.
+  lu32_.reserve(lu_.size());
+  for (const auto& lu : lu_) {
+    lu32_.emplace_back(lu);
+    if (lu32_.back().overflowed())
+      throw Error(StatusCode::kFactorizationFailed,
+                  "fp32 narrowing overflow in selective-block factors");
+  }
+  narrow_or_throw(std::span<const double>(a_.val.data(), a_.val.size()), aval32_);
+  lu_.clear();
+  lu_.shrink_to_fit();
 }
 
 void SBBIC0::build_schedules() {
@@ -237,8 +259,9 @@ void SBBIC0::build_schedules() {
                 static_cast<std::uint64_t>(bwd_len_[static_cast<std::size_t>(s)]);
 }
 
-template <class Acc>
-void SBBIC0::apply_impl(const double* r, double* z, int team) const {
+template <class Acc, class T, class LuVec>
+void SBBIC0::apply_impl(const T* aval, const LuVec& lus, const double* r, double* z,
+                        int team) const {
   const auto& a = a_;
   const auto& sn = sn_;
   // Each thread reuses one staging buffer; its content is fully rewritten per
@@ -259,11 +282,11 @@ void SBBIC0::apply_impl(const double* r, double* z, int team) const {
       for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
         const int j = a.colind[e];
         if (sn.node_to_super[static_cast<std::size_t>(j)] >= s) continue;
-        ai.msub(a.block(e), z + static_cast<std::size_t>(j) * kB);
+        ai.msub(aval + static_cast<std::size_t>(e) * kBB, z + static_cast<std::size_t>(j) * kB);
       }
       ai.reduce(acc.data() + t * kB);
     }
-    lu_[static_cast<std::size_t>(s)].solve(acc.data());
+    lus[static_cast<std::size_t>(s)].solve(acc.data());
     for (std::size_t t = 0; t < mem.size(); ++t) {
       double* zi = z + static_cast<std::size_t>(mem[t]) * kB;
       zi[0] = acc[t * kB];
@@ -283,11 +306,11 @@ void SBBIC0::apply_impl(const double* r, double* z, int team) const {
       for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
         const int j = a.colind[e];
         if (sn.node_to_super[static_cast<std::size_t>(j)] <= s) continue;
-        ai.madd(a.block(e), z + static_cast<std::size_t>(j) * kB);
+        ai.madd(aval + static_cast<std::size_t>(e) * kBB, z + static_cast<std::size_t>(j) * kB);
       }
       ai.reduce(acc.data() + t * kB);
     }
-    lu_[static_cast<std::size_t>(s)].solve(acc.data());
+    lus[static_cast<std::size_t>(s)].solve(acc.data());
     for (std::size_t t = 0; t < mem.size(); ++t) {
       double* zi = z + static_cast<std::size_t>(mem[t]) * kB;
       zi[0] -= acc[t * kB];
@@ -304,13 +327,24 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
   GEOFEM_CHECK(r.size() == a.ndof() && z.size() == a.ndof(), "SB-BIC0 apply size mismatch");
 
   const int team = par::threads();
+  if (precision_ == Precision::kSingle) {
 #if GEOFEM_SIMD_HAS_AVX2
-  if (simd::active() == simd::Isa::kAvx2) {
-    apply_impl<simd::AvxAcc3>(r.data(), z.data(), team);
-  } else
+    if (simd::active() == simd::Isa::kAvx2) {
+      apply_impl<simd::AvxAcc3T<float>>(aval32_.data(), lu32_, r.data(), z.data(), team);
+    } else
 #endif
-  {
-    apply_impl<simd::ScalarAcc3>(r.data(), z.data(), team);
+    {
+      apply_impl<simd::ScalarAcc3T<float>>(aval32_.data(), lu32_, r.data(), z.data(), team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (simd::active() == simd::Isa::kAvx2) {
+      apply_impl<simd::AvxAcc3>(a.val.data(), lu_, r.data(), z.data(), team);
+    } else
+#endif
+    {
+      apply_impl<simd::ScalarAcc3>(a.val.data(), lu_, r.data(), z.data(), team);
+    }
   }
   // Stats are pattern-derived; record serially in the serial order.
   if (loops) {
@@ -321,13 +355,14 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
   }
   if (flops) {
     flops->precond += 2ULL * kBB * coupled_;
-    for (const auto& lu : lu_) flops->precond += 2 * lu.solve_flops();
+    flops->precond += static_cast<std::uint64_t>(2.0 * lu_solve_flops_);
   }
 }
 
 std::size_t SBBIC0::memory_bytes() const {
-  std::size_t bytes = 0;
+  std::size_t bytes = aval32_.size() * sizeof(float);
   for (const auto& lu : lu_) bytes += lu.memory_bytes();
+  for (const auto& lu : lu32_) bytes += lu.memory_bytes();
   return bytes;
 }
 

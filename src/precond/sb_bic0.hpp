@@ -7,6 +7,7 @@
 #include "par/par.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/block_csr.hpp"
+#include "sparse/dense.hpp"
 
 namespace geofem::precond {
 
@@ -70,33 +71,54 @@ class SBBIC0 final : public Preconditioner {
  public:
   /// `a` must outlive this preconditioner (the substitution reads its
   /// off-diagonal blocks in place); the supernode partition is owned.
-  SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified = false);
+  /// `precision` selects the STORED form the substitution streams — the
+  /// factorization always runs in fp64; kSingle keeps narrowed dense LU
+  /// factors and a narrowed mirror of the matrix values, widening on load
+  /// and accumulating in fp64, and throws Error(kFactorizationFailed) on
+  /// narrowing overflow.
+  SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn, bool modified = false,
+         Precision precision = Precision::kDouble);
 
   /// Numeric-only set-up on a previously computed (plan-cached) schedule.
   /// `sym` must have been built from `a`'s graph and `sn`.
   SBBIC0(const sparse::BlockCSR& a, contact::Supernodes sn,
-         std::shared_ptr<const SBSymbolic> sym);
+         std::shared_ptr<const SBSymbolic> sym, Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
-  [[nodiscard]] std::string name() const override { return "SB-BIC(0)"; }
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = PrecondKind::kSBBIC0;
+    d.precision = precision_;
+    return d;
+  }
 
   /// Largest selective block (FEM nodes).
   [[nodiscard]] int max_block_nodes() const { return max_block_; }
 
  private:
   void build_schedules();
+  void narrow_storage();
 
   /// Level-scheduled substitution, 3x3 accumulator chosen once per apply
   /// (simd::ScalarAcc3 reproduces the historical arithmetic bit-for-bit).
-  template <class Acc>
-  void apply_impl(const double* r, double* z, int team) const;
+  /// `aval` is the block value array streamed by the sweeps (a_.val or its
+  /// fp32 mirror); `lus` the per-supernode solvers of the matching storage.
+  template <class Acc, class T, class LuVec>
+  void apply_impl(const T* aval, const LuVec& lus, const double* r, double* z, int team) const;
 
   const sparse::BlockCSR& a_;
   contact::Supernodes sn_;
-  std::vector<sparse::DenseLU> lu_;  ///< per supernode
+  Precision precision_ = Precision::kDouble;
+  std::vector<sparse::DenseLU> lu_;  ///< per supernode (kDouble only)
+  /// fp32 storage (kSingle only): narrowed per-supernode solvers plus the
+  /// narrowed matrix value mirror the sweeps read in place.
+  std::vector<sparse::DenseSolveT<float>> lu32_;
+  simd::aligned_vector<float> aval32_;
+  double lu_solve_flops_ = 0.0;  ///< sum of per-supernode solve FLOPs
   int max_block_ = 0;
   par::LevelSchedule fwd_, bwd_;      ///< supernode dependency levels
   std::vector<int> fwd_len_, bwd_len_;  ///< per supernode coupling counts

@@ -100,12 +100,14 @@ std::shared_ptr<const ScalarIC0Symbolic> scalar_ic0_symbolic(const sparse::Block
   return out;
 }
 
-ScalarIC0::ScalarIC0(const sparse::BlockCSR& a) : sym_(scalar_ic0_symbolic(a)) {
+ScalarIC0::ScalarIC0(const sparse::BlockCSR& a, Precision precision)
+    : sym_(scalar_ic0_symbolic(a)), precision_(precision) {
   numeric(a);
 }
 
-ScalarIC0::ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym)
-    : sym_(std::move(sym)) {
+ScalarIC0::ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym,
+                     Precision precision)
+    : sym_(std::move(sym)), precision_(precision) {
   GEOFEM_CHECK(sym_ && sym_->n == a.n * sparse::kB, "ScalarIC0: symbolic/matrix size mismatch");
   numeric(a);
 }
@@ -141,6 +143,44 @@ void ScalarIC0::numeric(const sparse::BlockCSR& a) {
       throw Error(StatusCode::kFactorizationFailed, "IC(0): unusable diagonal after reset");
     inv_d_[static_cast<std::size_t>(i)] = 1.0 / di;
   }
+
+  // kSingle: the factorization above always runs in fp64; only the stored
+  // form the substitution streams is narrowed.
+  if (precision_ == Precision::kSingle) {
+    narrow_or_throw(lval_, lval32_);
+    narrow_or_throw(uval_, uval32_);
+    narrow_or_throw(inv_d_, inv32_);
+    lval_.clear();
+    lval_.shrink_to_fit();
+    uval_.clear();
+    uval_.shrink_to_fit();
+    inv_d_.clear();
+    inv_d_.shrink_to_fit();
+  }
+}
+
+template <class T>
+void ScalarIC0::apply_impl(const T* lval, const T* uval, const T* inv_d, const double* r,
+                           double* z, int team) const {
+  const ScalarIC0Symbolic& s = *sym_;
+  // forward: y_i = (r_i - sum L_ik y_k) / d_i. Level-parallel; per-row
+  // arithmetic unchanged, so bit-identical for any team size. The fp32 form
+  // widens each stored value on load and accumulates in fp64.
+  par::for_levels(s.fwd, team, [&](int i) {
+    double acc = r[static_cast<std::size_t>(i)];
+    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
+      acc -= static_cast<double>(lval[static_cast<std::size_t>(e)]) *
+             z[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])];
+    z[static_cast<std::size_t>(i)] = acc * static_cast<double>(inv_d[static_cast<std::size_t>(i)]);
+  });
+  // backward: z_i = y_i - (sum U_ij z_j) / d_i
+  par::for_levels(s.bwd, team, [&](int i) {
+    double acc = 0.0;
+    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
+      acc += static_cast<double>(uval[static_cast<std::size_t>(e)]) *
+             z[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])];
+    z[static_cast<std::size_t>(i)] -= acc * static_cast<double>(inv_d[static_cast<std::size_t>(i)]);
+  });
 }
 
 void ScalarIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
@@ -150,21 +190,11 @@ void ScalarIC0::apply(std::span<const double> r, std::span<double> z, util::Flop
   GEOFEM_CHECK(static_cast<int>(r.size()) == n_ && static_cast<int>(z.size()) == n_,
                "IC(0) apply size mismatch");
   const int team = par::threads();
-  // forward: y_i = (r_i - sum L_ik y_k) / d_i. Level-parallel; per-row
-  // arithmetic unchanged, so bit-identical for any team size.
-  par::for_levels(s.fwd, team, [&](int i) {
-    double acc = r[static_cast<std::size_t>(i)];
-    for (int e = s.lptr[static_cast<std::size_t>(i)]; e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
-      acc -= lval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)])];
-    z[static_cast<std::size_t>(i)] = acc * inv_d_[static_cast<std::size_t>(i)];
-  });
-  // backward: z_i = y_i - (sum U_ij z_j) / d_i
-  par::for_levels(s.bwd, team, [&](int i) {
-    double acc = 0.0;
-    for (int e = s.uptr[static_cast<std::size_t>(i)]; e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
-      acc += uval_[static_cast<std::size_t>(e)] * z[static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)])];
-    z[static_cast<std::size_t>(i)] -= acc * inv_d_[static_cast<std::size_t>(i)];
-  });
+  if (precision_ == Precision::kSingle) {
+    apply_impl(lval32_.data(), uval32_.data(), inv32_.data(), r.data(), z.data(), team);
+  } else {
+    apply_impl(lval_.data(), uval_.data(), inv_d_.data(), r.data(), z.data(), team);
+  }
   if (loops) {
     for (int i = 0; i < n_; ++i)
       loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
@@ -172,11 +202,14 @@ void ScalarIC0::apply(std::span<const double> r, std::span<double> z, util::Flop
       loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
   }
   if (flops)
-    flops->precond += 2ULL * (lval_.size() + uval_.size()) + 3ULL * static_cast<std::uint64_t>(n_);
+    flops->precond +=
+        2ULL * (s.lsrc.size() + s.usrc.size()) + 3ULL * static_cast<std::uint64_t>(n_);
 }
 
 std::size_t ScalarIC0::memory_bytes() const {
-  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) + sym_->memory_bytes();
+  return (lval_.size() + uval_.size() + inv_d_.size()) * sizeof(double) +
+         (lval32_.size() + uval32_.size() + inv32_.size()) * sizeof(float) +
+         sym_->memory_bytes();
 }
 
 }  // namespace geofem::precond

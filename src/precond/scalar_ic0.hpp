@@ -41,28 +41,41 @@ struct ScalarIC0Symbolic {
 /// exactly the paper-observed behaviour on large-penalty matrices.
 class ScalarIC0 final : public Preconditioner {
  public:
-  explicit ScalarIC0(const sparse::BlockCSR& a);
+  explicit ScalarIC0(const sparse::BlockCSR& a, Precision precision = Precision::kDouble);
 
   /// Numeric-only set-up on a previously computed (plan-cached) scalar
   /// pattern. `a` must have the same scalar zero pattern `sym` was built
   /// from; produces bit-identical factors to the cold constructor.
-  ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym);
+  ScalarIC0(const sparse::BlockCSR& a, std::shared_ptr<const ScalarIC0Symbolic> sym,
+            Precision precision = Precision::kDouble);
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
-  [[nodiscard]] std::string name() const override { return "IC(0) scalar"; }
+  [[nodiscard]] std::string name() const override { return desc().display_name(); }
+  [[nodiscard]] Desc desc() const override {
+    Desc d;
+    d.kind = PrecondKind::kScalarIC0;
+    d.precision = precision_;
+    return d;
+  }
 
   /// Number of diagonal entries that hit the breakdown reset.
   [[nodiscard]] int breakdowns() const { return breakdowns_; }
 
  private:
   void numeric(const sparse::BlockCSR& a);
+  template <class T>
+  void apply_impl(const T* lval, const T* uval, const T* inv_d, const double* r, double* z,
+                  int team) const;
 
   std::shared_ptr<const ScalarIC0Symbolic> sym_;
+  Precision precision_ = Precision::kDouble;
   std::vector<double> lval_, uval_;
   std::vector<double> inv_d_;
+  /// fp32-stored factors (kSingle only; the substitution accumulates in fp64)
+  simd::aligned_vector<float> lval32_, uval32_, inv32_;
   int breakdowns_ = 0;
 };
 

@@ -19,9 +19,14 @@ TwoLevel::TwoLevel(PreconditionerPtr inner, std::shared_ptr<const coarse::Coarse
   }
 }
 
-std::string TwoLevel::name() const {
-  return inner_->name() + "+coarse(" + coarse::to_string(mode_) + "," +
-         std::to_string(op_->dim()) + ")";
+std::string TwoLevel::name() const { return desc().display_name(); }
+
+Desc TwoLevel::desc() const {
+  Desc d = inner_->desc();
+  d.coarse =
+      mode_ == coarse::Mode::kDeflated ? CoarseKind::kDeflated : CoarseKind::kAdditive;
+  d.coarse_dim = op_->dim();
+  return d;
 }
 
 void TwoLevel::apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,

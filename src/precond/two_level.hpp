@@ -33,6 +33,9 @@ class TwoLevel final : public Preconditioner {
     return inner_->memory_bytes() + op_->memory_bytes();
   }
   [[nodiscard]] std::string name() const override;
+  /// The wrapped preconditioner's identity with the coarse level stacked on
+  /// (mode + coarse DOFs).
+  [[nodiscard]] Desc desc() const override;
 
   [[nodiscard]] const Preconditioner& inner() const { return *inner_; }
   [[nodiscard]] const coarse::CoarseOperator& coarse_op() const { return *op_; }

@@ -11,20 +11,28 @@
 /// everywhere is one accumulator per block row (Acc3) streamed over the
 /// row's blocks and reduced once at the end:
 ///
-///   ScalarAcc3 — the historical arithmetic, verbatim: each block contributes
+///   ScalarAcc3T — the historical arithmetic, verbatim: each block contributes
 ///     a[0]*x[0] + a[1]*x[1] + a[2]*x[2] (etc.) to a scalar accumulator, so
 ///     the off/omp builds stay bit-identical to the pre-SIMD kernels.
-///   AvxAcc3    — three 256-bit FMA accumulators (one per block row) with a
+///   AvxAcc3T    — three 256-bit FMA accumulators (one per block row) with a
 ///     fixed-tree horizontal sum at reduce(). Rounds differently from the
 ///     scalar path (FMA + lane tree), covered by the <= 1e-13 cross-build
 ///     equivalence contract; deterministic within a build because the lane
 ///     tree and block order are fixed.
 ///
+/// Both are templated on the *stored* scalar of the matrix blocks (double, or
+/// float for fp32-stored preconditioner factors — DESIGN.md §5i). The vector
+/// operand and the accumulation always stay double: fp32 storage halves the
+/// factor bandwidth, it does not change the iteration arithmetic's type.
+/// ScalarAcc3 / AvxAcc3 alias the double instantiations, so pre-existing
+/// callers spell nothing new.
+///
 /// Callers select the accumulator with a template parameter and branch once
 /// per kernel call on simd::active() — never per block.
 namespace geofem::simd {
 
-struct ScalarAcc3 {
+template <class T>
+struct ScalarAcc3T {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0;
 
   void init_zero() { a0 = a1 = a2 = 0.0; }
@@ -33,20 +41,20 @@ struct ScalarAcc3 {
     a1 = r[1];
     a2 = r[2];
   }
-  /// acc += A * x (A row-major double[9])
-  void madd(const double* a, const double* x) {
+  /// acc += A * x (A row-major T[9])
+  void madd(const T* a, const double* x) {
     a0 += a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
     a1 += a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
     a2 += a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
   }
   /// acc -= A * x
-  void msub(const double* a, const double* x) {
+  void msub(const T* a, const double* x) {
     a0 -= a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
     a1 -= a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
     a2 -= a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
   }
   /// acc += A^T * x
-  void madd_t(const double* a, const double* x) {
+  void madd_t(const T* a, const double* x) {
     a0 += a[0] * x[0] + a[3] * x[1] + a[6] * x[2];
     a1 += a[1] * x[0] + a[4] * x[1] + a[7] * x[2];
     a2 += a[2] * x[0] + a[5] * x[1] + a[8] * x[2];
@@ -58,10 +66,13 @@ struct ScalarAcc3 {
   }
 };
 
+using ScalarAcc3 = ScalarAcc3T<double>;
+
 #if GEOFEM_SIMD_HAS_AVX2
 
 namespace detail {
 inline __m256i mask3() { return _mm256_set_epi64x(0, -1, -1, -1); }
+inline __m128i mask3_ps() { return _mm_set_epi32(0, -1, -1, -1); }
 /// Fixed-order horizontal sum: (v0 + v2) + (v1 + v3).
 inline double hsum(__m256d v) {
   const __m128d lo = _mm256_castpd256_pd128(v);
@@ -69,9 +80,20 @@ inline double hsum(__m256d v) {
   const __m128d s = _mm_add_pd(lo, hi);
   return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
 }
+
+/// Widening loads of one block row into a double register: 4 scalars for
+/// rows 0/1 (stays inside the 9-scalar block), exactly 3 for row 2 so
+/// nothing past the array is touched.
+inline __m256d load_row4(const double* a) { return _mm256_loadu_pd(a); }
+inline __m256d load_row3(const double* a) { return _mm256_maskload_pd(a, mask3()); }
+inline __m256d load_row4(const float* a) { return _mm256_cvtps_pd(_mm_loadu_ps(a)); }
+inline __m256d load_row3(const float* a) {
+  return _mm256_cvtps_pd(_mm_maskload_ps(a, mask3_ps()));
+}
 }  // namespace detail
 
-struct AvxAcc3 {
+template <class T>
+struct AvxAcc3T {
   __m256d v0, v1, v2;
   double s0, s1, s2;
 
@@ -85,29 +107,30 @@ struct AvxAcc3 {
     s1 = r[1];
     s2 = r[2];
   }
-  // Block rows 0/1 load 4 doubles but stay inside the 9-double block; the
+  // Block rows 0/1 load 4 scalars but stay inside the 9-scalar block; the
   // masked loads (row 2, x) read exactly 3, so nothing past either array is
   // touched. Lane 3 of x is 0.0, so lane 3 of each accumulator stays +0.0
-  // and contributes nothing to the horizontal sum.
-  void madd(const double* a, const double* x) {
+  // and contributes nothing to the horizontal sum. Float blocks are widened
+  // at load (cvtps_pd) — the FMA itself is always double.
+  void madd(const T* a, const double* x) {
     const __m256d xv = _mm256_maskload_pd(x, detail::mask3());
-    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a), xv, v0);
-    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + 3), xv, v1);
-    v2 = _mm256_fmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), xv, v2);
+    v0 = _mm256_fmadd_pd(detail::load_row4(a), xv, v0);
+    v1 = _mm256_fmadd_pd(detail::load_row4(a + 3), xv, v1);
+    v2 = _mm256_fmadd_pd(detail::load_row3(a + 6), xv, v2);
   }
-  void msub(const double* a, const double* x) {
+  void msub(const T* a, const double* x) {
     const __m256d xv = _mm256_maskload_pd(x, detail::mask3());
-    v0 = _mm256_fnmadd_pd(_mm256_loadu_pd(a), xv, v0);
-    v1 = _mm256_fnmadd_pd(_mm256_loadu_pd(a + 3), xv, v1);
-    v2 = _mm256_fnmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), xv, v2);
+    v0 = _mm256_fnmadd_pd(detail::load_row4(a), xv, v0);
+    v1 = _mm256_fnmadd_pd(detail::load_row4(a + 3), xv, v1);
+    v2 = _mm256_fnmadd_pd(detail::load_row3(a + 6), xv, v2);
   }
   /// acc += A^T * x: lanes are the *columns* of one block row, so the
   /// transpose needs no shuffles — broadcast each x component and FMA the
   /// three rows (no horizontal sum until reduce()).
-  void madd_t(const double* a, const double* x) {
-    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a), _mm256_set1_pd(x[0]), v0);
-    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + 3), _mm256_set1_pd(x[1]), v1);
-    v2 = _mm256_fmadd_pd(_mm256_maskload_pd(a + 6, detail::mask3()), _mm256_set1_pd(x[2]), v2);
+  void madd_t(const T* a, const double* x) {
+    v0 = _mm256_fmadd_pd(detail::load_row4(a), _mm256_set1_pd(x[0]), v0);
+    v1 = _mm256_fmadd_pd(detail::load_row4(a + 3), _mm256_set1_pd(x[1]), v1);
+    v2 = _mm256_fmadd_pd(detail::load_row3(a + 6), _mm256_set1_pd(x[2]), v2);
   }
   void reduce(double* out) const {
     out[0] = s0 + detail::hsum(v0);
@@ -125,6 +148,8 @@ struct AvxAcc3 {
     out[2] = s2 + lanes[2];
   }
 };
+
+using AvxAcc3 = AvxAcc3T<double>;
 
 /// Fixed-tree dot product of two contiguous ranges (dense supernode rows in
 /// DJDSMatrix::spmv phase 2). Deterministic: 4 independent lane chains, one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "simd/simd.hpp"
@@ -18,13 +19,21 @@
 ///     y[t - s] (op)= val[t] * x[item[t]]        (3x3 block * 3-vector)
 ///
 /// The ES vector pipes consumed this directly; AVX2 wants the operands
-/// lane-transposed. PackedJagged is that mirror: entries are grouped 4 at a
-/// time (one SIMD register of rows), the 9 block coefficients are stored as
-/// 9 lane-vectors of 4 (36 doubles per group, 64-byte aligned) and the
-/// column indices are pre-multiplied by 3 for direct gather addressing.
+/// lane-transposed. PackedJaggedT is that mirror, parameterized on the stored
+/// scalar (DESIGN.md §5i): entries are grouped one SIMD register of rows at a
+/// time — 4 lanes for double, 8 for float, so fp32 storage doubles both the
+/// lane width and the blocks per cache line — the 9 block coefficients are
+/// stored as 9 lane-vectors (9*kLanes scalars per group, 64-byte aligned) and
+/// the column indices are pre-multiplied by 3 for direct gather addressing.
 /// Ragged tails are padded to the lane width *here*, not in the Jagged
 /// structure itself — zero-valued blocks gathering x[0..2] — so the paper's
 /// dummy-percent accounting (Fig. 10) is unchanged by the SIMD layer.
+///
+/// The fp32 sweeps run entirely in float (values, staging vector, FMA): the
+/// caller (precond::DJDSBIC) narrows the permuted residual into a float
+/// staging buffer, substitutes, and widens the result back into the fp64 CG
+/// vectors. Covered by the fp32 tolerance band of the tier-equivalence suite
+/// rather than the 1e-13 fp64 contract.
 namespace geofem::simd {
 
 /// What the sweep does with each computed block product.
@@ -34,16 +43,19 @@ enum class Mode {
   kSub,     ///< y -= A*x   (forward substitution)
 };
 
-/// Lane-transposed mirror of one Jagged structure (or one packed block list).
-/// Values-only repacks (refill) rebuild `val`; the index side only changes
-/// when the structure does.
-struct PackedJagged {
-  static constexpr int kLanes = 4;
+/// Lane-transposed mirror of one Jagged structure (or one packed block list),
+/// stored at precision T. Values-only repacks (refill) rebuild `val`; the
+/// index side only changes when the structure does.
+template <class T>
+struct PackedJaggedT {
+  static_assert(std::is_same_v<T, double> || std::is_same_v<T, float>);
+  static constexpr int kLanes = std::is_same_v<T, float> ? 8 : 4;
+  static constexpr int kGroupVals = 9 * kLanes;
 
-  aligned_vector<double> val;   ///< 36 per group: coeff m of lane l at [36g + 4m + l]
-  aligned_vector<int32_t> item3;  ///< 4 per group: 3*item, 0 for padding lanes
-  std::vector<int> grp_ptr;     ///< group range of each diagonal, size njd+1
-  std::vector<int> len;         ///< real (unpadded) rows per diagonal
+  aligned_vector<T> val;  ///< kGroupVals per group: coeff m of lane l at [kGroupVals*g + kLanes*m + l]
+  aligned_vector<int32_t> item3;  ///< kLanes per group: 3*item, 0 for padding lanes
+  std::vector<int> grp_ptr;       ///< group range of each diagonal, size njd+1
+  std::vector<int> len;           ///< real (unpadded) rows per diagonal
 
   bool built() const { return !grp_ptr.empty(); }
   void clear() {
@@ -54,33 +66,40 @@ struct PackedJagged {
   }
 };
 
+using PackedJagged = PackedJaggedT<double>;
+
 /// Build (or value-refresh) the packed mirror of a jagged structure.
-/// `val` holds 9 doubles per entry, entry indices are local to this chunk
-/// (jd_ptr[0] == 0). Padding lanes get zero blocks and item3 == 0, so the
-/// gather they issue reads x[0..2] (always mapped) and contributes +-0.
+/// `val` holds 9 scalars per entry (already at the packed precision — fp32
+/// callers narrow with precond::narrow_or_throw first, so overflow surfaces
+/// as a factorization failure instead of silent inf lanes), entry indices are
+/// local to this chunk (jd_ptr[0] == 0). Padding lanes get zero blocks and
+/// item3 == 0, so the gather they issue reads x[0..2] (always mapped) and
+/// contributes +-0.
+template <class T>
 inline void pack_jagged(const std::vector<int>& jd_ptr, const std::vector<int>& item,
-                        const double* val, PackedJagged& out) {
+                        const T* val, PackedJaggedT<T>& out) {
+  constexpr int kL = PackedJaggedT<T>::kLanes;
   const int njd = static_cast<int>(jd_ptr.size()) - (jd_ptr.empty() ? 0 : 1);
   out.grp_ptr.assign(njd + 1, 0);
   out.len.assign(njd, 0);
   for (int d = 0; d < njd; ++d) {
     out.len[d] = jd_ptr[d + 1] - jd_ptr[d];
-    out.grp_ptr[d + 1] =
-        out.grp_ptr[d] + (out.len[d] + PackedJagged::kLanes - 1) / PackedJagged::kLanes;
+    out.grp_ptr[d + 1] = out.grp_ptr[d] + (out.len[d] + kL - 1) / kL;
   }
   const int ngroups = out.grp_ptr[njd];
-  out.val.assign(static_cast<std::size_t>(ngroups) * 36, 0.0);
-  out.item3.assign(static_cast<std::size_t>(ngroups) * 4, 0);
+  out.val.assign(static_cast<std::size_t>(ngroups) * PackedJaggedT<T>::kGroupVals, T(0));
+  out.item3.assign(static_cast<std::size_t>(ngroups) * kL, 0);
   for (int d = 0; d < njd; ++d) {
     const int s = jd_ptr[d];
     for (int g = out.grp_ptr[d]; g < out.grp_ptr[d + 1]; ++g) {
-      const int u0 = (g - out.grp_ptr[d]) * PackedJagged::kLanes;
-      const int cnt = std::min(PackedJagged::kLanes, out.len[d] - u0);
+      const int u0 = (g - out.grp_ptr[d]) * kL;
+      const int cnt = std::min(kL, out.len[d] - u0);
       for (int l = 0; l < cnt; ++l) {
         const int t = s + u0 + l;
-        out.item3[static_cast<std::size_t>(g) * 4 + l] = 3 * item[t];
+        out.item3[static_cast<std::size_t>(g) * kL + l] = 3 * item[t];
         for (int m = 0; m < 9; ++m)
-          out.val[static_cast<std::size_t>(g) * 36 + 4 * m + l] = val[9 * t + m];
+          out.val[static_cast<std::size_t>(g) * PackedJaggedT<T>::kGroupVals + kL * m + l] =
+              val[9 * t + m];
       }
     }
   }
@@ -89,38 +108,42 @@ inline void pack_jagged(const std::vector<int>& jd_ptr, const std::vector<int>& 
 /// Pack a contiguous list of n 3x3 blocks (a DJDS diagonal, BlockDiagonal's
 /// inverse blocks) as a single jagged diagonal with item[i] = i, so
 /// sweep<kAssign> computes y[i] = B_i * x[i] for every row.
-inline void pack_blocks(const double* blocks, int n, PackedJagged& out) {
-  out.grp_ptr = {0, (n + PackedJagged::kLanes - 1) / PackedJagged::kLanes};
+template <class T>
+inline void pack_blocks(const T* blocks, int n, PackedJaggedT<T>& out) {
+  constexpr int kL = PackedJaggedT<T>::kLanes;
+  out.grp_ptr = {0, (n + kL - 1) / kL};
   out.len = {n};
   const int ngroups = out.grp_ptr[1];
-  out.val.assign(static_cast<std::size_t>(ngroups) * 36, 0.0);
-  out.item3.assign(static_cast<std::size_t>(ngroups) * 4, 0);
+  out.val.assign(static_cast<std::size_t>(ngroups) * PackedJaggedT<T>::kGroupVals, T(0));
+  out.item3.assign(static_cast<std::size_t>(ngroups) * kL, 0);
   for (int i = 0; i < n; ++i) {
-    const int g = i / PackedJagged::kLanes, l = i % PackedJagged::kLanes;
-    out.item3[static_cast<std::size_t>(g) * 4 + l] = 3 * i;
+    const int g = i / kL, l = i % kL;
+    out.item3[static_cast<std::size_t>(g) * kL + l] = 3 * i;
     for (int m = 0; m < 9; ++m)
-      out.val[static_cast<std::size_t>(g) * 36 + 4 * m + l] = blocks[9 * i + m];
+      out.val[static_cast<std::size_t>(g) * PackedJaggedT<T>::kGroupVals + kL * m + l] =
+          blocks[9 * i + m];
   }
 }
 
 /// Scalar reference sweep over the *unpacked* jagged arrays — the historical
-/// arithmetic, one block row at a time. Kept de-vectorized (noinline +
-/// no-tree-vectorize) so it is an honest baseline for the equivalence tests
-/// and the scalar column of bench_kernels.
-template <Mode M>
+/// arithmetic, one block row at a time, at the stored precision (double, or
+/// float for the fp32 tier of the off/omp builds). Kept de-vectorized
+/// (noinline + no-tree-vectorize) so it is an honest baseline for the
+/// equivalence tests and the scalar column of bench_kernels.
+template <Mode M, class T>
 GEOFEM_NOVEC_FN void sweep_scalar(const std::vector<int>& jd_ptr, const std::vector<int>& item,
-                                  const double* val, const double* x, double* y) {
+                                  const T* val, const T* x, T* y) {
   const int njd = static_cast<int>(jd_ptr.size()) - (jd_ptr.empty() ? 0 : 1);
   for (int d = 0; d < njd; ++d) {
     const int s = jd_ptr[d], e = jd_ptr[d + 1];
     GEOFEM_PRAGMA_NOVEC
     for (int t = s; t < e; ++t) {
-      const double* b = val + 9 * t;
-      const double* xj = x + 3 * item[t];
-      double* yi = y + 3 * (t - s);
-      const double p0 = b[0] * xj[0] + b[1] * xj[1] + b[2] * xj[2];
-      const double p1 = b[3] * xj[0] + b[4] * xj[1] + b[5] * xj[2];
-      const double p2 = b[6] * xj[0] + b[7] * xj[1] + b[8] * xj[2];
+      const T* b = val + 9 * t;
+      const T* xj = x + 3 * item[t];
+      T* yi = y + 3 * (t - s);
+      const T p0 = b[0] * xj[0] + b[1] * xj[1] + b[2] * xj[2];
+      const T p1 = b[3] * xj[0] + b[4] * xj[1] + b[5] * xj[2];
+      const T p2 = b[6] * xj[0] + b[7] * xj[1] + b[8] * xj[2];
       if constexpr (M == Mode::kAssign) {
         yi[0] = p0;
         yi[1] = p1;
@@ -142,11 +165,18 @@ GEOFEM_NOVEC_FN void sweep_scalar(const std::vector<int>& jd_ptr, const std::vec
 
 namespace detail {
 
-/// Sliding-window masks: loadu at (4 - valid) yields `valid` leading -1 lanes.
+/// Sliding-window masks: loadu at (lanes - valid) yields `valid` leading -1
+/// lanes. 64-bit lanes for the double sweeps, 32-bit for float.
 alignas(32) inline const int64_t kMaskBits[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+alignas(32) inline const int32_t kMaskBits32[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                                    0,  0,  0,  0,  0,  0,  0,  0};
 
 inline __m256i tail_mask(int valid) {
   return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMaskBits + 4 - valid));
+}
+
+inline __m256i tail_mask32(int valid) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMaskBits32 + 8 - valid));
 }
 
 /// Transpose (r0, r1, r2) — component vectors for 4 rows — into the three
@@ -167,6 +197,35 @@ inline void transpose_3x4(__m256d r0, __m256d r1, __m256d r2, __m256d& o0, __m25
   o2 = _mm256_blend_pd(_mm256_blend_pd(pc2, pa2, 0x2), pb2, 0x4);
 }
 
+/// Float analogue for 8 rows: (r0, r1, r2) hold component c of rows 0..7 in
+/// their lanes; the outputs are the 24 interleaved scalars
+/// (row0c0 row0c1 row0c2 row1c0 ... | ... | ... row7c1 row7c2).
+/// permutevar8x32 places each source's contributions at their target lanes,
+/// two blends stitch the three sources per output register.
+inline void transpose_3x8(__m256 r0, __m256 r1, __m256 r2, __m256& o0, __m256& o1, __m256& o2) {
+  // o0 lanes: r0[0] r1[0] r2[0] r0[1] r1[1] r2[1] r0[2] r1[2]
+  const __m256i i00 = _mm256_setr_epi32(0, 0, 0, 1, 0, 0, 2, 0);
+  const __m256i i01 = _mm256_setr_epi32(0, 0, 0, 0, 1, 0, 0, 2);
+  const __m256i i02 = _mm256_setr_epi32(0, 0, 0, 0, 0, 1, 0, 0);
+  o0 = _mm256_blend_ps(_mm256_blend_ps(_mm256_permutevar8x32_ps(r0, i00),
+                                       _mm256_permutevar8x32_ps(r1, i01), 0x92),
+                       _mm256_permutevar8x32_ps(r2, i02), 0x24);
+  // o1 lanes: r2[2] r0[3] r1[3] r2[3] r0[4] r1[4] r2[4] r0[5]
+  const __m256i i10 = _mm256_setr_epi32(2, 0, 0, 3, 0, 0, 4, 0);
+  const __m256i i11 = _mm256_setr_epi32(0, 3, 0, 0, 4, 0, 0, 5);
+  const __m256i i12 = _mm256_setr_epi32(0, 0, 3, 0, 0, 4, 0, 0);
+  o1 = _mm256_blend_ps(_mm256_blend_ps(_mm256_permutevar8x32_ps(r2, i10),
+                                       _mm256_permutevar8x32_ps(r0, i11), 0x92),
+                       _mm256_permutevar8x32_ps(r1, i12), 0x24);
+  // o2 lanes: r1[5] r2[5] r0[6] r1[6] r2[6] r0[7] r1[7] r2[7]
+  const __m256i i20 = _mm256_setr_epi32(5, 0, 0, 6, 0, 0, 7, 0);
+  const __m256i i21 = _mm256_setr_epi32(0, 5, 0, 0, 6, 0, 0, 7);
+  const __m256i i22 = _mm256_setr_epi32(0, 0, 6, 0, 0, 7, 0, 0);
+  o2 = _mm256_blend_ps(_mm256_blend_ps(_mm256_permutevar8x32_ps(r1, i20),
+                                       _mm256_permutevar8x32_ps(r2, i21), 0x92),
+                       _mm256_permutevar8x32_ps(r0, i22), 0x24);
+}
+
 template <Mode M>
 inline void apply_vec(double* y, __m256d o) {
   if constexpr (M == Mode::kAssign)
@@ -175,6 +234,16 @@ inline void apply_vec(double* y, __m256d o) {
     _mm256_storeu_pd(y, _mm256_add_pd(_mm256_loadu_pd(y), o));
   else
     _mm256_storeu_pd(y, _mm256_sub_pd(_mm256_loadu_pd(y), o));
+}
+
+template <Mode M>
+inline void apply_vec(float* y, __m256 o) {
+  if constexpr (M == Mode::kAssign)
+    _mm256_storeu_ps(y, o);
+  else if constexpr (M == Mode::kAdd)
+    _mm256_storeu_ps(y, _mm256_add_ps(_mm256_loadu_ps(y), o));
+  else
+    _mm256_storeu_ps(y, _mm256_sub_ps(_mm256_loadu_ps(y), o));
 }
 
 template <Mode M>
@@ -187,6 +256,19 @@ inline void apply_vec_masked(double* y, __m256d o, int valid) {
     const __m256d prev = _mm256_maskload_pd(y, m);
     _mm256_maskstore_pd(y, m,
                         M == Mode::kAdd ? _mm256_add_pd(prev, o) : _mm256_sub_pd(prev, o));
+  }
+}
+
+template <Mode M>
+inline void apply_vec_masked(float* y, __m256 o, int valid) {
+  if (valid <= 0) return;
+  const __m256i m = tail_mask32(valid);
+  if constexpr (M == Mode::kAssign) {
+    _mm256_maskstore_ps(y, m, o);
+  } else {
+    const __m256 prev = _mm256_maskload_ps(y, m);
+    _mm256_maskstore_ps(y, m,
+                        M == Mode::kAdd ? _mm256_add_ps(prev, o) : _mm256_sub_ps(prev, o));
   }
 }
 
@@ -240,6 +322,52 @@ inline void sweep_avx2(const PackedJagged& p, const double* x, double* y) {
         detail::apply_vec_masked<M>(yd, o0, std::min(nv, 4));
         detail::apply_vec_masked<M>(yd + 4, o1, std::clamp(nv - 4, 0, 4));
         detail::apply_vec_masked<M>(yd + 8, o2, std::clamp(nv - 8, 0, 4));
+      }
+    }
+  }
+}
+
+/// fp32 sweep: 8 rows per group, single-precision gathers/FMA throughout.
+/// Same determinism contract as the double form (fixed group order, fixed FMA
+/// tree, caller parallelizes across chunks only); accuracy is the fp32
+/// tolerance band, not the 1e-13 fp64 one.
+template <Mode M>
+inline void sweep_avx2(const PackedJaggedT<float>& p, const float* x, float* y) {
+  constexpr int kL = PackedJaggedT<float>::kLanes;
+  const int njd = static_cast<int>(p.len.size());
+  for (int d = 0; d < njd; ++d) {
+    for (int g = p.grp_ptr[d]; g < p.grp_ptr[d + 1]; ++g) {
+      const int u0 = (g - p.grp_ptr[d]) * kL;
+      const float* a = p.val.data() + static_cast<std::size_t>(g) * 72;
+      const __m256i idx =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(p.item3.data() + kL * g));
+      const __m256 all = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+      const __m256 zero = _mm256_setzero_ps();
+      const __m256 x0 = _mm256_mask_i32gather_ps(zero, x, idx, all, 4);
+      const __m256 x1 = _mm256_mask_i32gather_ps(zero, x + 1, idx, all, 4);
+      const __m256 x2 = _mm256_mask_i32gather_ps(zero, x + 2, idx, all, 4);
+      __m256 r0 = _mm256_mul_ps(_mm256_load_ps(a), x0);
+      r0 = _mm256_fmadd_ps(_mm256_load_ps(a + 8), x1, r0);
+      r0 = _mm256_fmadd_ps(_mm256_load_ps(a + 16), x2, r0);
+      __m256 r1 = _mm256_mul_ps(_mm256_load_ps(a + 24), x0);
+      r1 = _mm256_fmadd_ps(_mm256_load_ps(a + 32), x1, r1);
+      r1 = _mm256_fmadd_ps(_mm256_load_ps(a + 40), x2, r1);
+      __m256 r2 = _mm256_mul_ps(_mm256_load_ps(a + 48), x0);
+      r2 = _mm256_fmadd_ps(_mm256_load_ps(a + 56), x1, r2);
+      r2 = _mm256_fmadd_ps(_mm256_load_ps(a + 64), x2, r2);
+      __m256 o0, o1, o2;
+      detail::transpose_3x8(r0, r1, r2, o0, o1, o2);
+      float* yd = y + 3 * u0;
+      const int rem = p.len[d] - u0;
+      if (rem >= kL) {
+        detail::apply_vec<M>(yd, o0);
+        detail::apply_vec<M>(yd + 8, o1);
+        detail::apply_vec<M>(yd + 16, o2);
+      } else {
+        const int nv = 3 * rem;
+        detail::apply_vec_masked<M>(yd, o0, std::min(nv, 8));
+        detail::apply_vec_masked<M>(yd + 8, o1, std::clamp(nv - 8, 0, 8));
+        detail::apply_vec_masked<M>(yd + 16, o2, std::clamp(nv - 16, 0, 8));
       }
     }
   }

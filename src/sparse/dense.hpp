@@ -17,25 +17,31 @@ inline constexpr int kB = 3;
 inline constexpr int kBB = kB * kB;
 
 // ---------------------------------------------------------------------------
-// 3x3 block kernels. All operate on row-major double[9].
+// 3x3 block kernels. The gemv/apply family is templated on the scalar (all
+// three operands at the same precision — double everywhere except the fp32
+// DJDS substitution staging); the factorization-side kernels (gemm, inverse)
+// stay double-only because factorization always runs in fp64.
 // ---------------------------------------------------------------------------
 
 /// y += A * x
-inline void b3_gemv(const double* a, const double* x, double* y) {
+template <class T>
+inline void b3_gemv(const T* a, const T* x, T* y) {
   y[0] += a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
   y[1] += a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
   y[2] += a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
 }
 
 /// y -= A * x
-inline void b3_gemv_sub(const double* a, const double* x, double* y) {
+template <class T>
+inline void b3_gemv_sub(const T* a, const T* x, T* y) {
   y[0] -= a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
   y[1] -= a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
   y[2] -= a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
 }
 
 /// y += A^T * x
-inline void b3_gemv_trans(const double* a, const double* x, double* y) {
+template <class T>
+inline void b3_gemv_trans(const T* a, const T* x, T* y) {
   y[0] += a[0] * x[0] + a[3] * x[1] + a[6] * x[2];
   y[1] += a[1] * x[0] + a[4] * x[1] + a[7] * x[2];
   y[2] += a[2] * x[0] + a[5] * x[1] + a[8] * x[2];
@@ -76,7 +82,8 @@ inline bool b3_inverse(const double* a, double* inv) {
 }
 
 /// y = A * x (overwrite)
-inline void b3_apply(const double* a, const double* x, double* y) {
+template <class T>
+inline void b3_apply(const T* a, const T* x, T* y) {
   y[0] = a[0] * x[0] + a[1] * x[1] + a[2] * x[2];
   y[1] = a[3] * x[0] + a[4] * x[1] + a[5] * x[2];
   y[2] = a[6] * x[0] + a[7] * x[1] + a[8] * x[2];
@@ -207,6 +214,72 @@ class DenseLU {
   simd::aligned_vector<double> lu_;
   simd::aligned_vector<double> cm_;  ///< column-major mirror of lu_ for solve()
   std::vector<int> piv_;
+};
+
+/// Read-only solve mirror of a DenseLU at stored precision T (DESIGN.md §5i).
+/// Factorization always happens in fp64 (DenseLU); this narrows the
+/// column-major factor once so repeated solves stream half the bytes when
+/// T = float. solve() replays the exact pivoted substitution of
+/// DenseLU::solve with the arithmetic carried in the staging scalar U —
+/// float for the fp32 DJDS staging path, double when an fp32-stored factor
+/// is applied against fp64 vectors on the CSR path.
+///
+/// Narrowing a factor whose magnitudes exceed the float range produces inf
+/// coefficients; the constructor records that (`overflowed()`) instead of
+/// throwing so callers in the precond layer can surface it as their own
+/// kFactorizationFailed — the deterministic fp32 breakdown trigger.
+template <class T>
+class DenseSolveT {
+ public:
+  DenseSolveT() = default;
+
+  explicit DenseSolveT(const DenseLU& lu) : n_(lu.size()) {
+    const int n = n_;
+    cm_.resize(static_cast<std::size_t>(n) * n);
+    piv_ = lu.pivots();
+    const double* f = lu.factor();
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        const double v = f[static_cast<std::size_t>(i) * n + j];
+        const T t = static_cast<T>(v);
+        if (!std::isfinite(static_cast<double>(t)) && std::isfinite(v)) overflowed_ = true;
+        cm_[static_cast<std::size_t>(j) * n + i] = t;
+      }
+  }
+
+  /// x := A^-1 x, substitution arithmetic in U.
+  template <class U>
+  void solve(U* x) const {
+    const int n = n_;
+    for (int k = 0; k < n; ++k) {
+      if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+      const T* col = cm_.data() + static_cast<std::size_t>(k) * n;
+      const U xk = x[k];
+      GEOFEM_PRAGMA_SIMD
+      for (int i = k + 1; i < n; ++i) x[i] -= col[i] * xk;
+    }
+    for (int k = n - 1; k >= 0; --k) {
+      const T* col = cm_.data() + static_cast<std::size_t>(k) * n;
+      const U xk = (x[k] /= col[k]);
+      GEOFEM_PRAGMA_SIMD
+      for (int i = 0; i < k; ++i) x[i] -= col[i] * xk;
+    }
+  }
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] std::uint64_t solve_flops() const {
+    return 2ULL * static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return cm_.size() * sizeof(T) + piv_.size() * sizeof(int);
+  }
+
+ private:
+  int n_ = 0;
+  simd::aligned_vector<T> cm_;  ///< column-major narrowed factor
+  std::vector<int> piv_;
+  bool overflowed_ = false;
 };
 
 }  // namespace geofem::sparse

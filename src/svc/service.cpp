@@ -211,6 +211,7 @@ void SolverService::process(Ticket t, plan::PlanCache* cache, Scratch& scratch) 
     cfg.plan_cache = cache;
     cfg.registry = &registry_;  // re-entrant session entry
     if (t.req.tolerance > 0.0) cfg.cg.tolerance = t.req.tolerance;
+    if (t.req.precision) cfg.precision = *t.req.precision;
 
     util::Timer solve_timer;
     resp.report = core::solve_system(sys, model.sn, cfg);

@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +59,13 @@ struct SolveRequest {
   std::vector<std::uint8_t> active_groups;
   /// Optional per-request tolerance override; <= 0 uses the service default.
   double tolerance = 0.0;
+  /// Optional stored-precision override for this request's preconditioner
+  /// factors; unset uses the service's base SolveConfig::precision. fp32
+  /// requests carry the usual automatic fp64 re-set-up on stagnation or
+  /// narrowing breakdown (SolveReport::precision_fallbacks). Precision keys
+  /// the plan fingerprint, so mixed-precision request streams on one model
+  /// hold two plans in the shared cache, both warm.
+  std::optional<precond::Precision> precision;
 };
 
 /// Outcome of one request. For accepted requests `report` is the full

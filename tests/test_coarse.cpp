@@ -374,7 +374,7 @@ TEST(CoarseSerial, SingularCoarseOperatorDegradesTyped) {
 namespace {
 
 gd::PrecondFactory localized_sbbic0(const Problem& pb) {
-  return [&pb](const gpart::LocalSystem& ls, const gs::BlockCSR& aii) {
+  return [&pb](const gpart::LocalSystem& ls, const gs::BlockCSR& aii, geofem::precond::Precision) {
     const auto sn = gc::build_supernodes(aii.n, ls.local_contact_groups(pb.mesh.contact_groups));
     return gcore::make_preconditioner(gcore::PrecondKind::kSBBIC0, aii, sn);
   };
@@ -510,7 +510,7 @@ TEST(CoarseDist, SingularCoarseOperatorDegradesInLockstep) {
   d1.a = block_diag({2.0});
   d1.b = {2.0, 2.0, 2.0};
 
-  gd::PrecondFactory diag = [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+  gd::PrecondFactory diag = [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
     return gcore::make_preconditioner(gcore::PrecondKind::kDiagonal, aii,
                                       gc::build_supernodes(aii.n, {}));
   };

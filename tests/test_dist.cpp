@@ -43,7 +43,7 @@ struct Problem {
 };
 
 gd::PrecondFactory bic0_factory() {
-  return [](const gpart::LocalSystem&, const geofem::sparse::BlockCSR& aii) {
+  return [](const gpart::LocalSystem&, const geofem::sparse::BlockCSR& aii, geofem::precond::Precision) {
     return std::make_unique<gp::BIC0>(aii);
   };
 }
@@ -242,7 +242,7 @@ TEST(DistSolver, ContactAwarePartitioningRestoresConvergence) {
   // Table 3: with contact groups cut, localized SB-BIC(0) degrades badly;
   // the contact-aware repartitioning recovers it.
   Problem pb(1e6);
-  auto factory = [&pb](const gpart::LocalSystem& ls, const geofem::sparse::BlockCSR& aii) {
+  auto factory = [&pb](const gpart::LocalSystem& ls, const geofem::sparse::BlockCSR& aii, geofem::precond::Precision) {
     auto groups = ls.local_contact_groups(pb.mesh.contact_groups);
     auto sn = gc::build_supernodes(aii.n, groups);
     return std::make_unique<gp::SBBIC0>(aii, std::move(sn));

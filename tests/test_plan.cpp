@@ -521,7 +521,7 @@ TEST(PlanDist, MatchesPlainFactory) {
   auto p = gpart::rcb_contact_aware(pb.mesh, 4);
   auto systems = gpart::distribute(pb.sys.a, pb.sys.b, p);
 
-  gd::PrecondFactory plain = [&](const gpart::LocalSystem& ls, const gs::BlockCSR& aii) {
+  gd::PrecondFactory plain = [&](const gpart::LocalSystem& ls, const gs::BlockCSR& aii, geofem::precond::Precision) {
     const auto sn = gc::build_supernodes(aii.n, ls.local_contact_groups(pb.mesh.contact_groups));
     return gcore::make_preconditioner(gcore::PrecondKind::kSBBIC0, aii, sn);
   };

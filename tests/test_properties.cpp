@@ -248,7 +248,7 @@ TEST_P(DistAgreement, SolutionMatchesSerial) {
   dopt.cg.max_iterations = 10000;
   const auto dres = gd::solve_distributed(
       systems,
-      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
         return std::make_unique<gp::BIC0>(aii);
       },
       dopt, &x);

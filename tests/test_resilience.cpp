@@ -289,13 +289,13 @@ TEST(DistFallback, StagnatedRanksFallBackInLockstep) {
   opt.resilience.enabled = true;
   opt.resilience.stagnation_window = 100;
   const auto& groups = pb.mesh.contact_groups;
-  opt.fallback_factory = [&groups](const gpart::LocalSystem& ls, const gs::BlockCSR& aii) {
+  opt.fallback_factory = [&groups](const gpart::LocalSystem& ls, const gs::BlockCSR& aii, geofem::precond::Precision) {
     auto sn = gc::build_supernodes(aii.n, ls.local_contact_groups(groups));
     return std::make_unique<gp::SBBIC0>(aii, std::move(sn));
   };
   const auto res = gd::solve_distributed(
       systems,
-      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
         return std::make_unique<gp::BIC0>(aii);
       },
       opt);
@@ -313,8 +313,8 @@ TEST(DistFallback, WalksMultipleRungsUpToMaxFallbacks) {
   gd::DistOptions opt;
   opt.cg.max_iterations = 2000;
   opt.resilience.enabled = true;
-  const auto broken = [](const gpart::LocalSystem&,
-                         const gs::BlockCSR&) -> gp::PreconditionerPtr {
+  const auto broken = [](const gpart::LocalSystem&, const gs::BlockCSR&,
+                         geofem::precond::Precision) -> gp::PreconditionerPtr {
     throw Error(StatusCode::kFactorizationFailed, "injected");
   };
   opt.fallback_factory = broken;
@@ -348,7 +348,7 @@ TEST(DistFallback, HealthySolvePastWindowIsNotSpuriouslyStagnated) {
   opt.resilience.stagnation_window = 80;
   const auto res = gd::solve_distributed(
       systems,
-      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
         return std::make_unique<gp::DiagonalScaling>(aii);
       },
       opt);
@@ -378,7 +378,7 @@ TEST(CommFault, DroppedHaloMessageTimesOutEveryRankWithinDeadline) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = gd::solve_distributed(
       systems,
-      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
         return std::make_unique<gp::BIC0>(aii);
       },
       opt);
@@ -414,7 +414,7 @@ TEST(CommFault, DelayedLinkStillConverges) {
       {.from = 0, .to = 1, .tag = kHaloTag, .after_messages = 0, .delay_seconds = 0.002});
   const auto res = gd::solve_distributed(
       systems,
-      [](const gpart::LocalSystem&, const gs::BlockCSR& aii) {
+      [](const gpart::LocalSystem&, const gs::BlockCSR& aii, geofem::precond::Precision) {
         return std::make_unique<gp::BIC0>(aii);
       },
       opt);

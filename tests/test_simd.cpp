@@ -351,6 +351,77 @@ TEST(TierEquivalence, PdjdsBicApply) {
   check_precond_tiers(gp::OwnedDJDSBIC(problem().sys.a, problem().sn, 10, 2));
 }
 
+// ---------------------------------------------------------------------------
+// fp32-stored kernels: cross-tier and cross-precision tolerance bands
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// fp32-stored factors: the sweeps either stage in float (BlockDiagonal,
+/// DJDS) or widen float values into fp64 accumulators (CSR paths), so the
+/// cross-tier agreement is bounded by float rounding, not fp64 rounding —
+/// hence a much wider band than kTol.
+constexpr double kTol32 = 1e-4;
+
+template <class Prec>
+void check_precond_tiers32(const Prec& prec) {
+  const auto& pb = problem();
+  std::vector<double> r(pb.sys.a.ndof());
+  Lcg rng;
+  for (double& v : r) v = rng.next();
+  EXPECT_LE(tier_diff(r.size(),
+                      [&](std::vector<double>& z) { prec.apply(r, z, nullptr, nullptr); }),
+            kTol32)
+      << prec.name();
+}
+
+/// fp32 vs fp64 apply of the same preconditioner (active tier): the fp32
+/// factors are the narrowed image of the fp64 factorization, so the applies
+/// agree to a float-rounding band scaled by the factor conditioning.
+template <class Prec, class... Args>
+void check_precision_band(double band, Args&&... args) {
+  const auto& pb = problem();
+  std::vector<double> r(pb.sys.a.ndof());
+  Lcg rng;
+  for (double& v : r) v = rng.next();
+  const Prec p64(args..., gp::Precision::kDouble);
+  const Prec p32(args..., gp::Precision::kSingle);
+  std::vector<double> z64(r.size()), z32(r.size());
+  p64.apply(r, z64, nullptr, nullptr);
+  p32.apply(r, z32, nullptr, nullptr);
+  EXPECT_LE(rel_inf_diff(z64, z32), band) << p32.name();
+  EXPECT_NE(p32.name().find("[fp32]"), std::string::npos);
+}
+
+}  // namespace
+
+TEST(TierEquivalence32, Bic0Apply) {
+  check_precond_tiers32(gp::BIC0(problem().sys.a, gp::Precision::kSingle));
+}
+
+TEST(TierEquivalence32, Bic1Apply) {
+  check_precond_tiers32(gp::BlockILUk(problem().sys.a, 1, gp::Precision::kSingle));
+}
+
+TEST(TierEquivalence32, SbBic0Apply) {
+  check_precond_tiers32(
+      gp::SBBIC0(problem().sys.a, problem().sn, /*modified=*/false, gp::Precision::kSingle));
+}
+
+TEST(TierEquivalence32, BlockDiagonalApply) {
+  check_precond_tiers32(gp::BlockDiagonal(problem().sys.a, gp::Precision::kSingle));
+}
+
+TEST(TierEquivalence32, PdjdsBicApply) {
+  check_precond_tiers32(gp::OwnedDJDSBIC(problem().sys.a, problem().sn, 10, 2,
+                                         /*sort_supernodes=*/true, gp::Precision::kSingle));
+}
+
+TEST(PrecisionBand, Fp32ApplyTracksFp64) {
+  check_precision_band<gp::BIC0>(5e-3, problem().sys.a);
+  check_precision_band<gp::BlockDiagonal>(5e-3, problem().sys.a);
+}
+
 TEST(TierEquivalence, DotAndNorm) {
   simd::aligned_vector<double> a(10000), b(a.size());
   Lcg rng;
