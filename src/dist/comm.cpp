@@ -136,6 +136,109 @@ double Comm::allreduce_max(double value) {
   return rt_->reduce(rank_, value, true, timeout_seconds_);
 }
 
+PendingReduce Comm::iallreduce_sum(std::span<const double> data) {
+  PendingReduce op;
+  op.seq = next_ired_seq_++;  // lockstep: every rank posts in the same order
+  op.len = data.size();
+  op.posted = true;
+  ++traffic_.allreduces;
+
+  // Fault matching mirrors send(): a collective contribution is a message
+  // from this rank with tag kIallreduceTag and no single destination, so only
+  // faults with to == kAny can fire on it.
+  double delay = 0.0;
+  bool drop = false;
+  if (!rt_->faults_.empty()) {
+    std::lock_guard<std::mutex> lock(rt_->mtx_);
+    for (std::size_t f = 0; f < rt_->faults_.size(); ++f) {
+      const Fault& ft = rt_->faults_[f];
+      if ((ft.from != Fault::kAny && ft.from != rank_) || ft.to != Fault::kAny ||
+          (ft.tag != Fault::kAny && ft.tag != kIallreduceTag))
+        continue;
+      const int seen = rt_->fault_hits_[f]++;
+      if (seen < ft.after_messages) continue;
+      if (ft.delay_seconds > 0.0) {
+        delay = std::max(delay, ft.delay_seconds);
+      } else {
+        drop = true;
+      }
+    }
+  }
+  if (drop) {
+    // The contribution is lost: the reduction can never complete, on any
+    // rank. The poster keeps its (live) handle — its own wait() times out
+    // right alongside its peers', which is the no-hang contract the solver
+    // relies on.
+    ++traffic_.messages_dropped;
+    return op;
+  }
+  if (delay > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+
+  {
+    std::lock_guard<std::mutex> lock(rt_->ired_mtx_);
+    Runtime::IRed& e = rt_->ireds_[op.seq];
+    if (e.parts.empty()) e.parts.resize(static_cast<std::size_t>(size_));
+    e.parts[static_cast<std::size_t>(rank_)].assign(data.begin(), data.end());
+    if (++e.arrived == size_) {
+      // Last arriver combines on the fixed-shape rank-ascending chain — the
+      // exact shape of the blocking vector allreduce — so the replicated
+      // result is bit-identical everywhere and to the blocking path.
+      GEOFEM_CHECK(e.parts[0].size() == op.len,
+                   "iallreduce_sum: ranks disagree on the vector length");
+      e.result = e.parts[0];
+      for (int r = 1; r < size_; ++r) {
+        const auto& part = e.parts[static_cast<std::size_t>(r)];
+        GEOFEM_CHECK(part.size() == op.len,
+                     "iallreduce_sum: ranks disagree on the vector length");
+        for (std::size_t i = 0; i < op.len; ++i) e.result[i] += part[i];
+      }
+      e.complete = true;
+      rt_->ired_cv_.notify_all();
+    }
+  }
+  return op;
+}
+
+void Comm::ired_retrieve(PendingReduce& op) {
+  auto it = rt_->ireds_.find(op.seq);
+  GEOFEM_CHECK(it != rt_->ireds_.end(), "iallreduce: handle retrieved twice");
+  op.result = it->second.result;
+  op.done = true;
+  if (++it->second.retrieved == size_) rt_->ireds_.erase(it);
+}
+
+bool Comm::test(PendingReduce& op) {
+  GEOFEM_CHECK(op.posted, "test on an unposted reduction handle");
+  if (op.done) return true;
+  std::lock_guard<std::mutex> lock(rt_->ired_mtx_);
+  const auto it = rt_->ireds_.find(op.seq);
+  if (it == rt_->ireds_.end() || !it->second.complete) return false;
+  ired_retrieve(op);
+  return true;
+}
+
+std::vector<double> Comm::wait(PendingReduce& op) {
+  GEOFEM_CHECK(op.posted, "wait on an unposted reduction handle");
+  if (op.done) return op.result;
+  std::unique_lock<std::mutex> lock(rt_->ired_mtx_);
+  const auto completed = [&] {
+    const auto it = rt_->ireds_.find(op.seq);
+    return it != rt_->ireds_.end() && it->second.complete;
+  };
+  if (timeout_seconds_ <= 0.0) {
+    rt_->ired_cv_.wait(lock, completed);
+  } else if (!rt_->ired_cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds_),
+                                     completed)) {
+    // No withdrawal (unlike the blocking rendezvous): this rank already
+    // contributed, and a peer that has not timed out yet may still complete
+    // and retrieve the reduction.
+    throw Error(StatusCode::kCommTimeout,
+                "iallreduce wait on rank " + std::to_string(rank_) + " timed out");
+  }
+  ired_retrieve(op);
+  return op.result;
+}
+
 void Comm::barrier() {
   ++traffic_.barriers;
   rt_->reduce(rank_, 0.0, false, timeout_seconds_);

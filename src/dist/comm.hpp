@@ -55,6 +55,22 @@ void export_traffic(const TrafficStats& t, obs::Registry& reg);
 
 class Runtime;
 
+/// Handle of one split-phase (nonblocking) allreduce: returned by
+/// Comm::iallreduce_sum, polled with Comm::test, finished with Comm::wait.
+/// The communication-hiding CG variants post the dot-product reduction, run
+/// the SpMV / preconditioner application the reduction would otherwise
+/// serialize against, and only then wait. Handles are rank-local; the
+/// matching across ranks is by collective sequence number, so every rank must
+/// post its split-phase reductions in the same order (the usual MPI
+/// nonblocking-collective contract).
+struct PendingReduce {
+  std::uint64_t seq = 0;       ///< collective sequence number (lockstep)
+  std::size_t len = 0;         ///< payload length (all ranks must agree)
+  bool posted = false;         ///< live handle (consumed by wait / test)
+  bool done = false;           ///< result retrieved and cached below
+  std::vector<double> result;  ///< valid once done
+};
+
 /// Rank-local handle of the in-process message-passing runtime. Provides the
 /// MPI-shaped operations the GeoFEM solvers need: tagged point-to-point
 /// send/recv (FIFO per (source, tag) channel), allreduce and barrier.
@@ -86,6 +102,33 @@ class Comm {
   /// Global max (same contract).
   double allreduce_max(double value);
 
+  /// Collective tag of split-phase reductions: fault injection matches a
+  /// rank's iallreduce contribution against Fault entries whose `tag` is this
+  /// value (or kAny) and whose `to` is kAny — a collective has no single
+  /// destination, so destination-targeted faults never fire on it. A dropped
+  /// contribution starves the reduction on every rank: with a timeout set the
+  /// whole team surfaces kCommTimeout instead of hanging.
+  static constexpr int kIallreduceTag = -103;
+
+  /// Post a split-phase element-wise global sum (all ranks pass the same
+  /// length, in the same collective order). Never blocks; a delay fault
+  /// stalls the poster like a congested send. The eventual result is combined
+  /// on the same fixed-shape rank-ascending chain as the blocking
+  /// allreduce_sum, so for identical inputs the two are bit-identical on
+  /// every rank — which is what keeps the pipelined CG variants deterministic
+  /// across team sizes and overlap settings.
+  [[nodiscard]] PendingReduce iallreduce_sum(std::span<const double> data);
+
+  /// Nonblocking progress poll: true once the reduction completed (op.result
+  /// filled). Safe to call repeatedly; after completion it keeps returning
+  /// true from the cached result.
+  bool test(PendingReduce& op);
+
+  /// Block until the reduction completes and return its result (also cached
+  /// in op.result). Honors the rank's blocking-operation deadline: throws
+  /// geofem::Error(kCommTimeout) once it has waited timeout() seconds.
+  std::vector<double> wait(PendingReduce& op);
+
   void barrier();
 
   /// Root's vector is returned on every rank (all ranks must call with the
@@ -107,11 +150,16 @@ class Comm {
   friend class Runtime;
   Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
 
+  /// Retrieve a completed split-phase result into `op` (caller holds the
+  /// reduction mutex); erases the shared entry once every rank retrieved.
+  void ired_retrieve(PendingReduce& op);
+
   Runtime* rt_;
   int rank_;
   int size_;
   TrafficStats traffic_;
   double timeout_seconds_ = 0.0;
+  std::uint64_t next_ired_seq_ = 0;  ///< split-phase collective sequence
 };
 
 /// Spawns one std::thread per rank, runs `body`, joins. Exceptions thrown by
@@ -149,6 +197,21 @@ class Runtime {
   std::uint64_t red_generation_ = 0;
   std::vector<double> red_values_;
   double red_result_ = 0.0;
+
+  // split-phase reduction state: one entry per outstanding collective
+  // sequence number, independent of the blocking rendezvous above so a
+  // blocking collective (coarse-level allreduce, halo barrier) can run while
+  // a split-phase reduction is still in flight.
+  struct IRed {
+    std::vector<std::vector<double>> parts;  ///< per-rank contributions
+    int arrived = 0;
+    int retrieved = 0;
+    bool complete = false;
+    std::vector<double> result;  ///< rank-ascending combination
+  };
+  std::mutex ired_mtx_;
+  std::condition_variable ired_cv_;
+  std::map<std::uint64_t, IRed> ireds_;
 
   int size_ = 0;
 

@@ -137,6 +137,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   std::vector<double> relres(static_cast<std::size_t>(ndom), 0.0);
   std::vector<SolveStatus> statuses(static_cast<std::size_t>(ndom), SolveStatus::kMaxIterations);
   std::vector<int> pfell(static_cast<std::size_t>(ndom), 0);
+  std::vector<int> vfell(static_cast<std::size_t>(ndom), 0);
   std::vector<coarse::SetupStatus> cstats(static_cast<std::size_t>(ndom),
                                           coarse::SetupStatus::kOff);
   std::vector<int> cdims(static_cast<std::size_t>(ndom), 0);
@@ -202,6 +203,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
       rank_reg.set_meta("threads", static_cast<double>(par::threads()));
       rank_reg.set_meta("overlap", opt.overlap ? 1.0 : 0.0);
       rank_reg.set_meta("simd.isa", simd::active_isa());
+      rank_reg.gauge("dist.variant")->set(static_cast<double>(opt.cg.variant));
       if (opt.overlap)
         rank_reg.gauge("dist.boundary_rows")->set(static_cast<double>(split.boundary.size()));
     }
@@ -459,8 +461,240 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
         return s;
       };
 
+      // Gropp's two-overlap CG: two split-phase reductions per iteration,
+      // δ = (p,s) completing behind q = M⁻¹s and the fused {γ' = (r,u),
+      // ||r||²} completing behind w = Au. Every exit decision derives from
+      // the reduced (rank-identical) values, so lockstep is preserved; the
+      // reduction chain is the same fixed-shape rank-ascending combine as the
+      // blocking allreduce, so the trajectory is bit-identical across team
+      // sizes and overlap settings.
+      auto cg_loop_gropp = [&](const precond::Preconditioner& m) -> SolveStatus {
+        const int window = cgopt.stagnation_window;
+        std::vector<double> ring(window > 0 ? static_cast<std::size_t>(window) : 0);
+        std::vector<double> u(ni), s_(ni), w(ni), mq(ni), vnl(nl, 0.0);
+        SolveStatus s = SolveStatus::kMaxIterations;
+
+        apply_precond(m, r, u);  // u = M^-1 r
+        for (std::size_t i = 0; i < ni; ++i) p[i] = u[i];
+        matvec(p, s_);  // s = A p
+        double gamma = comm.allreduce_sum(sparse::dot(std::span(r), std::span(u), fc));
+
+        int it = 0;
+        while (total_iters < cgopt.max_iterations && rnorm / bnorm > cgopt.tolerance) {
+          if (!(gamma > 0.0)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          // Reduction 1 in flight while the preconditioner runs.
+          const double dpart = sparse::dot(std::span(p).first(ni), std::span(s_), fc);
+          PendingReduce h1 = comm.iallreduce_sum(std::span<const double>(&dpart, 1));
+          {
+            obs::ScopedSpan ov("pcg.overlap");
+            apply_precond(m, s_, mq);  // q = M^-1 s
+          }
+          const double delta = comm.wait(h1)[0];
+          if (!(delta > 0.0)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          const double alpha = gamma / delta;
+          for (std::size_t i = 0; i < ni; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * s_[i];
+            u[i] -= alpha * mq[i];
+          }
+          fc->blas1 += 6 * ni;
+          // Reduction 2 (fused γ', ||r||²) in flight while the SpMV runs.
+          const double fused[2] = {sparse::dot(std::span(r), std::span(u), fc),
+                                   sparse::dot(std::span(r), std::span(r), fc)};
+          PendingReduce h2 = comm.iallreduce_sum(std::span<const double>(fused, 2));
+          {
+            obs::ScopedSpan ov("pcg.overlap");
+            std::copy(u.begin(), u.end(), vnl.begin());
+            matvec(vnl, w);  // w = A u
+          }
+          const std::vector<double> g = comm.wait(h2);
+          const double beta = g[0] / gamma;
+          for (std::size_t i = 0; i < ni; ++i) {
+            p[i] = u[i] + beta * p[i];
+            s_[i] = w[i] + beta * s_[i];
+          }
+          fc->blas1 += 4 * ni;
+          gamma = g[0];
+          rnorm = std::sqrt(g[1]);
+          ++total_iters;
+          if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
+          if (!std::isfinite(rnorm)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          if (window > 0) {
+            const double rel = rnorm / bnorm;
+            const auto slot = static_cast<std::size_t>(it % window);
+            if (it >= window && rel > 0.99 * ring[slot]) {
+              s = SolveStatus::kStagnated;
+              break;
+            }
+            ring[slot] = rel;
+          }
+          ++it;
+        }
+        if (rnorm / bnorm <= cgopt.tolerance) s = SolveStatus::kConverged;
+        return s;
+      };
+
+      // Ghysels–Vanroose pipelined CG: ONE fused split-phase reduction per
+      // iteration {γ = (r,u), δ = (w,u), ||r||²}, completing behind BOTH the
+      // preconditioner application and the SpMV of the same iteration. The
+      // residual norm of iteration `it` arrives with iteration it+1's
+      // reduction, so history/stagnation probes lag one slot (mirrors the
+      // serial attempt). Four extra recurrence vectors.
+      auto cg_loop_pipelined = [&](const precond::Preconditioner& m) -> SolveStatus {
+        const int window = cgopt.stagnation_window;
+        std::vector<double> ring(window > 0 ? static_cast<std::size_t>(window) : 0);
+        std::vector<double> u(ni), w(ni), mv(ni), nv(ni), zv(ni), qv(ni), sv(ni), pv(ni);
+        std::vector<double> vnl(nl, 0.0);
+        SolveStatus s = SolveStatus::kMaxIterations;
+
+        apply_precond(m, r, u);  // u = M^-1 r
+        std::copy(u.begin(), u.end(), vnl.begin());
+        matvec(vnl, w);  // w = A u
+
+        double gamma_prev = 0.0, alpha_prev = 0.0;
+        for (int it = 0;; ++it) {
+          const double fused[3] = {sparse::dot(std::span(r), std::span(u), fc),
+                                   sparse::dot(std::span(w), std::span(u), fc),
+                                   sparse::dot(std::span(r), std::span(r), fc)};
+          PendingReduce h = comm.iallreduce_sum(std::span<const double>(fused, 3));
+          {
+            obs::ScopedSpan ov("pcg.overlap");
+            apply_precond(m, w, mv);  // m = M^-1 w
+            std::copy(mv.begin(), mv.end(), vnl.begin());
+            matvec(vnl, nv);  // n = A m
+          }
+          const std::vector<double> g = comm.wait(h);
+          const double gamma = g[0];
+          const double delta = g[1];
+          rnorm = std::sqrt(g[2]);
+          const double rel = rnorm / bnorm;
+          if (it > 0) {
+            if (cgopt.record_residuals) history.push_back(rel);
+            if (!std::isfinite(rnorm)) {
+              s = SolveStatus::kBreakdown;
+              break;
+            }
+            if (window > 0) {
+              const auto slot = static_cast<std::size_t>((it - 1) % window);
+              if (it - 1 >= window && rel > 0.99 * ring[slot]) {
+                s = SolveStatus::kStagnated;
+                break;
+              }
+              ring[slot] = rel;
+            }
+          }
+          if (rel <= cgopt.tolerance) {
+            s = SolveStatus::kConverged;
+            break;
+          }
+          if (total_iters >= cgopt.max_iterations) break;
+          if (!(gamma > 0.0)) {
+            s = SolveStatus::kBreakdown;
+            break;
+          }
+          double alpha = 0.0, beta = 0.0;
+          if (it == 0) {
+            if (!(delta > 0.0)) {
+              s = SolveStatus::kBreakdown;
+              break;
+            }
+            alpha = gamma / delta;
+          } else {
+            beta = gamma / gamma_prev;
+            const double denom = delta - beta * gamma / alpha_prev;
+            if (!(denom > 0.0) || !std::isfinite(denom)) {
+              s = SolveStatus::kBreakdown;
+              break;
+            }
+            alpha = gamma / denom;
+          }
+          if (it == 0) {
+            std::copy(nv.begin(), nv.end(), zv.begin());
+            std::copy(mv.begin(), mv.end(), qv.begin());
+            std::copy(w.begin(), w.end(), sv.begin());
+            std::copy(u.begin(), u.end(), pv.begin());
+          } else {
+            for (std::size_t i = 0; i < ni; ++i) {
+              zv[i] = nv[i] + beta * zv[i];
+              qv[i] = mv[i] + beta * qv[i];
+              sv[i] = w[i] + beta * sv[i];
+              pv[i] = u[i] + beta * pv[i];
+            }
+            fc->blas1 += 8 * ni;
+          }
+          for (std::size_t i = 0; i < ni; ++i) {
+            x[i] += alpha * pv[i];
+            r[i] -= alpha * sv[i];
+            u[i] -= alpha * qv[i];
+            w[i] -= alpha * zv[i];
+          }
+          fc->blas1 += 8 * ni;
+          gamma_prev = gamma;
+          alpha_prev = alpha;
+          ++total_iters;
+
+          // Periodic residual replacement (mirrors the serial attempt): every
+          // rank rebuilds its recurrence vectors at the same iteration — halo
+          // exchanges and any coarse collectives inside apply_precond run in
+          // the same order everywhere, so lockstep is preserved. No global
+          // reductions are added.
+          const int replace = cgopt.pipeline_replace_interval;
+          if (replace > 0 && (it + 1) % replace == 0) {
+            matvec(x, mv);
+            for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i] - mv[i];
+            fc->blas1 += ni;
+            apply_precond(m, r, u);
+            std::copy(u.begin(), u.end(), vnl.begin());
+            matvec(vnl, w);
+            std::copy(pv.begin(), pv.end(), vnl.begin());
+            matvec(vnl, sv);
+            apply_precond(m, sv, qv);
+            std::copy(qv.begin(), qv.end(), vnl.begin());
+            matvec(vnl, zv);
+          }
+        }
+        if (rnorm / bnorm <= cgopt.tolerance) s = SolveStatus::kConverged;
+        return s;
+      };
+
+      // One CG attempt with the configured variant. A non-classic attempt
+      // that breaks down or stagnates retries with the classic loop on the
+      // SAME preconditioner — warm restart from the recomputed true residual
+      // r = b - A x, shared budget — before any caller-level fallback sees
+      // the failure. The retry decision comes from the attempt's status,
+      // itself derived from allreduced scalars, so every rank branches
+      // together.
+      auto run_cg = [&](const precond::Preconditioner& m) -> SolveStatus {
+        SolveStatus s;
+        switch (cgopt.variant) {
+          case solver::CGVariant::kGropp: s = cg_loop_gropp(m); break;
+          case solver::CGVariant::kPipelined: s = cg_loop_pipelined(m); break;
+          default: return cg_loop(m);
+        }
+        if (s == SolveStatus::kBreakdown || s == SolveStatus::kStagnated) {
+          vfell[rank] = 1;
+          if (opt.telemetry) rank_reg.counter("dist.fallback.variant")->add(1);
+          matvec(x, q);
+          for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i] - q[i];
+          rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
+          if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
+          const SolveStatus retried = cg_loop(m);
+          s = ok(retried) ? SolveStatus::kFellBack : retried;
+        }
+        return s;
+      };
+
       SolveStatus st =
-          build_failed_global ? SolveStatus::kFactorizationFailed : cg_loop(*prec);
+          build_failed_global ? SolveStatus::kFactorizationFailed : run_cg(*prec);
 
       if (fp32 && !ok(st)) {
         // fp32-induced stagnation/breakdown (or narrowing overflow at
@@ -492,7 +726,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i];
           rnorm = bnorm;
           if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
-          const SolveStatus retried = cg_loop(*fb64);
+          const SolveStatus retried = run_cg(*fb64);
           st = ok(retried) ? SolveStatus::kFellBack : retried;
           prec = std::move(fb64);
         }
@@ -536,7 +770,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
           for (std::size_t i = 0; i < ni; ++i) r[i] = ls.b[i] - q[i];
           rnorm = std::sqrt(comm.allreduce_sum(sparse::dot(std::span(r), std::span(r), fc)));
           if (cgopt.record_residuals) history.push_back(rnorm / bnorm);
-          const SolveStatus retried = cg_loop(*fb);
+          const SolveStatus retried = run_cg(*fb);
           st = ok(retried) ? SolveStatus::kFellBack : retried;
           if (opt.telemetry && ok(retried)) rank_reg.counter("dist.fallback.recovered")->add(1);
         }
@@ -595,6 +829,7 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   res.iterations = iters[0];
   res.fallback_iterations = burnt_iters[0];
   res.precision_fallbacks = pfell[0];
+  res.variant_fallbacks = vfell[0];
   res.relative_residual = relres[0];
   res.coarse_status = cstats[0];
   res.coarse_dim = cdims[0];

@@ -35,6 +35,12 @@ using PrecondFactory = std::function<precond::PreconditionerPtr(
 ///     resilience.chain (a PrecondKind list) is not consulted: this solver
 ///     builds preconditioners through factories, not kinds. All fallback
 ///     decisions derive from allreduced quantities (lockstep).
+///   * cg.variant — communication-hiding CG variant. kClassic keeps the three
+///     blocking allreduces per iteration; kGropp/kPipelined post split-phase
+///     reductions (Comm::iallreduce_sum) that complete behind the
+///     preconditioner application and SpMV. Breakdown/stagnation in a
+///     non-classic variant retries with kClassic on the same preconditioner
+///     (warm restart, lockstep) before any precision/preconditioner fallback.
 ///   * plan_cache — only snapshotted into DistResult::plan_cache; pass the
 ///     cache given to make_plan_factory (one plan per rank).
 ///   * precision — forwarded to the PrecondFactory; an fp32 attempt that
@@ -71,6 +77,13 @@ struct DistResult {
   /// fp32 attempts re-set-up at fp64 after stagnation/breakdown (0 or 1;
   /// identical on every rank — the decision is allreduced).
   int precision_fallbacks = 0;
+  /// Gropp/pipelined attempts that broke down or stagnated and were retried
+  /// with the classic loop on the same preconditioner (warm restart; identical
+  /// on every rank — the decision derives from allreduced scalars). This rung
+  /// sits BEFORE the precision and preconditioner fallbacks: a delicate
+  /// reordered-arithmetic variant must not trigger an expensive rebuild when
+  /// the reference arithmetic would have converged.
+  int variant_fallbacks = 0;
   int iterations = 0;
   double relative_residual = 0.0;
   /// Relative residual per iteration across all attempts (identical on every

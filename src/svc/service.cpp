@@ -212,6 +212,7 @@ void SolverService::process(Ticket t, plan::PlanCache* cache, Scratch& scratch) 
     cfg.registry = &registry_;  // re-entrant session entry
     if (t.req.tolerance > 0.0) cfg.cg.tolerance = t.req.tolerance;
     if (t.req.precision) cfg.precision = *t.req.precision;
+    if (t.req.variant) cfg.cg.variant = *t.req.variant;
 
     util::Timer solve_timer;
     resp.report = core::solve_system(sys, model.sn, cfg);

@@ -66,6 +66,11 @@ struct SolveRequest {
   /// the plan fingerprint, so mixed-precision request streams on one model
   /// hold two plans in the shared cache, both warm.
   std::optional<precond::Precision> precision;
+  /// Optional CG-variant override (classic / Gropp / pipelined); unset uses
+  /// the service's base SolveConfig::cg.variant. Variants are a pure
+  /// arithmetic choice — they do not key the plan fingerprint, so mixing
+  /// variants on one model stays warm in the plan cache.
+  std::optional<solver::CGVariant> variant;
 };
 
 /// Outcome of one request. For accepted requests `report` is the full

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "contact/penalty.hpp"
 #include "dist/dist_solver.hpp"
@@ -425,3 +427,102 @@ TEST_P(RowSplitProperty, PartitionsRowsExactlyByExternalColumns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, RowSplitProperty, ::testing::Values(2, 3, 4, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Split-phase allreduce properties across rank counts (the reduction primitive
+// under the communication-hiding CG variants, DESIGN.md §5j)
+// ---------------------------------------------------------------------------
+
+class SplitPhaseReduce : public ::testing::TestWithParam<int> {};
+
+// post -> (test)* -> wait walks the documented handle states: `posted` on
+// return from iallreduce_sum, `done` once a poll or wait observes completion,
+// and both test() and wait() are idempotent on a completed handle.
+TEST_P(SplitPhaseReduce, PostTestWaitStateMachine) {
+  const int nranks = GetParam();
+  gd::Runtime::run(nranks, [&](gd::Comm& c) {
+    const std::vector<double> payload = {1.0 + c.rank(), 2.0 * c.rank()};
+    gd::PendingReduce op = c.iallreduce_sum(payload);
+    ASSERT_TRUE(op.posted);
+    ASSERT_FALSE(op.done);
+    ASSERT_EQ(op.len, payload.size());
+    while (!c.test(op)) std::this_thread::yield();
+    ASSERT_TRUE(op.done);
+    // small-integer payloads sum exactly, so equality is bitwise
+    double s0 = 0.0, s1 = 0.0;
+    for (int r = 0; r < nranks; ++r) {
+      s0 += 1.0 + r;
+      s1 += 2.0 * r;
+    }
+    ASSERT_EQ(op.result.size(), payload.size());
+    EXPECT_EQ(op.result[0], s0);
+    EXPECT_EQ(op.result[1], s1);
+    // test() keeps answering true from the cache; wait() returns the same
+    // vector without re-entering the runtime.
+    EXPECT_TRUE(c.test(op));
+    const auto via_wait = c.wait(op);
+    EXPECT_EQ(via_wait, op.result);
+    EXPECT_EQ(c.wait(op), via_wait);
+  });
+}
+
+// A fresh handle finished by wait() alone (no test() polling) must agree with
+// one finished by polling — the two completion paths share one result.
+TEST_P(SplitPhaseReduce, WaitWithoutPollingMatchesPolledResult) {
+  const int nranks = GetParam();
+  gd::Runtime::run(nranks, [&](gd::Comm& c) {
+    geofem::util::Rng rng(917u + static_cast<unsigned>(c.rank()));
+    std::vector<double> payload(5);
+    for (auto& v : payload) v = rng.next_double() - 0.5;
+    gd::PendingReduce polled = c.iallreduce_sum(payload);
+    gd::PendingReduce waited = c.iallreduce_sum(payload);
+    while (!c.test(polled)) std::this_thread::yield();
+    const auto direct = c.wait(waited);
+    ASSERT_EQ(direct.size(), polled.result.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) ASSERT_EQ(direct[i], polled.result[i]);
+  });
+}
+
+// The fixed-shape rank-ascending combine makes the split-phase reduction
+// bit-identical to the blocking vector allreduce for the same inputs, no
+// matter how rank arrival is staggered or in which order a rank completes the
+// outstanding handles. This is the property the CG variants' determinism
+// tests lean on.
+TEST_P(SplitPhaseReduce, BitIdenticalToBlockingAllreduceUnderReorderedCompletion) {
+  const int nranks = GetParam();
+  constexpr int kRounds = 6;
+  gd::Runtime::run(nranks, [&](gd::Comm& c) {
+    geofem::util::Rng rng(4242u * static_cast<unsigned>(nranks) +
+                          static_cast<unsigned>(c.rank()));
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<double> a(7), b(3);
+      for (auto& v : a) v = 2.0 * rng.next_double() - 1.0;
+      for (auto& v : b) v = 10.0 * rng.next_double();
+      // stagger posting so the per-sequence arrival order varies by rank and
+      // round; the combine order must stay rank-ascending regardless
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(50 * ((c.rank() + round) % nranks)));
+      gd::PendingReduce ha = c.iallreduce_sum(a);
+      gd::PendingReduce hb = c.iallreduce_sum(b);
+      // a blocking collective may run while split-phase handles are in flight
+      const std::vector<double> blocking_a = c.allreduce_sum(std::span<const double>(a));
+      const std::vector<double> blocking_b = c.allreduce_sum(std::span<const double>(b));
+      // complete out of posting order on odd (rank + round) parities
+      if ((c.rank() + round) % 2 == 0) {
+        c.wait(ha);
+        while (!c.test(hb)) std::this_thread::yield();
+      } else {
+        c.wait(hb);
+        while (!c.test(ha)) std::this_thread::yield();
+      }
+      ASSERT_EQ(ha.result.size(), blocking_a.size());
+      ASSERT_EQ(hb.result.size(), blocking_b.size());
+      for (std::size_t i = 0; i < blocking_a.size(); ++i)
+        ASSERT_EQ(ha.result[i], blocking_a[i]) << "round " << round << " i " << i;
+      for (std::size_t i = 0; i < blocking_b.size(); ++i)
+        ASSERT_EQ(hb.result[i], blocking_b[i]) << "round " << round << " i " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SplitPhaseReduce, ::testing::Values(2, 3, 4, 8));
