@@ -254,7 +254,58 @@ void run_comparison(geofem::obs::Registry& reg, int argc, char** argv) {
     }
   }
   table.print();
-  bench::emit_json(reg, "kernels", argc, argv, {&table});
+
+  // -------------------------------------------------------------------------
+  // Multi-RHS SpMM amortization (DESIGN.md §5k): one SpMM over k interleaved
+  // RHS columns vs k back-to-back SpMVs on the active tier. Both move the
+  // same matrix; SpMM streams it once for all k columns, so the per-RHS
+  // effective bandwidth rises by the amortization ratio sec_seq / sec_spmm.
+  // k = 1 is the delegation sanity row (ratio ~1). The per-RHS GB/s column
+  // uses the single-RHS byte model above for both sides, so the ratio of the
+  // two columns IS the amortization.
+  // -------------------------------------------------------------------------
+  const auto dj2 = make_djds(f);
+  geofem::util::Table mtable(
+      {"kernel", "k", "seq SpMV GB/s per RHS", "SpMM GB/s per RHS", "amortization"});
+  const double rhs_bytes = spmv_bytes(f.sys.a.nnz_blocks(), ndof);
+  std::cout << "\n== multi-RHS SpMM vs k sequential SpMVs (" << simd::active_isa() << ") ==\n\n";
+  for (const bool djds : {false, true}) {
+    for (const int k : {1, 2, 4, 8}) {
+      std::vector<double> xm(ndof * static_cast<std::size_t>(k), 1.0), ym(xm.size());
+      const double sec_seq = time_kernel(
+          [&] {
+            for (int c = 0; c < k; ++c) {
+              if (djds)
+                dj2.spmv(x, y);
+              else
+                f.sys.a.spmv(x, y);
+            }
+          },
+          reps);
+      const double sec_spmm = time_kernel(
+          [&] {
+            if (djds)
+              dj2.spmm(xm, ym, k);
+            else
+              f.sys.a.spmm(xm, ym, k);
+          },
+          reps);
+      const double amort = sec_seq / sec_spmm;
+      const double gbs_seq = rhs_bytes / (sec_seq / k) / 1e9;
+      const double gbs_spmm = rhs_bytes / (sec_spmm / k) / 1e9;
+      const char* name = djds ? "SpMM DJDS" : "SpMM CSR";
+      mtable.row({name, std::to_string(k), geofem::util::Table::fmt(gbs_seq, 2),
+                  geofem::util::Table::fmt(gbs_spmm, 2),
+                  geofem::util::Table::fmt(amort, 2) + "x"});
+      const std::string slug =
+          std::string("kernels.spmm.") + (djds ? "djds" : "csr") + ".k" + std::to_string(k);
+      reg.gauge(slug + ".amortization")->set(amort);
+      reg.gauge(slug + ".gbs_per_rhs")->set(gbs_spmm);
+      reg.gauge(slug + ".seq_gbs_per_rhs")->set(gbs_seq);
+    }
+  }
+  mtable.print();
+  bench::emit_json(reg, "kernels", argc, argv, {&table, &mtable});
 }
 
 // ---------------------------------------------------------------------------
@@ -410,7 +461,9 @@ int main(int argc, char** argv) {
     const auto snap = reg.snapshot();
     for (const char* g : {"kernels.gflops.SB-BIC_0__PDJDS_apply",
                           "kernels.gflops.SB-BIC_0__PDJDS_apply.fp32",
-                          "kernels.fp32_speedup.SB-BIC_0__PDJDS_apply.fp32"}) {
+                          "kernels.fp32_speedup.SB-BIC_0__PDJDS_apply.fp32",
+                          "kernels.spmm.csr.k8.amortization",
+                          "kernels.spmm.djds.k8.amortization"}) {
       const double* v = snap.gauge(g);
       if (!v || !(*v > 0.0)) {
         std::cerr << "[bench] FAIL: missing precision series gauge " << g << "\n";

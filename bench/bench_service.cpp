@@ -4,10 +4,20 @@
 // warm-vs-cold throughput gap (the value of the shared plan cache: identical
 // requests with and without plan reuse on the same worker pool).
 //
+// The request-coalescing sections (DESIGN.md §5k) measure the batched
+// multi-RHS dispatch: a coalescable same-key request stream served with
+// max_batch = k vs the same stream served one request at a time, plus a
+// coalescable workload mix whose svc.batch_size histogram reports achieved
+// occupancy. `--max-batch N` overrides the batch width (default 4); when the
+// flag is given explicitly the binary additionally exits nonzero unless at
+// least one batch of >= 2 requests actually formed.
+//
 // The binary exits nonzero if any request is lost (submitted != completed +
-// rejected) or if a warm solve is not bit-identical to the cold solve of the
-// same request — CI runs it (tiny, under sanitizers) as the service smoke
-// test: GEOFEM_BENCH_TINY=1 shrinks the mesh and the workloads.
+// rejected), if a warm solve is not bit-identical to the cold solve of the
+// same request, or if a solo request through a coalescing-enabled service is
+// not bit-identical to the same request with coalescing off — CI runs it
+// (tiny, under sanitizers) as the service smoke test: GEOFEM_BENCH_TINY=1
+// shrinks the mesh and the workloads.
 
 #include <algorithm>
 #include <cstdlib>
@@ -34,6 +44,13 @@ int main(int argc, char** argv) {
   using namespace geofem;
   const char* tiny_env = std::getenv("GEOFEM_BENCH_TINY");
   const bool tiny = tiny_env && *tiny_env && std::string(tiny_env) != "0";
+  int max_batch = 4;
+  bool max_batch_flag = false;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--max-batch") {
+      max_batch = std::atoi(argv[i + 1]);
+      max_batch_flag = true;
+    }
   const auto params = tiny                   ? mesh::SimpleBlockParams{3, 3, 2, 3, 3}
                       : bench::paper_scale() ? mesh::SimpleBlockParams{10, 10, 8, 10, 10}
                                              : mesh::SimpleBlockParams{6, 6, 4, 6, 6};
@@ -103,11 +120,34 @@ int main(int argc, char** argv) {
     wl.classes = {i, b};
     mixes.emplace_back("bursty_batch", wl);
   }
+  {
+    // Mix 3: coalescable batch — bursty batch traffic on a SINGLE lambda, so
+    // every request shares one coalescing key (model, lambda, contact state)
+    // and the batched dispatch can form multi-RHS solves. Served with
+    // max_batch enabled; the svc.batch_size histogram reports the achieved
+    // occupancy under a realistic arrival process (vs the saturated stream of
+    // the throughput section below).
+    svc::WorkloadOptions wl;
+    wl.horizon = horizon;
+    wl.seed = 44;
+    svc::TrafficClass i = interactive, b = batch;
+    i.rate = 10.0;
+    i.lambdas = {1e6};
+    b.rate = 90.0;
+    b.arrival = svc::ArrivalProcess::kBurst;
+    b.mean_burst = 8;
+    b.lambdas = {1e6};
+    wl.classes = {i, b};
+    mixes.emplace_back("coalescable_batch", wl);
+  }
 
   util::Table table({"mix", "class", "n", "p50 ms", "p95 ms", "p99 ms", "req/s", "hit rate"});
   std::vector<MixResult> results;
+  double max_batch_seen = 1.0;  // largest coalesced dispatch observed anywhere
   for (const auto& [name, wl] : mixes) {
-    svc::SolverService svc(base);
+    svc::ServiceOptions mix_opt = base;
+    if (name == "coalescable_batch" && max_batch > 1) mix_opt.max_batch = max_batch;
+    svc::SolverService svc(mix_opt);
     svc.register_model(m, {{1.0, 0.3}}, bc);
     const std::vector<svc::Event> events = svc::generate(wl);
     MixResult res;
@@ -115,8 +155,30 @@ int main(int argc, char** argv) {
     res.stats = svc::replay(svc, events, /*time_scale=*/0.0);
     svc.publish_stats();
     all_ok = all_ok && res.stats.lossless() && res.stats.failed == 0;
+    // monotonic admission totals across all mixes — the bench report's
+    // counters section (satellite of the coalescing work: this used to be
+    // empty because everything service-side was folded into gauges)
+    const svc::SolverService::Counts mix_counts = svc.counts();
+    reg.counter("svc.submitted")->add(mix_counts.submitted);
+    reg.counter("svc.completed")->add(mix_counts.completed);
+    reg.counter("svc.rejected")->add(mix_counts.rejected);
+    reg.counter("svc.failed")->add(mix_counts.failed);
 
     const obs::Snapshot snap = svc.registry().snapshot();
+    if (mix_opt.max_batch > 1) {
+      // achieved multi-RHS occupancy under this arrival process, plus the
+      // service-side coalescing counters, folded into the bench report
+      if (const obs::HistogramData* bs = snap.histogram("svc.batch_size")) {
+        reg.gauge("svc." + name + ".batch_size.mean")->set(bs->mean());
+        reg.gauge("svc." + name + ".batch_size.max")->set(bs->max);
+        reg.gauge("svc." + name + ".batch_size.count")->set(static_cast<double>(bs->count));
+        max_batch_seen = std::max(max_batch_seen, bs->max);
+      }
+      if (const std::uint64_t* c = snap.counter("svc.coalesce.hit"))
+        reg.counter("svc.coalesce.hit")->add(*c);
+      if (const std::uint64_t* c = snap.counter("svc.coalesce.window_timeout"))
+        reg.counter("svc.coalesce.window_timeout")->add(*c);
+    }
     const double* hits = snap.gauge("plan.cache.hits");
     const double* misses = snap.gauge("plan.cache.misses");
     const double lookups = (hits ? *hits : 0.0) + (misses ? *misses : 0.0);
@@ -200,6 +262,64 @@ int main(int argc, char** argv) {
             << "x (" << n_requests << " identical requests, " << base.workers << " workers)\n";
 
   // -------------------------------------------------------------------------
+  // Coalesced vs solo: a saturated same-key stream served with max_batch = k
+  // against the identical stream served one request at a time. The gap is the
+  // multi-RHS amortization — one assembly + factor application + SpMM-driven
+  // CG iteration shared by every coalesced column. Same alternating-leg /
+  // per-repeat-ratio / median structure as warm-vs-cold above.
+  // -------------------------------------------------------------------------
+  if (max_batch > 1) {
+    std::vector<double> bwall[2];  // per-repeat wall seconds, [coalesced, solo]
+    double occupancy = 0.0;
+    for (int rep = 0; rep < n_repeats; ++rep) {
+      for (int leg = 0; leg < 2; ++leg) {
+        const int solo = leg ^ (rep & 1);
+        svc::ServiceOptions opt = base;
+        opt.max_batch = solo ? 1 : max_batch;
+        opt.batch_window = 0.0;  // opportunistic only: never trade latency for width
+        svc::SolverService svc(opt);
+        const svc::ModelId model = svc.register_model(m, {{1.0, 0.3}}, bc);
+        svc::SolveRequest req;
+        req.model = model;
+        req.priority = svc::Priority::kBatch;
+        req.lambda = 1e6;
+        for (int i = 0; i < base.workers; ++i) svc.submit(req);
+        svc.drain();
+        std::vector<std::future<svc::SolveResponse>> futures;
+        util::Timer timer;
+        for (int i = 0; i < n_requests; ++i) futures.push_back(svc.submit(req));
+        std::uint64_t completed = 0;
+        for (auto& f : futures) completed += ok(f.get().status) ? 1u : 0u;
+        bwall[solo].push_back(timer.seconds());
+        all_ok = all_ok && completed == static_cast<std::uint64_t>(n_requests);
+        if (solo == 0) {
+          const obs::Snapshot snap = svc.registry().snapshot();
+          if (const obs::HistogramData* bs = snap.histogram("svc.batch_size")) {
+            max_batch_seen = std::max(max_batch_seen, bs->max);
+            occupancy = std::max(occupancy, bs->mean());
+          }
+        }
+      }
+    }
+    std::vector<double> batch_rep_ratio;
+    for (int rep = 0; rep < n_repeats; ++rep)
+      batch_rep_ratio.push_back(bwall[1][static_cast<std::size_t>(rep)] /
+                                bwall[0][static_cast<std::size_t>(rep)]);
+    const double bthr[2] = {n_requests / median(bwall[0]), n_requests / median(bwall[1])};
+    const double batch_speedup = median(batch_rep_ratio);
+    reg.gauge("svc.coalesced.throughput")->set(bthr[0]);
+    reg.gauge("svc.solo.throughput")->set(bthr[1]);
+    reg.gauge("svc.batch_speedup")->set(batch_speedup);
+    reg.gauge("svc.batch_size.max")->set(max_batch_seen);
+    reg.gauge("svc.batch_size.mean")->set(occupancy);
+    std::cout << "coalesced (max_batch=" << max_batch << "): " << util::Table::fmt(bthr[0], 1)
+              << " req/s   solo: " << util::Table::fmt(bthr[1], 1)
+              << " req/s   speedup: " << util::Table::fmt(batch_speedup, 2)
+              << "x   occupancy: " << util::Table::fmt(occupancy, 2) << "/" << max_batch
+              << " (max batch " << util::Table::fmt(max_batch_seen, 0) << ")\n";
+  }
+
+  // -------------------------------------------------------------------------
   // Warm == cold bit-identity: the cached symbolic set-up must change nothing
   // about the numbers. One request served cold, then warm, on one worker.
   // -------------------------------------------------------------------------
@@ -222,12 +342,46 @@ int main(int argc, char** argv) {
   }
   reg.gauge("svc.warm_cold_identical")->set(identical ? 1.0 : 0.0);
 
+  // -------------------------------------------------------------------------
+  // Solo-through-coalescing bit-identity: with max_batch = k but only one
+  // request in flight, the batched dispatch degenerates to a batch of one,
+  // which delegates to the scalar path — so enabling coalescing must not
+  // change a single bit of a lone request's solution.
+  // -------------------------------------------------------------------------
+  bool solo_identical = true;
+  if (max_batch > 1) {
+    svc::ServiceOptions opt = base;
+    opt.workers = 1;
+    opt.keep_solutions = true;
+    svc::SolverService plain(opt);
+    opt.max_batch = max_batch;
+    svc::SolverService coalescing(opt);
+    svc::SolveRequest req;
+    req.priority = svc::Priority::kBatch;
+    req.lambda = 1e6;
+    req.model = plain.register_model(m, {{1.0, 0.3}}, bc);
+    const svc::SolveResponse a = plain.submit(req).get();
+    req.model = coalescing.register_model(m, {{1.0, 0.3}}, bc);
+    const svc::SolveResponse b = coalescing.submit(req).get();
+    solo_identical = ok(a.status) && ok(b.status) &&
+                     a.report.solution.size() == b.report.solution.size();
+    for (std::size_t i = 0; solo_identical && i < a.report.solution.size(); ++i)
+      solo_identical = a.report.solution[i] == b.report.solution[i];
+  }
+  reg.gauge("svc.solo_batch_identical")->set(solo_identical ? 1.0 : 0.0);
+
   bench::emit_json(reg, "service", argc, argv, {&table});
-  if (!all_ok || !identical) {
+  const bool batch_formed = !max_batch_flag || max_batch_seen >= 2.0;
+  if (!all_ok || !identical || !solo_identical || !batch_formed) {
     std::cerr << "\nservice smoke FAILED ("
-              << (!identical ? "warm solve != cold solve" : "requests lost or failed") << ")\n";
+              << (!identical       ? "warm solve != cold solve"
+                  : !solo_identical ? "solo solve != solve with coalescing enabled"
+                  : !batch_formed   ? "no coalesced batch of >= 2 formed"
+                                    : "requests lost or failed")
+              << ")\n";
     return 1;
   }
-  std::cout << "\nservice smoke passed (no request lost, warm solve bit-identical to cold)\n";
+  std::cout << "\nservice smoke passed (no request lost, warm solve bit-identical to cold, "
+               "solo solve bit-identical under coalescing)\n";
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "precond/sb_bic0.hpp"
 #include "precond/scalar_ic0.hpp"
 #include "precond/two_level.hpp"
+#include "simd/multirhs.hpp"
+#include "solver/batch.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -45,20 +47,25 @@ SolveReport solve(const mesh::HexMesh& m, const std::vector<fem::Material>& mate
 
 namespace {
 
-/// One set-up + CG attempt with preconditioner `kind`: the body of the
-/// pre-resilience solve_system, parameterized so the fallback loop can rerun
-/// it. `x0` (mesh ordering) warm-starts CG; null starts from zero. Throws
-/// geofem::Error(kFactorizationFailed) if the factorization hits an unusable
-/// pivot. Fills everything in the report except status / attempts /
-/// fallback_* (owned by the caller).
-SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
-                          const SolveConfig& cfg, PrecondKind kind,
-                          const solver::CGOptions& cgopt, const std::vector<double>* x0,
-                          precond::Precision precision) {
-  SolveReport rep;
+/// Outcome of the structure + numeric set-up phase shared by the single-RHS
+/// attempt loop and the batched entry: the (possibly cached) plan and the
+/// ready preconditioner.
+struct Setup {
+  std::shared_ptr<const plan::SolvePlan> plan;
+  precond::PreconditionerPtr prec;
+};
+
+/// Set-up phase of one solve: plan lookup (or build), numeric factorization,
+/// optional coarse level — everything before the Krylov loop, with all the
+/// associated SolveReport bookkeeping (bytes, plan reuse, timings, PDJDS
+/// statistics) filled into `rep`. Throws Error(kFactorizationFailed) if the
+/// factorization hits an unusable pivot. Factored out of attempt_solve so
+/// solve_system_batched shares it verbatim (one set-up, k right-hand sides).
+Setup setup_solve(const fem::System& sys, const contact::Supernodes& sn, const SolveConfig& cfg,
+                  PrecondKind kind, precond::Precision precision, SolveReport& rep) {
   rep.matrix_bytes = sys.a.memory_bytes();
   obs::Registry* reg = obs::current();
-  // setup span closed (span_end) where setup_seconds is read, in each branch
+  // setup span closed (span_end) where setup_seconds is read
   const std::size_t setup_idx = reg ? reg->span_begin("core.setup") : 0;
   util::Timer setup;
 
@@ -124,6 +131,35 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
   rep.precond = prec->desc();
   rep.precond_name = rep.precond.display_name();
 
+  if (cfg.ordering != OrderingKind::kNatural) {
+    const reorder::DJDSMatrix& dj = *p->djds();
+    rep.avg_vector_length = dj.average_vector_length();
+    rep.load_imbalance_percent = dj.load_imbalance_percent();
+    rep.dummy_percent = dj.dummy_percent();
+    rep.colors_used = dj.num_colors();
+    if (reg) {
+      reg->gauge("core.avg_vector_length")->set(rep.avg_vector_length);
+      reg->gauge("core.load_imbalance_percent")->set(rep.load_imbalance_percent);
+      reg->gauge("core.colors_used")->set(rep.colors_used);
+    }
+  }
+  return Setup{std::move(p), std::move(prec)};
+}
+
+/// One set-up + CG attempt with preconditioner `kind`: the body of the
+/// pre-resilience solve_system, parameterized so the fallback loop can rerun
+/// it. `x0` (mesh ordering) warm-starts CG; null starts from zero. Throws
+/// geofem::Error(kFactorizationFailed) if the factorization hits an unusable
+/// pivot. Fills everything in the report except status / attempts /
+/// fallback_* (owned by the caller).
+SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
+                          const SolveConfig& cfg, PrecondKind kind,
+                          const solver::CGOptions& cgopt, const std::vector<double>* x0,
+                          precond::Precision precision) {
+  SolveReport rep;
+  Setup s = setup_solve(sys, sn, cfg, kind, precision, rep);
+  precond::PreconditionerPtr& prec = s.prec;
+
   if (cfg.ordering == OrderingKind::kNatural) {
     if (x0) {
       rep.solution = *x0;
@@ -136,16 +172,7 @@ SolveReport attempt_solve(const fem::System& sys, const contact::Supernodes& sn,
 
   // PDJDS/MC path: the plan owns the ordering; solve in the new ordering and
   // permute back.
-  const reorder::DJDSMatrix& dj = *p->djds();
-  rep.avg_vector_length = dj.average_vector_length();
-  rep.load_imbalance_percent = dj.load_imbalance_percent();
-  rep.dummy_percent = dj.dummy_percent();
-  rep.colors_used = dj.num_colors();
-  if (reg) {
-    reg->gauge("core.avg_vector_length")->set(rep.avg_vector_length);
-    reg->gauge("core.load_imbalance_percent")->set(rep.load_imbalance_percent);
-    reg->gauge("core.colors_used")->set(rep.colors_used);
-  }
+  const reorder::DJDSMatrix& dj = *s.plan->djds();
 
   std::vector<double> pb(sys.a.ndof()), px(sys.a.ndof(), 0.0);
   for (int i = 0; i < sys.a.n; ++i)
@@ -314,6 +341,112 @@ SolveReport solve_system(const fem::System& sys, const contact::Supernodes& sn,
   out.attempts = std::move(attempted);
   if (reg) reg->counter("core.fallback.exhausted")->add(1);
   return finish(std::move(out));
+}
+
+std::vector<SolveReport> solve_system_batched(const fem::System& sys,
+                                              const contact::Supernodes& sn,
+                                              const SolveConfig& cfg,
+                                              const std::vector<std::vector<double>>& rhs,
+                                              const std::vector<double>& tolerances,
+                                              double compact_threshold) {
+  const int k = static_cast<int>(rhs.size());
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "solve_system_batched: bad column count");
+  GEOFEM_CHECK(tolerances.empty() || tolerances.size() == rhs.size(),
+               "solve_system_batched: tolerances must be empty or one per column");
+  const std::size_t nd = sys.a.ndof();
+  for (const auto& col : rhs)
+    GEOFEM_CHECK(col.size() == nd, "solve_system_batched: rhs column size mismatch");
+
+  // Batch-of-1 is the single-RHS pipeline, verbatim: same resilience chain,
+  // same precision rung, bit-identical report.
+  if (k == 1) {
+    fem::System one;
+    one.a = sys.a;
+    one.b = rhs[0];
+    SolveConfig c1 = cfg;
+    if (!tolerances.empty()) c1.cg.tolerance = tolerances[0];
+    std::vector<SolveReport> out;
+    out.push_back(solve_system(one, sn, c1));
+    return out;
+  }
+
+  GEOFEM_CHECK(cfg.cg.variant == solver::CGVariant::kClassic,
+               "solve_system_batched: k > 1 supports CGVariant::kClassic only");
+  GEOFEM_CHECK(!cfg.resilience.enabled,
+               "solve_system_batched: k > 1 is a direct solve (no resilience chain)");
+
+  std::optional<obs::Attach> session_attach;
+  if (cfg.registry) session_attach.emplace(cfg.registry);
+  par::TeamScope team_scope(cfg.threads);
+  if (obs::Registry* r0 = obs::current()) {
+    r0->gauge("core.threads")->set(static_cast<double>(par::threads()));
+    r0->gauge("core.simd_lane_width")->set(static_cast<double>(simd::lane_width()));
+    r0->set_meta("simd.isa", simd::active_isa());
+  }
+
+  SolveReport base;
+  Setup s = setup_solve(sys, sn, cfg, cfg.precond, cfg.precision, base);
+  base.attempts = {cfg.precond};
+
+  solver::BatchedCGOptions bopt;
+  bopt.cg = cfg.cg;
+  bopt.tolerances = tolerances;
+  bopt.compact_threshold = compact_threshold;
+
+  const auto kk = static_cast<std::size_t>(k);
+  std::vector<double> bi(nd * kk), xi(nd * kk, 0.0);
+  solver::BatchedCGResult bres;
+  const bool natural = cfg.ordering == OrderingKind::kNatural;
+  if (natural) {
+    for (std::size_t c = 0; c < kk; ++c)
+      for (std::size_t d = 0; d < nd; ++d) bi[d * kk + c] = rhs[c][d];
+    bres = solver::pcg_batched(sys.a, *s.prec, bi, xi, k, bopt);
+  } else {
+    // PDJDS/MC path: permute every column into the plan's ordering, solve,
+    // permute back below.
+    const reorder::DJDSMatrix& dj = *s.plan->djds();
+    for (std::size_t c = 0; c < kk; ++c)
+      for (int i = 0; i < sys.a.n; ++i)
+        for (int d = 0; d < 3; ++d)
+          bi[(static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+              static_cast<std::size_t>(d)) *
+                 kk +
+             c] = rhs[c][static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(d)];
+    bres = solver::pcg_batched(
+        [&dj](std::span<const double> in, std::span<double> out, util::FlopCounter* fc,
+              util::LoopStats* ls) { dj.spmv(in, out, fc, ls); },
+        [&dj](std::span<const double> in, std::span<double> out, int kb, util::FlopCounter* fc,
+              util::LoopStats* ls) { dj.spmm(in, out, kb, fc, ls); },
+        *s.prec, bi, xi, k, bopt);
+  }
+
+  std::vector<SolveReport> out;
+  out.reserve(kk);
+  for (std::size_t c = 0; c < kk; ++c) {
+    SolveReport rep = base;
+    rep.cg = bres.columns[c];
+    rep.cg.solve_seconds = bres.solve_seconds;
+    if (c == 0) {
+      rep.cg.flops = bres.flops;
+      rep.cg.loops = bres.loops;
+    }
+    rep.status = rep.cg.status;
+    rep.solution.assign(nd, 0.0);
+    if (natural) {
+      for (std::size_t d = 0; d < nd; ++d) rep.solution[d] = xi[d * kk + c];
+    } else {
+      const reorder::DJDSMatrix& dj = *s.plan->djds();
+      for (int i = 0; i < sys.a.n; ++i)
+        for (int d = 0; d < 3; ++d)
+          rep.solution[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(d)] =
+              xi[(static_cast<std::size_t>(dj.perm()[static_cast<std::size_t>(i)]) * 3 +
+                  static_cast<std::size_t>(d)) *
+                     kk +
+                 c];
+    }
+    out.push_back(std::move(rep));
+  }
+  return out;
 }
 
 }  // namespace geofem::core

@@ -837,6 +837,41 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
   return res;
 }
 
+std::vector<DistResult> solve_distributed_batched(
+    std::vector<part::LocalSystem>& systems, const PrecondFactory& factory,
+    const std::vector<std::vector<std::vector<double>>>& rhs, const DistOptions& opt,
+    std::vector<std::vector<double>>* x_global) {
+  GEOFEM_CHECK(!rhs.empty(), "solve_distributed_batched: no columns");
+  for (const auto& col : rhs) {
+    GEOFEM_CHECK(col.size() == systems.size(),
+                 "solve_distributed_batched: column rank count mismatch");
+    for (std::size_t r = 0; r < col.size(); ++r)
+      GEOFEM_CHECK(col[r].size() == systems[r].b.size(),
+                   "solve_distributed_batched: local RHS size mismatch");
+  }
+  if (x_global) x_global->assign(rhs.size(), {});
+
+  // Swap each column's local RHS in, run the single-RHS driver, swap back —
+  // every column sees exactly the state a standalone solve_distributed call
+  // would (batch-of-1 bit-identity is by construction).
+  std::vector<std::vector<double>> saved(systems.size());
+  for (std::size_t r = 0; r < systems.size(); ++r) saved[r] = std::move(systems[r].b);
+  std::vector<DistResult> out;
+  out.reserve(rhs.size());
+  try {
+    for (std::size_t c = 0; c < rhs.size(); ++c) {
+      for (std::size_t r = 0; r < systems.size(); ++r) systems[r].b = rhs[c][r];
+      out.push_back(solve_distributed(systems, factory, opt,
+                                      x_global ? &(*x_global)[c] : nullptr));
+    }
+  } catch (...) {
+    for (std::size_t r = 0; r < systems.size(); ++r) systems[r].b = std::move(saved[r]);
+    throw;
+  }
+  for (std::size_t r = 0; r < systems.size(); ++r) systems[r].b = std::move(saved[r]);
+  return out;
+}
+
 PrecondFactory make_plan_factory(plan::PlanCache& cache, plan::PlanConfig cfg,
                                  std::vector<std::vector<int>> global_groups) {
   GEOFEM_CHECK(cfg.ordering == plan::OrderingKind::kNatural,

@@ -125,6 +125,23 @@ DistResult solve_distributed(const std::vector<part::LocalSystem>& systems,
                              const PrecondFactory& factory, const DistOptions& opt = {},
                              std::vector<double>* x_global = nullptr);
 
+/// Batched distributed entry (DESIGN.md §5k): k right-hand-side columns on
+/// one partition, one DistResult per column. `rhs[c][r]` replaces
+/// systems[r].b for column c (same size, num_internal * 3); the systems'
+/// own b vectors are restored before returning. If `x_global` is non-null it
+/// receives one assembled global solution per column.
+///
+/// Column 0 runs exactly as solve_distributed on the same inputs —
+/// batch-of-1 is bit-identical by construction. k > 1 currently solves the
+/// columns sequentially through the single-RHS driver (each column keeps the
+/// full resilience/variant/precision ladder); a multi-vector halo exchange
+/// that shares one communication round across columns is the natural
+/// follow-up behind this same API.
+std::vector<DistResult> solve_distributed_batched(
+    std::vector<part::LocalSystem>& systems, const PrecondFactory& factory,
+    const std::vector<std::vector<std::vector<double>>>& rhs, const DistOptions& opt = {},
+    std::vector<std::vector<double>>* x_global = nullptr);
+
 /// Plan-cached localized preconditioner factory: restricts `global_groups` to
 /// the rank's internal nodes, fetches the rank's plan from `cache` (distinct
 /// local graphs hash to distinct keys, so ranks never share a plan), and

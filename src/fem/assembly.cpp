@@ -159,4 +159,62 @@ void apply_boundary_conditions(System& sys, const BoundaryConditions& bc) {
   }
 }
 
+std::vector<std::vector<double>> apply_boundary_conditions_multi(
+    System& sys, const BoundaryConditions& bc, const std::vector<double>& load_scales) {
+  auto& a = sys.a;
+  GEOFEM_CHECK(!load_scales.empty(), "apply_boundary_conditions_multi: no columns");
+  GEOFEM_CHECK(sys.b.size() == a.ndof(), "system size mismatch");
+  const std::size_t k = load_scales.size();
+
+  std::vector<std::vector<double>> cols(k, sys.b);
+  for (std::size_t c = 0; c < k; ++c) {
+    // Same arithmetic as the single-RHS path with a pre-scaled load list:
+    // the product l.value * scale is formed first, then added.
+    for (const auto& l : bc.loads) {
+      GEOFEM_CHECK(l.node >= 0 && l.node < a.n && l.comp >= 0 && l.comp < 3, "bad load");
+      cols[c][static_cast<std::size_t>(l.node) * 3 + static_cast<std::size_t>(l.comp)] +=
+          l.value * load_scales[c];
+    }
+  }
+
+  std::vector<char> fixed(a.ndof(), 0);
+  std::vector<double> fixval(a.ndof(), 0.0);
+  for (const auto& f : bc.fixes) {
+    GEOFEM_CHECK(f.node >= 0 && f.node < a.n && f.comp >= 0 && f.comp < 3, "bad fix");
+    const std::size_t d = static_cast<std::size_t>(f.node) * 3 + static_cast<std::size_t>(f.comp);
+    fixed[d] = 1;
+    fixval[d] = f.value;
+  }
+
+  // One elimination sweep: every column's RHS update reads the matrix value
+  // BEFORE it is zeroed, exactly as k independent single-RHS sweeps would.
+  for (int i = 0; i < a.n; ++i) {
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+      const int j = a.colind[e];
+      double* blk = a.block(e);
+      for (int r = 0; r < 3; ++r) {
+        const std::size_t row = static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(r);
+        for (int c = 0; c < 3; ++c) {
+          const std::size_t col = static_cast<std::size_t>(j) * 3 + static_cast<std::size_t>(c);
+          double& v = blk[3 * r + c];
+          if (row == col) continue;
+          if (fixed[col] && !fixed[row])
+            for (std::size_t cc = 0; cc < k; ++cc) cols[cc][row] -= v * fixval[col];
+          if (fixed[row] || fixed[col]) v = 0.0;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < a.n; ++i) {
+    double* d = a.block(a.diag_entry(i));
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t row = static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(r);
+      if (!fixed[row]) continue;
+      if (d[3 * r + r] == 0.0) d[3 * r + r] = 1.0;
+      for (std::size_t cc = 0; cc < k; ++cc) cols[cc][row] = d[3 * r + r] * fixval[row];
+    }
+  }
+  return cols;
+}
+
 }  // namespace geofem::fem

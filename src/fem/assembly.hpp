@@ -58,4 +58,16 @@ System assemble_elasticity(const mesh::HexMesh& m, const std::vector<Material>& 
 /// so the fixed value is reproduced exactly. Preserves SPD.
 void apply_boundary_conditions(System& sys, const BoundaryConditions& bc);
 
+/// Batched variant for the multi-RHS solve path (DESIGN.md §5k): ONE
+/// symmetric elimination sweep of the matrix serving k right-hand sides at
+/// once. Column c starts from sys.b with every load scaled by
+/// load_scales[c] (fixes are shared — Dirichlet data does not scale with the
+/// load factor). The elimination updates every column from the SAME
+/// pre-zeroing matrix values, so each returned column is bit-identical to
+/// what apply_boundary_conditions would produce for that load scale alone.
+/// On return sys.a is eliminated exactly as the single-RHS path leaves it;
+/// sys.b is left untouched (the per-column RHS live in the return value).
+std::vector<std::vector<double>> apply_boundary_conditions_multi(
+    System& sys, const BoundaryConditions& bc, const std::vector<double>& load_scales);
+
 }  // namespace geofem::fem

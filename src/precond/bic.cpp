@@ -7,6 +7,7 @@
 #include "core/status.hpp"
 #include "obs/span.hpp"
 #include "simd/block3.hpp"
+#include "simd/multirhs.hpp"
 #include "util/check.hpp"
 
 namespace geofem::precond {
@@ -104,6 +105,67 @@ void iluk_apply_impl(const ILUkSymbolic& s, const T* lval, const T* uval,
     double tmp[kB];
     acc.reduce(tmp);
     acc_apply_block<Acc>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, zi);
+  });
+}
+
+/// Multi-RHS twin of bic0_apply_impl: same schedules and update order, the
+/// innermost dimension over RHS columns (simd::b3k_* kernels, UseAvx chosen
+/// once per apply). The per-row 3*k work arrays live on the stack.
+template <bool UseAvx, class T>
+void bic0_apply_multi_impl(const sparse::BlockCSR& a, const T* aval, const T* inv_d,
+                           const par::LevelSchedule& fwd, const par::LevelSchedule& bwd,
+                           const double* r, double* z, int k, int team) {
+  const std::size_t rk = static_cast<std::size_t>(kB) * static_cast<std::size_t>(k);
+  par::for_levels(fwd, team, [&](int i) {
+    double tmp[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    const double* ri = r + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) tmp[c] = ri[c];
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1] && a.colind[e] < i; ++e)
+      simd::b3k_msub<T, UseAvx>(aval + static_cast<std::size_t>(e) * kBB,
+                                z + static_cast<std::size_t>(a.colind[e]) * rk, tmp, k);
+    simd::b3k_apply<T, UseAvx>(inv_d + static_cast<std::size_t>(i) * kBB, tmp,
+                               z + static_cast<std::size_t>(i) * rk, k);
+  });
+  par::for_levels(bwd, team, [&](int i) {
+    double tmp[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    double corr[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    for (std::size_t c = 0; c < rk; ++c) tmp[c] = 0.0;
+    for (int e = a.rowptr[i + 1] - 1; e >= a.rowptr[i] && a.colind[e] > i; --e)
+      simd::b3k_madd<T, UseAvx>(aval + static_cast<std::size_t>(e) * kBB,
+                                z + static_cast<std::size_t>(a.colind[e]) * rk, tmp, k);
+    simd::b3k_apply<T, UseAvx>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, corr, k);
+    double* zi = z + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) zi[c] -= corr[c];
+  });
+}
+
+/// Multi-RHS twin of iluk_apply_impl over the fill pattern.
+template <bool UseAvx, class T>
+void iluk_apply_multi_impl(const ILUkSymbolic& s, const T* lval, const T* uval, const T* inv_d,
+                           const double* r, double* z, int k, int team) {
+  const std::size_t rk = static_cast<std::size_t>(kB) * static_cast<std::size_t>(k);
+  par::for_levels(s.fwd, team, [&](int i) {
+    double tmp[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    const double* ri = r + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) tmp[c] = ri[c];
+    for (int e = s.lptr[static_cast<std::size_t>(i)];
+         e < s.lptr[static_cast<std::size_t>(i) + 1]; ++e)
+      simd::b3k_msub<T, UseAvx>(
+          lval + static_cast<std::size_t>(e) * kBB,
+          z + static_cast<std::size_t>(s.lcol[static_cast<std::size_t>(e)]) * rk, tmp, k);
+    double* zi = z + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) zi[c] = tmp[c];
+  });
+  par::for_levels(s.bwd, team, [&](int i) {
+    double tmp[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    double* zi = z + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) tmp[c] = zi[c];
+    for (int e = s.uptr[static_cast<std::size_t>(i)];
+         e < s.uptr[static_cast<std::size_t>(i) + 1]; ++e)
+      simd::b3k_msub<T, UseAvx>(
+          uval + static_cast<std::size_t>(e) * kBB,
+          z + static_cast<std::size_t>(s.ucol[static_cast<std::size_t>(e)]) * rk, tmp, k);
+    simd::b3k_apply<T, UseAvx>(inv_d + static_cast<std::size_t>(i) * kBB, tmp, zi, k);
   });
 }
 
@@ -218,6 +280,49 @@ void BIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCount
   }
   if (flops)
     flops->precond += 2ULL * kBB * static_cast<std::uint64_t>(a.nnz_blocks() + a.n);
+}
+
+void BIC0::apply_multi(std::span<const double> r, std::span<double> z, int k,
+                       util::FlopCounter* flops, util::LoopStats* loops) const {
+  const auto& a = a_;
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "BIC0 apply_multi: bad column count");
+  GEOFEM_CHECK(r.size() == a.ndof() * static_cast<std::size_t>(k) && r.size() == z.size(),
+               "BIC0 apply_multi size mismatch");
+  const int team = par::threads();
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
+  if (precision_ == Precision::kSingle) {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      bic0_apply_multi_impl<true>(a, aval32_.data(), inv32_.data(), fwd_, bwd_, r.data(),
+                                  z.data(), k, team);
+    } else
+#endif
+    {
+      bic0_apply_multi_impl<false>(a, aval32_.data(), inv32_.data(), fwd_, bwd_, r.data(),
+                                   z.data(), k, team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      bic0_apply_multi_impl<true>(a, a.val.data(), inv_d_.data(), fwd_, bwd_, r.data(), z.data(),
+                                  k, team);
+    } else
+#endif
+    {
+      bic0_apply_multi_impl<false>(a, a.val.data(), inv_d_.data(), fwd_, bwd_, r.data(),
+                                   z.data(), k, team);
+    }
+  }
+  if (loops) {
+    for (int i = 0; i < a.n; ++i) loops->record(lower_len_[static_cast<std::size_t>(i)] + 1);
+    for (int i = a.n - 1; i >= 0; --i)
+      loops->record(a.rowptr[i + 1] - a.rowptr[i] - 1 - lower_len_[static_cast<std::size_t>(i)] +
+                    1);
+  }
+  if (flops)
+    flops->precond += 2ULL * kBB * static_cast<std::uint64_t>(a.nnz_blocks() + a.n) *
+                      static_cast<std::uint64_t>(k);
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +596,51 @@ void BlockILUk::apply(std::span<const double> r, std::span<double> z, util::Flop
   if (flops)
     flops->precond +=
         2ULL * kBB * (s.lcol.size() + s.ucol.size() + static_cast<std::uint64_t>(n_));
+}
+
+void BlockILUk::apply_multi(std::span<const double> r, std::span<double> z, int k,
+                            util::FlopCounter* flops, util::LoopStats* loops) const {
+  const ILUkSymbolic& s = *sym_;
+  const int n_ = s.n;
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "BlockILUk apply_multi: bad column count");
+  GEOFEM_CHECK(r.size() == static_cast<std::size_t>(n_) * kB * static_cast<std::size_t>(k) &&
+                   r.size() == z.size(),
+               "BlockILUk apply_multi size mismatch");
+  const int team = par::threads();
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
+  if (precision_ == Precision::kSingle) {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      iluk_apply_multi_impl<true>(s, lval32_.data(), uval32_.data(), inv32_.data(), r.data(),
+                                  z.data(), k, team);
+    } else
+#endif
+    {
+      iluk_apply_multi_impl<false>(s, lval32_.data(), uval32_.data(), inv32_.data(), r.data(),
+                                   z.data(), k, team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      iluk_apply_multi_impl<true>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                  z.data(), k, team);
+    } else
+#endif
+    {
+      iluk_apply_multi_impl<false>(s, lval_.data(), uval_.data(), inv_d_.data(), r.data(),
+                                   z.data(), k, team);
+    }
+  }
+  if (loops) {
+    for (int i = 0; i < n_; ++i)
+      loops->record(s.lptr[static_cast<std::size_t>(i) + 1] - s.lptr[static_cast<std::size_t>(i)] + 1);
+    for (int i = n_ - 1; i >= 0; --i)
+      loops->record(s.uptr[static_cast<std::size_t>(i) + 1] - s.uptr[static_cast<std::size_t>(i)] + 1);
+  }
+  if (flops)
+    flops->precond += 2ULL * kBB * (s.lcol.size() + s.ucol.size() + static_cast<std::uint64_t>(n_)) *
+                      static_cast<std::uint64_t>(k);
 }
 
 std::size_t BlockILUk::memory_bytes() const {

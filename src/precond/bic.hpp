@@ -35,6 +35,12 @@ class BIC0 final : public Preconditioner {
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
+  /// Batched substitution (DESIGN.md §5k): one forward+backward schedule
+  /// walk carrying k interleaved RHS columns per row, streaming the matrix
+  /// values and D~^-1 once for all columns.
+  void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                   util::FlopCounter* flops, util::LoopStats* loops) const override;
+
   [[nodiscard]] std::size_t memory_bytes() const override {
     return inv_d_.size() * sizeof(double) + (inv32_.size() + aval32_.size()) * sizeof(float);
   }
@@ -107,6 +113,12 @@ class BlockILUk final : public Preconditioner {
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
+
+  /// Batched substitution (DESIGN.md §5k): one forward+backward walk of the
+  /// fill pattern carrying k interleaved RHS columns per row, streaming the
+  /// L/U/D~^-1 factors once for all columns.
+  void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                   util::FlopCounter* flops, util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::string name() const override { return desc().display_name(); }

@@ -2,6 +2,8 @@
 
 #include "core/status.hpp"
 #include "obs/span.hpp"
+#include "par/par.hpp"
+#include "simd/multirhs.hpp"
 #include "sparse/dense.hpp"
 #include "util/check.hpp"
 
@@ -40,6 +42,25 @@ void DiagonalScaling::apply(std::span<const double> r, std::span<double> z,
   }
   if (flops) flops->precond += r.size();
   if (loops) loops->record(static_cast<std::int64_t>(r.size()));
+}
+
+void DiagonalScaling::apply_multi(std::span<const double> r, std::span<double> z, int k,
+                                  util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "diagonal apply_multi: bad column count");
+  const std::size_t n =
+      precision_ == Precision::kSingle ? inv32_.size() : inv_diag_.size();
+  GEOFEM_CHECK(r.size() == n * static_cast<std::size_t>(k) && r.size() == z.size(),
+               "diagonal apply_multi size mismatch");
+  for (std::size_t d = 0; d < n; ++d) {
+    const double inv = precision_ == Precision::kSingle ? static_cast<double>(inv32_[d])
+                                                        : inv_diag_[d];
+    const double* rd = r.data() + d * static_cast<std::size_t>(k);
+    double* zd = z.data() + d * static_cast<std::size_t>(k);
+    GEOFEM_PRAGMA_SIMD
+    for (int c = 0; c < k; ++c) zd[c] = rd[c] * inv;
+  }
+  if (flops) flops->precond += r.size();
+  if (loops) loops->record(static_cast<std::int64_t>(n));
 }
 
 BlockDiagonal::BlockDiagonal(const sparse::BlockCSR& a, Precision precision)
@@ -104,6 +125,56 @@ void BlockDiagonal::apply(std::span<const double> r, std::span<double> z,
     }
   }
   if (flops) flops->precond += 2ULL * sparse::kBB * n;
+  if (loops) loops->record(static_cast<std::int64_t>(n));
+}
+
+void BlockDiagonal::apply_multi(std::span<const double> r, std::span<double> z, int k,
+                                util::FlopCounter* flops, util::LoopStats* loops) const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t rk = static_cast<std::size_t>(sparse::kB) * static_cast<std::size_t>(k);
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "block diagonal apply_multi: bad column count");
+  GEOFEM_CHECK(r.size() == n * rk && z.size() == n * rk,
+               "block diagonal apply_multi size mismatch");
+  const int team = par::threads();
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
+  const std::ptrdiff_t pn = static_cast<std::ptrdiff_t>(n);
+  if (precision_ == Precision::kSingle) {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+      for (std::ptrdiff_t i = 0; i < pn; ++i)
+        simd::b3k_apply<float, true>(inv32_.data() + static_cast<std::size_t>(i) * sparse::kBB,
+                                     r.data() + static_cast<std::size_t>(i) * rk,
+                                     z.data() + static_cast<std::size_t>(i) * rk, k);
+    } else
+#endif
+    {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+      for (std::ptrdiff_t i = 0; i < pn; ++i)
+        simd::b3k_apply<float, false>(inv32_.data() + static_cast<std::size_t>(i) * sparse::kBB,
+                                      r.data() + static_cast<std::size_t>(i) * rk,
+                                      z.data() + static_cast<std::size_t>(i) * rk, k);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+      for (std::ptrdiff_t i = 0; i < pn; ++i)
+        simd::b3k_apply<double, true>(inv_d_.data() + static_cast<std::size_t>(i) * sparse::kBB,
+                                      r.data() + static_cast<std::size_t>(i) * rk,
+                                      z.data() + static_cast<std::size_t>(i) * rk, k);
+    } else
+#endif
+    {
+#pragma omp parallel for schedule(static) num_threads(team) if (team > 1)
+      for (std::ptrdiff_t i = 0; i < pn; ++i)
+        simd::b3k_apply<double, false>(inv_d_.data() + static_cast<std::size_t>(i) * sparse::kBB,
+                                       r.data() + static_cast<std::size_t>(i) * rk,
+                                       z.data() + static_cast<std::size_t>(i) * rk, k);
+    }
+  }
+  if (flops) flops->precond += 2ULL * sparse::kBB * n * static_cast<std::uint64_t>(k);
   if (loops) loops->record(static_cast<std::int64_t>(n));
 }
 

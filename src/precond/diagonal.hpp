@@ -16,6 +16,10 @@ class DiagonalScaling final : public Preconditioner {
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
+  /// Batched scaling: one pass over the inverse diagonal for all k columns.
+  void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                   util::FlopCounter* flops, util::LoopStats* loops) const override;
+
   [[nodiscard]] std::size_t memory_bytes() const override {
     return inv_diag_.size() * sizeof(double) + inv32_.size() * sizeof(float);
   }
@@ -47,6 +51,12 @@ class BlockDiagonal final : public Preconditioner {
 
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
+
+  /// Batched scaling: one pass over the inverse blocks for all k columns
+  /// (simd::b3k_apply; the fp32 path widens each block on load instead of
+  /// staging the vectors in float — no shared mutable staging).
+  void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                   util::FlopCounter* flops, util::LoopStats* loops) const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override {
     return inv_d_.size() * sizeof(double) + inv32_.size() * sizeof(float) +

@@ -21,6 +21,21 @@ class Preconditioner {
                      util::FlopCounter* flops = nullptr,
                      util::LoopStats* loops = nullptr) const = 0;
 
+  /// Z = M^-1 R for k interleaved RHS columns (value(dof i, col c) =
+  /// R[i*k + c]; DESIGN.md §5k). The default de-interleaves each column and
+  /// forwards to apply() — correct for any implementation, no bandwidth
+  /// amortization. The substitution-sweep preconditioners (SB-BIC(0),
+  /// BIC(k), block diagonal) override it with one schedule walk carrying k
+  /// columns per node, so factors are streamed once per batched iteration.
+  /// Column c of a k-column apply_multi equals a one-column apply_multi of
+  /// that column bit-for-bit only for the default; overrides keep columns
+  /// independent but round per the multi-RHS kernels — the batched solver
+  /// never mixes per-column arithmetic, and the batch-of-1 solve path
+  /// bypasses apply_multi entirely.
+  virtual void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                           util::FlopCounter* flops = nullptr,
+                           util::LoopStats* loops = nullptr) const;
+
   /// Bytes held by the preconditioner itself (factors, indices), excluding
   /// the system matrix.
   [[nodiscard]] virtual std::size_t memory_bytes() const = 0;

@@ -6,6 +6,7 @@
 #include "core/status.hpp"
 #include "obs/span.hpp"
 #include "simd/block3.hpp"
+#include "simd/multirhs.hpp"
 #include "util/check.hpp"
 
 // GCC 12 emits a false-positive -Waggressive-loop-optimizations here: after
@@ -356,6 +357,120 @@ void SBBIC0::apply(std::span<const double> r, std::span<double> z, util::FlopCou
   if (flops) {
     flops->precond += 2ULL * kBB * coupled_;
     flops->precond += static_cast<std::uint64_t>(2.0 * lu_solve_flops_);
+  }
+}
+
+template <bool UseAvx, class T, class LuVec>
+void SBBIC0::apply_multi_impl(const T* aval, const LuVec& lus, const double* r, double* z,
+                              int k, int team) const {
+  const auto& a = a_;
+  const auto& sn = sn_;
+  const std::size_t rk = static_cast<std::size_t>(kB) * static_cast<std::size_t>(k);
+  // Per-thread staging: the supernode accumulator holds dim rows of k columns
+  // interleaved ([dof-in-super][col]); `col` is the contiguous single-column
+  // copy each dense solve runs on.
+  static thread_local std::vector<double> accm, colm;
+  par::for_levels(fwd_, team, [&](int s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    const int dim = kB * static_cast<int>(mem.size());
+    const std::size_t dk = static_cast<std::size_t>(dim) * static_cast<std::size_t>(k);
+    if (accm.size() < dk) accm.resize(dk);
+    if (colm.size() < static_cast<std::size_t>(dim)) colm.resize(static_cast<std::size_t>(dim));
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      const int i = mem[t];
+      double* at = accm.data() + t * rk;
+      const double* ri = r + static_cast<std::size_t>(i) * rk;
+      for (std::size_t c = 0; c < rk; ++c) at[c] = ri[c];
+      for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+        const int j = a.colind[e];
+        if (sn.node_to_super[static_cast<std::size_t>(j)] >= s) continue;
+        simd::b3k_msub<T, UseAvx>(aval + static_cast<std::size_t>(e) * kBB,
+                                  z + static_cast<std::size_t>(j) * rk, at, k);
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      for (int d = 0; d < dim; ++d)
+        colm[static_cast<std::size_t>(d)] = accm[static_cast<std::size_t>(d) * k + c];
+      lus[static_cast<std::size_t>(s)].solve(colm.data());
+      for (int d = 0; d < dim; ++d)
+        accm[static_cast<std::size_t>(d) * k + c] = colm[static_cast<std::size_t>(d)];
+    }
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      double* zi = z + static_cast<std::size_t>(mem[t]) * rk;
+      const double* at = accm.data() + t * rk;
+      for (std::size_t c = 0; c < rk; ++c) zi[c] = at[c];
+    }
+  });
+  par::for_levels(bwd_, team, [&](int s) {
+    const auto& mem = sn.members[static_cast<std::size_t>(s)];
+    const int dim = kB * static_cast<int>(mem.size());
+    const std::size_t dk = static_cast<std::size_t>(dim) * static_cast<std::size_t>(k);
+    if (accm.size() < dk) accm.resize(dk);
+    if (colm.size() < static_cast<std::size_t>(dim)) colm.resize(static_cast<std::size_t>(dim));
+    for (std::size_t c = 0; c < dk; ++c) accm[c] = 0.0;
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      const int i = mem[t];
+      double* at = accm.data() + t * rk;
+      for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e) {
+        const int j = a.colind[e];
+        if (sn.node_to_super[static_cast<std::size_t>(j)] <= s) continue;
+        simd::b3k_madd<T, UseAvx>(aval + static_cast<std::size_t>(e) * kBB,
+                                  z + static_cast<std::size_t>(j) * rk, at, k);
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      for (int d = 0; d < dim; ++d)
+        colm[static_cast<std::size_t>(d)] = accm[static_cast<std::size_t>(d) * k + c];
+      lus[static_cast<std::size_t>(s)].solve(colm.data());
+      for (int d = 0; d < dim; ++d)
+        accm[static_cast<std::size_t>(d) * k + c] = colm[static_cast<std::size_t>(d)];
+    }
+    for (std::size_t t = 0; t < mem.size(); ++t) {
+      double* zi = z + static_cast<std::size_t>(mem[t]) * rk;
+      const double* at = accm.data() + t * rk;
+      for (std::size_t c = 0; c < rk; ++c) zi[c] -= at[c];
+    }
+  });
+}
+
+void SBBIC0::apply_multi(std::span<const double> r, std::span<double> z, int k,
+                         util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "SB-BIC0 apply_multi: bad column count");
+  GEOFEM_CHECK(r.size() == a_.ndof() * static_cast<std::size_t>(k) && r.size() == z.size(),
+               "SB-BIC0 apply_multi size mismatch");
+  const int team = par::threads();
+  const bool avx2 = simd::active() == simd::Isa::kAvx2;
+  (void)avx2;
+  if (precision_ == Precision::kSingle) {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      apply_multi_impl<true>(aval32_.data(), lu32_, r.data(), z.data(), k, team);
+    } else
+#endif
+    {
+      apply_multi_impl<false>(aval32_.data(), lu32_, r.data(), z.data(), k, team);
+    }
+  } else {
+#if GEOFEM_SIMD_HAS_AVX2
+    if (avx2) {
+      apply_multi_impl<true>(a_.val.data(), lu_, r.data(), z.data(), k, team);
+    } else
+#endif
+    {
+      apply_multi_impl<false>(a_.val.data(), lu_, r.data(), z.data(), k, team);
+    }
+  }
+  // One schedule walk: loop stats match the single apply; FLOPs scale by k.
+  if (loops) {
+    for (int s = 0; s < sn_.count(); ++s)
+      loops->record(fwd_len_[static_cast<std::size_t>(s)] + 1);
+    for (int s = sn_.count() - 1; s >= 0; --s)
+      loops->record(bwd_len_[static_cast<std::size_t>(s)] + 1);
+  }
+  if (flops) {
+    flops->precond += 2ULL * kBB * coupled_ * static_cast<std::uint64_t>(k);
+    flops->precond +=
+        static_cast<std::uint64_t>(2.0 * lu_solve_flops_) * static_cast<std::uint64_t>(k);
   }
 }
 

@@ -87,6 +87,13 @@ class SBBIC0 final : public Preconditioner {
   void apply(std::span<const double> r, std::span<double> z, util::FlopCounter* flops,
              util::LoopStats* loops) const override;
 
+  /// Batched substitution (DESIGN.md §5k): ONE forward+backward schedule walk
+  /// carrying k interleaved RHS columns per supernode, so the matrix values
+  /// and dense factors are streamed once for all k columns. The dense solves
+  /// run per column on a gathered contiguous copy (DenseLU is single-RHS).
+  void apply_multi(std::span<const double> r, std::span<double> z, int k,
+                   util::FlopCounter* flops, util::LoopStats* loops) const override;
+
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::string name() const override { return desc().display_name(); }
   [[nodiscard]] Desc desc() const override {
@@ -109,6 +116,12 @@ class SBBIC0 final : public Preconditioner {
   /// fp32 mirror); `lus` the per-supernode solvers of the matching storage.
   template <class Acc, class T, class LuVec>
   void apply_impl(const T* aval, const LuVec& lus, const double* r, double* z, int team) const;
+
+  /// Multi-RHS twin of apply_impl: same schedules, simd::b3k_* kernels with
+  /// the lane axis over RHS columns (UseAvx selected once per apply).
+  template <bool UseAvx, class T, class LuVec>
+  void apply_multi_impl(const T* aval, const LuVec& lus, const double* r, double* z, int k,
+                        int team) const;
 
   const sparse::BlockCSR& a_;
   contact::Supernodes sn_;

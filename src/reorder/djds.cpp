@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "par/par.hpp"
+#include "simd/multirhs.hpp"
 #include "util/check.hpp"
 
 namespace geofem::reorder {
@@ -370,6 +371,170 @@ void DJDSMatrix::spmv(std::span<const double> x, std::span<double> y, util::Flop
       entries += static_cast<std::uint64_t>(lower_[static_cast<std::size_t>(ch)].entries()) +
                  static_cast<std::uint64_t>(upper_[static_cast<std::size_t>(ch)].entries());
     flops->spmv += 2ULL * sparse::kBB * entries;
+  }
+}
+
+namespace {
+
+/// Multi-RHS twin of the spmv phases: same row/range/chunk partition, same
+/// barrier structure, innermost loops over RHS columns (simd::b3k_* kernels
+/// pick the tier via UseAvx — the packed lane-transposed sweeps do not apply
+/// here because the lane axis is the column dimension). Phases 1+2 (diagonal
+/// assign, dense supernode couplings) are shared with the k = 4*KV fast path
+/// below, which replaces only the jagged phase.
+template <bool UseAvx>
+void djds_spmm_diag_dense(const DJDSMatrix& m, const double* x, double* y, int k, int nt) {
+  const std::size_t rk = static_cast<std::size_t>(sparse::kB) * static_cast<std::size_t>(k);
+  const int n = m.n();
+  // Phase 1: diagonal contribution (assignment).
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
+  for (int i = 0; i < n; ++i)
+    simd::b3k_apply<double, UseAvx>(m.diag(i), x + static_cast<std::size_t>(i) * rk,
+                                    y + static_cast<std::size_t>(i) * rk, k);
+
+  // Phase 2: intra-supernode dense couplings (member diagonals excluded).
+  const auto& ranges = m.super_ranges();
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(ranges.size()); ++r) {
+    const auto& sr = ranges[static_cast<std::size_t>(r)];
+    const auto& dense = m.super_dense(static_cast<int>(r));
+    const int dim = sparse::kB * sr.size;
+    for (int ti = 0; ti < sr.size; ++ti) {
+      double* yi = y + static_cast<std::size_t>(sr.start + ti) * rk;
+      for (int tj = 0; tj < sr.size; ++tj) {
+        if (ti == tj) continue;
+        const double* xj = x + static_cast<std::size_t>(sr.start + tj) * rk;
+        for (int br = 0; br < sparse::kB; ++br) {
+          const double* drow = dense.data() +
+                               static_cast<std::size_t>(sparse::kB * ti + br) * dim +
+                               static_cast<std::size_t>(sparse::kB * tj);
+          simd::row3k_madd<double, UseAvx>(drow, xj, yi + static_cast<std::size_t>(br) * k, k);
+        }
+      }
+    }
+  }
+
+}
+
+/// Phase 3, generic: jagged parts streamed diagonal-major; chunks own
+/// contiguous, disjoint row ranges.
+template <bool UseAvx>
+void djds_spmm_jagged(const DJDSMatrix& m, const double* x, double* y, int k, int nt) {
+  const std::size_t rk = static_cast<std::size_t>(sparse::kB) * static_cast<std::size_t>(k);
+  const int nchunks = m.num_colors() * m.npe();
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int begin = m.chunk_begin()[static_cast<std::size_t>(ch)];
+    for (const Jagged* part : {&m.lower(ch), &m.upper(ch)}) {
+      for (int j = 0; j < part->num_jd(); ++j) {
+        const int s = part->jd_ptr[static_cast<std::size_t>(j)];
+        const int e = part->jd_ptr[static_cast<std::size_t>(j) + 1];
+        for (int t = s; t < e; ++t) {
+          simd::b3k_madd<double, UseAvx>(
+              part->val.data() + static_cast<std::size_t>(t) * sparse::kBB,
+              x + static_cast<std::size_t>(part->item[static_cast<std::size_t>(t)]) * rk,
+              y + static_cast<std::size_t>(begin + (t - s)) * rk, k);
+        }
+      }
+    }
+  }
+}
+
+#if GEOFEM_SIMD_HAS_AVX2
+/// Phase 3, k = 4*KV fast path: row-major sweep with the whole 3*k row of Y
+/// held in ymm registers (simd::AvxAccK) while every jagged diagonal that
+/// reaches the row contributes, instead of re-loading and re-storing Y for
+/// each diagonal. For one row the contributions still arrive in the exact
+/// order of the generic sweep — lower diagonals in index order, then upper —
+/// and AvxAccK applies the same per-lane FMA sequence as b3k_madd, so the
+/// result is bit-identical to djds_spmm_jagged<true>.
+template <int KV>
+void djds_spmm_jagged_avxk(const DJDSMatrix& m, const double* x, double* y, int nt) {
+  constexpr std::size_t rk = static_cast<std::size_t>(sparse::kB) * 4 * KV;
+  const int nchunks = m.num_colors() * m.npe();
+#pragma omp parallel for schedule(static) num_threads(nt) if (nt > 1)
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int begin = m.chunk_begin()[static_cast<std::size_t>(ch)];
+    const Jagged& lo = m.lower(ch);
+    const Jagged& up = m.upper(ch);
+    int rows = 0;  // rows with at least one jagged entry (longest diagonal)
+    for (const Jagged* part : {&lo, &up})
+      for (int j = 0; j < part->num_jd(); ++j)
+        rows = std::max(rows, part->jd_ptr[static_cast<std::size_t>(j) + 1] -
+                                  part->jd_ptr[static_cast<std::size_t>(j)]);
+    for (int ro = 0; ro < rows; ++ro) {
+      double* yi = y + static_cast<std::size_t>(begin + ro) * rk;
+      simd::AvxAccK<double, KV> acc;
+      acc.init_load(yi);
+      for (const Jagged* part : {&lo, &up}) {
+        for (int j = 0; j < part->num_jd(); ++j) {
+          const int s = part->jd_ptr[static_cast<std::size_t>(j)];
+          const int len = part->jd_ptr[static_cast<std::size_t>(j) + 1] - s;
+          if (ro >= len) continue;  // this diagonal is shorter than the row
+          const std::size_t t = static_cast<std::size_t>(s + ro);
+          acc.madd(part->val.data() + t * sparse::kBB,
+                   x + static_cast<std::size_t>(part->item[t]) * rk);
+        }
+      }
+      acc.reduce(yi);
+    }
+  }
+}
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+template <bool UseAvx>
+void djds_spmm_impl(const DJDSMatrix& m, const double* x, double* y, int k, int nt) {
+  djds_spmm_diag_dense<UseAvx>(m, x, y, k, nt);
+  djds_spmm_jagged<UseAvx>(m, x, y, k, nt);
+}
+
+}  // namespace
+
+void DJDSMatrix::spmm(std::span<const double> x, std::span<double> y, int k,
+                      util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "djds spmm: bad column count");
+  const std::size_t need =
+      static_cast<std::size_t>(n_) * sparse::kB * static_cast<std::size_t>(k);
+  GEOFEM_CHECK(x.size() == need && y.size() == need, "djds spmm size mismatch");
+  const int nt = par::threads();
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    djds_spmm_diag_dense<true>(*this, x.data(), y.data(), k, nt);
+    // Register-resident jagged sweep for the common batch widths (dispatch
+    // depends only on k, so results stay deterministic within a build).
+    if (k == 4)
+      djds_spmm_jagged_avxk<1>(*this, x.data(), y.data(), nt);
+    else if (k == 8)
+      djds_spmm_jagged_avxk<2>(*this, x.data(), y.data(), nt);
+    else
+      djds_spmm_jagged<true>(*this, x.data(), y.data(), k, nt);
+  } else
+#endif
+  {
+    djds_spmm_impl<false>(*this, x.data(), y.data(), k, nt);
+  }
+  const int nchunks = ncolors_ * opt_.npe;
+  if (loops) {
+    loops->record(n_);
+    for (int ch = 0; ch < nchunks; ++ch) {
+      for (const Jagged* part : {&lower_[static_cast<std::size_t>(ch)],
+                                 &upper_[static_cast<std::size_t>(ch)]}) {
+        for (int j = 0; j < part->num_jd(); ++j) {
+          const int len = part->jd_ptr[static_cast<std::size_t>(j) + 1] -
+                          part->jd_ptr[static_cast<std::size_t>(j)];
+          if (len > 0) loops->record(len);
+        }
+      }
+    }
+  }
+  if (flops) {
+    std::uint64_t entries = static_cast<std::uint64_t>(n_);
+    for (const auto& sr : super_ranges_)
+      entries += static_cast<std::uint64_t>(sr.size) * static_cast<std::uint64_t>(sr.size - 1);
+    for (int ch = 0; ch < nchunks; ++ch)
+      entries += static_cast<std::uint64_t>(lower_[static_cast<std::size_t>(ch)].entries()) +
+                 static_cast<std::uint64_t>(upper_[static_cast<std::size_t>(ch)].entries());
+    flops->spmv += 2ULL * sparse::kBB * entries * static_cast<std::uint64_t>(k);
   }
 }
 

@@ -106,6 +106,15 @@ class DJDSMatrix {
   void spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops = nullptr,
             util::LoopStats* loops = nullptr) const;
 
+  /// Y = A X for k interleaved RHS columns in the new ordering (DESIGN.md
+  /// §5k): the same three phases as spmv — diagonal assign, dense supernode
+  /// couplings, jagged lower/upper — with the innermost dimension over RHS
+  /// columns, so diagonals, dense blocks and jagged values are each streamed
+  /// once for all k columns. Bit-identical across team sizes; k = 1 matches
+  /// spmv's scalar tier exactly.
+  void spmm(std::span<const double> x, std::span<double> y, int k,
+            util::FlopCounter* flops = nullptr, util::LoopStats* loops = nullptr) const;
+
   // --- reordering statistics (Figs 26(d), 29) ---
   /// Average innermost vector-loop length of one matvec sweep.
   [[nodiscard]] double average_vector_length() const;

@@ -5,6 +5,7 @@
 
 #include "par/par.hpp"
 #include "simd/block3.hpp"
+#include "simd/multirhs.hpp"
 #include "util/check.hpp"
 
 namespace geofem::sparse {
@@ -24,6 +25,44 @@ void spmv_impl(const BlockCSR& a, const double* x, double* y, int t) {
       acc.madd(a.block(e), x + static_cast<std::size_t>(a.colind[e]) * kB);
     }
     acc.reduce(y + static_cast<std::size_t>(i) * kB);
+  }
+}
+
+#if GEOFEM_SIMD_HAS_AVX2
+/// k = 4*KV fast path: the whole 3*k accumulator lives in ymm registers for
+/// the duration of a block row (simd::AvxAccK), so the only memory traffic
+/// per block is the matrix stream plus the operand row. Bit-identical to
+/// spmm_impl<true> — AvxAccK applies the same per-lane FMA sequence.
+template <int KV>
+void spmm_impl_avxk(const BlockCSR& a, const double* x, double* y, int t) {
+  constexpr std::size_t rk = static_cast<std::size_t>(kB) * 4 * KV;
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
+  for (int i = 0; i < a.n; ++i) {
+    simd::AvxAccK<double, KV> acc;
+    acc.init_zero();
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      acc.madd(a.block(e), x + static_cast<std::size_t>(a.colind[e]) * rk);
+    acc.reduce(y + static_cast<std::size_t>(i) * rk);
+  }
+}
+#endif  // GEOFEM_SIMD_HAS_AVX2
+
+/// Row-parallel SpMM body: one 3*k stack accumulator per block row, the
+/// matrix block stream identical to spmv_impl. Rows write disjoint Y slices
+/// and each row's block order is the serial one, so the result is
+/// bit-identical for any team size.
+template <bool UseAvx>
+void spmm_impl(const BlockCSR& a, const double* x, double* y, int k, int t) {
+  const std::size_t rk = static_cast<std::size_t>(kB) * static_cast<std::size_t>(k);
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1)
+  for (int i = 0; i < a.n; ++i) {
+    double acc[static_cast<std::size_t>(kB) * simd::kMaxMultiRhs];
+    for (std::size_t c = 0; c < rk; ++c) acc[c] = 0.0;
+    for (int e = a.rowptr[i]; e < a.rowptr[i + 1]; ++e)
+      simd::b3k_madd<double, UseAvx>(a.block(e), x + static_cast<std::size_t>(a.colind[e]) * rk,
+                                     acc, k);
+    double* yi = y + static_cast<std::size_t>(i) * rk;
+    for (std::size_t c = 0; c < rk; ++c) yi[c] = acc[c];
   }
 }
 
@@ -63,6 +102,35 @@ void BlockCSR::spmv(std::span<const double> x, std::span<double> y, util::FlopCo
   if (loops)
     for (int i = 0; i < n; ++i) loops->record(rowptr[i + 1] - rowptr[i]);
   if (flops) flops->spmv += 2ULL * kBB * static_cast<std::uint64_t>(nnz_blocks());
+}
+
+void BlockCSR::spmm(std::span<const double> x, std::span<double> y, int k,
+                    util::FlopCounter* flops, util::LoopStats* loops) const {
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "spmm: bad column count");
+  GEOFEM_CHECK(x.size() == ndof() * static_cast<std::size_t>(k) &&
+                   y.size() == ndof() * static_cast<std::size_t>(k),
+               "spmm size mismatch");
+  const int t = par::threads();
+#if GEOFEM_SIMD_HAS_AVX2
+  if (simd::active() == simd::Isa::kAvx2) {
+    // Register-resident fast path for the common batch widths (dispatch
+    // depends only on k, so results stay deterministic within a build).
+    if (k == 4)
+      spmm_impl_avxk<1>(*this, x.data(), y.data(), t);
+    else if (k == 8)
+      spmm_impl_avxk<2>(*this, x.data(), y.data(), t);
+    else
+      spmm_impl<true>(*this, x.data(), y.data(), k, t);
+  } else
+#endif
+  {
+    spmm_impl<false>(*this, x.data(), y.data(), k, t);
+  }
+  if (loops)
+    for (int i = 0; i < n; ++i) loops->record(rowptr[i + 1] - rowptr[i]);
+  if (flops)
+    flops->spmv +=
+        2ULL * kBB * static_cast<std::uint64_t>(nnz_blocks()) * static_cast<std::uint64_t>(k);
 }
 
 double BlockCSR::symmetry_error() const {

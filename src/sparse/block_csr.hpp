@@ -40,6 +40,15 @@ struct BlockCSR {
   void spmv(std::span<const double> x, std::span<double> y, util::FlopCounter* flops = nullptr,
             util::LoopStats* loops = nullptr) const;
 
+  /// Y = A X for k interleaved RHS columns (value(dof i, col c) = X[i*k+c],
+  /// DESIGN.md §5k): the matrix is streamed from memory once for all k
+  /// columns, multiplying arithmetic per byte by k. Per column the scalar
+  /// tier keeps the ScalarAcc3 block-row association; the avx2 tier puts the
+  /// SIMD lanes over the column axis (simd::b3k_madd). Bit-identical across
+  /// team sizes for any k; k = 1 matches spmv's scalar tier exactly.
+  void spmm(std::span<const double> x, std::span<double> y, int k,
+            util::FlopCounter* flops = nullptr, util::LoopStats* loops = nullptr) const;
+
   /// Max |A_ij - A_ji^T| over all stored blocks (0 for symmetric matrices).
   [[nodiscard]] double symmetry_error() const;
 

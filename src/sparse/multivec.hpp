@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "par/par.hpp"
+#include "simd/multirhs.hpp"
+#include "simd/simd.hpp"
+#include "util/check.hpp"
+#include "util/flops.hpp"
+
+/// Multi-vector BLAS-1 for the batched solve path (DESIGN.md §5k).
+///
+/// A multivector of k RHS columns over n scalar rows is stored interleaved
+/// row-major: value(row i, column c) = X[i*k + c]. All kernels here take the
+/// per-column coefficient arrays (alpha[c], beta[c]) plus an optional
+/// per-column `active` mask: frozen (converged / broken-down) columns are
+/// skipped with an explicit guard — never via alpha = 0, which could turn a
+/// frozen column's -0.0 into +0.0 and break the freeze-is-frozen contract.
+///
+/// Determinism mirrors vector_ops.hpp: element-wise ops write disjoint
+/// elements; `dot_multi` accumulates each column over the same fixed
+/// par::kReduceChunk row grid as the single-RHS dot and combines each
+/// column's partials with the same fixed-shape pairwise tree — so every
+/// column's result is bit-identical for any team size. (A k>1 column is NOT
+/// bit-identical to the same column solved alone: the per-chunk loop runs
+/// row-major over columns, which fixes a different lane shape than the
+/// single-RHS chunk kernel. The batch-of-1 solve path never reaches these
+/// kernels — it delegates to the single-RHS solver wholesale.)
+namespace geofem::sparse {
+
+/// out[c] = sum_i X[i*k+c] * Y[i*k+c] for every column. `n` counts scalar
+/// rows (DOFs), not array elements.
+inline void dot_multi(const double* x, const double* y, std::size_t n, int k, double* out,
+                      util::FlopCounter* flops = nullptr) {
+  GEOFEM_CHECK(k >= 1 && k <= simd::kMaxMultiRhs, "dot_multi: bad column count");
+  if (flops) flops->blas1 += 2 * n * static_cast<std::size_t>(k);
+  const std::size_t nc = par::reduce_chunks(n);
+  // Per-chunk partials laid out [chunk][column]; reused per calling thread —
+  // dot_multi runs three times per batched CG iteration.
+  static thread_local std::vector<double> partials;
+  static thread_local std::vector<double> colbuf;
+  if (partials.size() < nc * static_cast<std::size_t>(k))
+    partials.resize(nc * static_cast<std::size_t>(k));
+  if (colbuf.size() < nc) colbuf.resize(nc);
+  double* parts = partials.data();
+  const int t = par::threads();
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && nc > 1)
+  for (std::ptrdiff_t ci = 0; ci < static_cast<std::ptrdiff_t>(nc); ++ci) {
+    const std::size_t b = static_cast<std::size_t>(ci) * par::kReduceChunk;
+    const std::size_t e = b + par::kReduceChunk < n ? b + par::kReduceChunk : n;
+    double* p = parts + static_cast<std::size_t>(ci) * static_cast<std::size_t>(k);
+    for (int c = 0; c < k; ++c) p[c] = 0.0;
+    for (std::size_t i = b; i < e; ++i) {
+      const double* xi = x + i * static_cast<std::size_t>(k);
+      const double* yi = y + i * static_cast<std::size_t>(k);
+      GEOFEM_PRAGMA_SIMD
+      for (int c = 0; c < k; ++c) p[c] += xi[c] * yi[c];
+    }
+  }
+  // Combine per column with the single-RHS tree; the strided gather keeps the
+  // tree's input order identical to a column-major partial layout.
+  double* cb = colbuf.data();
+  for (int c = 0; c < k; ++c) {
+    for (std::size_t j = 0; j < nc; ++j)
+      cb[j] = parts[j * static_cast<std::size_t>(k) + static_cast<std::size_t>(c)];
+    out[c] = par::combine(cb, nc);
+  }
+}
+
+inline void norm2_multi(const double* x, std::size_t n, int k, double* out,
+                        util::FlopCounter* flops = nullptr) {
+  dot_multi(x, x, n, k, out, flops);
+  for (int c = 0; c < k; ++c) out[c] = std::sqrt(out[c]);
+}
+
+/// Y[i*k+c] += alpha[c] * X[i*k+c] for active columns (all columns when
+/// `active` is null).
+inline void axpy_multi(const double* alpha, const unsigned char* active, const double* x,
+                       double* y, std::size_t n, int k, util::FlopCounter* flops = nullptr) {
+  if (flops) flops->blas1 += 2 * n * static_cast<std::size_t>(k);
+  const int t = par::threads();
+  const std::ptrdiff_t pn = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && n >= 2048)
+  for (std::ptrdiff_t i = 0; i < pn; ++i) {
+    const double* xi = x + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    double* yi = y + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    for (int c = 0; c < k; ++c)
+      if (!active || active[c]) yi[c] += alpha[c] * xi[c];
+  }
+}
+
+/// Y[i*k+c] = X[i*k+c] + beta[c] * Y[i*k+c] for active columns (the CG
+/// direction update).
+inline void xpby_multi(const double* beta, const unsigned char* active, const double* x,
+                       double* y, std::size_t n, int k, util::FlopCounter* flops = nullptr) {
+  if (flops) flops->blas1 += 2 * n * static_cast<std::size_t>(k);
+  const int t = par::threads();
+  const std::ptrdiff_t pn = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) num_threads(t) if (t > 1 && n >= 2048)
+  for (std::ptrdiff_t i = 0; i < pn; ++i) {
+    const double* xi = x + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    double* yi = y + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    for (int c = 0; c < k; ++c)
+      if (!active || active[c]) yi[c] = xi[c] + beta[c] * yi[c];
+  }
+}
+
+/// Copy column c of an interleaved multivector into a contiguous vector.
+inline void gather_column(const double* x, std::size_t n, int k, int c, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i * static_cast<std::size_t>(k) + c];
+}
+
+/// Write a contiguous vector into column c of an interleaved multivector.
+inline void scatter_column(const double* v, std::size_t n, int k, int c, double* x) {
+  for (std::size_t i = 0; i < n; ++i) x[i * static_cast<std::size_t>(k) + c] = v[i];
+}
+
+/// Repack the columns listed in `keep` (indices into the old width k_old,
+/// strictly ascending) into a fresh interleaved layout of width k_new — the
+/// batch-compaction primitive. In-place safe: with ascending `keep`, every
+/// write lands at or before the next element still to be read.
+inline void compact_columns(double* x, std::size_t n, int k_old, const int* keep, int k_new) {
+  GEOFEM_CHECK(k_new <= k_old, "compact_columns: growing width");
+  for (int c = 0; c + 1 < k_new; ++c)
+    GEOFEM_CHECK(keep[c] < keep[c + 1], "compact_columns: keep not ascending");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = x + i * static_cast<std::size_t>(k_old);
+    double* dst = x + i * static_cast<std::size_t>(k_new);
+    for (int c = 0; c < k_new; ++c) {
+      const double v = src[keep[c]];
+      dst[c] = v;
+    }
+  }
+}
+
+}  // namespace geofem::sparse

@@ -116,7 +116,29 @@ std::future<SolveResponse> SolverService::submit(SolveRequest req) {
   return fut;
 }
 
-bool SolverService::next_ticket(Ticket& out) {
+bool SolverService::batch_eligible(const SolveRequest& req) const {
+  if (opt_.max_batch <= 1) return false;
+  // The batched core path is a direct fp64 classic-CG solve; anything that
+  // needs the resilience / precision / variant machinery solves solo.
+  const precond::Precision prec = req.precision ? *req.precision : opt_.solve.precision;
+  const solver::CGVariant var = req.variant ? *req.variant : opt_.solve.cg.variant;
+  return prec == precond::Precision::kDouble && var == solver::CGVariant::kClassic &&
+         !opt_.solve.resilience.enabled;
+}
+
+namespace {
+
+/// Coalescing key: requests solving the SAME matrix (model, penalty, contact
+/// state) may share one batched solve; load_scale and tolerance are
+/// per-column deltas.
+bool same_batch_key(const SolveRequest& a, const SolveRequest& b) {
+  return a.model == b.model && a.lambda == b.lambda && a.active_groups == b.active_groups;
+}
+
+}  // namespace
+
+bool SolverService::next_batch(std::vector<Ticket>& out) {
+  out.clear();
   std::unique_lock lock(mtx_);
   cv_work_.wait(lock, [this] {
     return stopping_ || !queues_[0].empty() || !queues_[1].empty();
@@ -136,13 +158,58 @@ bool SolverService::next_ticket(Ticket& out) {
     cls = 1;
     interactive_streak_ = 0;
   }
-  out = std::move(queues_[cls].front());
+  out.push_back(std::move(queues_[cls].front()));
   queues_[cls].pop_front();
-  ++in_flight_;
-  const std::size_t depth = queues_[cls].size();
+  ++in_flight_;  // leader counted immediately: drain() must not fire mid-batch
+
+  bool window_timeout = false;
+  if (batch_eligible(out.front().req)) {
+    const auto max_batch = static_cast<std::size_t>(opt_.max_batch);
+    // Pull every queued same-key eligible request (both classes, admission
+    // order within each) up to max_batch.
+    auto harvest = [&] {
+      for (auto& q : queues_) {
+        for (auto it = q.begin(); it != q.end() && out.size() < max_batch;) {
+          if (batch_eligible(it->req) && same_batch_key(out.front().req, it->req)) {
+            out.push_back(std::move(*it));
+            it = q.erase(it);
+            ++in_flight_;
+          } else {
+            ++it;
+          }
+        }
+      }
+    };
+    harvest();
+    // Batch-class leaders may hold the dispatch open briefly to let more
+    // matching requests arrive; interactive leaders never wait.
+    if (out.size() < max_batch && out.front().req.priority == Priority::kBatch &&
+        opt_.batch_window > 0.0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(opt_.batch_window));
+      while (out.size() < max_batch && !stopping_) {
+        if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          harvest();
+          window_timeout = out.size() < max_batch;
+          break;
+        }
+        harvest();
+      }
+    }
+  }
+
+  const std::size_t depth_i = queues_[0].size();
+  const std::size_t depth_b = queues_[1].size();
   lock.unlock();
-  registry_.gauge(std::string("svc.queue_depth.") + class_name(static_cast<Priority>(cls)))
-      ->set(static_cast<double>(depth));
+  registry_.gauge("svc.queue_depth.interactive")->set(static_cast<double>(depth_i));
+  registry_.gauge("svc.queue_depth.batch")->set(static_cast<double>(depth_b));
+  if (opt_.max_batch > 1) {
+    registry_.histogram("svc.batch_size")->record(static_cast<double>(out.size()));
+    if (out.size() > 1)
+      registry_.counter("svc.coalesce.hit")->add(static_cast<std::uint64_t>(out.size() - 1));
+    if (window_timeout) registry_.counter("svc.coalesce.window_timeout")->add(1);
+  }
   return true;
 }
 
@@ -158,8 +225,8 @@ void SolverService::worker_main(int wid) {
   // the steady state pays a memcpy per request instead of a multi-MB
   // malloc/free churn.
   Scratch scratch;
-  Ticket t;
-  while (next_ticket(t)) process(std::move(t), cache, scratch);
+  std::vector<Ticket> batch;
+  while (next_batch(batch)) process_batch(std::move(batch), cache, scratch);
 }
 
 void SolverService::process(Ticket t, plan::PlanCache* cache, Scratch& scratch) {
@@ -258,6 +325,116 @@ void SolverService::process(Ticket t, plan::PlanCache* cache, Scratch& scratch) 
   {
     std::lock_guard lock(mtx_);
     --in_flight_;
+    if (in_flight_ == 0 && queues_[0].empty() && queues_[1].empty()) cv_drain_.notify_all();
+  }
+}
+
+void SolverService::process_batch(std::vector<Ticket> batch, plan::PlanCache* cache,
+                                  Scratch& scratch) {
+  if (batch.size() == 1) {
+    // Dispatch of one: the single-RHS path, verbatim — a lone request's
+    // response is bit-identical with coalescing on or off.
+    process(std::move(batch.front()), cache, scratch);
+    return;
+  }
+  const std::size_t k = batch.size();
+  const auto dequeued = std::chrono::steady_clock::now();
+  for (const auto& t : batch)
+    registry_.histogram(std::string("svc.queue_wait.") + class_name(t.req.priority))
+        ->record(seconds_since(t.admitted, dequeued));
+
+  std::vector<bool> delivered(k, false);
+  try {
+    const std::size_t span = registry_.span_begin("svc.request.batched");
+    const Model* model_ptr;
+    {
+      std::lock_guard lock(models_mtx_);
+      model_ptr = &models_[static_cast<std::size_t>(batch.front().req.model)];
+    }
+    const Model& model = *model_ptr;
+    const SolveRequest& lead = batch.front().req;
+
+    // One system copy + penalty for the whole batch (the coalescing key
+    // guarantees every ticket wants these exact matrix values), then one
+    // elimination sweep producing all k right-hand sides.
+    fem::System& sys = scratch.sys;
+    sys.a = model.base.a;
+    sys.b = model.base.b;
+    if (lead.active_groups.empty()) {
+      contact::add_penalty(sys.a, model.groups, lead.lambda);
+    } else {
+      std::vector<std::vector<int>> active;
+      active.reserve(model.groups.size());
+      for (std::size_t g = 0; g < model.groups.size(); ++g)
+        if (lead.active_groups[g]) active.push_back(model.groups[g]);
+      contact::add_penalty(sys.a, active, lead.lambda);
+    }
+    std::vector<double> scales(k), tols(k);
+    core::SolveConfig cfg = opt_.solve;
+    cfg.penalty = lead.lambda;
+    cfg.plan_cache = cache;
+    cfg.registry = &registry_;  // re-entrant session entry
+    for (std::size_t i = 0; i < k; ++i) {
+      scales[i] = batch[i].req.load_scale;
+      tols[i] = batch[i].req.tolerance > 0.0 ? batch[i].req.tolerance : cfg.cg.tolerance;
+    }
+    const auto cols = fem::apply_boundary_conditions_multi(sys, model.bc, scales);
+
+    util::Timer solve_timer;
+    std::vector<core::SolveReport> reports =
+        core::solve_system_batched(sys, model.sn, cfg, cols, tols);
+    const double solve_seconds = solve_timer.seconds();
+    registry_.span_end(span);
+    registry_.histogram("svc.solve_seconds")->record(solve_seconds);
+    // One plan consult served the whole batch: count the reuse once (the
+    // single-RHS path counts one per request because it pays one per request).
+    if (reports.front().plan_reused)
+      registry_.counter(std::string("svc.plan_reused.") + class_name(lead.priority))->add(1);
+
+    for (std::size_t i = 0; i < k; ++i) {
+      Ticket& t = batch[i];
+      const char* cls = class_name(t.req.priority);
+      SolveResponse resp;
+      resp.id = t.id;
+      resp.priority = t.req.priority;
+      resp.queue_seconds = seconds_since(t.admitted, dequeued);
+      resp.report = std::move(reports[i]);
+      resp.status = resp.report.status;
+      if (!opt_.keep_solutions) {
+        resp.report.solution.clear();
+        resp.report.solution.shrink_to_fit();
+      }
+      resp.total_seconds = seconds_since(t.admitted, std::chrono::steady_clock::now());
+      registry_.histogram(std::string("svc.latency.") + cls)->record(resp.total_seconds);
+      const bool failed = !ok(resp.status);
+      registry_.counter(std::string("svc.completed.") + cls)->add(1);
+      if (failed) registry_.counter(std::string("svc.failed.") + cls)->add(1);
+      {
+        // count BEFORE resolving the future (same contract as process())
+        std::lock_guard lock(mtx_);
+        ++counts_.completed;
+        if (failed) ++counts_.failed;
+      }
+      delivered[i] = true;
+      t.promise.set_value(std::move(resp));
+    }
+  } catch (...) {
+    // A throwing batched solve fails every still-unresolved ticket; the
+    // exception fans out through each future.
+    for (std::size_t i = 0; i < k; ++i) {
+      if (delivered[i]) continue;
+      registry_.counter(std::string("svc.failed.") + class_name(batch[i].req.priority))->add(1);
+      {
+        std::lock_guard lock(mtx_);
+        ++counts_.completed;
+        ++counts_.failed;
+      }
+      batch[i].promise.set_exception(std::current_exception());
+    }
+  }
+  {
+    std::lock_guard lock(mtx_);
+    in_flight_ -= k;
     if (in_flight_ == 0 && queues_[0].empty() && queues_[1].empty()) cv_drain_.notify_all();
   }
 }

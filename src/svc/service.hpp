@@ -105,6 +105,26 @@ struct ServiceOptions {
   /// Drop each response's solution vector after the solve (latency benches
   /// at scale; keep true for bit-identity checks).
   bool keep_solutions = true;
+  /// Request coalescing (DESIGN.md §5k). A dispatching worker whose leader
+  /// request is batch-eligible scans both queues for requests with the same
+  /// coalescing key — (model, lambda, active_groups), i.e. the same matrix
+  /// values and plan fingerprint — and solves up to max_batch of them as ONE
+  /// batched multi-RHS solve (core::solve_system_batched: one system copy,
+  /// one set-up, one SpMM + one preconditioner walk per CG iteration for all
+  /// columns). Coalesced requests may differ in load_scale and tolerance.
+  /// Eligibility further requires the request to resolve to fp64 + classic
+  /// CG with resilience disabled (the batched core path is a direct solve);
+  /// ineligible requests always take the single-RHS path. Coalescing pulls
+  /// matching followers out of FIFO order (they ride the leader's dispatch).
+  /// 1 disables coalescing. A dispatch of size 1 — including every dispatch
+  /// when max_batch == 1 — runs the single-RHS path unchanged, so a lone
+  /// request's response is bit-identical with coalescing on or off.
+  int max_batch = 1;
+  /// With coalescing on and fewer than max_batch matching requests queued: a
+  /// worker whose leader is Priority::kBatch may wait up to this many
+  /// seconds for more matching arrivals before dispatching. Interactive
+  /// leaders never wait (latency first). 0 = dispatch what is there now.
+  double batch_window = 0.0;
 };
 
 /// Long-lived in-process solver service. Thread-safe: submit() may be called
@@ -116,7 +136,11 @@ struct ServiceOptions {
 ///   histograms svc.latency.{interactive,batch}   admission -> completion (s)
 ///              svc.queue_wait.{interactive,batch} admission -> dequeue (s)
 ///              svc.solve_seconds                  worker solve time (s)
+///              svc.batch_size                     columns per dispatch (when
+///                                                 max_batch > 1; 1 = solo)
 ///   counters   svc.submitted/accepted/rejected/completed/failed.<class>
+///              svc.coalesce.hit            requests that rode another's dispatch
+///              svc.coalesce.window_timeout batch windows that expired unfilled
 ///   gauges     svc.queue_depth.<class> (current), svc.queue_depth_max.<class>
 /// plan-cache hit/miss/eviction/occupancy gauges are refreshed by
 /// publish_stats().
@@ -181,8 +205,15 @@ class SolverService {
   };
 
   void worker_main(int wid);
-  bool next_ticket(Ticket& out);  ///< scheduling policy; false = stopping
+  /// Scheduling policy + coalescing window; false = stopping. `out` receives
+  /// the leader (chosen by the existing priority policy) plus up to
+  /// max_batch - 1 same-key followers.
+  bool next_batch(std::vector<Ticket>& out);
   void process(Ticket t, plan::PlanCache* cache, Scratch& scratch);
+  /// Size-1 batches forward to process(); larger ones run the batched
+  /// multi-RHS solve and fan per-column results out to the tickets' promises.
+  void process_batch(std::vector<Ticket> batch, plan::PlanCache* cache, Scratch& scratch);
+  [[nodiscard]] bool batch_eligible(const SolveRequest& req) const;
 
   ServiceOptions opt_;
   obs::Registry registry_;
